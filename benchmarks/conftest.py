@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`
+(one table or figure of the paper), prints the paper-style table, and
+writes it under ``bench_results/`` so EXPERIMENTS.md can reference the
+regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture
+def report():
+    """Print an experiment's table and persist it to bench_results/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

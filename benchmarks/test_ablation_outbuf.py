@@ -1,0 +1,64 @@
+"""Ablation: network output buffer capacity.
+
+Table 3's native-flat-after-512-tuples artifact is a consequence of the
+~75 KB output buffer: "once the network buffer reaches capacity, the
+scan for data is suspended".  Sweeping the buffer moves the saturation
+point proportionally.
+"""
+
+from repro.bench.reporting import format_table
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.queries import top_n_lineitem
+from repro.workloads.tpch.schema import setup_tpch_server
+
+BUFFERS = (16 * 1024, 75 * 1024, 256 * 1024)
+SIZES = (64, 256, 1024, 4096, 16384)
+
+
+def _response_times(buffer_bytes: int):
+    costs = CostModel(output_buffer_bytes=buffer_bytes,
+                      work_amplification=100.0)
+    server = DatabaseServer(meter=Meter(costs))
+    setup_tpch_server(server, generate(scale=0.01, seed=3))
+    app = BenchmarkApp(server, use_phoenix=False)
+    app.run_query(top_n_lineitem(4096), label="warmup")
+    times = {}
+    for n in SIZES:
+        times[n] = app.run_query(top_n_lineitem(n), label=f"top{n}",
+                                 fetch=False).seconds
+    return times
+
+
+def _saturation_point(times: dict) -> int:
+    sizes = sorted(times)
+    for i in range(1, len(sizes)):
+        if times[sizes[i]] < times[sizes[i - 1]] * 1.02:
+            return sizes[i - 1]
+    return sizes[-1]
+
+
+def test_ablation_output_buffer(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {b: _response_times(b) for b in BUFFERS},
+        rounds=1, iterations=1)
+    rows = [[f"{b // 1024} KB"] + [results[b][n] for n in SIZES]
+            for b in BUFFERS]
+    report("ablation_outbuf", format_table(
+        "Ablation: output buffer size vs TOP N response time (s)",
+        ["Buffer"] + [str(n) for n in SIZES], rows))
+
+    # A larger buffer saturates later: response time keeps growing for
+    # larger N before going flat.
+    small = _saturation_point(results[BUFFERS[0]])
+    large = _saturation_point(results[BUFFERS[-1]])
+    assert small < large
+
+    # Below saturation, response time is buffer-independent.
+    assert results[BUFFERS[0]][64] > 0
+    for b in BUFFERS[1:]:
+        assert abs(results[b][64] - results[BUFFERS[0]][64]) \
+            / results[BUFFERS[0]][64] < 0.05

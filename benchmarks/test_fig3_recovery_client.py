@@ -1,0 +1,35 @@
+"""Figure 3: session recovery time, repositioning at the client.
+
+Paper shape: virtual-session recovery is a constant ~0.37 s; SQL-state
+recovery grows with the result size because Phoenix sequences through
+the persisted result from the client, reaching seconds for
+thousand-tuple results ("the upper bound for recovering SQL state").
+"""
+
+from repro.bench.experiments import run_fig3
+
+SCALE = 0.02
+FRACTIONS = (0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.002,
+             0.001, 0.0)
+
+
+def test_fig3_recovery_client(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale=SCALE, fractions=FRACTIONS),
+        rounds=1, iterations=1)
+    report("fig3_recovery_client", result.format())
+
+    assert len(result.rows) >= 3, "need several result sizes"
+    sizes = [size for size, _v, _s in result.rows]
+    sql_state = [s for _size, _v, s in result.rows]
+    virtual = [v for _size, v, _s in result.rows]
+
+    # Virtual-session phase is constant (paper: 0.37 s for all sizes).
+    assert max(virtual) - min(virtual) < 0.05
+    assert 0.2 < virtual[0] < 0.6
+
+    # SQL-state phase grows with result size (roughly linearly: the
+    # client fetches-and-discards one tuple at a time).
+    assert sql_state == sorted(sql_state)
+    assert sql_state[-1] / sql_state[0] > 0.5 * (sizes[-1] / sizes[0])
+    assert sizes == sorted(sizes)

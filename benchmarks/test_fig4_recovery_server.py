@@ -1,0 +1,39 @@
+"""Figure 4: session recovery with server-side repositioning.
+
+Paper shape: "a dramatic 10 to one reduction in overhead for larger
+result sets" — the repositioning stored procedure advances through the
+result on the server without shipping tuples, making SQL-state recovery
+sub-second and nearly independent of result size.
+"""
+
+from repro.bench.experiments import run_fig3, run_fig4
+
+SCALE = 0.02
+FRACTIONS = (0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.002,
+             0.001, 0.0)
+
+
+def test_fig4_recovery_server(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_fig4(scale=SCALE, fractions=FRACTIONS),
+        rounds=1, iterations=1)
+    report("fig4_recovery_server", result.format())
+
+    assert len(result.rows) >= 3
+    totals = [v + s for _size, v, s in result.rows]
+    # Sub-second recovery across the board.
+    assert all(t < 1.0 for t in totals)
+
+    # The paper's 10x claim: compare against client-side repositioning
+    # at the largest shared result size.
+    client = run_fig3(scale=SCALE, fractions=FRACTIONS)
+    client_by_size = {size: v + s for size, v, s in client.rows}
+    shared = [size for size, _v, _s in result.rows
+              if size in client_by_size]
+    assert shared, "figures must share at least one result size"
+    largest = max(shared)
+    server_total = dict((size, v + s)
+                        for size, v, s in result.rows)[largest]
+    sql_client = client_by_size[largest]
+    assert sql_client / server_total > 1.5, \
+        "server-side repositioning should win clearly at larger sizes"

@@ -1,0 +1,28 @@
+"""Micro overheads: the §3.4/§3.5 scalar measurements.
+
+Paper values: parse 0.00023 s, metadata 0.00062 s, create table 0.321 s,
+tuple fetch 0.00380 s (native) vs 0.00397 s (persisted table), virtual
+session recovery 0.37 s.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_micro_overheads
+
+
+def test_micro_overheads(benchmark, report):
+    result = benchmark.pedantic(lambda: run_micro_overheads(scale=0.002),
+                                rounds=1, iterations=1)
+    report("micro_overheads", result.format())
+
+    measured = {name: ours for name, _paper, ours in result.rows}
+    assert measured["parse request"] == pytest.approx(0.00023)
+    assert measured["create persistent table"] == pytest.approx(0.321,
+                                                                rel=0.1)
+    assert measured["tuple fetch (native)"] == pytest.approx(0.0038,
+                                                             rel=0.05)
+    extra = (measured["tuple fetch (persisted)"]
+             - measured["tuple fetch (native)"])
+    assert 0 < extra < 0.001, "persisted fetch should cost slightly more"
+    assert measured["virtual session recovery"] == pytest.approx(0.37,
+                                                                 rel=0.15)

@@ -1,0 +1,31 @@
+"""Table 1: TPC-H power test, native ODBC vs Phoenix/ODBC.
+
+Paper shape: Phoenix's total query time is ~1% above native (1.011);
+update functions are within ~0.5% (1.003-1.015); individual short
+queries show larger relative overheads than long ones.
+"""
+
+from repro.bench.experiments import run_table1
+
+SCALE = 0.002
+
+
+def test_table1_power(benchmark, report):
+    result = benchmark.pedantic(lambda: run_table1(scale=SCALE),
+                                rounds=1, iterations=1)
+    report("table1_power", result.format())
+
+    # Shape assertions (paper: 1.011 for queries, 1.003 for updates).
+    query_ratio = result.phoenix_query_total / result.native_query_total
+    update_ratio = (result.phoenix_update_total
+                    / result.native_update_total)
+    assert 1.0 < query_ratio < 1.10, "query overhead should be modest"
+    assert 1.0 <= update_ratio < 1.05, "update overhead should be tiny"
+
+    # Phoenix's fixed per-query cost hurts short queries relatively more.
+    rows = {label: (native, phoenix)
+            for label, _n, native, phoenix in result.rows
+            if label.startswith("Q")}
+    shortest = min(rows.values(), key=lambda p: p[0])
+    longest = max(rows.values(), key=lambda p: p[0])
+    assert shortest[1] / shortest[0] > longest[1] / longest[0]

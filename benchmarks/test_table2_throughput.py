@@ -1,0 +1,20 @@
+"""Table 2: TPC-H throughput test on two streams.
+
+Paper shape: Phoenix adds ~0.3% to the elapsed time of two concurrent
+query streams plus a refresh stream (5472.00 s -> 5492.39 s, ratio
+1.003) — "if Phoenix were imposing a heavy cost on the server, we would
+expect to detect a noticeable drop in throughput".
+"""
+
+from repro.bench.experiments import run_table2
+
+SCALE = 0.002
+
+
+def test_table2_throughput(benchmark, report):
+    result = benchmark.pedantic(lambda: run_table2(scale=SCALE, streams=2),
+                                rounds=1, iterations=1)
+    report("table2_throughput", result.format())
+
+    assert result.phoenix_elapsed > result.native_elapsed
+    assert result.ratio < 1.10, "throughput impact should be minor"

@@ -1,0 +1,38 @@
+"""Table 3: response time for SELECT TOP N * FROM LINEITEM.
+
+Paper shape: huge Phoenix/native ratios at tiny N (fixed table-creation
+cost vs a ~1 ms query), ratio declining as N grows, a window where
+Phoenix is *faster* than native (256-4K tuples in the paper), native
+response time flat once the ~75 KB output buffer fills (512 x 150 B),
+and Phoenix growing linearly with N (materialization cost).
+"""
+
+from repro.bench.experiments import run_table3
+
+SCALE = 0.01
+
+
+def test_table3_topn(benchmark, report):
+    result = benchmark.pedantic(lambda: run_table3(scale=SCALE),
+                                rounds=1, iterations=1)
+    report("table3_topn", result.format())
+
+    by_n = {n: (native, phoenix) for n, native, phoenix in result.rows}
+    ns = sorted(by_n)
+
+    # Huge ratio at N=1, declining with N.
+    ratio_1 = by_n[1][1] / by_n[1][0]
+    ratio_128 = by_n[128][1] / by_n[128][0]
+    assert ratio_1 > 20
+    assert ratio_128 < ratio_1 / 5
+
+    # A crossover window where Phoenix beats native.
+    assert any(phoenix < native for _n, native, phoenix in result.rows), \
+        "expected a region where Phoenix is faster (paper: 256-4K)"
+
+    # Native response time is flat once the output buffer fills.
+    big = [by_n[n][0] for n in ns if n >= 1024]
+    assert max(big) / min(big) < 1.05
+
+    # Phoenix keeps growing with N (it materializes the whole result).
+    assert by_n[ns[-1]][1] > 4 * by_n[1024][1]

@@ -1,0 +1,106 @@
+"""An interactive SQL console over the simulated server.
+
+The closest thing to the paper's measurement application: it "accepts ad
+hoc SQL queries as input and forwards the request to the server for
+processing" through either driver manager.  Besides SQL, the console
+accepts:
+
+    \\crash      kill the database server
+    \\restart    bring it back (runs restart recovery)
+    \\stats      show Phoenix statistics
+    \\quit       exit
+
+Run interactively, or pipe a script:
+
+    printf 'SELECT count(*) FROM region;\\n\\crash\\n\\restart\\n
+    SELECT count(*) FROM region;\\n\\quit\\n' | python examples/sql_console.py
+"""
+
+import sys
+
+from repro.odbc.constants import SQL_ERROR, SQL_NO_DATA, SQL_SUCCESS
+from repro.server.server import DatabaseServer
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.schema import setup_tpch_server
+
+USE_PHOENIX = True
+
+
+def run_sql(app: BenchmarkApp, sql: str) -> None:
+    start = app.meter.now
+    statement = app.manager.alloc_statement(app.conn)
+    rc = app.manager.exec_direct(statement, sql)
+    if rc == SQL_ERROR:
+        diag = app.manager.get_diag(statement)[0]
+        print(f"ERROR [{diag.sqlstate}] {diag.message}")
+        return
+    rows = 0
+    if app.manager.num_result_cols(statement) > 0:
+        names = [app.manager.describe_col(statement, i + 1)[0]
+                 for i in range(app.manager.num_result_cols(statement))]
+        print(" | ".join(names))
+        while True:
+            rc, row = app.manager.fetch(statement)
+            if rc != SQL_SUCCESS:
+                break
+            print(" | ".join(str(v) for v in row))
+            rows += 1
+            if rows >= 50:
+                print("... (output capped at 50 rows)")
+                app.manager.close_cursor(statement)
+                break
+        print(f"({rows} rows)")
+    else:
+        count = app.manager.row_count(statement)
+        if count >= 0:
+            print(f"({count} rows affected)")
+        else:
+            print("ok")
+    app.manager.free_statement(statement)
+    print(f"[{app.meter.now - start:.4f}s virtual]")
+
+
+def main() -> None:
+    print("loading TPC-H SF 0.001 ...")
+    server = DatabaseServer(meter=Meter())
+    setup_tpch_server(server, generate(scale=0.001, seed=1))
+    app = BenchmarkApp(server, use_phoenix=USE_PHOENIX)
+    kind = "Phoenix/ODBC" if USE_PHOENIX else "native ODBC"
+    print(f"connected via {kind}; \\crash \\restart \\stats \\quit")
+
+    interactive = sys.stdin.isatty()
+    while True:
+        if interactive:
+            sys.stdout.write("sql> ")
+            sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:
+            break
+        command = line.strip()
+        if not command:
+            continue
+        if not interactive:
+            print(f"sql> {command}")
+        if command == "\\quit":
+            break
+        if command == "\\crash":
+            server.crash()
+            print("server killed (shutdown with nowait)")
+            continue
+        if command == "\\restart":
+            server.restart()
+            print("server restarted (database recovery complete)")
+            continue
+        if command == "\\stats":
+            if hasattr(app.manager, "stats"):
+                print(app.manager.stats)
+            else:
+                print("(native manager: no phoenix stats)")
+            continue
+        run_sql(app, command.rstrip(";"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment's setuptools (65.x) cannot build editable wheels (no
+``wheel`` package is installed offline), so ``pip install -e .`` falls
+back to this legacy path, which works without wheel support.
+"""
+
+from setuptools import setup
+
+setup()

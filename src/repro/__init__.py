@@ -1,0 +1,20 @@
+"""Phoenix/ODBC reproduction: persistent database sessions.
+
+Reproduction of Barga & Lomet, "Measuring and Optimizing a System for
+Persistent Database Sessions", ICDE 2001.  See README.md for the
+quickstart and DESIGN.md for the system inventory.
+
+Public entry points:
+
+* :class:`repro.server.server.DatabaseServer` — the crashable server;
+* :class:`repro.phoenix.driver_manager.PhoenixDriverManager` — the
+  paper's contribution, a drop-in ODBC driver-manager wrapper;
+* :class:`repro.odbc.driver_manager.DriverManager` — the native baseline;
+* :class:`repro.workloads.app.BenchmarkApp` — a ready-made client;
+* :mod:`repro.bench.experiments` — one function per paper table/figure
+  (also runnable as ``python -m repro.bench <experiment>``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Experiment implementations and paper-style reporting.
+
+One function per table/figure of the paper's evaluation section; see
+DESIGN.md §4 for the experiment index and ``benchmarks/`` for the
+pytest-benchmark entry points that run them and print the tables.
+"""
+
+from repro.bench.experiments import (
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_micro_overheads,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_micro_overheads",
+]

@@ -1,0 +1,66 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest:
+
+    python -m repro.bench table1
+    python -m repro.bench table3 --scale 0.02
+    python -m repro.bench all
+
+Results print as paper-style tables and are also written under
+``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench import experiments
+
+EXPERIMENTS = {
+    "table1": lambda args: experiments.run_table1(scale=args.scale or 0.002),
+    "table2": lambda args: experiments.run_table2(scale=args.scale or 0.002),
+    "table3": lambda args: experiments.run_table3(scale=args.scale or 0.01),
+    "table4": lambda args: experiments.run_table4(
+        measure_seconds=args.measure_seconds),
+    "fig3": lambda args: experiments.run_fig3(scale=args.scale or 0.02),
+    "fig4": lambda args: experiments.run_fig4(scale=args.scale or 0.02),
+    "fig6": lambda args: experiments.run_fig6(scale=args.scale or 0.02),
+    "micro": lambda args: experiments.run_micro_overheads(
+        scale=args.scale or 0.002),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="TPC-H scale factor override")
+    parser.add_argument("--measure-seconds", type=float, default=900.0,
+                        help="TPC-C measurement window (virtual seconds)")
+    parser.add_argument("--out", default="bench_results",
+                        help="directory for the result tables")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](args)
+        text = result.format()
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

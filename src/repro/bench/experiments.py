@@ -1,0 +1,505 @@
+"""One runnable experiment per table/figure of the paper.
+
+Every experiment builds fresh simulated worlds (identical generated data,
+separate servers for native and Phoenix so mutations don't cross), runs
+the workload through the driver-manager surface, and returns a dataclass
+whose ``format()`` prints a paper-style table.  Absolute numbers are
+virtual seconds from the calibrated cost model; EXPERIMENTS.md records
+paper-vs-measured shape for each.
+
+``work_amplification`` defaults to ``target_scale / scale`` so that a
+laptop-scale run reports SF-1-magnitude times (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table
+from repro.phoenix.config import PhoenixConfig
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import TpchData, generate
+from repro.workloads.tpch.power import run_power_test
+from repro.workloads.tpch.queries import q11, top_n_lineitem
+from repro.workloads.tpch.schema import setup_tpch_server
+from repro.workloads.tpch.throughput import run_throughput_test
+from repro.workloads.tpcc.datagen import TpccScale, generate_tpcc
+from repro.workloads.tpcc.driver import (
+    collect_transaction_traces,
+    run_multiuser,
+)
+from repro.workloads.tpcc.schema import setup_tpcc_server
+
+DEFAULT_TPCH_SCALE = 0.002
+TARGET_SCALE = 1.0
+
+
+def make_tpch_world(scale: float = DEFAULT_TPCH_SCALE, seed: int = 7,
+                    amplification: float | None = None,
+                    cost_overrides: dict | None = None
+                    ) -> tuple[DatabaseServer, TpchData]:
+    """A fresh TPC-H server with scale-compensated costs."""
+    if amplification is None:
+        amplification = TARGET_SCALE / scale
+    costs = CostModel(work_amplification=amplification,
+                      **(cost_overrides or {}))
+    server = DatabaseServer(meter=Meter(costs))
+    data = generate(scale=scale, seed=seed)
+    setup_tpch_server(server, data)
+    return server, data
+
+
+# ---------------------------------------------------------------------------
+# Table 1: TPC-H power test
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    scale: float
+    rows: list[tuple] = field(default_factory=list)  # label, n, odbc, phx
+    native_query_total: float = 0.0
+    phoenix_query_total: float = 0.0
+    native_update_total: float = 0.0
+    phoenix_update_total: float = 0.0
+
+    def format(self) -> str:
+        body = []
+        for label, result_rows, native, phoenix in self.rows:
+            diff = phoenix - native
+            ratio = phoenix / native if native else float("inf")
+            body.append([label, result_rows, native, phoenix, diff, ratio])
+        footers = [
+            ["Total (Query)", "", self.native_query_total,
+             self.phoenix_query_total,
+             self.phoenix_query_total - self.native_query_total,
+             self.phoenix_query_total / self.native_query_total],
+            ["Total (Updates)", "", self.native_update_total,
+             self.phoenix_update_total,
+             self.phoenix_update_total - self.native_update_total,
+             self.phoenix_update_total / self.native_update_total],
+        ]
+        return format_table(
+            f"Table 1: TPC-H power test (SF {self.scale}, virtual seconds)",
+            ["Query/Update", "Result/Updates", "Native ODBC",
+             "Phoenix/ODBC", "Difference", "Ratio"],
+            body, footers)
+
+
+def run_table1(scale: float = DEFAULT_TPCH_SCALE,
+               seed: int = 7) -> Table1Result:
+    native_server, native_data = make_tpch_world(scale, seed)
+    native_app = BenchmarkApp(native_server, use_phoenix=False)
+    native = run_power_test(native_app, native_data, warm=True)
+
+    phoenix_server, phoenix_data = make_tpch_world(scale, seed)
+    phoenix_app = BenchmarkApp(phoenix_server, use_phoenix=True)
+    phoenix = run_power_test(phoenix_app, phoenix_data, warm=True)
+
+    result = Table1Result(scale=scale)
+    for number in sorted(native.query_seconds):
+        result.rows.append((
+            f"Q{number:02d}", native.query_rows[number],
+            native.query_seconds[number], phoenix.query_seconds[number]))
+    result.rows.append(("RF1", native.rf_rows, native.rf1_seconds,
+                        phoenix.rf1_seconds))
+    result.rows.append(("RF2", native.rf_rows, native.rf2_seconds,
+                        phoenix.rf2_seconds))
+    result.native_query_total = native.total_query_seconds
+    result.phoenix_query_total = phoenix.total_query_seconds
+    result.native_update_total = native.total_update_seconds
+    result.phoenix_update_total = phoenix.total_update_seconds
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 2: TPC-H throughput test
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table2Result:
+    scale: float
+    streams: int
+    native_elapsed: float
+    phoenix_elapsed: float
+
+    @property
+    def ratio(self) -> float:
+        return self.phoenix_elapsed / self.native_elapsed
+
+    def format(self) -> str:
+        rows = [
+            ["Elapsed Time for Native ODBC", self.native_elapsed],
+            ["Elapsed Time for Phoenix/ODBC", self.phoenix_elapsed],
+            ["Difference", self.phoenix_elapsed - self.native_elapsed],
+            ["Ratio", self.ratio],
+        ]
+        return format_table(
+            f"Table 2: TPC-H throughput test on {self.streams} streams "
+            f"(SF {self.scale}, virtual seconds)",
+            ["Metric", "Value"], rows)
+
+
+def run_table2(scale: float = DEFAULT_TPCH_SCALE, streams: int = 2,
+               seed: int = 7) -> Table2Result:
+    native_server, native_data = make_tpch_world(scale, seed)
+    native_app = BenchmarkApp(native_server, use_phoenix=False)
+    native = run_throughput_test(native_app, native_data, streams=streams)
+
+    phoenix_server, phoenix_data = make_tpch_world(scale, seed)
+    phoenix_app = BenchmarkApp(phoenix_server, use_phoenix=True)
+    phoenix = run_throughput_test(phoenix_app, phoenix_data,
+                                  streams=streams)
+    return Table2Result(scale=scale, streams=streams,
+                        native_elapsed=native.elapsed_seconds,
+                        phoenix_elapsed=phoenix.elapsed_seconds)
+
+
+# ---------------------------------------------------------------------------
+# Table 3: SELECT TOP N * FROM LINEITEM response times
+# ---------------------------------------------------------------------------
+
+TABLE3_SIZES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+                8192, 16384)
+
+
+@dataclass
+class Table3Result:
+    scale: float
+    rows: list[tuple] = field(default_factory=list)  # n, native, phoenix
+
+    def format(self) -> str:
+        body = [[n, native, phoenix,
+                 phoenix / native if native else float("inf")]
+                for n, native, phoenix in self.rows]
+        return format_table(
+            f"Table 3: response time for SELECT TOP N * FROM LINEITEM "
+            f"(SF {self.scale}, virtual seconds)",
+            ["Result Set Size", "Native ODBC", "Phoenix/ODBC", "Ratio"],
+            body)
+
+
+def run_table3(scale: float = 0.01, sizes: tuple = TABLE3_SIZES,
+               seed: int = 7) -> Table3Result:
+    """Response time only — the application does not consume results
+    ("we are measuring query response time, not client transfer rate")."""
+    server, data = make_tpch_world(scale, seed)
+    available = len(data.lineitem)
+    sizes = tuple(n for n in sizes if n <= available)
+    native_app = BenchmarkApp(server, use_phoenix=False)
+    phoenix_app = BenchmarkApp(server, use_phoenix=True)
+    # Warm the buffer pool so response times measure steady state.
+    native_app.run_query(top_n_lineitem(min(available, 4096)),
+                         label="warmup")
+
+    result = Table3Result(scale=scale)
+    for n in sizes:
+        native_time = native_app.run_query(
+            top_n_lineitem(n), label=f"native top{n}", fetch=False).seconds
+        phoenix_time = phoenix_app.run_query(
+            top_n_lineitem(n), label=f"phoenix top{n}",
+            fetch=False).seconds
+        result.rows.append((n, native_time, phoenix_time))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 4: session recovery time vs result size
+# ---------------------------------------------------------------------------
+
+FIG34_FRACTIONS = (0.30, 0.10, 0.05, 0.02, 0.01, 0.005, 0.002, 0.0)
+
+
+@dataclass
+class RecoveryResult:
+    reposition_mode: str
+    scale: float
+    #: (result size, virtual-session seconds, sql-state seconds)
+    rows: list[tuple] = field(default_factory=list)
+
+    def format(self) -> str:
+        title = ("Figure 3" if self.reposition_mode == "client"
+                 else "Figure 4")
+        body = [[size, virtual, sql_state, virtual + sql_state]
+                for size, virtual, sql_state in self.rows]
+        return format_table(
+            f"{title}: session recovery time, repositioning at "
+            f"{self.reposition_mode} (SF {self.scale}, virtual seconds)",
+            ["Result Set Size", "Virtual Session", "SQL State", "Total"],
+            body)
+
+
+def run_recovery_experiment(reposition_mode: str,
+                            scale: float = DEFAULT_TPCH_SCALE,
+                            fractions: tuple = FIG34_FRACTIONS,
+                            seed: int = 7,
+                            unread_tuples: int = 3) -> RecoveryResult:
+    """Crash the server near the end of a Q11 fetch and measure the two
+    recovery phases (§3.4).
+
+    One world serves every fraction (the paper likewise reran the
+    experiment against the same database); a fresh Phoenix connection per
+    fraction keeps the recovery measurements independent.
+    """
+    result = RecoveryResult(reposition_mode=reposition_mode, scale=scale)
+    seen_sizes = set()
+    server, _data = make_tpch_world(scale, seed)
+    for fraction in fractions:
+        server.restart()  # ensure up after the previous crash cycle
+        config = PhoenixConfig(reposition_mode=reposition_mode)
+        app = BenchmarkApp(server, use_phoenix=True,
+                           phoenix_config=config)
+        sql = q11(fraction=fraction)
+        size = app.query_rows(f"SELECT count(*) FROM ({sql}) sized")[0][0]
+        if size <= unread_tuples or size in seen_sizes:
+            continue
+        statement = app.manager.alloc_statement(app.conn)
+        assert app.manager.exec_direct(statement, sql) == 0
+        # Fetch until near the end, stopping at a wire-batch boundary
+        # (client buffer drained) so the few unread tuples are still on
+        # the server side when it dies — matching the paper, which left
+        # the client "waiting for the server to respond to its fetch
+        # request".
+        consumed = 0
+        while consumed < size - unread_tuples:
+            rc, _row = app.manager.fetch(statement)
+            assert rc == 0
+            consumed += 1
+            if not statement.result.buffered and consumed >= size * 0.7:
+                break
+        if statement.result.buffered or statement.result.done:
+            continue  # result too small to out-run the client buffer
+        seen_sizes.add(size)
+        server.crash()
+        server.restart()
+        rc, _row = app.manager.fetch(statement)
+        assert rc == 0
+        phases = app.manager.recovery_phase_seconds
+        result.rows.append((size, phases.get("virtual_session", 0.0),
+                            phases.get("sql_state", 0.0)))
+    result.rows.sort()
+    return result
+
+
+def run_fig3(scale: float = DEFAULT_TPCH_SCALE,
+             fractions: tuple = FIG34_FRACTIONS) -> RecoveryResult:
+    return run_recovery_experiment("client", scale, fractions)
+
+
+def run_fig4(scale: float = DEFAULT_TPCH_SCALE,
+             fractions: tuple = FIG34_FRACTIONS) -> RecoveryResult:
+    return run_recovery_experiment("server", scale, fractions)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: Q11 execute/load times vs result size
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Result:
+    scale: float
+    #: (result size, native execute seconds, phoenix execute+load seconds)
+    rows: list[tuple] = field(default_factory=list)
+
+    def format(self) -> str:
+        body = [[size, native, phoenix,
+                 phoenix / native if native else float("inf")]
+                for size, native, phoenix in self.rows]
+        return format_table(
+            f"Figure 6: Q11 execute/load time, native vs Phoenix "
+            f"(SF {self.scale}, virtual seconds)",
+            ["Result Set Size", "Native ODBC", "Phoenix/ODBC", "Ratio"],
+            body)
+
+
+def run_fig6(scale: float = DEFAULT_TPCH_SCALE,
+             fractions: tuple = FIG34_FRACTIONS,
+             seed: int = 7) -> Fig6Result:
+    server, _data = make_tpch_world(scale, seed)
+    native_app = BenchmarkApp(server, use_phoenix=False)
+    phoenix_app = BenchmarkApp(server, use_phoenix=True)
+    native_app.run_query(q11(fraction=0.0), label="warmup")
+
+    result = Fig6Result(scale=scale)
+    seen = set()
+    for fraction in fractions:
+        sql = q11(fraction=fraction)
+        size = native_app.query_rows(
+            f"SELECT count(*) FROM ({sql}) sized")[0][0]
+        if size in seen:
+            continue
+        seen.add(size)
+        native_time = native_app.run_query(sql, label=f"native q11",
+                                           fetch=False).seconds
+        phoenix_app.run_query(sql, label="phoenix q11", fetch=False)
+        steps = phoenix_app.manager.persist_step_seconds
+        phoenix_time = steps.get("load", 0.0)
+        result.rows.append((size, native_time, phoenix_time))
+    result.rows.sort()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 4: TPC-C
+# ---------------------------------------------------------------------------
+
+DEFAULT_TPCC_SCALE = TpccScale(warehouses=2, districts_per_warehouse=10,
+                               customers_per_district=30, items=200,
+                               initial_orders_per_district=30)
+
+
+@dataclass
+class Table4Result:
+    users: int
+    rows: list[tuple] = field(default_factory=list)
+    # (label, tpmc, cpu_util, disk_util, cpu_ratio)
+
+    def format(self) -> str:
+        body = [[label, round(tpmc, 1), f"{cpu:.0%}", f"{disk:.0%}",
+                 round(ratio, 2)]
+                for label, tpmc, cpu, disk, ratio in self.rows]
+        return format_table(
+            f"Table 4: TPC-C with {self.users} users "
+            f"(virtual-time measurement)",
+            ["Experiment", "TPM-C", "CPU UTIL", "DISK UTIL", "CPU RATIO"],
+            body)
+
+
+def tpcc_cost_model(amplification: float = 6.0) -> CostModel:
+    """The OLTP-calibrated cost model for Table 4.
+
+    Under a loaded multi-user server, per-statement and per-DDL *resource
+    demand* is much smaller than the cold-case elapsed times of §3.5 (the
+    0.321 s create-table figure is dominated by synchronous waiting that
+    overlaps across users).  These marginal costs, plus a commit-force
+    latency typical of a year-2000 disk, land the native run near the
+    paper's operating point: ~350 TPM-C, disk-limited at 100 %, with
+    CPU to spare.
+    """
+    return CostModel(work_amplification=amplification,
+                     log_force_seconds=0.035,
+                     create_table_cpu_seconds=0.0008,
+                     create_table_disk_seconds=0.0015,
+                     cpu_create_procedure_seconds=0.0008,
+                     cpu_per_statement_seconds=0.0003,
+                     page_send_seconds=0.001)
+
+
+def _tpcc_run(use_phoenix: bool, cache_rows: int,
+              scale: TpccScale, users: int, txn_samples: int,
+              amplification: float, measure_seconds: float,
+              seed: int):
+    server = DatabaseServer(meter=Meter(tpcc_cost_model(amplification)))
+    # A small buffer pool keeps TPC-C disk-limited, like the paper's
+    # 3-disk server at 100% disk utilization.
+    server.engine.buffer_pool.capacity_pages = 48
+    data = generate_tpcc(scale, seed=seed)
+    setup_tpcc_server(server, data)
+    config = None
+    if use_phoenix:
+        config = PhoenixConfig(client_cache_rows=cache_rows)
+    app = BenchmarkApp(server, use_phoenix=use_phoenix,
+                       phoenix_config=config)
+    traces = collect_transaction_traces(app, scale, count=txn_samples,
+                                        seed=seed + 1)
+    return run_multiuser(traces, users=users,
+                         warmup_seconds=measure_seconds / 4,
+                         measure_seconds=measure_seconds, seed=seed + 2)
+
+
+def run_table4(scale: TpccScale = DEFAULT_TPCC_SCALE, users: int = 32,
+               txn_samples: int = 100, amplification: float = 6.0,
+               measure_seconds: float = 1200.0,
+               seed: int = 5) -> Table4Result:
+    result = Table4Result(users=users)
+    runs = [
+        ("1 Native ODBC", False, 0),
+        ("2 Phoenix/ODBC", True, 0),
+        ("3 Phoenix/ODBC w/ client caching", True, 200),
+    ]
+    native_cpu_per_txn = None
+    for label, use_phoenix, cache_rows in runs:
+        run = _tpcc_run(use_phoenix, cache_rows, scale, users,
+                        txn_samples, amplification, measure_seconds,
+                        seed)
+        if native_cpu_per_txn is None:
+            native_cpu_per_txn = run.cpu_seconds_per_txn or 1.0
+        ratio = run.cpu_seconds_per_txn / native_cpu_per_txn
+        result.rows.append((label, run.tpmc, run.cpu_utilization,
+                            run.disk_utilization, ratio))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Micro overheads (§3.4 / §3.5 scalars)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MicroResult:
+    rows: list[tuple] = field(default_factory=list)  # (name, paper, ours)
+
+    def format(self) -> str:
+        body = [[name, paper, ours] for name, paper, ours in self.rows]
+        return format_table(
+            "Micro overheads: paper vs reproduction (seconds)",
+            ["Step", "Paper", "Measured"], body)
+
+
+def run_micro_overheads(scale: float = DEFAULT_TPCH_SCALE,
+                        seed: int = 7) -> MicroResult:
+    server, _data = make_tpch_world(scale, seed)
+    costs = server.meter.costs
+    phoenix_app = BenchmarkApp(server, use_phoenix=True)
+    native_app = BenchmarkApp(server, use_phoenix=False)
+
+    sql = q11(fraction=0.0)
+    phoenix_app.run_query(sql, label="persist probe", fetch=False)
+    steps = phoenix_app.manager.persist_step_seconds
+
+    # Per-tuple fetch costs, measured over a persisted vs native result.
+    native_timing = _fetch_per_tuple(native_app, sql)
+    phoenix_timing = _fetch_per_tuple(phoenix_app, sql)
+
+    # Virtual-session recovery time: crash the server and let the next
+    # request drive recovery (small results are fully client-buffered, so
+    # an outstanding fetch alone might never need the server — correct,
+    # but not what we want to measure here).
+    server.crash()
+    server.restart()
+    phoenix_app.run_query("SELECT count(*) FROM nation",
+                          label="post-crash probe")
+    phases = phoenix_app.manager.recovery_phase_seconds
+
+    result = MicroResult()
+    result.rows.append(("parse request", 0.00023,
+                        costs.client_parse_seconds))
+    result.rows.append(("access metadata", 0.00062, steps["metadata"]))
+    result.rows.append(("create persistent table", 0.321,
+                        steps["create_table"]))
+    result.rows.append(("tuple fetch (native)", 0.00380, native_timing))
+    result.rows.append(("tuple fetch (persisted)", 0.00397,
+                        phoenix_timing))
+    result.rows.append(("virtual session recovery", 0.37,
+                        phases.get("virtual_session", 0.0)))
+    return result
+
+
+def _fetch_per_tuple(app: BenchmarkApp, sql: str) -> float:
+    statement = app.manager.alloc_statement(app.conn)
+    assert app.manager.exec_direct(statement, sql) == 0
+    fetched = 0
+    start = app.meter.now
+    while True:
+        rc, _row = app.manager.fetch(statement)
+        if rc != 0:
+            break
+        fetched += 1
+    elapsed = app.meter.now - start
+    app.manager.free_statement(statement)
+    return elapsed / max(1, fetched)

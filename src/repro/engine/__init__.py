@@ -1,0 +1,15 @@
+"""The database engine: the stand-in for SQL Server 7.0.
+
+Combines the storage, WAL, transaction and SQL substrates into a facade
+(:class:`~repro.engine.database.DatabaseEngine`) that executes SQL text
+under a server session.  Crash/restart semantics live one level up, in
+:mod:`repro.server` — the engine object itself is volatile and is rebuilt
+from the (surviving) disk and log by :meth:`DatabaseEngine.restart`.
+"""
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.results import StatementResult
+from repro.engine.session import EngineSession
+from repro.engine.table import Table
+
+__all__ = ["DatabaseEngine", "StatementResult", "EngineSession", "Table"]

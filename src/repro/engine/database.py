@@ -1,0 +1,813 @@
+"""The database engine facade.
+
+``DatabaseEngine`` wires storage, WAL, transactions and the SQL frontend
+together and executes statements under an :class:`EngineSession`.  It is
+also the *target* interface for restart recovery and online rollback
+(``heap_for_file`` / ``redo_*`` / ``undo_action`` / ``rebuild_indexes``).
+
+Crash model: the engine object is volatile.  The server keeps the
+:class:`SimulatedDisk` and :class:`WriteAheadLog` across a crash and calls
+:meth:`DatabaseEngine.restart` to build a fresh engine, which restores the
+catalog from the last checkpoint snapshot and runs ARIES-lite recovery.
+"""
+
+from __future__ import annotations
+
+from repro.engine.results import StatementResult
+from repro.engine.session import EngineSession
+from repro.engine.table import Table
+from repro.errors import (
+    EngineError,
+    PlanningError,
+    TableNotFoundError,
+    TransactionError,
+)
+from repro.sim.costs import SERVER_CPU, SERVER_DISK
+from repro.sim.meter import Meter
+from repro.sql import ast
+from repro.sql.executor import is_streamable_plan, iterate_plan
+from repro.sql.expressions import EvalContext
+from repro.sql.parser import parse_script, parse_statement
+from repro.sql.planner import Planner
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import Catalog, TableInfo
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile, RowId
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+from repro.types import Column, SqlType, coerce_column, row_width_bytes
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import (
+    CheckpointRecord,
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+from repro.wal.recovery import RecoveryManager, RecoveryReport
+
+_TYPE_ALIASES = {
+    "INT": SqlType.INTEGER, "INTEGER": SqlType.INTEGER,
+    "SMALLINT": SqlType.INTEGER, "TINYINT": SqlType.INTEGER,
+    "BIGINT": SqlType.BIGINT,
+    "FLOAT": SqlType.FLOAT, "REAL": SqlType.FLOAT,
+    "DOUBLE": SqlType.FLOAT,
+    "DECIMAL": SqlType.DECIMAL, "NUMERIC": SqlType.DECIMAL,
+    "MONEY": SqlType.DECIMAL,
+    "VARCHAR": SqlType.VARCHAR, "TEXT": SqlType.VARCHAR,
+    "STRING": SqlType.VARCHAR,  # the paper's CREATE PROCEDURE P (@T string)
+    "CHAR": SqlType.CHAR, "CHARACTER": SqlType.CHAR,
+    "DATE": SqlType.DATE, "DATETIME": SqlType.DATE,
+}
+
+
+def _sys_tables(catalog: Catalog):
+    columns = [Column("name", SqlType.VARCHAR, 64),
+               Column("table_id", SqlType.INTEGER),
+               Column("file_id", SqlType.INTEGER),
+               Column("column_count", SqlType.INTEGER)]
+    rows = [(t.name, t.table_id, t.file_id, len(t.columns))
+            for t in catalog.tables.values() if not t.volatile]
+    return columns, rows
+
+
+def _sys_columns(catalog: Catalog):
+    columns = [Column("table_name", SqlType.VARCHAR, 64),
+               Column("name", SqlType.VARCHAR, 64),
+               Column("type_name", SqlType.VARCHAR, 16),
+               Column("length", SqlType.INTEGER),
+               Column("nullable", SqlType.INTEGER),
+               Column("position", SqlType.INTEGER)]
+    rows = [(t.name, c.name, c.sql_type.value, c.length,
+             int(c.nullable), i + 1)
+            for t in catalog.tables.values() if not t.volatile
+            for i, c in enumerate(t.columns)]
+    return columns, rows
+
+
+def _sys_indexes(catalog: Catalog):
+    columns = [Column("name", SqlType.VARCHAR, 64),
+               Column("table_name", SqlType.VARCHAR, 64),
+               Column("column_names", SqlType.VARCHAR, 128),
+               Column("is_unique", SqlType.INTEGER)]
+    rows = [(ix.name, ix.table_name, ", ".join(ix.column_names),
+             int(ix.unique))
+            for ix in catalog.indexes.values()]
+    return columns, rows
+
+
+def _sys_procedures(catalog: Catalog):
+    columns = [Column("name", SqlType.VARCHAR, 64),
+               Column("param_count", SqlType.INTEGER)]
+    rows = [(p.name, len(p.param_names))
+            for p in catalog.procedures.values()]
+    return columns, rows
+
+
+def _sys_views(catalog: Catalog):
+    columns = [Column("name", SqlType.VARCHAR, 64),
+               Column("definition", SqlType.VARCHAR, 512)]
+    rows = [(v.name, v.body_sql) for v in catalog.views.values()]
+    return columns, rows
+
+
+_SYSTEM_TABLES = {
+    "sys_tables": _sys_tables,
+    "sys_columns": _sys_columns,
+    "sys_indexes": _sys_indexes,
+    "sys_procedures": _sys_procedures,
+    "sys_views": _sys_views,
+}
+
+
+class DatabaseEngine:
+    """Executes SQL statements against the storage substrate."""
+
+    def __init__(self, meter: Meter | None = None,
+                 disk: SimulatedDisk | None = None,
+                 wal: WriteAheadLog | None = None,
+                 recover: bool = False):
+        self.meter = meter if meter is not None else Meter()
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.wal = wal if wal is not None else WriteAheadLog(self.meter)
+        self.wal.attach_meter(self.meter)
+        self.buffer_pool = BufferPool(self.disk, self.meter, wal=self.wal)
+        self.locks = LockManager()
+        if recover:
+            self.catalog = Catalog.restore(
+                self.disk.read_blob("catalog_snapshot"))
+        else:
+            self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._volatile_seq = 0
+        self.txns = TransactionManager(self.wal, self.locks, self)
+        self.last_recovery: RecoveryReport | None = None
+        if recover:
+            self.last_recovery = RecoveryManager(self.wal, self).recover()
+
+    @classmethod
+    def restart(cls, disk: SimulatedDisk, wal: WriteAheadLog,
+                meter: Meter | None = None) -> "DatabaseEngine":
+        """Build a post-crash engine from the surviving disk and log."""
+        return cls(meter=meter, disk=disk, wal=wal, recover=True)
+
+    # ------------------------------------------------------------------
+    # Table runtimes
+    # ------------------------------------------------------------------
+
+    def table(self, name: str,
+              session: EngineSession | None = None) -> Table:
+        """Resolve a table name (``#temp`` names through the session)."""
+        key = name.lower()
+        if key.startswith("#"):
+            if session is None:
+                raise TableNotFoundError(
+                    f"temp table {name!r} needs a session")
+            temp = session.temp_table(key)
+            if temp is None:
+                raise TableNotFoundError(f"temp table {name!r} does not exist")
+            return temp
+        if key in _SYSTEM_TABLES:
+            return self._system_table(key)
+        info = self.catalog.get_table(key)
+        return self._runtime(info)
+
+    def _system_table(self, key: str) -> Table:
+        """A read-only snapshot of catalog metadata as a queryable table.
+
+        Rebuilt per reference (catalog contents change between queries);
+        clients use these like SQL Server's system tables, e.g. the
+        Phoenix maintenance tool enumerating orphaned result tables.
+        """
+        columns, rows = _SYSTEM_TABLES[key](self.catalog)
+        self._volatile_seq += 1
+        file_id = -self._volatile_seq
+        self.buffer_pool.register_volatile(file_id)
+        info = TableInfo(name=key, table_id=file_id, file_id=file_id,
+                         columns=tuple(columns), volatile=True,
+                         amplified=False)
+        heap = HeapFile(file_id, self._rows_per_page(columns),
+                        self.buffer_pool, cost_factor=1.0)
+        runtime = Table(info, heap, self.meter)
+        for row in rows:
+            runtime.insert(row, None, None)
+        return runtime
+
+    def table_provider(self, session: EngineSession | None):
+        """Closure handed to the planner for name resolution."""
+
+        def provide(name: str) -> Table:
+            return self.table(name, session)
+
+        return provide
+
+    def _runtime(self, info: TableInfo) -> Table:
+        runtime = self._tables.get(info.name)
+        if runtime is not None and runtime.info.file_id == info.file_id:
+            return runtime
+        heap = HeapFile.attach(
+            info.file_id, self._rows_per_page(info.columns),
+            self.buffer_pool, self.disk, cost_factor=self._factor(info))
+        runtime = Table(info, heap, self.meter)
+        for index in self.catalog.indexes_on(info.name):
+            runtime.add_index(index)
+        self._tables[info.name] = runtime
+        return runtime
+
+    def _rows_per_page(self, columns) -> int:
+        return self.meter.costs.rows_per_page(row_width_bytes(list(columns)))
+
+    def _factor(self, info: TableInfo) -> float:
+        return self.meter.costs.work_amplification if info.amplified else 1.0
+
+    # ------------------------------------------------------------------
+    # Recovery / rollback target interface
+    # ------------------------------------------------------------------
+
+    def heap_for_file(self, file_id: int) -> HeapFile | None:
+        for info in self.catalog.tables.values():
+            if info.file_id == file_id:
+                return self._runtime(info).heap
+        return None
+
+    def redo_create_table(self, table: dict) -> None:
+        if not self.catalog.has_table(table["name"]):
+            columns = [Column(n, SqlType(t), length, nullable)
+                       for n, t, length, nullable in table["columns"]]
+            self.catalog.create_table(
+                table["name"], columns, amplified=table["amplified"],
+                primary_key=tuple(table["primary_key"]),
+                table_id=table["table_id"], file_id=table["file_id"])
+        self._tables.pop(table["name"], None)
+
+    def redo_drop_table(self, table: dict) -> None:
+        name = table["name"]
+        if self.catalog.has_table(name):
+            self.catalog.drop_table(name)
+        self._tables.pop(name, None)
+        self.buffer_pool.drop_file(table["file_id"])
+        self.disk.drop_file(table["file_id"])
+
+    def redo_create_procedure(self, name: str, param_names,
+                              body_sql: str) -> None:
+        if not self.catalog.has_procedure(name):
+            self.catalog.create_procedure(name, list(param_names), body_sql)
+
+    def redo_drop_procedure(self, name: str) -> None:
+        if self.catalog.has_procedure(name):
+            self.catalog.drop_procedure(name)
+
+    def redo_create_view(self, name: str, body_sql: str) -> None:
+        if self.catalog.get_view(name) is None:
+            self.catalog.create_view(name, body_sql)
+
+    def redo_drop_view(self, name: str) -> None:
+        if self.catalog.get_view(name) is not None:
+            self.catalog.drop_view(name)
+
+    def redo_create_index(self, index: dict) -> None:
+        if index["name"] not in self.catalog.indexes \
+                and self.catalog.has_table(index["table_name"]):
+            info = self.catalog.create_index(
+                index["name"], index["table_name"],
+                index["column_names"], index["unique"])
+            runtime = self._tables.get(info.table_name)
+            if runtime is not None:
+                runtime.add_index(info)
+
+    def redo_drop_index(self, index: dict) -> None:
+        if index["name"] in self.catalog.indexes:
+            self.catalog.drop_index(index["name"])
+        runtime = self._tables.get(index["table_name"])
+        if runtime is not None:
+            runtime.remove_index(index["name"])
+
+    def rebuild_indexes(self) -> None:
+        for runtime in self._tables.values():
+            runtime.rebuild_indexes()
+
+    def undo_action(self, action: LogRecord) -> None:
+        """Apply one online-rollback compensation with index maintenance."""
+        if isinstance(action, (InsertRecord, DeleteRecord, UpdateRecord)):
+            runtime = self._tables.get(action.table_name)
+            if runtime is None or runtime.info.file_id != action.file_id:
+                heap = self.heap_for_file(action.file_id)
+                if heap is None:
+                    return
+                runtime = self._tables[self._table_name_for(action.file_id)]
+            rid = RowId(action.file_id, action.page_no, action.slot)
+            if isinstance(action, InsertRecord):
+                runtime.apply_insert_with_indexes(rid, action.row, action.lsn)
+            elif isinstance(action, DeleteRecord):
+                runtime.apply_delete_with_indexes(rid, action.lsn)
+            else:
+                runtime.apply_update_with_indexes(rid, action.new_row,
+                                                  action.lsn)
+            return
+        from repro.wal.recovery import apply_compensation
+
+        apply_compensation(action, self)
+
+    def _table_name_for(self, file_id: int) -> str:
+        for info in self.catalog.tables.values():
+            if info.file_id == file_id:
+                return info.name
+        raise TableNotFoundError(f"no table with file id {file_id}")
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Sharp checkpoint: flush everything, snapshot the catalog,
+        log a checkpoint record.  Returns its LSN."""
+        self.buffer_pool.flush_all()
+        self.disk.write_blob("catalog_snapshot", self.catalog.snapshot())
+        record = CheckpointRecord(txn_id=0,
+                                  active_txns=self.txns.active_txn_lsns())
+        lsn = self.wal.append(record)
+        self.wal.force()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql, session: EngineSession,
+                params: dict | None = None) -> StatementResult:
+        """Execute one statement (SQL text or pre-parsed AST)."""
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        self.meter.charge(SERVER_CPU,
+                          self.meter.costs.cpu_per_statement_seconds,
+                          "statement parse/plan")
+        return self._execute_parsed(statement, session, params or {})
+
+    def execute_script(self, sql: str, session: EngineSession,
+                       params: dict | None = None) -> list[StatementResult]:
+        """Execute a ``;``-separated batch; returns one result each."""
+        return [self._execute_parsed(stmt, session, params or {})
+                for stmt in parse_script(sql)]
+
+    def _execute_parsed(self, statement: ast.Statement,
+                        session: EngineSession,
+                        params: dict) -> StatementResult:
+        if isinstance(statement, (ast.SelectStatement, ast.UnionSelect)):
+            return self._execute_select(statement, session, params)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._execute_explain(statement, session, params)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement, session, params)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement, session, params)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement, session, params)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement, session)
+        if isinstance(statement, ast.DropTableStatement):
+            return self._execute_drop_table(statement, session)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._execute_create_index(statement, session)
+        if isinstance(statement, ast.DropIndexStatement):
+            return self._execute_drop_index(statement, session)
+        if isinstance(statement, ast.CreateProcedureStatement):
+            return self._execute_create_procedure(statement, session)
+        if isinstance(statement, ast.DropProcedureStatement):
+            return self._execute_drop_procedure(statement, session)
+        if isinstance(statement, ast.CreateViewStatement):
+            return self._execute_create_view(statement, session)
+        if isinstance(statement, ast.DropViewStatement):
+            return self._execute_drop_view(statement, session)
+        if isinstance(statement, ast.ExecStatement):
+            return self._execute_proc(statement, session, params)
+        if isinstance(statement, ast.BeginTransactionStatement):
+            return self._execute_begin(session)
+        if isinstance(statement, ast.CommitStatement):
+            return self._execute_commit(session)
+        if isinstance(statement, ast.RollbackStatement):
+            return self._execute_rollback(session)
+        raise EngineError(
+            f"unsupported statement {type(statement).__name__}")
+
+    # -- transactions ----------------------------------------------------------
+
+    def _execute_begin(self, session: EngineSession) -> StatementResult:
+        if session.in_transaction:
+            raise TransactionError("already in a transaction")
+        session.current_txn = self.txns.begin()
+        return StatementResult.ok("transaction started")
+
+    def _execute_commit(self, session: EngineSession) -> StatementResult:
+        if not session.in_transaction:
+            raise TransactionError("no transaction to commit")
+        self.txns.commit(session.current_txn)
+        session.current_txn = None
+        return StatementResult.ok("committed")
+
+    def _execute_rollback(self, session: EngineSession) -> StatementResult:
+        if not session.in_transaction:
+            raise TransactionError("no transaction to roll back")
+        self.txns.abort(session.current_txn)
+        session.current_txn = None
+        return StatementResult.ok("rolled back")
+
+    class _TxnScope:
+        """Runs a statement inside the session txn or an autocommit txn."""
+
+        def __init__(self, engine: "DatabaseEngine", session: EngineSession):
+            self._engine = engine
+            self._session = session
+            self._own = not session.in_transaction
+            self.txn: Transaction | None = None
+
+        def __enter__(self) -> Transaction:
+            if self._own:
+                self.txn = self._engine.txns.begin()
+            else:
+                self.txn = self._session.current_txn
+            return self.txn
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if self._own:
+                if exc_type is None:
+                    self._engine.txns.commit(self.txn)
+                elif self.txn.is_active:
+                    self._engine.txns.abort(self.txn)
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _execute_select(self, statement: ast.SelectStatement,
+                        session: EngineSession,
+                        params: dict) -> StatementResult:
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        plan = planner.plan_select(statement)
+        if session.in_transaction:
+            for name in self._referenced_tables(statement):
+                if not name.startswith("#"):
+                    self.locks.acquire(session.current_txn.txn_id, name,
+                                       LockMode.SHARED)
+        rows = iterate_plan(plan.root, self.meter)
+        result = StatementResult.of_rows(plan.output_columns, rows)
+        result.streamable = is_streamable_plan(plan.root)
+        return result
+
+    def _execute_explain(self, statement: ast.ExplainStatement,
+                         session: EngineSession,
+                         params: dict) -> StatementResult:
+        from repro.sql.explain import explain_plan
+
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        plan = planner.plan_select(statement.select)
+        lines = explain_plan(plan.root)
+        columns = [Column("plan", SqlType.VARCHAR, 200)]
+        return StatementResult.of_rows(columns,
+                                       iter((line,) for line in lines))
+
+    # -- INSERT -------------------------------------------------------------
+
+    def _execute_insert(self, statement: ast.InsertStatement,
+                        session: EngineSession,
+                        params: dict) -> StatementResult:
+        table = self.table(statement.table, session)
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        if statement.select is not None:
+            plan = planner.plan_select(statement.select)
+            source_rows = list(iterate_plan(plan.root, self.meter))
+        else:
+            ctx = EvalContext(row=())
+            source_rows = []
+            for row_exprs in statement.rows:
+                fns = [planner.compile_scalar(e) for e in row_exprs]
+                source_rows.append(tuple(fn(ctx) for fn in fns))
+        target_columns = statement.columns or [
+            c.name for c in table.info.columns]
+        column_positions = [table.info.column_index(c)
+                            for c in target_columns]
+        count = 0
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self._lock_for_write(session, txn, table)
+            for source in source_rows:
+                if len(source) != len(target_columns):
+                    raise EngineError(
+                        f"INSERT has {len(source)} values for "
+                        f"{len(target_columns)} columns")
+                row = self._build_row(table, column_positions, source)
+                table.insert(row, txn, self.txns)
+                count += 1
+        return StatementResult.of_rowcount(count, f"{count} rows inserted")
+
+    def _build_row(self, table: Table, positions: list[int],
+                   source: tuple) -> tuple:
+        values: list = [None] * len(table.info.columns)
+        for position, value in zip(positions, source):
+            column = table.info.columns[position]
+            values[position] = coerce_column(value, column)
+        for i, column in enumerate(table.info.columns):
+            if values[i] is None and not column.nullable:
+                raise EngineError(
+                    f"column {column.name!r} is NOT NULL")
+        return tuple(values)
+
+    # -- UPDATE / DELETE -----------------------------------------------------
+
+    def _execute_update(self, statement: ast.UpdateStatement,
+                        session: EngineSession,
+                        params: dict) -> StatementResult:
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        iterate, table = planner.plan_dml_source(statement.table,
+                                                 statement.where)
+        bindings = [(table.info.name, c.name) for c in table.info.columns]
+        compiler_fns = []
+        for column_name, expr in statement.assignments:
+            position = table.info.column_index(column_name)
+            fn = planner.compile_row_expr(expr, bindings)
+            compiler_fns.append((position, fn,
+                                 table.info.columns[position].sql_type))
+        count = 0
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self._lock_for_write(session, txn, table)
+            matches = list(iterate())
+            for rid, row in matches:
+                new_values = list(row)
+                ctx = EvalContext(row=row)
+                for position, fn, _sql_type in compiler_fns:
+                    column = table.info.columns[position]
+                    value = coerce_column(fn(ctx), column)
+                    if value is None and not column.nullable:
+                        raise EngineError(
+                            f"column {column.name!r} is NOT NULL")
+                    new_values[position] = value
+                table.update(rid, tuple(new_values), txn, self.txns)
+                count += 1
+        return StatementResult.of_rowcount(count, f"{count} rows updated")
+
+    def _execute_delete(self, statement: ast.DeleteStatement,
+                        session: EngineSession,
+                        params: dict) -> StatementResult:
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        iterate, table = planner.plan_dml_source(statement.table,
+                                                 statement.where)
+        count = 0
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self._lock_for_write(session, txn, table)
+            matches = list(iterate())
+            for rid, _row in matches:
+                table.delete(rid, txn, self.txns)
+                count += 1
+        return StatementResult.of_rowcount(count, f"{count} rows deleted")
+
+    def _lock_for_write(self, session: EngineSession,
+                        txn: Transaction, table: Table) -> None:
+        if not table.info.volatile:
+            self.locks.acquire(txn.txn_id, table.info.name,
+                               LockMode.EXCLUSIVE)
+
+    # -- DDL ---------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTableStatement,
+                              session: EngineSession) -> StatementResult:
+        columns = [self._column_from_def(d) for d in statement.columns]
+        name = statement.name.lower()
+        if name.startswith("#"):
+            return self._create_temp_table(name, columns,
+                                           statement.primary_key, session)
+        amplified = not name.startswith("phoenix_")
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            info = self.catalog.create_table(
+                name, columns, amplified=amplified,
+                primary_key=tuple(statement.primary_key))
+            self.txns.log_create_table(txn, self._table_snapshot(info))
+            self._runtime(info)
+        self.meter.charge(SERVER_CPU,
+                          self.meter.costs.create_table_cpu_seconds,
+                          "create table cpu")
+        self.meter.charge(SERVER_DISK,
+                          self.meter.costs.create_table_disk_seconds,
+                          "create table disk")
+        return StatementResult.ok(f"table {name} created")
+
+    def _create_temp_table(self, name: str, columns: list[Column],
+                           primary_key: list[str],
+                           session: EngineSession) -> StatementResult:
+        if session.temp_table(name) is not None:
+            raise EngineError(f"temp table {name!r} already exists")
+        self._volatile_seq += 1
+        file_id = -self._volatile_seq  # negative: never collides with durable
+        info = TableInfo(name=name, table_id=file_id, file_id=file_id,
+                         columns=tuple(columns), volatile=True,
+                         amplified=False,
+                         primary_key=tuple(c.lower() for c in primary_key))
+        self.buffer_pool.register_volatile(file_id)
+        heap = HeapFile(file_id, self._rows_per_page(columns),
+                        self.buffer_pool, cost_factor=1.0)
+        session.temp_tables[name] = Table(info, heap, self.meter)
+        return StatementResult.ok(f"temp table {name} created")
+
+    def _execute_drop_table(self, statement: ast.DropTableStatement,
+                            session: EngineSession) -> StatementResult:
+        name = statement.name.lower()
+        if name.startswith("#"):
+            if session.temp_tables.pop(name, None) is None:
+                raise TableNotFoundError(f"temp table {name!r} does not exist")
+            return StatementResult.ok(f"temp table {name} dropped")
+        info = self.catalog.get_table(name)
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.locks.acquire(txn.txn_id, name, LockMode.EXCLUSIVE)
+            snapshot = self._table_snapshot(info)
+            self.catalog.drop_table(name)
+            self.txns.log_drop_table(txn, snapshot)
+            self._tables.pop(name, None)
+            file_id = info.file_id
+            txn.on_commit.append(
+                lambda: (self.buffer_pool.drop_file(file_id),
+                         self.disk.drop_file(file_id)))
+        return StatementResult.ok(f"table {name} dropped")
+
+    def _execute_create_index(self, statement: ast.CreateIndexStatement,
+                              session: EngineSession) -> StatementResult:
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            info = self.catalog.create_index(
+                statement.name, statement.table,
+                statement.columns, statement.unique)
+            self.txns.log_create_index(txn, self._index_snapshot(info))
+            runtime = self._tables.get(info.table_name)
+            if runtime is not None:
+                runtime.add_index(info)
+        return StatementResult.ok(f"index {statement.name} created")
+
+    def _execute_drop_index(self, statement: ast.DropIndexStatement,
+                            session: EngineSession) -> StatementResult:
+        name = statement.name.lower()
+        info = self.catalog.indexes.get(name)
+        if info is None:
+            raise EngineError(f"index {name!r} does not exist")
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.catalog.drop_index(name)
+            self.txns.log_drop_index(txn, self._index_snapshot(info))
+            runtime = self._tables.get(info.table_name)
+            if runtime is not None:
+                runtime.remove_index(name)
+        return StatementResult.ok(f"index {name} dropped")
+
+    def _execute_create_procedure(self,
+                                  statement: ast.CreateProcedureStatement,
+                                  session: EngineSession) -> StatementResult:
+        param_names = [name for name, _type in statement.params]
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.catalog.create_procedure(statement.name, param_names,
+                                          statement.body_sql)
+            self.txns.log_create_procedure(txn, statement.name.lower(),
+                                           tuple(param_names),
+                                           statement.body_sql)
+        self.meter.charge(SERVER_CPU,
+                          self.meter.costs.cpu_create_procedure_seconds,
+                          "create procedure")
+        return StatementResult.ok(f"procedure {statement.name} created")
+
+    def _execute_drop_procedure(self, statement: ast.DropProcedureStatement,
+                                session: EngineSession) -> StatementResult:
+        info = self.catalog.get_procedure(statement.name)
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.catalog.drop_procedure(info.name)
+            self.txns.log_drop_procedure(txn, info.name,
+                                         tuple(info.param_names),
+                                         info.body_sql)
+        return StatementResult.ok(f"procedure {info.name} dropped")
+
+    def _execute_create_view(self, statement: ast.CreateViewStatement,
+                             session: EngineSession) -> StatementResult:
+        body = parse_statement(statement.body_sql)
+        if not isinstance(body, (ast.SelectStatement, ast.UnionSelect)):
+            raise PlanningError("a view definition must be a SELECT")
+        # Validate the definition by planning it now.
+        Planner(self.table_provider(session), self.meter,
+                view_provider=self.view_provider()).plan_select(body)
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.catalog.create_view(statement.name, statement.body_sql)
+            self.txns.log_create_view(txn, statement.name.lower(),
+                                      statement.body_sql)
+        return StatementResult.ok(f"view {statement.name} created")
+
+    def _execute_drop_view(self, statement: ast.DropViewStatement,
+                           session: EngineSession) -> StatementResult:
+        info = self.catalog.get_view(statement.name)
+        if info is None:
+            raise EngineError(f"view {statement.name!r} does not exist")
+        with DatabaseEngine._TxnScope(self, session) as txn:
+            self.catalog.drop_view(info.name)
+            self.txns.log_drop_view(txn, info.name, info.body_sql)
+        return StatementResult.ok(f"view {info.name} dropped")
+
+    def view_provider(self):
+        """Closure handed to the planner for view expansion."""
+
+        def provide(name: str):
+            info = self.catalog.get_view(name)
+            return info.body_sql if info is not None else None
+
+        return provide
+
+    def _execute_proc(self, statement: ast.ExecStatement,
+                      session: EngineSession,
+                      params: dict) -> StatementResult:
+        proc = self.catalog.get_procedure(statement.name)
+        planner = Planner(self.table_provider(session), self.meter, params,
+                          view_provider=self.view_provider())
+        ctx = EvalContext(row=())
+        arg_values = [planner.compile_scalar(a)(ctx) for a in statement.args]
+        if len(arg_values) != len(proc.param_names):
+            raise EngineError(
+                f"procedure {proc.name} expects {len(proc.param_names)} "
+                f"arguments, got {len(arg_values)}")
+        bound = dict(zip(proc.param_names, arg_values))
+        result = StatementResult.ok(f"procedure {proc.name} executed")
+        for stmt in parse_script(proc.body_sql):
+            self.meter.charge(SERVER_CPU,
+                              self.meter.costs.cpu_per_statement_seconds,
+                              "proc statement")
+            result = self._execute_parsed(stmt, session, bound)
+        return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _column_from_def(definition: ast.ColumnDef) -> Column:
+        sql_type = _TYPE_ALIASES.get(definition.type_name.upper())
+        if sql_type is None:
+            raise PlanningError(
+                f"unknown column type {definition.type_name!r}")
+        length = definition.length
+        if sql_type.is_text and length == 0:
+            length = 32
+        return Column(name=definition.name.lower(), sql_type=sql_type,
+                      length=length, nullable=definition.nullable
+                      and not definition.primary_key)
+
+    @staticmethod
+    def _table_snapshot(info: TableInfo) -> dict:
+        return {
+            "name": info.name,
+            "table_id": info.table_id,
+            "file_id": info.file_id,
+            "columns": [(c.name, c.sql_type.value, c.length, c.nullable)
+                        for c in info.columns],
+            "amplified": info.amplified,
+            "primary_key": list(info.primary_key),
+        }
+
+    @staticmethod
+    def _index_snapshot(info) -> dict:
+        return {
+            "name": info.name,
+            "table_name": info.table_name,
+            "column_names": list(info.column_names),
+            "unique": info.unique,
+        }
+
+    def _referenced_tables(self, statement: ast.Statement) -> set[str]:
+        names: set[str] = set()
+        self._collect_tables(statement, names)
+        return names
+
+    def _collect_tables(self, node, names: set[str]) -> None:
+        if isinstance(node, ast.UnionSelect):
+            for select in node.selects:
+                self._collect_tables(select, names)
+            return
+        if isinstance(node, ast.SelectStatement):
+            for item in node.from_items:
+                self._collect_from_item(item, names)
+            for expr_holder in ([i.expr for i in node.select_items]
+                                + [node.where, node.having]
+                                + node.group_by
+                                + [o.expr for o in node.order_by]):
+                self._collect_expr_tables(expr_holder, names)
+
+    def _collect_from_item(self, item, names: set[str]) -> None:
+        if isinstance(item, ast.TableName):
+            names.add(item.name.lower())
+        elif isinstance(item, ast.DerivedTable):
+            self._collect_tables(item.select, names)
+        elif isinstance(item, ast.Join):
+            self._collect_from_item(item.left, names)
+            self._collect_from_item(item.right, names)
+            self._collect_expr_tables(item.condition, names)
+
+    def _collect_expr_tables(self, expr, names: set[str]) -> None:
+        if expr is None or not isinstance(expr, ast.Expr):
+            return
+        if isinstance(expr, (ast.ScalarSubquery, ast.Exists)):
+            self._collect_tables(expr.subquery, names)
+            return
+        if isinstance(expr, ast.InSubquery):
+            self._collect_tables(expr.subquery, names)
+            self._collect_expr_tables(expr.operand, names)
+            return
+        from repro.sql.expressions import _children
+
+        for child in _children(expr):
+            self._collect_expr_tables(child, names)

@@ -1,0 +1,38 @@
+"""Server-side sessions.
+
+An :class:`EngineSession` is the *database session* of the paper: the
+volatile server-side state tied to one client connection — temp tables,
+the in-flight transaction, and session settings.  It is destroyed by a
+crash (and by normal disconnect), which is why Phoenix has to reconstruct
+everything it needs from persistent tables afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.table import Table
+from repro.txn.manager import Transaction
+
+
+@dataclass
+class EngineSession:
+    """Volatile per-connection server state."""
+
+    session_id: int
+    temp_tables: dict[str, Table] = field(default_factory=dict)
+    current_txn: Transaction | None = None
+    settings: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.current_txn is not None and self.current_txn.is_active
+
+    def temp_table(self, name: str) -> Table | None:
+        return self.temp_tables.get(name.lower())
+
+    def set_option(self, name: str, value) -> None:
+        self.settings[name.lower()] = value
+
+    def get_option(self, name: str, default=None):
+        return self.settings.get(name.lower(), default)

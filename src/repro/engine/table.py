@@ -1,0 +1,183 @@
+"""Table runtime: heap + indexes + logged, index-maintained mutations.
+
+One :class:`Table` object per open table.  All mutations flow through
+:meth:`insert`, :meth:`delete` and :meth:`update`, which follow the WAL
+rule (log first via the transaction manager, then touch pages, then fix
+indexes) and charge CPU/log costs scaled by the table's amplification
+factor.
+
+Volatile (temp) tables skip logging entirely: they die with the server
+session, which is exactly the property Phoenix exploits to detect whether
+a post-reconnect server session is the same one it had before.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintError
+from repro.sim.costs import SERVER_CPU
+from repro.storage.btree import BTree
+from repro.storage.catalog import IndexInfo, TableInfo
+from repro.storage.heap import HeapFile, RowId
+from repro.txn.manager import Transaction, TransactionManager
+
+
+class Table:
+    """Runtime handle for one table."""
+
+    def __init__(self, info: TableInfo, heap: HeapFile, meter=None):
+        self.info = info
+        self.heap = heap
+        self._meter = meter
+        self._indexes: dict[str, tuple[IndexInfo, BTree]] = {}
+        if info.primary_key:
+            pk_info = IndexInfo(name=f"__pk_{info.name}",
+                                table_name=info.name,
+                                column_names=info.primary_key, unique=True)
+            self._indexes[pk_info.name] = (pk_info, BTree(unique=True))
+
+    # -- planner interface ------------------------------------------------------
+
+    @property
+    def cost_factor(self) -> float:
+        """Work amplification for base tables; 1.0 for Phoenix/temp tables."""
+        if self._meter is None or not self.info.amplified:
+            return 1.0
+        return self._meter.costs.work_amplification
+
+    def indexes(self) -> list[IndexInfo]:
+        return [info for info, _tree in self._indexes.values()]
+
+    def index_info(self, name: str) -> IndexInfo:
+        return self._indexes[name.lower()][0]
+
+    def index_tree(self, name: str) -> BTree:
+        return self._indexes[name.lower()][1]
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    # -- index management ----------------------------------------------------
+
+    def add_index(self, info: IndexInfo) -> None:
+        """Register an index and build it from the current heap contents."""
+        tree = BTree(unique=info.unique)
+        positions = [self.info.column_index(c) for c in info.column_names]
+        for rid, row in self.heap.scan():
+            tree.insert(tuple(row[p] for p in positions), rid)
+        self._indexes[info.name.lower()] = (info, tree)
+
+    def remove_index(self, name: str) -> None:
+        self._indexes.pop(name.lower(), None)
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild every index from the heap (after restart recovery)."""
+        infos = [info for info, _tree in self._indexes.values()]
+        self._indexes.clear()
+        for info in infos:
+            self.add_index(info)
+
+    def _index_key(self, row: tuple, info: IndexInfo) -> tuple:
+        positions = [self.info.column_index(c) for c in info.column_names]
+        return tuple(row[p] for p in positions)
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, row: tuple, txn: Transaction | None,
+               txns: TransactionManager | None) -> RowId:
+        """Insert ``row``; raises ConstraintError on unique violations."""
+        self._check_unique(row)
+        rid = self.heap.find_insert_target()
+        lsn = 0
+        if not self.info.volatile and txn is not None and txns is not None:
+            lsn = txns.log_insert(txn, self.info.name, rid, row,
+                                  self.cost_factor)
+        self.heap.apply_insert(rid, row, lsn)
+        for info, tree in self._indexes.values():
+            tree.insert(self._index_key(row, info), rid)
+        self._charge_dml("cpu_per_tuple_insert")
+        return rid
+
+    def delete(self, rid: RowId, txn: Transaction | None,
+               txns: TransactionManager | None) -> tuple:
+        row = self.heap.read(rid)
+        if row is None:
+            raise ValueError(f"no row at {rid}")
+        lsn = 0
+        if not self.info.volatile and txn is not None and txns is not None:
+            lsn = txns.log_delete(txn, self.info.name, rid, row,
+                                  self.cost_factor)
+        self.heap.apply_delete(rid, lsn)
+        for info, tree in self._indexes.values():
+            tree.delete(self._index_key(row, info), rid)
+        self._charge_dml("cpu_per_tuple_delete")
+        return row
+
+    def update(self, rid: RowId, new_row: tuple, txn: Transaction | None,
+               txns: TransactionManager | None) -> tuple:
+        old_row = self.heap.read(rid)
+        if old_row is None:
+            raise ValueError(f"no row at {rid}")
+        self._check_unique(new_row, ignore_rid=rid)
+        lsn = 0
+        if not self.info.volatile and txn is not None and txns is not None:
+            lsn = txns.log_update(txn, self.info.name, rid, old_row,
+                                  new_row, self.cost_factor)
+        self.heap.apply_update(rid, new_row, lsn)
+        for info, tree in self._indexes.values():
+            old_key = self._index_key(old_row, info)
+            new_key = self._index_key(new_row, info)
+            if old_key != new_key:
+                tree.delete(old_key, rid)
+                tree.insert(new_key, rid)
+        self._charge_dml("cpu_per_tuple_update")
+        return old_row
+
+    # -- recovery-side (already-logged) mutations ---------------------------
+
+    def apply_insert_with_indexes(self, rid: RowId, row: tuple,
+                                  lsn: int) -> None:
+        self.heap.apply_insert(rid, row, lsn)
+        for info, tree in self._indexes.values():
+            tree.insert(self._index_key(row, info), rid)
+
+    def apply_delete_with_indexes(self, rid: RowId, lsn: int) -> None:
+        row = self.heap.read(rid)
+        if row is None:
+            return
+        self.heap.apply_delete(rid, lsn)
+        for info, tree in self._indexes.values():
+            tree.delete(self._index_key(row, info), rid)
+
+    def apply_update_with_indexes(self, rid: RowId, new_row: tuple,
+                                  lsn: int) -> None:
+        old_row = self.heap.read(rid)
+        if old_row is None:
+            return
+        self.heap.apply_update(rid, new_row, lsn)
+        for info, tree in self._indexes.values():
+            old_key = self._index_key(old_row, info)
+            new_key = self._index_key(new_row, info)
+            if old_key != new_key:
+                tree.delete(old_key, rid)
+                tree.insert(new_key, rid)
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_unique(self, row: tuple, ignore_rid: RowId | None = None) -> None:
+        for info, tree in self._indexes.values():
+            if not info.unique:
+                continue
+            key = self._index_key(row, info)
+            if any(v is None for v in key):
+                raise ConstraintError(
+                    f"NULL in unique key {info.name!r} of {self.info.name!r}")
+            hits = tree.search(key)
+            if hits and (ignore_rid is None or hits != [ignore_rid]):
+                raise ConstraintError(
+                    f"duplicate key {key!r} in {self.info.name!r}")
+
+    def _charge_dml(self, cost_attr: str) -> None:
+        if self._meter is None:
+            return
+        seconds = getattr(self._meter.costs, cost_attr) * self.cost_factor
+        self._meter.charge(SERVER_CPU, seconds, cost_attr)

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the Phoenix/ODBC reproduction.
+
+Three families mirror the three layers of the system:
+
+* ``EngineError`` — raised inside the database engine (SQL errors,
+  constraint violations, missing objects).
+* ``ServerError`` — raised by the simulated client-server substrate; in
+  particular ``ServerCrashedError`` and ``ConnectionLostError`` are what a
+  native ODBC driver surfaces when the server dies, and are exactly the
+  errors Phoenix intercepts to trigger recovery.
+* ``OdbcError`` — the driver-level error carrying a SQLSTATE, which is what
+  applications see through the ODBC API when nothing masks the failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Engine errors
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the database engine."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class PlanningError(EngineError):
+    """The statement parsed but could not be planned (e.g. bad column)."""
+
+
+class CatalogError(EngineError):
+    """A catalog object is missing or already exists."""
+
+
+class TableNotFoundError(CatalogError):
+    """Referenced table does not exist."""
+
+
+class TableExistsError(CatalogError):
+    """CREATE TABLE target already exists."""
+
+
+class ProcedureNotFoundError(CatalogError):
+    """EXEC target procedure does not exist."""
+
+
+class ColumnNotFoundError(PlanningError):
+    """Referenced column does not exist in scope."""
+
+
+class TypeMismatchError(EngineError):
+    """Operand types are not compatible for the requested operation."""
+
+
+class ConstraintError(EngineError):
+    """A uniqueness or not-null constraint was violated."""
+
+
+class TransactionError(EngineError):
+    """Illegal transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+
+class DeadlockError(TransactionError):
+    """Lock acquisition timed out; the transaction was chosen as victim."""
+
+
+# ---------------------------------------------------------------------------
+# Server / network errors
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for client-server substrate errors."""
+
+
+class ServerDownError(ServerError):
+    """The server is not running (connect refused / ping failed)."""
+
+
+class ServerCrashedError(ServerError):
+    """The server crashed while servicing this request.
+
+    This is the error a native driver raises mid-request when the process
+    hosting the database dies; Phoenix intercepts it.
+    """
+
+
+class ConnectionLostError(ServerError):
+    """The session this connection referred to no longer exists."""
+
+
+class RequestTimeoutError(ServerError):
+    """The request did not complete within the driver timeout."""
+
+
+# ---------------------------------------------------------------------------
+# ODBC-level errors
+# ---------------------------------------------------------------------------
+
+
+class OdbcError(ReproError):
+    """Driver-level error with a SQLSTATE, surfaced via SQLGetDiagRec."""
+
+    def __init__(self, sqlstate: str, message: str):
+        super().__init__(f"[{sqlstate}] {message}")
+        self.sqlstate = sqlstate
+        self.message = message
+
+
+class InvalidHandleError(OdbcError):
+    """Operation on a freed or wrong-type handle."""
+
+    def __init__(self, message: str = "invalid handle"):
+        super().__init__("HY000", message)
+
+
+# ---------------------------------------------------------------------------
+# Phoenix errors
+# ---------------------------------------------------------------------------
+
+
+class PhoenixError(ReproError):
+    """Base class for errors raised by the Phoenix layer itself."""
+
+
+class RecoveryFailedError(PhoenixError):
+    """Phoenix exhausted its reconnect budget; failure is exposed to the app."""

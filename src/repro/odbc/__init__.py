@@ -1,0 +1,40 @@
+"""An ODBC-shaped data access layer.
+
+The application-facing surface mirrors ODBC's shape — environment /
+connection / statement handles, ``SQLExecDirect``-style calls, return
+codes plus diagnostics — because Phoenix's whole premise is wrapping that
+surface without the application noticing.  The same application code runs
+against :class:`~repro.odbc.driver_manager.DriverManager` (native) or
+:class:`~repro.phoenix.driver_manager.PhoenixDriverManager` (persistent
+sessions); the transparency tests assert the row streams are identical.
+"""
+
+from repro.odbc.constants import (
+    SQL_ERROR,
+    SQL_NO_DATA,
+    SQL_SUCCESS,
+    SQLSTATE_COMM_LINK_FAILURE,
+    SQLSTATE_CONNECTION_DEAD,
+)
+from repro.odbc.driver import NativeDriver
+from repro.odbc.driver_manager import DriverManager
+from repro.odbc.handles import (
+    ConnectionHandle,
+    Diagnostic,
+    EnvironmentHandle,
+    StatementHandle,
+)
+
+__all__ = [
+    "SQL_SUCCESS",
+    "SQL_ERROR",
+    "SQL_NO_DATA",
+    "SQLSTATE_COMM_LINK_FAILURE",
+    "SQLSTATE_CONNECTION_DEAD",
+    "NativeDriver",
+    "DriverManager",
+    "EnvironmentHandle",
+    "ConnectionHandle",
+    "StatementHandle",
+    "Diagnostic",
+]

@@ -1,0 +1,36 @@
+"""ODBC return codes, attributes and SQLSTATEs (the subset we model)."""
+
+SQL_SUCCESS = 0
+SQL_SUCCESS_WITH_INFO = 1
+SQL_NO_DATA = 100
+SQL_ERROR = -1
+SQL_INVALID_HANDLE = -2
+
+# Statement attributes
+SQL_ATTR_ROW_ARRAY_SIZE = "row_array_size"
+SQL_ATTR_QUERY_TIMEOUT = "query_timeout"
+SQL_ATTR_CURSOR_TYPE = "cursor_type"
+
+# Cursor types
+SQL_CURSOR_FORWARD_ONLY = "forward_only"
+SQL_CURSOR_STATIC = "static"
+
+# SQLFetchScroll orientations
+SQL_FETCH_NEXT = "next"
+SQL_FETCH_PRIOR = "prior"
+SQL_FETCH_FIRST = "first"
+SQL_FETCH_LAST = "last"
+SQL_FETCH_ABSOLUTE = "absolute"   # 1-based position
+SQL_FETCH_RELATIVE = "relative"
+
+# Connection options
+SQL_ATTR_AUTOCOMMIT = "autocommit"
+SQL_ATTR_LOGIN_TIMEOUT = "login_timeout"
+
+# SQLSTATEs
+SQLSTATE_COMM_LINK_FAILURE = "08S01"   # communication link failure
+SQLSTATE_CONNECTION_DEAD = "08003"     # connection does not exist
+SQLSTATE_GENERAL_ERROR = "HY000"
+SQLSTATE_SYNTAX_ERROR = "42000"
+SQLSTATE_CONSTRAINT = "23000"
+SQLSTATE_SERIALIZATION_FAILURE = "40001"  # deadlock victim

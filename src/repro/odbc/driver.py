@@ -1,0 +1,267 @@
+"""The native ODBC driver: protocol operations over the simulated wire.
+
+This is the "vendor supplied ODBC driver" of the paper.  It is a thin
+client: it translates driver-manager calls into protocol requests, keeps
+the client-side row buffer of each open result, and *raises* transport
+errors (:class:`ServerDownError`, :class:`ServerCrashedError`,
+:class:`ConnectionLostError`) — it makes no attempt to recover.  Masking
+those errors is Phoenix's job, one layer up.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OdbcError
+from repro.server.network import SimulatedNetwork
+from repro.server.protocol import (
+    AdvanceRequest,
+    CloseStatementRequest,
+    ConnectRequest,
+    DisconnectRequest,
+    ExecuteRequest,
+    FetchRequest,
+    PingRequest,
+    SetOptionRequest,
+)
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CLIENT_CPU
+from repro.sim.meter import Meter
+from repro.odbc.handles import ConnectionHandle, ResultState, StatementHandle
+
+
+class NativeDriver:
+    """Protocol client for one server."""
+
+    def __init__(self, server: DatabaseServer, network: SimulatedNetwork,
+                 meter: Meter):
+        self.server = server
+        self.network = network
+        self.meter = meter
+
+    # -- connections ----------------------------------------------------------
+
+    def connect(self, connection: ConnectionHandle, login: str,
+                options: dict | None = None) -> None:
+        options = dict(options or {})
+        self.meter.charge(CLIENT_CPU, self.meter.costs.connect_seconds,
+                          "connect handshake")
+        response = self.network.call(
+            self.server, ConnectRequest(login=login, options=options))
+        connection.connected = True
+        connection.session_token = response.session_token
+        connection.login = login
+        connection.options = options
+
+    def disconnect(self, connection: ConnectionHandle) -> None:
+        if connection.connected:
+            self.network.call(self.server, DisconnectRequest(
+                session_token=connection.session_token))
+        connection.connected = False
+        connection.session_token = 0
+
+    def set_connection_option(self, connection: ConnectionHandle,
+                              name: str, value) -> None:
+        self.meter.charge(CLIENT_CPU,
+                          self.meter.costs.option_reset_seconds,
+                          "set option")
+        self.network.call(self.server, SetOptionRequest(
+            session_token=connection.session_token, name=name, value=value))
+        connection.options[name] = value
+
+    def ping(self) -> bool:
+        response = self.network.call(self.server, PingRequest())
+        return response.alive
+
+    # -- statements ------------------------------------------------------------
+
+    def execute(self, statement: StatementHandle, sql: str,
+                params: dict | None = None) -> ResultState:
+        connection = statement.connection
+        if not connection.connected:
+            raise OdbcError("08003", "connection is not open")
+        response = self.network.call(self.server, ExecuteRequest(
+            session_token=connection.session_token, sql=sql,
+            params=dict(params or {})))
+        result = ResultState()
+        if response.kind == "rows":
+            result.columns = response.columns
+            result.statement_id = response.statement_id
+            result.buffered = list(response.rows)
+            result.done = response.done
+        elif response.kind == "rowcount":
+            result.rowcount = response.rowcount
+            result.done = True
+        else:
+            result.done = True
+        statement.result = result
+        statement.last_sql = sql
+        from repro.odbc.constants import (
+            SQL_ATTR_CURSOR_TYPE,
+            SQL_CURSOR_STATIC,
+        )
+
+        if response.kind == "rows" and statement.attrs.get(
+                SQL_ATTR_CURSOR_TYPE) == SQL_CURSOR_STATIC:
+            self._materialize_static(statement, result)
+        return result
+
+    def _materialize_static(self, statement: StatementHandle,
+                            result: ResultState) -> None:
+        """Drain the whole result client-side for a static cursor.
+
+        Static cursors buffer the full result at the client (one bulk
+        read per wire batch), which is what lets them scroll freely.
+        """
+        rows: list[tuple] = []
+        while True:
+            row = self._next_row(statement, result)
+            if row is None:
+                break
+            rows.append(row)
+        self.meter.charge(
+            CLIENT_CPU,
+            max(1, len(rows))
+            * self.meter.costs.cache_block_read_per_row_seconds,
+            "static cursor materialize")
+        result.static_rows = rows
+        result.cursor_index = 0
+
+    def fetch_one(self, statement: StatementHandle):
+        """Next row or ``None`` when the result is consumed."""
+        result = self._open_result(statement)
+        self.meter.charge(CLIENT_CPU, self.meter.costs.client_fetch_seconds,
+                          "SQLFetch")
+        if result.static_rows is not None:
+            if result.cursor_index >= len(result.static_rows):
+                result.cursor_after_last = True
+                return None
+            row = result.static_rows[result.cursor_index]
+            result.cursor_index += 1
+            result.position += 1
+            result.cursor_after_last = False
+            return row
+        row = self._next_row(statement, result)
+        if row is not None:
+            result.position += 1
+        return row
+
+    def fetch_scroll(self, statement: StatementHandle, orientation: str,
+                     offset: int = 0):
+        """Scrollable fetch over a static cursor.
+
+        Forward-only cursors accept only SQL_FETCH_NEXT; anything else
+        raises SQLSTATE HY106 (fetch type out of range), like a real
+        driver.
+        """
+        from repro.odbc.constants import (
+            SQL_FETCH_ABSOLUTE,
+            SQL_FETCH_FIRST,
+            SQL_FETCH_LAST,
+            SQL_FETCH_NEXT,
+            SQL_FETCH_PRIOR,
+            SQL_FETCH_RELATIVE,
+        )
+
+        result = self._open_result(statement)
+        if result.static_rows is None:
+            if orientation == SQL_FETCH_NEXT:
+                return self.fetch_one(statement)
+            raise OdbcError("HY106",
+                            "forward-only cursor cannot scroll")
+        self.meter.charge(CLIENT_CPU,
+                          self.meter.costs.client_fetch_seconds,
+                          "SQLFetchScroll")
+        rows = result.static_rows
+        # The row the cursor sits on (len(rows) = after-last sentinel).
+        current = (len(rows) if result.cursor_after_last
+                   else result.cursor_index - 1)
+        if orientation == SQL_FETCH_NEXT:
+            target = current + 1
+        elif orientation == SQL_FETCH_PRIOR:
+            target = current - 1
+        elif orientation == SQL_FETCH_FIRST:
+            target = 0
+        elif orientation == SQL_FETCH_LAST:
+            target = len(rows) - 1
+        elif orientation == SQL_FETCH_ABSOLUTE:
+            target = offset - 1  # ODBC positions are 1-based
+        elif orientation == SQL_FETCH_RELATIVE:
+            target = current + offset
+        else:
+            raise OdbcError("HY106", f"unknown orientation {orientation!r}")
+        if target < 0 or target >= len(rows):
+            # Cursor lands before-first / after-last.
+            result.cursor_index = 0 if target < 0 else len(rows)
+            result.cursor_after_last = target >= len(rows)
+            return None
+        result.cursor_index = target + 1
+        result.cursor_after_last = False
+        return rows[target]
+
+    def fetch_block(self, statement: StatementHandle,
+                    max_rows: int) -> list[tuple]:
+        """Block-cursor read: up to ``max_rows`` rows with bulk pricing.
+
+        One driver call moves many rows, so the per-row client cost drops
+        from ``client_fetch_seconds`` to
+        ``cache_block_read_per_row_seconds`` — this is the mechanism the
+        Phoenix client cache uses ("a single ODBC block cursor read").
+        """
+        result = self._open_result(statement)
+        rows: list[tuple] = []
+        while len(rows) < max_rows:
+            row = self._next_row(statement, result)
+            if row is None:
+                break
+            rows.append(row)
+            result.position += 1
+        self.meter.charge(
+            CLIENT_CPU,
+            max(1, len(rows))
+            * self.meter.costs.cache_block_read_per_row_seconds,
+            "block cursor read")
+        return rows
+
+    def advance(self, statement: StatementHandle, count: int) -> int:
+        """Server-side skip of ``count`` rows (repositioning procedure)."""
+        result = self._open_result(statement)
+        skipped = 0
+        # Rows already shipped to the client buffer are skipped locally.
+        local = min(count, len(result.buffered))
+        if local:
+            del result.buffered[:local]
+            skipped += local
+        if skipped < count and result.statement_id and not result.done:
+            response = self.network.call(self.server, AdvanceRequest(
+                session_token=statement.connection.session_token,
+                statement_id=result.statement_id, count=count - skipped))
+            skipped += response.skipped
+            if response.done:
+                result.done = True
+        result.position += skipped
+        return skipped
+
+    def close_statement(self, statement: StatementHandle) -> None:
+        result = statement.result
+        if result is not None and result.statement_id and not result.done:
+            self.network.call(self.server, CloseStatementRequest(
+                session_token=statement.connection.session_token,
+                statement_id=result.statement_id))
+        statement.result = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _open_result(self, statement: StatementHandle) -> ResultState:
+        if statement.result is None:
+            raise OdbcError("24000", "no open result on this statement")
+        return statement.result
+
+    def _next_row(self, statement: StatementHandle, result: ResultState):
+        if not result.buffered and not result.done:
+            response = self.network.call(self.server, FetchRequest(
+                session_token=statement.connection.session_token,
+                statement_id=result.statement_id))
+            result.buffered = list(response.rows)
+            result.done = response.done
+        if result.buffered:
+            return result.buffered.pop(0)
+        return None

@@ -1,0 +1,84 @@
+"""The §4 OLTP optimization: client-side result caching.
+
+For simple queries with small results, creating a persistent server
+table dominates cost.  Instead, Phoenix executes the original statement
+and reads the *entire* result into a client cache with block-cursor
+reads.  Only when the full result is cached does Phoenix begin delivery
+— from that moment a server crash cannot affect the application's
+ability to consume the result ("in fact, the client is isolated from the
+server until it services the next request").
+
+If the result does not fit the configured cache, Phoenix falls back to
+server-side persistence (the cache is sized "large enough to hold small
+result sets").  If the server dies before the cache is complete, the
+caller's recovery loop simply re-executes the query.
+"""
+
+from __future__ import annotations
+
+from repro.odbc.driver import NativeDriver
+from repro.odbc.handles import ConnectionHandle, StatementHandle
+from repro.phoenix.config import PhoenixConfig
+from repro.phoenix.virtual_session import StatementMode, StatementState
+
+
+class CacheOutcome:
+    CACHED = "cached"
+    OVERFLOW = "overflow"
+    NOT_A_RESULT = "not_a_result"
+
+
+class ClientCache:
+    """Runs the cache-first execution path."""
+
+    def __init__(self, driver: NativeDriver, config: PhoenixConfig):
+        self._driver = driver
+        self._config = config
+
+    @property
+    def enabled(self) -> bool:
+        return self._config.client_cache_rows > 0
+
+    def try_cache(self, state: StatementState, sql: str) -> str:
+        """Execute ``sql`` and try to fully cache its result.
+
+        Returns a :class:`CacheOutcome` value.  On OVERFLOW the
+        statement's server-side cursor has been closed and the caller
+        should fall back to server-side persistence.
+        """
+        capacity = self._config.client_cache_rows
+        result = self._driver.execute(state.handle, sql)
+        if not result.columns and result.statement_id == 0 \
+                and not result.buffered:
+            # Not a row-returning statement after all.
+            state.rowcount = result.rowcount
+            return CacheOutcome.NOT_A_RESULT
+        rows: list[tuple] = []
+        while True:
+            batch = self._driver.fetch_block(state.handle,
+                                             capacity - len(rows) + 1)
+            if not batch:
+                break
+            rows.extend(batch)
+            if len(rows) > capacity:
+                self._driver.close_statement(state.handle)
+                return CacheOutcome.OVERFLOW
+        # The entire result is client-resident: it is now crash-proof.
+        state.mode = StatementMode.CACHED
+        state.original_sql = sql
+        state.columns = list(result.columns)
+        state.cache_rows = rows
+        state.cache_position = 0
+        state.finished = False
+        self._driver.close_statement(state.handle)
+        return CacheOutcome.CACHED
+
+    def next_row(self, state: StatementState):
+        """Deliver the next cached row (None at end-of-result)."""
+        if state.cache_position >= len(state.cache_rows):
+            state.finished = True
+            return None
+        row = state.cache_rows[state.cache_position]
+        state.cache_position += 1
+        state.position += 1
+        return row

@@ -1,0 +1,599 @@
+"""The Phoenix-enhanced driver manager.
+
+Exposes exactly the native :class:`DriverManager` surface (the
+application cannot tell the difference) while wrapping every call point:
+
+* ``exec_direct`` classifies the request (one-pass parse) and routes it
+  through result persistence, the client cache, or status-table-wrapped
+  execution;
+* every driver interaction runs inside a recovery loop that intercepts
+  transport errors, pings/reconnects, distinguishes crash from blip via
+  the session-probe temp table, runs two-phase session recovery, and
+  transparently retries the interrupted operation;
+* ``fetch``/``fetch_block`` deliver rows from the persisted table or the
+  client cache, tracking the delivery position used for repositioning;
+* an application transaction interrupted by a crash surfaces as a
+  transaction abort (SQLSTATE 40001) after the session has been rebuilt
+  — "transaction failure is considered a normal event that most
+  applications already handle."
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+
+from repro.errors import (
+    DeadlockError,
+    EngineError,
+    RecoveryFailedError,
+    ReproError,
+)
+from repro.odbc.constants import SQL_NO_DATA, SQL_SUCCESS
+from repro.odbc.driver import NativeDriver
+from repro.odbc.driver_manager import DriverManager
+from repro.odbc.handles import (
+    ConnectionHandle,
+    EnvironmentHandle,
+    StatementHandle,
+)
+from repro.phoenix.client_cache import CacheOutcome, ClientCache
+from repro.phoenix.config import PhoenixConfig
+from repro.phoenix.failure import FailureDetector, is_transport_failure
+from repro.phoenix.parse import RequestClass, classify_request
+from repro.phoenix.persistence import ResultPersistor
+from repro.phoenix.recovery import SessionRecovery
+from repro.phoenix.status_table import StatusTable
+from repro.phoenix.virtual_session import (
+    StatementMode,
+    StatementState,
+    VirtualConnection,
+)
+from repro.sim.costs import CLIENT_CPU
+
+
+logger = logging.getLogger(__name__)
+
+
+class PhoenixDriverManager(DriverManager):
+    """Drop-in replacement for the native driver manager (§2)."""
+
+    _nonce_counter = itertools.count(1)
+
+    def __init__(self, driver: NativeDriver,
+                 config: PhoenixConfig | None = None):
+        super().__init__(driver)
+        self.config = config if config is not None else PhoenixConfig()
+        self.config.validate()
+        self.meter = driver.meter
+        self._vconns: dict[int, VirtualConnection] = {}
+        self._status = StatusTable(driver, self.config)
+        self._persistor = ResultPersistor(driver, self.meter, self.config,
+                                          self._status)
+        self._detector = FailureDetector(driver, self.meter, self.config)
+        self._recovery = SessionRecovery(driver, self.meter, self.config,
+                                         self._persistor, self._detector)
+        self._cache = ClientCache(driver, self.config)
+        self._private_env = EnvironmentHandle()
+        self._private: ConnectionHandle | None = None
+        self._nonce = next(PhoenixDriverManager._nonce_counter)
+        self._op_seq = 0
+        #: Observable counters for the experiments.
+        self.stats = {"persisted_results": 0, "cached_results": 0,
+                      "cache_overflows": 0, "wrapped_updates": 0,
+                      "recoveries": 0, "blips": 0}
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def connect(self, connection: ConnectionHandle, login: str = "app",
+                options: dict | None = None) -> int:
+        def do():
+            self.driver.connect(connection, login, options)
+            vconn = VirtualConnection(app_handle=connection, login=login)
+            from repro.phoenix.virtual_session import (
+                DEFAULT_CONNECTION_OPTIONS,
+            )
+
+            vconn.option_log.extend(DEFAULT_CONNECTION_OPTIONS)
+            for name, value in (options or {}).items():
+                vconn.option_log.append((name, value))
+            self._detector.create_probe(connection, vconn.probe_table)
+            self._vconns[connection.handle_id] = vconn
+            vconn.connected = True
+            self._private_connection()  # also ensures the status table
+
+        rc, _ = self._guard(connection, do)
+        return rc
+
+    def disconnect(self, connection: ConnectionHandle) -> int:
+        vconn = self._vconns.pop(connection.handle_id, None)
+        if vconn is not None:
+            for state in vconn.statements.values():
+                self._drop_quietly(state.table_name)
+        rc, _ = self._guard(connection,
+                            lambda: self.driver.disconnect(connection))
+        return rc
+
+    def set_connect_option(self, connection: ConnectionHandle, name: str,
+                           value) -> int:
+        vconn = self._require_vconn(connection)
+        rc, _ = self._guard(connection, lambda: self._with_recovery(
+            vconn,
+            lambda: self.driver.set_connection_option(connection, name,
+                                                      value)))
+        if rc == SQL_SUCCESS:
+            vconn.option_log.append((name, value))
+        return rc
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def exec_direct(self, statement: StatementHandle, sql: str,
+                    params: dict | None = None) -> int:
+        vconn = self._require_vconn(statement.connection)
+        if params:
+            # Phoenix re-embeds the SQL text in generated statements, so
+            # parameters are inlined as literals up front.
+            from repro.phoenix.parse import inline_parameters
+
+            sql = inline_parameters(sql, params)
+            params = None
+        request_class = classify_request(sql, self.meter)
+        state = vconn.statement_state(statement)
+        old_table = state.table_name
+        state.reset()
+        statement.last_sql = sql
+        rc, _ = self._guard(statement, lambda: self._dispatch(
+            vconn, state, request_class, sql, params, old_table))
+        return rc
+
+    def _dispatch(self, vconn: VirtualConnection, state: StatementState,
+                  request_class: RequestClass, sql: str,
+                  params: dict | None, old_table: str) -> None:
+        self._drop_quietly(old_table, vconn)
+        if request_class is RequestClass.BEGIN:
+            self._with_recovery(vconn, lambda: self.driver.execute(
+                state.handle, sql, params))
+            vconn.in_app_txn = True
+            state.mode = StatementMode.PASSTHROUGH
+            return
+        if request_class in (RequestClass.COMMIT, RequestClass.ROLLBACK):
+            self._with_recovery(vconn, lambda: self.driver.execute(
+                state.handle, sql, params))
+            vconn.in_app_txn = False
+            state.mode = StatementMode.PASSTHROUGH
+            return
+        if request_class is RequestClass.RESULT_QUERY:
+            self._execute_query(vconn, state, sql, params)
+            return
+        if request_class in (RequestClass.UPDATE, RequestClass.DDL):
+            self._execute_update(vconn, state, sql, params)
+            return
+        # EXEC / OTHER: pass through; recovery resubmits.
+        result = self._with_recovery(vconn, lambda: self.driver.execute(
+            state.handle, sql, params))
+        state.mode = StatementMode.PASSTHROUGH
+        state.rowcount = result.rowcount
+        state.columns = list(result.columns)
+
+    # -- result-generating statements (§2.1 / §4) ------------------------------
+
+    def _execute_query(self, vconn: VirtualConnection,
+                       state: StatementState, sql: str,
+                       params: dict | None) -> None:
+        if self._cache.enabled:
+            outcome = self._with_recovery(
+                vconn, lambda: self._cache.try_cache(state, sql))
+            if outcome == CacheOutcome.CACHED:
+                self.stats["cached_results"] += 1
+                return
+            if outcome == CacheOutcome.NOT_A_RESULT:
+                return
+            self.stats["cache_overflows"] += 1
+        op_key = self._next_op_key()
+        self._with_recovery(vconn, lambda: self._persistor.persist(
+            vconn.app_handle, self._private_connection(), state, sql,
+            op_key, in_app_txn=vconn.in_app_txn))
+        self.stats["persisted_results"] += 1
+
+    # -- modifications / DDL (status-table wrapping, §3.2) -----------------------
+
+    def _execute_update(self, vconn: VirtualConnection,
+                        state: StatementState, sql: str,
+                        params: dict | None) -> None:
+        if vconn.in_app_txn:
+            result = self._with_recovery(
+                vconn, lambda: self.driver.execute(state.handle, sql,
+                                                   params))
+            state.mode = StatementMode.PASSTHROUGH
+            state.rowcount = result.rowcount
+            return
+        op_key = self._next_op_key()
+
+        def wrapped():
+            recorded = self._status.completed(vconn.app_handle, op_key)
+            if recorded is not None:
+                state.rowcount = recorded
+                return
+            # A survived session may hold the half-done transaction of a
+            # blip-interrupted attempt; discard it before retrying.
+            self._status.reset_open_transaction(vconn.app_handle)
+            scratch = StatementHandle(vconn.app_handle)
+            self.driver.execute(scratch, "BEGIN TRANSACTION")
+            try:
+                result = self.driver.execute(state.handle, sql, params)
+                count = max(result.rowcount, 0)
+                self.driver.execute(scratch,
+                                    self._status.record_sql(op_key, count))
+                self.driver.execute(scratch, "COMMIT")
+            except EngineError:
+                # Statement failed for SQL reasons: roll back our wrapper
+                # transaction and surface the error unchanged.
+                self._status.reset_open_transaction(vconn.app_handle)
+                raise
+            state.rowcount = count
+
+        self._with_recovery(vconn, wrapped)
+        state.mode = StatementMode.UPDATE
+        self.stats["wrapped_updates"] += 1
+
+    # ------------------------------------------------------------------
+    # Row delivery
+    # ------------------------------------------------------------------
+
+    def fetch(self, statement: StatementHandle):
+        state = self._state_of(statement)
+        if state is None or state.mode in (StatementMode.NONE,
+                                           StatementMode.PASSTHROUGH):
+            return super().fetch(statement)
+        if state.mode is StatementMode.CACHED:
+            self.meter.charge(CLIENT_CPU,
+                              self.meter.costs.cache_fetch_seconds,
+                              "cache fetch")
+            row = self._cache.next_row(state)
+            return (SQL_NO_DATA, None) if row is None else (SQL_SUCCESS,
+                                                            row)
+        if state.mode is StatementMode.PERSISTED:
+            vconn = self._require_vconn(statement.connection)
+
+            def op():
+                row = self.driver.fetch_one(statement)
+                self.meter.charge(
+                    CLIENT_CPU,
+                    self.meter.costs.persisted_fetch_extra_seconds,
+                    "persisted fetch extra")
+                return row
+
+            rc, row = self._guard(
+                statement, lambda: self._with_recovery(vconn, op))
+            if rc != SQL_SUCCESS:
+                return rc, None
+            if row is None:
+                state.finished = True
+                return SQL_NO_DATA, None
+            state.position += 1
+            return SQL_SUCCESS, row
+        return super().fetch(statement)
+
+    def fetch_block(self, statement: StatementHandle, max_rows: int):
+        state = self._state_of(statement)
+        if state is not None and state.mode is StatementMode.CACHED:
+            rows = []
+            while len(rows) < max_rows:
+                row = self._cache.next_row(state)
+                if row is None:
+                    break
+                rows.append(row)
+            self.meter.charge(
+                CLIENT_CPU,
+                max(1, len(rows))
+                * self.meter.costs.cache_block_read_per_row_seconds,
+                "cache block fetch")
+            return (SQL_NO_DATA, []) if not rows else (SQL_SUCCESS, rows)
+        if state is not None and state.mode is StatementMode.PERSISTED:
+            vconn = self._require_vconn(statement.connection)
+            rc, rows = self._guard(
+                statement,
+                lambda: self._with_recovery(
+                    vconn,
+                    lambda: self.driver.fetch_block(statement, max_rows)))
+            if rc != SQL_SUCCESS:
+                return rc, []
+            if not rows:
+                state.finished = True
+                return SQL_NO_DATA, []
+            state.position += len(rows)
+            return SQL_SUCCESS, rows
+        return super().fetch_block(statement, max_rows)
+
+    def fetch_scroll(self, statement: StatementHandle, orientation: str,
+                     offset: int = 0):
+        """Scrollable fetch over a *persistent* cursor.
+
+        Phoenix makes cursors recoverable for free: a CACHED result
+        scrolls in client memory, and a PERSISTED result scrolls by
+        position arithmetic over the materialized table (reopen +
+        server-side advance for backward moves) — the remembered position
+        doubles as the crash-recovery reposition target, so cursors
+        survive server failures like everything else.
+        """
+        from repro.odbc.constants import (
+            SQL_FETCH_ABSOLUTE,
+            SQL_FETCH_FIRST,
+            SQL_FETCH_LAST,
+            SQL_FETCH_NEXT,
+            SQL_FETCH_PRIOR,
+            SQL_FETCH_RELATIVE,
+        )
+
+        state = self._state_of(statement)
+        if state is None or state.mode not in (StatementMode.CACHED,
+                                               StatementMode.PERSISTED):
+            return super().fetch_scroll(statement, orientation, offset)
+
+        def target_index(current: int, size: int) -> int:
+            if orientation == SQL_FETCH_NEXT:
+                return current + 1
+            if orientation == SQL_FETCH_PRIOR:
+                return current - 1
+            if orientation == SQL_FETCH_FIRST:
+                return 0
+            if orientation == SQL_FETCH_LAST:
+                return size - 1
+            if orientation == SQL_FETCH_ABSOLUTE:
+                return offset - 1
+            if orientation == SQL_FETCH_RELATIVE:
+                return current + offset
+            from repro.errors import OdbcError
+
+            raise OdbcError("HY106",
+                            f"unknown orientation {orientation!r}")
+
+        if state.mode is StatementMode.CACHED:
+            self.meter.charge(CLIENT_CPU,
+                              self.meter.costs.cache_fetch_seconds,
+                              "cache scroll")
+            size = len(state.cache_rows)
+            current = size if state.finished else state.cache_position - 1
+            target = target_index(current, size)
+            if target < 0 or target >= size:
+                state.cache_position = 0 if target < 0 else size
+                state.finished = target >= size
+                return SQL_NO_DATA, None
+            state.cache_position = target + 1
+            state.finished = False
+            return SQL_SUCCESS, state.cache_rows[target]
+
+        vconn = self._require_vconn(statement.connection)
+        rc, row = self._guard(statement, lambda: self._scroll_persisted(
+            vconn, state, statement, target_index))
+        if rc == SQL_SUCCESS and row is None:
+            return SQL_NO_DATA, None
+        return rc, row
+
+    def _scroll_persisted(self, vconn, state, statement, target_index):
+        size = self._persisted_size(vconn, state)
+        current = size if state.finished else state.position - 1
+        target = target_index(current, size)
+        if target < 0 or target >= size:
+            # Park the cursor before-first / after-last by reopening and
+            # advancing to the logical position.
+            park = 0 if target < 0 else size
+            state.position = park
+            self._with_recovery(vconn, lambda: self._reopen_at(state, park))
+            state.finished = target >= size
+            return None
+        if target != state.position:
+            if target > state.position:
+                skip = target - state.position
+                self._with_recovery(
+                    vconn, lambda: self.driver.advance(state.handle, skip))
+                state.position = target
+            else:
+                state.position = target
+                self._with_recovery(
+                    vconn, lambda: self._reopen_at(state, target))
+        row = self._with_recovery(
+            vconn, lambda: self.driver.fetch_one(statement))
+        self.meter.charge(CLIENT_CPU,
+                          self.meter.costs.persisted_fetch_extra_seconds,
+                          "persisted fetch extra")
+        if row is not None:
+            state.position += 1
+            state.finished = False
+        return row
+
+    def _reopen_at(self, state, position: int) -> None:
+        from repro.phoenix.reposition import reposition
+
+        self.driver.execute(state.handle,
+                            f"SELECT * FROM {state.table_name}")
+        reposition(self.driver, state.handle, position,
+                   self.config.reposition_mode)
+
+    def _persisted_size(self, vconn, state) -> int:
+        if state.result_size >= 0:
+            return state.result_size
+
+        def count():
+            scratch = StatementHandle(vconn.app_handle)
+            self.driver.execute(
+                scratch, f"SELECT count(*) FROM {state.table_name}")
+            row = self.driver.fetch_one(scratch)
+            self.driver.close_statement(scratch)
+            return row[0]
+
+        state.result_size = self._with_recovery(vconn, count)
+        return state.result_size
+
+    # ------------------------------------------------------------------
+    # Metadata / cleanup
+    # ------------------------------------------------------------------
+
+    def num_result_cols(self, statement: StatementHandle) -> int:
+        state = self._state_of(statement)
+        if state is not None and state.columns:
+            return len(state.columns)
+        return super().num_result_cols(statement)
+
+    def describe_col(self, statement: StatementHandle, position: int):
+        state = self._state_of(statement)
+        if state is not None and state.columns:
+            column = state.columns[position - 1]
+            return column.name, column.sql_type, column.length
+        return super().describe_col(statement, position)
+
+    def row_count(self, statement: StatementHandle) -> int:
+        state = self._state_of(statement)
+        if state is not None and state.rowcount >= 0:
+            return state.rowcount
+        return super().row_count(statement)
+
+    def close_cursor(self, statement: StatementHandle) -> int:
+        state = self._state_of(statement)
+        if state is not None:
+            self._drop_quietly(
+                state.table_name,
+                self._vconns.get(statement.connection.handle_id))
+            state.reset()
+        return super().close_cursor(statement)
+
+    def free_statement(self, statement: StatementHandle) -> int:
+        state = self._state_of(statement)
+        if state is not None:
+            vconn = self._vconns.get(statement.connection.handle_id)
+            self._drop_quietly(state.table_name, vconn)
+            if vconn is not None:
+                vconn.statements.pop(statement.handle_id, None)
+        return super().free_statement(statement)
+
+    # ------------------------------------------------------------------
+    # The recovery loop (§2.3)
+    # ------------------------------------------------------------------
+
+    def _with_recovery(self, vconn: VirtualConnection, operation,
+                       retry_after_recovery: bool = True):
+        """Run ``operation``, masking server failures.
+
+        Transport errors trigger ping/reconnect and, if the session died,
+        full two-phase recovery — then the operation is retried.  Every
+        operation passed here is idempotent (persistence steps are
+        guarded by the status table).
+        """
+        attempts = 0
+        while True:
+            try:
+                return operation()
+            except ReproError as error:
+                if not is_transport_failure(error):
+                    raise
+                attempts += 1
+                if attempts > 5:
+                    raise RecoveryFailedError(
+                        f"giving up after {attempts} attempts: {error}"
+                    ) from error
+                outcome = self._handle_failure(vconn, error)
+                if outcome == "recovered" and not retry_after_recovery:
+                    raise error
+
+    def _handle_failure(self, vconn: VirtualConnection,
+                        original: ReproError) -> str:
+        """Detect, reconnect, recover.  Returns 'blip' or 'recovered'."""
+        logger.info("failure intercepted: %s", original)
+        if self._private is not None:
+            self._private.connected = False  # will re-dial lazily
+        if not self._detector.await_server():
+            # Give up and reveal the failure to the application,
+            # passing along the original error (§2.3).
+            logger.warning("reconnect budget exhausted; exposing failure")
+            raise original
+        if self._detector.session_survived(vconn.app_handle,
+                                           vconn.probe_table):
+            self.stats["blips"] += 1
+            logger.info("session survived (network blip); retrying")
+            return "blip"
+        while True:
+            try:
+                self._recovery.recover_connection(vconn)
+                break
+            except ReproError as error:
+                # A failure during recovery: recovery is idempotent, so
+                # wait for the server and run it again.
+                if not is_transport_failure(error):
+                    raise
+                if not self._detector.await_server():
+                    raise original
+        self.stats["recoveries"] += 1
+        logger.info("virtual session recovered: phases=%s",
+                    self._recovery.last_phase_seconds)
+        if vconn.in_app_txn:
+            # The server aborted the application's transaction with the
+            # crash; surface that as a normal transaction failure now
+            # that the session itself is whole again.
+            vconn.in_app_txn = False
+            raise DeadlockError(
+                "transaction aborted by server failure; please retry")
+        return "recovered"
+
+    # ------------------------------------------------------------------
+    # Experiment instrumentation
+    # ------------------------------------------------------------------
+
+    @property
+    def recovery_phase_seconds(self) -> dict[str, float]:
+        """Phase timings of the most recent session recovery (Fig. 3/4)."""
+        return dict(self._recovery.last_phase_seconds)
+
+    @property
+    def persist_step_seconds(self) -> dict[str, float]:
+        """Step timings of the most recent result persistence (§3.5)."""
+        return dict(self._persistor.last_step_seconds)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _private_connection(self) -> ConnectionHandle:
+        """Phoenix's own connection for masked activity (§2.2)."""
+        if self._private is None or not self._private.connected:
+            self._private = ConnectionHandle(self._private_env)
+            self.driver.connect(self._private, "phoenix-private")
+            self._status.ensure(self._private)
+        return self._private
+
+    def _next_op_key(self) -> str:
+        self._op_seq += 1
+        return f"{self._nonce}_{self._op_seq}"
+
+    def _require_vconn(self, connection: ConnectionHandle) -> VirtualConnection:
+        vconn = self._vconns.get(connection.handle_id)
+        if vconn is None:
+            raise EngineError("connection was not opened through Phoenix")
+        return vconn
+
+    def _state_of(self, statement: StatementHandle) -> StatementState | None:
+        vconn = self._vconns.get(statement.connection.handle_id)
+        if vconn is None:
+            return None
+        return vconn.statements.get(statement.handle_id)
+
+    def _drop_quietly(self, table_name: str,
+                      vconn: VirtualConnection | None = None) -> None:
+        if not table_name:
+            return
+        try:
+            # A table created inside a still-open application transaction
+            # is X-locked by it; drop it on the app connection (joining
+            # the transaction) instead of deadlocking from the private
+            # connection.
+            if vconn is not None and vconn.in_app_txn \
+                    and vconn.app_handle.connected:
+                connection = vconn.app_handle
+            else:
+                connection = self._private_connection()
+            self._persistor.drop_result_table(connection, table_name)
+        except ReproError:
+            pass  # cleanup is best-effort

@@ -1,0 +1,88 @@
+"""Two-phase virtual-session recovery (§2.3).
+
+Phase 1 — *virtual session*: reconnect with the saved login, replay each
+application-set connection option (one round trip apiece), re-bind the
+virtual connection handle to the new server session, and recreate the
+session probe.  The paper measured this phase at a constant 0.37 s; here
+it emerges from one connect plus the option replays.
+
+Phase 2 — *SQL state*: for every statement whose delivery was in
+progress, verify the materialized table survived database recovery,
+reopen it, and reposition to the remembered delivery location (client-
+or server-side per configuration).  Fully-cached results need nothing —
+that is the whole point of the client cache.
+
+Recovery is idempotent: every step can be re-run after a crash *during*
+recovery (reconnect replaces the session, reopen/reposition restart from
+the recorded position).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PhoenixError
+from repro.odbc.driver import NativeDriver
+from repro.phoenix.config import PhoenixConfig
+from repro.phoenix.failure import FailureDetector
+from repro.phoenix.persistence import ResultPersistor
+from repro.phoenix.reposition import reposition
+from repro.phoenix.virtual_session import (
+    StatementMode,
+    VirtualConnection,
+)
+from repro.sim.meter import Meter
+
+
+class SessionRecovery:
+    """Rebuilds one virtual connection after a server restart."""
+
+    def __init__(self, driver: NativeDriver, meter: Meter,
+                 config: PhoenixConfig, persistor: ResultPersistor,
+                 detector: FailureDetector):
+        self._driver = driver
+        self._meter = meter
+        self._config = config
+        self._persistor = persistor
+        self._detector = detector
+        self.recoveries = 0
+        #: Phase timings of the most recent recovery (Figures 3 and 4):
+        #: keys 'virtual_session' and 'sql_state', virtual seconds.
+        self.last_phase_seconds: dict[str, float] = {}
+
+    def recover_connection(self, vconn: VirtualConnection) -> None:
+        self.recoveries += 1
+        start = self._meter.now
+        self._recover_virtual_session(vconn)
+        mid = self._meter.now
+        self._recover_sql_state(vconn)
+        self.last_phase_seconds = {
+            "virtual_session": mid - start,
+            "sql_state": self._meter.now - mid,
+        }
+
+    # -- phase 1 ---------------------------------------------------------------
+
+    def _recover_virtual_session(self, vconn: VirtualConnection) -> None:
+        """Reconnect and re-map the virtual connection handle."""
+        handle = vconn.app_handle
+        handle.connected = False
+        self._driver.connect(handle, vconn.login)
+        for name, value in vconn.option_log:
+            self._driver.set_connection_option(handle, name, value)
+        self._detector.create_probe(handle, vconn.probe_table)
+        vconn.connected = True
+
+    # -- phase 2 ---------------------------------------------------------------
+
+    def _recover_sql_state(self, vconn: VirtualConnection) -> None:
+        for state in vconn.open_result_states():
+            if state.mode is StatementMode.CACHED:
+                continue  # the cache is client-resident: nothing to do
+            if not self._persistor.table_exists(vconn.app_handle,
+                                                state.table_name):
+                raise PhoenixError(
+                    f"materialized result {state.table_name!r} did not "
+                    f"survive database recovery")
+            self._driver.execute(state.handle,
+                                 f"SELECT * FROM {state.table_name}")
+            reposition(self._driver, state.handle, state.position,
+                       self._config.reposition_mode)

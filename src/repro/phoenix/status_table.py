@@ -1,0 +1,76 @@
+"""The Phoenix status table: testable statement completion.
+
+"Phoenix/ODBC wraps each insert and delete statement with a transaction,
+and within that transaction it records the number of tuples affected by
+the update in a Phoenix-managed table; this status table provides
+testable state for determining whether a statement has successfully
+completed."  (§3.2)
+
+Because the recording INSERT commits atomically with the wrapped
+statement, a post-crash lookup answers exactly-once questions: key
+present → the statement's effects are durable (use the recorded count);
+absent → the transaction aborted with the crash and the statement can be
+resubmitted safely.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TableExistsError, TransactionError
+from repro.odbc.driver import NativeDriver
+from repro.odbc.handles import ConnectionHandle, StatementHandle
+from repro.phoenix.config import PhoenixConfig
+
+
+class StatusTable:
+    """Client-side access to the server-resident status table."""
+
+    def __init__(self, driver: NativeDriver, config: PhoenixConfig):
+        self._driver = driver
+        self._config = config
+
+    @property
+    def name(self) -> str:
+        return self._config.status_table
+
+    def ensure(self, connection: ConnectionHandle) -> None:
+        """Create the status table if this is the first Phoenix client."""
+        scratch = StatementHandle(connection)
+        try:
+            self._driver.execute(
+                scratch,
+                f"CREATE TABLE {self.name} "
+                f"(op_key VARCHAR(64) NOT NULL, rows_affected INT, "
+                f"PRIMARY KEY (op_key))")
+        except TableExistsError:
+            pass
+
+    def completed(self, connection: ConnectionHandle,
+                  op_key: str) -> int | None:
+        """Recorded row count of ``op_key``, or None if never completed."""
+        scratch = StatementHandle(connection)
+        self._driver.execute(
+            scratch,
+            f"SELECT rows_affected FROM {self.name} "
+            f"WHERE op_key = '{op_key}'")
+        row = self._driver.fetch_one(scratch)
+        self._driver.close_statement(scratch)
+        return None if row is None else row[0]
+
+    def record_sql(self, op_key: str, rows_affected: int) -> str:
+        """The INSERT that marks ``op_key`` complete (run inside the
+        wrapping transaction)."""
+        return (f"INSERT INTO {self.name} (op_key, rows_affected) "
+                f"VALUES ('{op_key}', {int(rows_affected)})")
+
+    def reset_open_transaction(self, connection: ConnectionHandle) -> None:
+        """Roll back any transaction left open on a survived session.
+
+        Used when a *network blip* (not a crash) interrupted a wrapped
+        statement: the server session may still hold the half-done
+        transaction, which must be discarded before the retry.
+        """
+        scratch = StatementHandle(connection)
+        try:
+            self._driver.execute(scratch, "ROLLBACK")
+        except TransactionError:
+            pass  # no transaction was open — nothing to discard

@@ -1,0 +1,35 @@
+"""The client-server substrate: protocol, simulated network, server.
+
+This layer turns the engine into a *crashable server*: sessions and open
+result sets are volatile, the disk and forced log survive
+:meth:`DatabaseServer.crash`, and :meth:`DatabaseServer.restart` runs
+restart recovery.  The network model charges RTTs, per-packet transfer
+time, and implements the bounded output buffer whose saturation produces
+the paper's Table 3 artifact.
+"""
+
+from repro.server.network import SimulatedNetwork
+from repro.server.protocol import (
+    AdvanceRequest,
+    CloseStatementRequest,
+    ConnectRequest,
+    DisconnectRequest,
+    ExecuteRequest,
+    FetchRequest,
+    PingRequest,
+    SetOptionRequest,
+)
+from repro.server.server import DatabaseServer
+
+__all__ = [
+    "DatabaseServer",
+    "SimulatedNetwork",
+    "ConnectRequest",
+    "DisconnectRequest",
+    "ExecuteRequest",
+    "FetchRequest",
+    "AdvanceRequest",
+    "CloseStatementRequest",
+    "SetOptionRequest",
+    "PingRequest",
+]

@@ -1,0 +1,72 @@
+"""The simulated network between driver and server.
+
+``SimulatedNetwork.call`` is the only way a driver reaches a server: it
+charges the request's uplink (RTT half + transfer), dispatches to the
+server, charges the response's downlink, and translates server death into
+the errors a real driver would surface:
+
+* server down before the request → :class:`ServerDownError` (connection
+  refused — fast);
+* server crashes *while processing* → :class:`ServerCrashedError` after a
+  driver-timeout delay (the client was left "waiting for the server to
+  respond to its fetch request", §3.4).
+
+A fault injector hook lets tests and experiments crash the server at
+exact request boundaries or mid-request.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServerCrashedError, ServerDownError
+from repro.sim.costs import CLIENT_CPU, NETWORK
+from repro.sim.meter import Meter
+
+
+class SimulatedNetwork:
+    """Connects drivers to a server with virtual-time costs."""
+
+    def __init__(self, meter: Meter, request_timeout_seconds: float = 5.0):
+        self._meter = meter
+        self.request_timeout_seconds = request_timeout_seconds
+        #: Optional callable(request) invoked before dispatch; it may call
+        #: ``server.crash()`` to simulate a crash while the request is in
+        #: flight (the driver then times out).
+        self.fault_injector = None
+        self.requests_sent = 0
+
+    def call(self, server, request):
+        """One request/response exchange; returns the response object."""
+        self.requests_sent += 1
+        costs = self._meter.costs
+        if self.fault_injector is not None:
+            self.fault_injector(request)
+        if not server.is_running:
+            # Connection refused: one RTT to learn nobody is listening.
+            self._meter.charge(NETWORK, costs.network_rtt_seconds,
+                               "refused")
+            raise ServerDownError("server is not running")
+        self._meter.charge(
+            NETWORK,
+            costs.network_rtt_seconds + self._transfer(request.wire_bytes()),
+            "request")
+        if not server.is_running:
+            # Crashed while the request was in flight: the client waits
+            # out its driver timeout before the error surfaces.
+            self._meter.charge(CLIENT_CPU, self.request_timeout_seconds,
+                               "request timeout")
+            raise ServerCrashedError("server crashed during request")
+        try:
+            response = server.handle(request)
+        except ServerCrashedError:
+            self._meter.charge(CLIENT_CPU, self.request_timeout_seconds,
+                               "request timeout")
+            raise
+        self._meter.charge(NETWORK, self._transfer(response.wire_bytes()),
+                           "response")
+        return response
+
+    def _transfer(self, num_bytes: int) -> float:
+        costs = self._meter.costs
+        packets = max(1, -(-num_bytes // costs.packet_bytes))
+        return (packets * costs.network_message_overhead_seconds
+                + num_bytes / costs.network_bytes_per_second)

@@ -1,0 +1,154 @@
+"""Wire protocol messages between the ODBC driver and the server.
+
+A deliberately TDS-flavoured request/response protocol.  Requests carry a
+``session_token``; responses are plain dataclasses.  Errors surface as
+exceptions from :meth:`DatabaseServer.handle` (the network layer converts
+a dead server into :class:`~repro.errors.ServerDownError` /
+:class:`~repro.errors.ServerCrashedError`, which is what the native
+driver reports and Phoenix intercepts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import Column, value_width_bytes
+
+
+class Request:
+    """Base class; ``wire_bytes`` sizes the request for transfer costs."""
+
+    def wire_bytes(self) -> int:
+        return 32
+
+
+@dataclass
+class ConnectRequest(Request):
+    login: str = "app"
+    database: str = "default"
+    options: dict = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        return 64 + 16 * len(self.options)
+
+
+@dataclass
+class DisconnectRequest(Request):
+    session_token: int = 0
+
+
+@dataclass
+class ExecuteRequest(Request):
+    session_token: int = 0
+    sql: str = ""
+    params: dict = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        return 32 + len(self.sql) + 16 * len(self.params)
+
+
+@dataclass
+class FetchRequest(Request):
+    """Ask the server to refill the row stream of an open statement."""
+
+    session_token: int = 0
+    statement_id: int = 0
+    max_rows: int | None = None
+
+
+@dataclass
+class AdvanceRequest(Request):
+    """Server-side repositioning: skip ``count`` rows of an open statement
+    without shipping them to the client.
+
+    This models the stored procedure of §3.4: "a stored procedure that
+    advances to a specified tuple in a table, hence advancing through the
+    result set on the server without passing tuples to the client".
+    """
+
+    session_token: int = 0
+    statement_id: int = 0
+    count: int = 0
+
+
+@dataclass
+class CloseStatementRequest(Request):
+    session_token: int = 0
+    statement_id: int = 0
+
+
+@dataclass
+class SetOptionRequest(Request):
+    session_token: int = 0
+    name: str = ""
+    value: object = None
+
+
+@dataclass
+class PingRequest(Request):
+    pass
+
+
+# -- responses ---------------------------------------------------------------
+
+
+@dataclass
+class ConnectResponse:
+    session_token: int
+
+    def wire_bytes(self) -> int:
+        return 32
+
+
+@dataclass
+class ExecuteResponse:
+    """Result header plus the first buffered batch of rows."""
+
+    kind: str  # 'rows' | 'rowcount' | 'ok'
+    statement_id: int = 0
+    columns: list[Column] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    done: bool = True            # row stream exhausted?
+    rowcount: int = -1
+    message: str = ""
+
+    def wire_bytes(self) -> int:
+        meta = 32 + 16 * len(self.columns)
+        data = sum(sum(value_width_bytes(v) for v in row)
+                   for row in self.rows)
+        return meta + data
+
+
+@dataclass
+class FetchResponse:
+    rows: list[tuple] = field(default_factory=list)
+    done: bool = True
+
+    def wire_bytes(self) -> int:
+        return 16 + sum(sum(value_width_bytes(v) for v in row)
+                        for row in self.rows)
+
+
+@dataclass
+class AdvanceResponse:
+    skipped: int = 0
+    done: bool = False
+
+    def wire_bytes(self) -> int:
+        return 16
+
+
+@dataclass
+class OkResponse:
+    message: str = ""
+
+    def wire_bytes(self) -> int:
+        return 16
+
+
+@dataclass
+class PingResponse:
+    alive: bool = True
+
+    def wire_bytes(self) -> int:
+        return 8

@@ -1,0 +1,31 @@
+"""Virtual-time substrate.
+
+The paper measured wall-clock time with the Pentium cycle counter on real
+hardware.  We replace that with *virtual seconds*: every component of the
+reproduction (storage engine, network, ODBC driver, Phoenix) charges the
+real work it performs (pages read, tuples processed, bytes shipped, round
+trips made) against a calibrated :class:`~repro.sim.costs.CostModel`.
+
+* :class:`~repro.sim.clock.VirtualClock` — the monotonic virtual clock.
+* :class:`~repro.sim.meter.Meter` — charges costs, advances the clock, and
+  records per-request resource traces.
+* :class:`~repro.sim.costs.CostModel` — the calibrated constants.
+* :class:`~repro.sim.queueing.QueueingSimulator` — replays recorded traces
+  from multiple concurrent streams against shared server resources to model
+  contention (used by the TPC-H throughput test and TPC-C experiments).
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter, RequestTrace, Segment
+from repro.sim.queueing import QueueingSimulator, StreamResult
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "Meter",
+    "RequestTrace",
+    "Segment",
+    "QueueingSimulator",
+    "StreamResult",
+]

@@ -1,0 +1,37 @@
+"""A deterministic virtual clock.
+
+All timing in the reproduction is virtual: components never call
+``time.time()``.  Instead they advance a :class:`VirtualClock` through a
+:class:`~repro.sim.meter.Meter`.  This keeps every experiment deterministic
+and lets a laptop report server-scale timings.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in seconds.
+
+    The clock only moves forward.  ``advance`` is the sole mutator so tests
+    can assert exactly how much virtual time an operation consumed.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

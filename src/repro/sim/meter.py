@@ -1,0 +1,141 @@
+"""The meter: where components charge virtual time.
+
+A single :class:`Meter` instance is threaded through one simulated "world"
+(server + network + client).  Components call :meth:`Meter.charge` with a
+resource name and a duration; the meter advances the world's virtual clock
+and appends a :class:`Segment` to the trace of the request currently in
+flight.
+
+Two consumers read the traces:
+
+* single-stream experiments just read ``clock.now`` (serial execution —
+  total elapsed time is the sum of all segments), and
+* multi-stream experiments (TPC-H throughput, TPC-C) replay per-request
+  traces through :class:`~repro.sim.queueing.QueueingSimulator` so that
+  contention on shared server resources is modeled by queueing.
+
+The meter also keeps named counters (pages read, log bytes, ...) used by
+the micro-overhead experiment and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import ALL_RESOURCES, CostModel
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous use of one resource."""
+
+    resource: str
+    seconds: float
+    note: str = ""
+
+
+@dataclass
+class RequestTrace:
+    """Ordered resource usage of one client-visible request."""
+
+    label: str
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.segments)
+
+    def seconds_on(self, resource: str) -> float:
+        return sum(s.seconds for s in self.segments if s.resource == resource)
+
+
+class Meter:
+    """Charges virtual time against resources and records request traces."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 clock: VirtualClock | None = None):
+        self.costs = cost_model if cost_model is not None else CostModel()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.traces: list[RequestTrace] = []
+        self.counters: dict[str, float] = {}
+        self._open_requests: list[RequestTrace] = []
+        #: When False, ``charge`` records segments but does not advance the
+        #: clock.  Multi-stream experiments set this so elapsed time comes
+        #: from the queueing simulator instead of serial accumulation.
+        self.advance_clock: bool = True
+
+    # -- charging -----------------------------------------------------------
+
+    def charge(self, resource: str, seconds: float, note: str = "") -> None:
+        """Charge ``seconds`` of use of ``resource`` to the current request."""
+        if resource not in ALL_RESOURCES:
+            raise ValueError(f"unknown resource {resource!r}")
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if seconds == 0:
+            return
+        if self.advance_clock:
+            self.clock.advance(seconds)
+        if self._open_requests:
+            self._open_requests[-1].segments.append(
+                Segment(resource, seconds, note))
+
+    def count(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named diagnostic counter."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    # -- request bracketing ---------------------------------------------------
+
+    def begin_request(self, label: str) -> RequestTrace:
+        """Open a request trace; nested requests attach to the innermost."""
+        trace = RequestTrace(label=label)
+        self._open_requests.append(trace)
+        return trace
+
+    def end_request(self, trace: RequestTrace) -> RequestTrace:
+        """Close ``trace`` and append it to the recorded traces."""
+        if not self._open_requests or self._open_requests[-1] is not trace:
+            raise ValueError("request traces must be closed innermost-first")
+        self._open_requests.pop()
+        if self._open_requests:
+            # Nested request: fold its segments into the enclosing trace so
+            # the client-visible request carries the full cost.  Only
+            # top-level traces are recorded, so nothing is double counted.
+            self._open_requests[-1].segments.extend(trace.segments)
+        else:
+            self.traces.append(trace)
+        return trace
+
+    class _RequestContext:
+        def __init__(self, meter: "Meter", label: str):
+            self._meter = meter
+            self._label = label
+            self.trace: RequestTrace | None = None
+
+        def __enter__(self) -> RequestTrace:
+            self.trace = self._meter.begin_request(self._label)
+            return self.trace
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            assert self.trace is not None
+            self._meter.end_request(self.trace)
+
+    def request(self, label: str) -> "Meter._RequestContext":
+        """Context manager bracketing one client-visible request."""
+        return Meter._RequestContext(self, label)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def reset_traces(self) -> None:
+        """Drop recorded traces and counters (clock keeps its value)."""
+        self.traces.clear()
+        self.counters.clear()
+
+    def seconds_on(self, resource: str) -> float:
+        """Total recorded seconds on ``resource`` across all closed traces."""
+        return sum(t.seconds_on(resource) for t in self.traces)

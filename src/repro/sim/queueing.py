@@ -1,0 +1,153 @@
+"""Multi-stream contention model.
+
+Single-stream experiments run serially against the virtual clock.  The
+TPC-H throughput test (two concurrent query streams plus a refresh stream)
+and the TPC-C experiments (32 emulated users) need *contention*: streams
+share the server's CPU, disk and the network, and throughput is set by the
+bottleneck resource (the paper's TPC-C server is disk-limited at 100 % disk
+utilization).
+
+We model this by replaying per-request :class:`~repro.sim.meter.RequestTrace`
+objects — recorded during a serial execution — through a queueing
+simulator.  Shared resources are single-server FIFO queues; per-stream
+resources (client CPU) never queue.  This decouples *what work a request
+does* (measured by actually executing it) from *how concurrent requests
+interleave* (modeled here), which keeps the engine single-threaded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.sim.costs import SHARED_RESOURCES
+from repro.sim.meter import RequestTrace
+
+
+@dataclass
+class CompletedRequest:
+    """One request completion observed by the simulator."""
+
+    stream_id: int
+    label: str
+    start_time: float
+    finish_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.start_time
+
+
+@dataclass
+class StreamResult:
+    """Per-stream outcome of a queueing run."""
+
+    stream_id: int
+    finish_time: float
+    completions: list[CompletedRequest] = field(default_factory=list)
+
+
+@dataclass
+class QueueingResult:
+    """Aggregate outcome of a queueing run."""
+
+    elapsed_seconds: float
+    streams: list[StreamResult]
+    busy_seconds: dict[str, float]
+
+    def utilization(self, resource: str) -> float:
+        """Fraction of elapsed time ``resource`` was busy (0 if no time passed)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds.get(resource, 0.0) / self.elapsed_seconds)
+
+    def completions_in(self, start: float, end: float,
+                       label_prefix: str | None = None) -> int:
+        """Count request completions inside a measurement window."""
+        count = 0
+        for stream in self.streams:
+            for done in stream.completions:
+                if not start <= done.finish_time <= end:
+                    continue
+                if label_prefix is not None and not done.label.startswith(label_prefix):
+                    continue
+                count += 1
+        return count
+
+
+class QueueingSimulator:
+    """Replays recorded request traces with shared-resource contention."""
+
+    def __init__(self, shared_resources: tuple[str, ...] = SHARED_RESOURCES):
+        self._shared = set(shared_resources)
+
+    def run(self, streams: list[list[RequestTrace]],
+            start_times: list[float] | None = None) -> QueueingResult:
+        """Run every stream's requests in order, interleaved by readiness.
+
+        ``streams[i]`` is the ordered request list of stream ``i``;
+        ``start_times[i]`` (default 0) is when stream ``i`` begins.
+        Each stream is a closed loop: it issues its next request the moment
+        the previous one completes (zero think time, as in the paper's
+        TPC-C setup).
+        """
+        if start_times is None:
+            start_times = [0.0] * len(streams)
+        if len(start_times) != len(streams):
+            raise ValueError("start_times must match streams")
+
+        resource_free: dict[str, float] = {}
+        busy: dict[str, float] = {}
+        results = [StreamResult(stream_id=i, finish_time=start_times[i])
+                   for i in range(len(streams))]
+
+        # Heap of (ready_time, stream_id, request_index, segment_index,
+        # request_start_time).  Tie-break on stream id for determinism.
+        heap: list[tuple[float, int, int, int, float]] = []
+        for i, requests in enumerate(streams):
+            if requests:
+                heapq.heappush(heap, (start_times[i], i, 0, 0, start_times[i]))
+
+        while heap:
+            ready, sid, req_idx, seg_idx, req_start = heapq.heappop(heap)
+            trace = streams[sid][req_idx]
+            if seg_idx >= len(trace.segments):
+                # Empty or exhausted request: complete it immediately.
+                finish = ready
+                self._complete(results[sid], trace, req_start, finish)
+                self._advance_stream(heap, streams, sid, req_idx, finish)
+                continue
+
+            segment = trace.segments[seg_idx]
+            if segment.resource in self._shared:
+                start = max(ready, resource_free.get(segment.resource, 0.0))
+                resource_free[segment.resource] = start + segment.seconds
+            else:
+                start = ready
+            end = start + segment.seconds
+            busy[segment.resource] = busy.get(segment.resource, 0.0) + segment.seconds
+
+            if seg_idx + 1 < len(trace.segments):
+                heapq.heappush(heap, (end, sid, req_idx, seg_idx + 1, req_start))
+            else:
+                self._complete(results[sid], trace, req_start, end)
+                self._advance_stream(heap, streams, sid, req_idx, end)
+
+        elapsed = max((r.finish_time for r in results), default=0.0)
+        return QueueingResult(elapsed_seconds=elapsed, streams=results,
+                              busy_seconds=busy)
+
+    @staticmethod
+    def _complete(result: StreamResult, trace: RequestTrace,
+                  start: float, finish: float) -> None:
+        result.completions.append(CompletedRequest(
+            stream_id=result.stream_id, label=trace.label,
+            start_time=start, finish_time=finish))
+        result.finish_time = max(result.finish_time, finish)
+
+    @staticmethod
+    def _advance_stream(heap, streams, sid: int, req_idx: int,
+                        now: float) -> None:
+        if req_idx + 1 < len(streams[sid]):
+            heapq.heappush(heap, (now, sid, req_idx + 1, 0, now))

@@ -1,0 +1,24 @@
+"""SQL frontend: lexer, parser, AST, planner and executor.
+
+The dialect is the SQL-92 subset the paper's workloads require, plus the
+T-SQL-isms Phoenix itself uses:
+
+* ``SELECT [TOP n] [DISTINCT] ... FROM`` with inner/left joins, derived
+  tables, ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY``;
+* scalar/IN/EXISTS subqueries, correlated subqueries, ``CASE``,
+  ``BETWEEN``, ``LIKE``, ``EXTRACT``, ``SUBSTRING``, date/interval
+  arithmetic, all five standard aggregates with ``DISTINCT``;
+* ``INSERT`` (VALUES and SELECT forms), ``UPDATE``, ``DELETE``;
+* ``CREATE/DROP TABLE`` (with ``#temp`` names), ``CREATE/DROP INDEX``,
+  ``CREATE/DROP PROCEDURE`` with ``@params``, ``EXEC``;
+* ``BEGIN TRANSACTION`` / ``COMMIT`` / ``ROLLBACK``.
+
+The executor is a pull-based iterator tree that charges CPU and I/O to the
+meter as it actually processes tuples, which is what makes the virtual
+timings honest.
+"""
+
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_script, parse_statement
+
+__all__ = ["tokenize", "parse_statement", "parse_script"]

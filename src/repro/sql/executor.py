@@ -1,0 +1,562 @@
+"""Physical operators: a pull-based (iterator) executor.
+
+Every operator is lazy — rows are produced on demand.  Laziness matters
+for fidelity: the server pulls rows from a query into its network output
+buffer and *suspends* the scan when the buffer fills (the Table 3
+artifact), which only works if production is demand-driven.
+
+Cost charging happens inside the iterators: CPU per tuple actually
+processed (scaled by the operator's ``cost_factor`` — the work
+amplification of the base tables involved) and I/O via the buffer pool as
+pages actually fault in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanningError
+from repro.sim.costs import SERVER_CPU
+from repro.sql.expressions import EvalContext, is_true, sql_compare
+
+
+@dataclass
+class ExecContext:
+    """Everything an operator needs at run time."""
+
+    meter: object            # repro.sim.meter.Meter or None
+    outer: EvalContext | None = None
+
+    def charge_cpu(self, seconds: float) -> None:
+        if self.meter is not None and seconds > 0:
+            self.meter.charge(SERVER_CPU, seconds, "query cpu")
+
+    @property
+    def costs(self):
+        return self.meter.costs if self.meter is not None else None
+
+
+class PlanOperator:
+    """Base class: concrete operators implement ``rows(exec_ctx)``."""
+
+    cost_factor: float = 1.0
+
+    def rows(self, exec_ctx: ExecContext):
+        raise NotImplementedError
+
+    def children(self) -> list["PlanOperator"]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Leaf operators
+# ---------------------------------------------------------------------------
+
+
+class SingleRowScan(PlanOperator):
+    """Produces exactly one empty row (SELECT without FROM)."""
+
+    def rows(self, exec_ctx: ExecContext):
+        yield ()
+
+
+class EmptyScan(PlanOperator):
+    """Produces no rows — used when the WHERE clause is provably false.
+
+    This is what makes Phoenix's ``WHERE 0=1`` metadata trick compile-only
+    on our engine, matching the paper: "the query will not be executed and
+    no result data is returned; only query compilation is performed".
+    """
+
+    def rows(self, exec_ctx: ExecContext):
+        return iter(())
+
+
+class SeqScan(PlanOperator):
+    """Full scan of a table's heap."""
+
+    def __init__(self, table, cost_factor: float = 1.0):
+        self.table = table
+        self.cost_factor = cost_factor
+
+    def rows(self, exec_ctx: ExecContext):
+        for _rid, row in self.rows_with_rids(exec_ctx):
+            yield row
+
+    def rows_with_rids(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_scan * self.cost_factor
+                     if costs else 0.0)
+        for rid, row in self.table.heap.scan():
+            exec_ctx.charge_cpu(per_tuple)
+            yield rid, row
+
+
+class IndexSeek(PlanOperator):
+    """Point or range access through a B-tree index.
+
+    ``prefix_fns`` produce the equality-prefix key values; ``lo_fn`` /
+    ``hi_fn`` optionally bound the next key column.  Values are computed
+    at run time so parameters and correlated values work.
+    """
+
+    def __init__(self, table, index_name: str, prefix_fns: list,
+                 lo_fn=None, hi_fn=None, lo_inclusive: bool = True,
+                 hi_inclusive: bool = True, cost_factor: float = 1.0):
+        self.table = table
+        self.index_name = index_name
+        self.prefix_fns = prefix_fns
+        self.lo_fn = lo_fn
+        self.hi_fn = hi_fn
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+        self.cost_factor = cost_factor
+
+    def rows(self, exec_ctx: ExecContext):
+        for _rid, row in self.rows_with_rids(exec_ctx):
+            yield row
+
+    def rows_with_rids(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
+                     if costs else 0.0)
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        prefix = tuple(fn(ctx) for fn in self.prefix_fns)
+        tree = self.table.index_tree(self.index_name)
+        index_width = len(self.table.index_info(self.index_name).column_names)
+        if self.lo_fn is None and self.hi_fn is None \
+                and len(prefix) == index_width:
+            rids = tree.search(prefix)
+        else:
+            lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
+            hi_key, hi_inc = self._upper_key(prefix, ctx, index_width)
+            rids = [rid for _key, rid in tree.range(
+                lo_key, hi_key, lo_inclusive=lo_inc, hi_inclusive=hi_inc)]
+        for rid in rids:
+            row = self.table.heap.read(rid)
+            if row is None:
+                continue
+            exec_ctx.charge_cpu(per_tuple)
+            yield rid, row
+
+    def _lower_key(self, prefix: tuple, ctx, index_width: int):
+        if self.lo_fn is not None:
+            base = prefix + (self.lo_fn(ctx),)
+            if self.lo_inclusive:
+                # (p, lo) <= (p, lo, anything) — inclusive base works.
+                return base, True
+            # Exclusive: skip every key whose next column equals lo by
+            # padding the bound above all of lo's tails.
+            return base + (_Infinity(),) * (index_width - len(base)), False
+        if prefix:
+            return prefix, True
+        return None, True
+
+    def _upper_key(self, prefix: tuple, ctx, index_width: int):
+        if self.hi_fn is not None:
+            base = prefix + (self.hi_fn(ctx),)
+            if self.hi_inclusive:
+                # Include keys with trailing columns beyond (p, hi).
+                return base + (_Infinity(),) * (index_width - len(base)), True
+            return base, False
+        if prefix:
+            return prefix + (_Infinity(),) * (index_width - len(prefix)), True
+        return None, True
+
+
+class _Infinity:
+    """Sorts above every SQL value (range-scan upper sentinel)."""
+
+    def __lt__(self, other):
+        return False
+
+    def __gt__(self, other):
+        return True
+
+    def __le__(self, other):
+        return isinstance(other, _Infinity)
+
+    def __ge__(self, other):
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, _Infinity)
+
+    def __hash__(self):
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time operators
+# ---------------------------------------------------------------------------
+
+
+class Filter(PlanOperator):
+    def __init__(self, child: PlanOperator, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        predicate = self.predicate
+        outer = exec_ctx.outer
+        for row in self.child.rows(exec_ctx):
+            if is_true(predicate(EvalContext(row=row, outer=outer))):
+                yield row
+
+
+class Project(PlanOperator):
+    def __init__(self, child: PlanOperator, exprs: list):
+        self.child = child
+        self.exprs = exprs
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        exprs = self.exprs
+        outer = exec_ctx.outer
+        for row in self.child.rows(exec_ctx):
+            ctx = EvalContext(row=row, outer=outer)
+            yield tuple(expr(ctx) for expr in exprs)
+
+
+class Limit(PlanOperator):
+    def __init__(self, child: PlanOperator, count: int):
+        self.child = child
+        self.count = count
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        if self.count <= 0:
+            return
+        produced = 0
+        for row in self.child.rows(exec_ctx):
+            yield row
+            produced += 1
+            if produced >= self.count:
+                return
+
+
+class Distinct(PlanOperator):
+    def __init__(self, child: PlanOperator, cost_factor: float = 1.0):
+        self.child = child
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_agg * self.cost_factor
+                     if costs else 0.0)
+        seen: set = set()
+        for row in self.child.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class Concat(PlanOperator):
+    """Sequential concatenation of same-arity inputs (UNION ALL)."""
+
+    def __init__(self, inputs: list[PlanOperator]):
+        self.inputs = inputs
+
+    def children(self):
+        return list(self.inputs)
+
+    def rows(self, exec_ctx: ExecContext):
+        for child in self.inputs:
+            yield from child.rows(exec_ctx)
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class HashJoin(PlanOperator):
+    """Equi hash join; ``kind`` is 'inner' or 'left'.
+
+    The *right* input is built into the hash table; residual predicates
+    (non-equi parts of the ON clause) are applied per candidate pair, so
+    LEFT join semantics remain correct.
+    """
+
+    def __init__(self, left: PlanOperator, right: PlanOperator,
+                 left_key_fns: list, right_key_fns: list,
+                 kind: str = "inner", residual=None,
+                 left_width: int = 0, right_width: int = 0,
+                 cost_factor: float = 1.0):
+        self.left = left
+        self.right = right
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+        self.kind = kind
+        self.residual = residual
+        self.left_width = left_width
+        self.right_width = right_width
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.left, self.right]
+
+    def rows(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_join * self.cost_factor
+                     if costs else 0.0)
+        outer = exec_ctx.outer
+        table: dict = {}
+        for row in self.right.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            ctx = EvalContext(row=row, outer=outer)
+            key = tuple(fn(ctx) for fn in self.right_key_fns)
+            if any(v is None for v in key):
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(row)
+        null_right = (None,) * self.right_width
+        for left_row in self.left.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            ctx = EvalContext(row=left_row, outer=outer)
+            key = tuple(fn(ctx) for fn in self.left_key_fns)
+            matched = False
+            if not any(v is None for v in key):
+                for right_row in table.get(key, ()):
+                    combined = left_row + right_row
+                    if self.residual is not None and not is_true(
+                            self.residual(EvalContext(row=combined,
+                                                      outer=outer))):
+                        continue
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "left":
+                yield left_row + null_right
+
+
+class NestedLoopJoin(PlanOperator):
+    """Fallback join for non-equi conditions; kinds: inner/left/cross."""
+
+    def __init__(self, left: PlanOperator, right: PlanOperator,
+                 condition=None, kind: str = "inner",
+                 right_width: int = 0, cost_factor: float = 1.0):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.right_width = right_width
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.left, self.right]
+
+    def rows(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_join * self.cost_factor
+                     if costs else 0.0)
+        outer = exec_ctx.outer
+        right_rows = list(self.right.rows(exec_ctx))
+        null_right = (None,) * self.right_width
+        for left_row in self.left.rows(exec_ctx):
+            matched = False
+            for right_row in right_rows:
+                exec_ctx.charge_cpu(per_tuple)
+                combined = left_row + right_row
+                if self.condition is not None and not is_true(
+                        self.condition(EvalContext(row=combined,
+                                                   outer=outer))):
+                    continue
+                matched = True
+                yield combined
+            if not matched and self.kind == "left":
+                yield left_row + null_right
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate to compute: function, argument evaluator, DISTINCT."""
+
+    func: str                 # sum | avg | count | min | max
+    arg_fn: object = None     # None for COUNT(*)
+    distinct: bool = False
+
+
+class _Accumulator:
+    __slots__ = ("func", "distinct", "count", "total", "best", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = None
+        self.best = None
+        self.seen: set | None = set() if distinct else None
+
+    def add(self, value) -> None:
+        if self.func == "count" and value is _COUNT_STAR:
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "min":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif self.func == "max":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        return self.best
+
+
+class _CountStar:
+    pass
+
+
+_COUNT_STAR = _CountStar()
+
+
+class HashAggregate(PlanOperator):
+    """Hash aggregation: output rows are group keys then aggregate values.
+
+    With no GROUP BY (``group_fns == []``) exactly one row is produced,
+    even over empty input (SQL scalar-aggregate semantics).
+    """
+
+    def __init__(self, child: PlanOperator, group_fns: list,
+                 agg_specs: list[AggregateSpec], cost_factor: float = 1.0):
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_specs = agg_specs
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_agg * self.cost_factor
+                     if costs else 0.0)
+        outer = exec_ctx.outer
+        groups: dict[tuple, list[_Accumulator]] = {}
+        order: list[tuple] = []
+        for row in self.child.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            ctx = EvalContext(row=row, outer=outer)
+            key = tuple(fn(ctx) for fn in self.group_fns)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [_Accumulator(s.func, s.distinct)
+                        for s in self.agg_specs]
+                groups[key] = accs
+                order.append(key)
+            for spec, acc in zip(self.agg_specs, accs):
+                if spec.arg_fn is None:
+                    acc.add(_COUNT_STAR)
+                else:
+                    acc.add(spec.arg_fn(ctx))
+        if not groups and not self.group_fns:
+            accs = [_Accumulator(s.func, s.distinct) for s in self.agg_specs]
+            yield tuple(acc.result() for acc in accs)
+            return
+        for key in order:
+            yield key + tuple(acc.result() for acc in groups[key])
+
+
+# ---------------------------------------------------------------------------
+# Sorting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SortKey:
+    key_fn: object
+    descending: bool = False
+
+
+class Sort(PlanOperator):
+    """Full sort.  NULLs sort first ascending (SQL-92 leaves it to the
+    implementation; we pick a deterministic rule and keep it)."""
+
+    def __init__(self, child: PlanOperator, keys: list[SortKey],
+                 cost_factor: float = 1.0):
+        self.child = child
+        self.keys = keys
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.child]
+
+    def rows(self, exec_ctx: ExecContext):
+        outer = exec_ctx.outer
+        rows = list(self.child.rows(exec_ctx))
+        costs = exec_ctx.costs
+        if costs is not None:
+            exec_ctx.charge_cpu(costs.sort_seconds(len(rows))
+                                * self.cost_factor)
+        for key in reversed(self.keys):
+            rows.sort(key=lambda row, k=key: _null_safe_key(
+                k.key_fn(EvalContext(row=row, outer=outer))),
+                reverse=key.descending)
+        yield from rows
+
+
+def _null_safe_key(value):
+    # (0, None-marker) sorts before any real value.
+    if value is None:
+        return (0, 0)
+    return (1, value)
+
+
+# ---------------------------------------------------------------------------
+# Running plans
+# ---------------------------------------------------------------------------
+
+
+def is_streamable_plan(root: PlanOperator) -> bool:
+    """True when a plan just forwards a stored table's pages.
+
+    A bare ``SELECT * FROM t`` (optionally projected) can be delivered
+    page-at-a-time without per-row query evaluation — Phoenix's reopened
+    result tables hit this path.  Any filter, limit, join or aggregation
+    makes the result pipelined.
+    """
+    op = root
+    while isinstance(op, Project):
+        op = op.child
+    return isinstance(op, SeqScan)
+
+
+def iterate_plan(root: PlanOperator, meter,
+                 outer: EvalContext | None = None):
+    """Lazily iterate a plan's output rows."""
+    return root.rows(ExecContext(meter=meter, outer=outer))
+
+
+def run_plan(root: PlanOperator, meter,
+             outer: EvalContext | None = None) -> list[tuple]:
+    """Eagerly materialize a plan's output."""
+    return list(iterate_plan(root, meter, outer))

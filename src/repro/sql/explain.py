@@ -1,0 +1,87 @@
+"""EXPLAIN: render a physical plan as an indented operator tree.
+
+``EXPLAIN <select>`` plans the statement without executing it and
+returns one row per plan line — the tool we (and tests) use to see which
+access paths and join strategies the planner picked.
+"""
+
+from __future__ import annotations
+
+from repro.sql.executor import (
+    Concat,
+    Distinct,
+    EmptyScan,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexSeek,
+    Limit,
+    NestedLoopJoin,
+    PlanOperator,
+    Project,
+    SeqScan,
+    SingleRowScan,
+    Sort,
+)
+
+
+def explain_plan(root: PlanOperator) -> list[str]:
+    """One line per operator, depth-first, two-space indentation."""
+    lines: list[str] = []
+    _walk(root, 0, lines)
+    return lines
+
+
+def _walk(op: PlanOperator, depth: int, lines: list[str]) -> None:
+    lines.append("  " * depth + _describe(op))
+    for child in op.children():
+        _walk(child, depth + 1, lines)
+
+
+def _describe(op: PlanOperator) -> str:
+    if isinstance(op, SeqScan):
+        return (f"SeqScan({op.table.info.name}"
+                f"{_factor_suffix(op.cost_factor)})")
+    if isinstance(op, IndexSeek):
+        parts = [f"index={op.index_name}",
+                 f"prefix={len(op.prefix_fns)}"]
+        if op.lo_fn is not None:
+            parts.append("lo" + (">=" if op.lo_inclusive else ">"))
+        if op.hi_fn is not None:
+            parts.append("hi" + ("<=" if op.hi_inclusive else "<"))
+        return (f"IndexSeek({op.table.info.name} "
+                + " ".join(parts)
+                + _factor_suffix(op.cost_factor) + ")")
+    if isinstance(op, Filter):
+        return "Filter"
+    if isinstance(op, Project):
+        return f"Project({len(op.exprs)} cols)"
+    if isinstance(op, HashJoin):
+        residual = " residual" if op.residual is not None else ""
+        return (f"HashJoin({op.kind} keys={len(op.left_key_fns)}"
+                f"{residual})")
+    if isinstance(op, NestedLoopJoin):
+        cond = " cond" if op.condition is not None else ""
+        return f"NestedLoopJoin({op.kind}{cond})"
+    if isinstance(op, HashAggregate):
+        return (f"HashAggregate(groups={len(op.group_fns)} "
+                f"aggs={len(op.agg_specs)})")
+    if isinstance(op, Sort):
+        return f"Sort({len(op.keys)} keys)"
+    if isinstance(op, Limit):
+        return f"Limit({op.count})"
+    if isinstance(op, Distinct):
+        return "Distinct"
+    if isinstance(op, Concat):
+        return f"Concat({len(op.inputs)} inputs)"
+    if isinstance(op, EmptyScan):
+        return "EmptyScan (WHERE clause is provably false)"
+    if isinstance(op, SingleRowScan):
+        return "SingleRowScan"
+    return type(op).__name__
+
+
+def _factor_suffix(cost_factor: float) -> str:
+    if cost_factor == 1.0:
+        return ""
+    return f" x{cost_factor:g}"

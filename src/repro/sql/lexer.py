@@ -1,0 +1,132 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token list the recursive-descent parser consumes.  Details
+worth knowing:
+
+* string literals use single quotes with ``''`` as the escape;
+* ``--`` starts a line comment, ``/* */`` a block comment;
+* identifiers may start with ``#`` (temp tables) or contain ``_``;
+* ``@name`` is a procedure parameter token;
+* multi-character operators: ``<=`` ``>=`` ``<>`` ``!=`` ``||``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokens import KEYWORDS, Token, TokenType
+
+_OPERATOR_PAIRS = ("<=", ">=", "<>", "!=", "||")
+_OPERATOR_SINGLES = "=<>+-*/.,();"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError(f"unterminated block comment at {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            start = i
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, start))
+            continue
+        if ch == "@":
+            start = i
+            value, i = _read_word(sql, i + 1)
+            if not value:
+                raise SqlSyntaxError(f"lone '@' at position {start}")
+            tokens.append(Token(TokenType.PARAMETER, value.lower(), start))
+            continue
+        if ch.isalpha() or ch in "#_":
+            start = i
+            value, i = _read_word(sql, i)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, value, start))
+            continue
+        pair = sql[i:i + 2]
+        if pair in _OPERATOR_PAIRS:
+            tokens.append(Token(TokenType.OPERATOR,
+                                "<>" if pair == "!=" else pair, i))
+            i += 2
+            continue
+        if ch in _OPERATOR_SINGLES:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError(f"unterminated string literal at {start}")
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1] if i + 1 < n else ""
+            if nxt.isdigit() or (nxt in "+-" and i + 2 < n
+                                 and sql[i + 2].isdigit()):
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    return sql[start:i], i
+
+
+def _read_word(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    if i < n and sql[i] == "#":
+        i += 1
+    while i < n and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    return sql[start:i], i

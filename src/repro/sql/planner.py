@@ -1,0 +1,1143 @@
+"""Logical-to-physical planning.
+
+The planner turns a parsed ``SELECT`` into a tree of executor operators.
+Heuristics (deliberately simple, in the spirit of a 2001-era engine):
+
+* WHERE conjuncts that reference a single relation are pushed below joins;
+* equality conjuncts between two relations become hash-join keys, join
+  order is the FROM order (left-deep);
+* a pushed conjunct set matching an index's key prefix (equality prefix
+  plus an optional range on the next column) turns the scan into an
+  :class:`~repro.sql.executor.IndexSeek`;
+* aggregates are computed by one hash-aggregate whose output rows are
+  ``group keys + aggregate values``; select/having/order expressions are
+  rewritten to read those slots;
+* conjuncts containing subqueries are evaluated in a final filter, where
+  every correlation is in scope.
+
+The planner also owns the subquery bridge for the expression compiler: it
+plans nested selects against the enclosing scope and exposes a runner that
+executes them (memoized per outer-key by the compiler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ColumnNotFoundError, PlanningError
+from repro.sim.costs import SERVER_CPU
+from repro.sql import ast
+from repro.sql.executor import (
+    AggregateSpec,
+    Concat,
+    Distinct,
+    EmptyScan,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexSeek,
+    Limit,
+    NestedLoopJoin,
+    PlanOperator,
+    Project,
+    SeqScan,
+    SingleRowScan,
+    Sort,
+    SortKey,
+    iterate_plan,
+    run_plan,
+)
+from repro.sql.expressions import (
+    EvalContext,
+    ExprCompiler,
+    Scope,
+    find_aggregates,
+)
+from repro.types import Column, SqlType, infer_sql_type
+
+
+@dataclass
+class BoundColumn:
+    """One output column: which FROM binding it came from plus its type."""
+
+    binding: str
+    column: Column
+
+    @property
+    def name(self) -> str:
+        return self.column.name
+
+
+@dataclass
+class Plan:
+    """A planned SELECT: physical root plus the output schema."""
+
+    root: PlanOperator
+    schema: list[BoundColumn]
+
+    @property
+    def output_columns(self) -> list[Column]:
+        return [bc.column for bc in self.schema]
+
+
+@dataclass
+class _Relation:
+    """One planned FROM item during join assembly."""
+
+    op: PlanOperator | None
+    schema: list[BoundColumn]
+    bindings: set[str] = field(default_factory=set)
+    #: Base-table runtime when this relation is a plain table scan whose
+    #: access path has not been chosen yet.
+    table: object = None
+
+
+class Planner:
+    """Plans SELECT statements against a table provider.
+
+    ``table_provider(name)`` returns the engine's table runtime (heap,
+    indexes, cost factor); ``meter`` is used by the subquery runner and
+    for plan-time charging; ``params`` binds ``@name`` references.
+    """
+
+    def __init__(self, table_provider, meter=None,
+                 params: dict | None = None, view_provider=None):
+        self._tables = table_provider
+        self._meter = meter
+        self._params = params or {}
+        #: Optional callable(name) -> view body SQL or None; view names
+        #: in FROM expand to derived tables.
+        self._views = view_provider
+        self._pending_conjuncts: list[ast.Expr] = []
+        #: Scopes created while planning, used to harvest correlation refs
+        #: at subquery boundaries.
+        self._scope_log: list[Scope] = []
+
+    def _new_scope(self, bindings: list[tuple[str, str]],
+                   outer: Scope | None) -> Scope:
+        scope = Scope(bindings, outer=outer)
+        self._scope_log.append(scope)
+        return scope
+
+    # -- public API ------------------------------------------------------------
+
+    def plan_select(self, select: ast.SelectStatement,
+                    outer_scope: Scope | None = None) -> Plan:
+        return self._plan_select(select, outer_scope)
+
+    def compile_scalar(self, expr: ast.Expr):
+        """Compile an expression with no row context (INSERT VALUES,
+        EXEC arguments).  Returns ``fn(EvalContext) -> value``."""
+        scope = self._new_scope([], None)
+        return self._compiler(scope).compile(expr)
+
+    def compile_row_expr(self, expr: ast.Expr,
+                         bindings: list[tuple[str, str]]):
+        """Compile an expression against an explicit row layout (used by
+        UPDATE SET clauses).  Returns ``fn(EvalContext) -> value``."""
+        scope = self._new_scope(bindings, None)
+        return self._compiler(scope).compile(expr)
+
+    def plan_dml_source(self, table_name: str, where: ast.Expr | None):
+        """Access path for UPDATE/DELETE: yields ``(rid, row)`` pairs.
+
+        Returns ``(iterator_factory, table_runtime)`` where the factory
+        takes no arguments and yields (rid, row) for qualifying rows.
+        """
+        table = self._tables(table_name)
+        schema = _table_schema(table)
+        scope = self._new_scope(_scope_bindings(schema), None)
+        compiler = self._compiler(scope)
+        conjuncts = _split_conjuncts(where)
+        access = self._choose_access_path(table, conjuncts, scope, None)
+        residual = access.residual_conjuncts
+        predicate = None
+        if residual:
+            predicate = compiler.compile(_combine_conjuncts(residual))
+
+        def iterate():
+            exec_ctx = _exec_context(self._meter)
+            if access.index_seek is not None:
+                pairs = access.index_seek.rows_with_rids(exec_ctx)
+            else:
+                pairs = _seq_scan_with_rids(table, exec_ctx)
+            from repro.sql.expressions import is_true
+            for rid, row in pairs:
+                if predicate is None or is_true(
+                        predicate(EvalContext(row=row))):
+                    yield rid, row
+
+        return iterate, table
+
+    # -- SELECT planning ----------------------------------------------------
+
+    def _plan_select(self, select,
+                     outer_scope: Scope | None,
+                     limit_one: bool = False) -> Plan:
+        if isinstance(select, ast.UnionSelect):
+            return self._plan_union(select, outer_scope, limit_one)
+        # 1. FROM (join planning consumes the WHERE conjuncts it can and
+        # returns the leftovers for the residual filter).
+        if select.from_items:
+            op, schema, late_conjuncts = self._plan_from(
+                select.from_items, select.where, outer_scope)
+        else:
+            op, schema = SingleRowScan(), []
+            late_conjuncts = _split_conjuncts(select.where)
+        scope = self._new_scope(_scope_bindings(schema), outer_scope)
+        compiler = self._compiler(scope)
+        factor = _max_factor_of(schema, self._tables)
+
+        # 2. Residual WHERE.  Constant-false conjuncts (e.g. the WHERE 0=1
+        # Phoenix appends to fetch metadata) short-circuit to an empty
+        # scan: the statement is compiled but never executed.
+        late_conjuncts = list(late_conjuncts)
+        if self._provably_false(late_conjuncts, compiler):
+            op = EmptyScan()
+            late_conjuncts = []
+        if late_conjuncts:
+            predicate = compiler.compile(_combine_conjuncts(late_conjuncts))
+            op = Filter(op, predicate)
+
+        # 3. Aggregation
+        select_items = self._expand_stars(select.select_items, schema)
+        aggregates = []
+        for item in select_items:
+            aggregates.extend(find_aggregates(item.expr))
+        aggregates.extend(find_aggregates(select.having))
+        for order in select.order_by:
+            aggregates.extend(find_aggregates(order.expr))
+        grouped = bool(select.group_by) or bool(aggregates)
+
+        replacements: dict[int, int] = {}
+        if grouped:
+            op, scope, replacements, schema = self._plan_aggregate(
+                op, scope, schema, select, select_items, aggregates,
+                compiler, factor)
+            compiler = self._compiler(scope, replacements)
+
+        # 4. HAVING
+        if select.having is not None:
+            if not grouped:
+                raise PlanningError("HAVING requires aggregation")
+            having_fn = compiler.compile(select.having)
+            op = Filter(op, having_fn)
+
+        # 5. Projection
+        out_exprs = [compiler.compile(item.expr) for item in select_items]
+        out_schema = [
+            BoundColumn(binding="", column=self._output_column(
+                item, i, schema, scope))
+            for i, item in enumerate(select_items)
+        ]
+
+        # 6. ORDER BY: after projection when keys map to output slots,
+        # otherwise before projection on the full input row.
+        post_sort_keys = self._order_keys_on_output(
+            select.order_by, select_items, out_schema)
+        if post_sort_keys is None and select.order_by:
+            pre_keys = [SortKey(key_fn=compiler.compile(o.expr),
+                                descending=o.descending)
+                        for o in select.order_by]
+            op = Sort(op, pre_keys, cost_factor=factor)
+        op = Project(op, out_exprs)
+        if select.distinct:
+            op = Distinct(op, cost_factor=factor)
+        if post_sort_keys is not None:
+            op = Sort(op, post_sort_keys, cost_factor=factor)
+
+        # 7. TOP / limit-one (EXISTS probes)
+        top = select.top
+        if limit_one:
+            top = 1 if top is None else min(top, 1)
+        if top is not None:
+            op = Limit(op, top)
+        return Plan(root=op, schema=out_schema)
+
+    def _plan_union(self, union: ast.UnionSelect,
+                    outer_scope: Scope | None,
+                    limit_one: bool = False) -> Plan:
+        """Plan a UNION [ALL] chain: concat inputs, dedup unless every
+        combinator was ALL, then order/limit on the combined result."""
+        plans = [self._plan_select(s, outer_scope) for s in union.selects]
+        arity = len(plans[0].schema)
+        for plan in plans[1:]:
+            if len(plan.schema) != arity:
+                raise PlanningError(
+                    "UNION inputs must have the same number of columns")
+        op: PlanOperator = Concat([p.root for p in plans])
+        if not all(union.all_flags):
+            op = Distinct(op)
+        schema = plans[0].schema
+        if union.order_by:
+            keys = self._union_order_keys(union.order_by, schema)
+            op = Sort(op, keys)
+        top = union.top
+        if limit_one:
+            top = 1 if top is None else min(top, 1)
+        if top is not None:
+            op = Limit(op, top)
+        return Plan(root=op, schema=schema)
+
+    def _union_order_keys(self, order_by: list[ast.OrderItem],
+                          schema: list[BoundColumn]) -> list[SortKey]:
+        """ORDER BY on a union resolves against output positions/names."""
+        names = [bc.column.name.lower() for bc in schema]
+        keys: list[SortKey] = []
+        for order in order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                slot = expr.value - 1
+                if not 0 <= slot < len(schema):
+                    raise PlanningError(
+                        f"ORDER BY position {expr.value} out of range")
+            elif isinstance(expr, ast.ColumnRef) and expr.table is None \
+                    and expr.name in names:
+                slot = names.index(expr.name)
+            else:
+                raise PlanningError(
+                    "ORDER BY on a UNION must name an output column or "
+                    "position")
+            keys.append(SortKey(key_fn=(lambda ctx, s=slot: ctx.row[s]),
+                                descending=order.descending))
+        return keys
+
+    def _provably_false(self, conjuncts: list[ast.Expr],
+                        compiler: ExprCompiler) -> bool:
+        """True when some conjunct is a pure constant that is not true."""
+        from repro.sql.expressions import is_true
+
+        for conjunct in conjuncts:
+            if _expr_bindings(conjunct) or _has_subquery(conjunct):
+                continue
+            if isinstance(conjunct, ast.Param) or \
+                    _contains_param(conjunct):
+                continue
+            try:
+                fn = compiler.compile(conjunct)
+                value = fn(EvalContext(row=()))
+            except Exception:
+                continue
+            if not is_true(value):
+                return True
+        return False
+
+    # -- FROM / joins ------------------------------------------------------
+
+    def _plan_from(self, from_items: list[ast.TableRef],
+                   where: ast.Expr | None,
+                   outer_scope: Scope | None):
+        """Plan the FROM clause; returns (op, schema, leftover conjuncts).
+
+        Two phases: first every FROM item is *prepared* (schemas known,
+        base tables not yet given an access path), so that unqualified
+        column references in WHERE conjuncts can be attributed to their
+        relation; then conjuncts are placed — pushed to single relations,
+        mined for hash-join keys, or left for the caller's filter.
+        """
+        prepared = [self._prepare_table_ref(item, outer_scope)
+                    for item in from_items]
+        column_owner, ambiguous = _column_owner_map(
+            [bc for rel in prepared for bc in rel.schema])
+        conjuncts = [_Conjunct(e, column_owner, ambiguous)
+                     for e in _split_conjuncts(where)]
+        for rel in prepared:
+            self._finish_relation(rel, conjuncts, outer_scope)
+        acc = prepared[0]
+        for rel in prepared[1:]:
+            acc = self._join_relations(acc, rel, conjuncts, outer_scope)
+        late = [c.expr for c in conjuncts if not c.consumed]
+        return acc.op, acc.schema, late
+
+    def _prepare_table_ref(self, item: ast.TableRef,
+                           outer_scope: Scope | None) -> _Relation:
+        """Build a relation's schema; defer base-table access paths."""
+        if isinstance(item, ast.TableName):
+            view_body = (self._views(item.name)
+                         if self._views is not None
+                         and not item.name.startswith("#") else None)
+            if view_body is not None:
+                from repro.sql.parser import parse_statement
+
+                view_select = parse_statement(view_body)
+                subplan = self._plan_select(view_select, outer_scope)
+                binding = item.binding_name
+                schema = [BoundColumn(binding=binding, column=bc.column)
+                          for bc in subplan.schema]
+                return _Relation(op=subplan.root, schema=schema,
+                                 bindings={binding})
+            table = self._tables(item.name)
+            binding = item.binding_name
+            schema = [BoundColumn(binding=binding, column=c)
+                      for c in table.info.columns]
+            rel = _Relation(op=None, schema=schema, bindings={binding})
+            rel.table = table
+            return rel
+        if isinstance(item, ast.DerivedTable):
+            subplan = self._plan_select(item.select, outer_scope)
+            binding = item.binding_name
+            schema = [BoundColumn(binding=binding, column=bc.column)
+                      for bc in subplan.schema]
+            rel = _Relation(op=subplan.root, schema=schema,
+                            bindings={binding})
+            return rel
+        if isinstance(item, ast.Join):
+            left = self._prepare_table_ref(item.left, outer_scope)
+            right = self._prepare_table_ref(item.right, outer_scope)
+            owner, ambiguous = _column_owner_map(left.schema + right.schema)
+            on_conjuncts = [_Conjunct(e, owner, ambiguous)
+                            for e in _split_conjuncts(item.condition)]
+            # Pushing single-side ON conjuncts below the join is safe for
+            # inner joins on both sides, and on the null-supplying (right)
+            # side of a left join.
+            self._finish_relation(right, on_conjuncts, outer_scope)
+            if item.kind != "left":
+                self._finish_relation(left, on_conjuncts, outer_scope)
+            else:
+                self._finish_relation(left, [], outer_scope)
+            joined = self._join_relations(left, right, on_conjuncts,
+                                          outer_scope, kind=item.kind,
+                                          require_all=True)
+            leftover = [c.expr for c in on_conjuncts if not c.consumed]
+            if leftover:
+                raise PlanningError(
+                    "ON condition references columns outside the join")
+            return joined
+        raise PlanningError(f"unsupported FROM item {type(item).__name__}")
+
+    def _finish_relation(self, rel: _Relation,
+                         conjuncts: list["_Conjunct"],
+                         outer_scope: Scope | None) -> None:
+        """Give ``rel`` its access path, consuming its local conjuncts."""
+        if rel.op is not None and rel.table is None:
+            # Derived table or already-finished join: only add a filter.
+            self._apply_pushable(rel, conjuncts, outer_scope)
+            return
+        if rel.op is not None:
+            return  # already finished
+        table = rel.table
+        scope = self._new_scope(_scope_bindings(rel.schema), outer_scope)
+        local = [c for c in conjuncts
+                 if not c.consumed and not c.has_subquery
+                 and c.bindings and c.bindings <= rel.bindings]
+        access = self._choose_access_path(
+            table, [c.expr for c in local], scope, outer_scope)
+        if access.index_seek is not None:
+            rel.op = access.index_seek
+        else:
+            rel.op = SeqScan(table, cost_factor=table.cost_factor)
+        if access.residual_conjuncts:
+            compiler = self._compiler(scope)
+            rel.op = Filter(rel.op, compiler.compile(
+                _combine_conjuncts(access.residual_conjuncts)))
+        for c in local:
+            c.consumed = True
+
+    def _apply_pushable(self, rel: _Relation,
+                        conjuncts: list["_Conjunct"],
+                        outer_scope: Scope | None) -> None:
+        """Push single-relation conjuncts onto a derived relation."""
+        local = [c for c in conjuncts
+                 if not c.consumed and not c.has_subquery
+                 and c.bindings and c.bindings <= rel.bindings]
+        if not local:
+            return
+        scope = self._new_scope(_scope_bindings(rel.schema), outer_scope)
+        compiler = self._compiler(scope)
+        rel.op = Filter(rel.op, compiler.compile(
+            _combine_conjuncts([c.expr for c in local])))
+        for c in local:
+            c.consumed = True
+
+    def _join_relations(self, left: _Relation, right: _Relation,
+                        conjuncts: list["_Conjunct"],
+                        outer_scope: Scope | None,
+                        kind: str = "inner",
+                        require_all: bool = False) -> _Relation:
+        """Join two relations, mining ``conjuncts`` for equi keys.
+
+        ``require_all`` (explicit ON clauses) forces every conjunct into
+        the join (residual) rather than a later filter — necessary for
+        LEFT join semantics.
+        """
+        combined_schema = left.schema + right.schema
+        combined_bindings = left.bindings | right.bindings
+        scope = self._new_scope(_scope_bindings(combined_schema), outer_scope)
+        left_scope = self._new_scope(_scope_bindings(left.schema), outer_scope)
+        right_scope = self._new_scope(_scope_bindings(right.schema),
+                                      outer_scope)
+        owner, _ambiguous = _column_owner_map(combined_schema)
+
+        left_keys, right_keys, residual = [], [], []
+        for c in conjuncts:
+            if c.consumed or c.has_subquery:
+                continue
+            if not (c.bindings and c.bindings <= combined_bindings):
+                continue
+            pair = self._equi_key(c.expr, left, right, owner)
+            if pair is not None:
+                left_expr, right_expr = pair
+                left_keys.append(
+                    self._compiler(left_scope).compile(left_expr))
+                right_keys.append(
+                    self._compiler(right_scope).compile(right_expr))
+                c.consumed = True
+            elif require_all or kind == "left":
+                residual.append(c.expr)
+                c.consumed = True
+            elif c.bindings <= combined_bindings:
+                # Inner join: leave for the post-join filter only if it
+                # spans both sides; single-side ones were pushed already.
+                residual.append(c.expr)
+                c.consumed = True
+
+        factor = max(_max_factor_of(left.schema, self._tables),
+                     _max_factor_of(right.schema, self._tables))
+        residual_fn = None
+        if residual:
+            residual_fn = self._compiler(scope).compile(
+                _combine_conjuncts(residual))
+        if left_keys:
+            op = HashJoin(left.op, right.op, left_keys, right_keys,
+                          kind=("left" if kind == "left" else "inner"),
+                          residual=residual_fn,
+                          left_width=len(left.schema),
+                          right_width=len(right.schema),
+                          cost_factor=factor)
+        else:
+            op = NestedLoopJoin(left.op, right.op, condition=residual_fn,
+                                kind=("left" if kind == "left" else "inner"),
+                                right_width=len(right.schema),
+                                cost_factor=factor)
+        return _Relation(op=op, schema=combined_schema,
+                         bindings=combined_bindings)
+
+    def _equi_key(self, expr: ast.Expr, left: _Relation,
+                  right: _Relation, owner: dict[str, str]):
+        """If ``expr`` is ``a = b`` with sides on opposite relations,
+        return (left_side, right_side)."""
+        if not (isinstance(expr, ast.Binary) and expr.op == "="):
+            return None
+        lhs_bindings = _side_bindings(expr.left, owner)
+        rhs_bindings = _side_bindings(expr.right, owner)
+        if not lhs_bindings or not rhs_bindings:
+            return None
+        if lhs_bindings <= left.bindings and rhs_bindings <= right.bindings:
+            return expr.left, expr.right
+        if rhs_bindings <= left.bindings and lhs_bindings <= right.bindings:
+            return expr.right, expr.left
+        return None
+
+    # -- index access paths ----------------------------------------------------
+
+    @dataclass
+    class _AccessPath:
+        index_seek: IndexSeek | None = None
+        residual_conjuncts: list = field(default_factory=list)
+
+    def _choose_access_path(self, table, conjuncts: list[ast.Expr],
+                            scope: Scope,
+                            outer_scope: Scope | None) -> "_AccessPath":
+        """Pick the best index for a conjunct set (longest equality
+        prefix, optional range on the next column)."""
+        best = None
+        best_score = 0
+        const_scope = self._new_scope([], outer_scope)
+        for index in table.indexes():
+            eq_map: dict[str, ast.Expr] = {}
+            range_lo: dict[str, tuple[ast.Expr, bool]] = {}
+            range_hi: dict[str, tuple[ast.Expr, bool]] = {}
+            for conj in conjuncts:
+                parsed = self._index_conjunct(conj, table)
+                if parsed is None:
+                    continue
+                column, op, rhs = parsed
+                if not self._is_constantish(rhs, const_scope):
+                    continue
+                if op == "=" and column not in eq_map:
+                    eq_map[column] = rhs
+                elif op in (">", ">=") and column not in range_lo:
+                    range_lo[column] = (rhs, op == ">=")
+                elif op in ("<", "<=") and column not in range_hi:
+                    range_hi[column] = (rhs, op == "<=")
+            prefix: list[ast.Expr] = []
+            for col in index.column_names:
+                if col in eq_map:
+                    prefix.append(eq_map[col])
+                else:
+                    break
+            if not prefix and not (index.column_names
+                                   and (index.column_names[0] in range_lo
+                                        or index.column_names[0] in range_hi)):
+                continue
+            next_col = (index.column_names[len(prefix)]
+                        if len(prefix) < len(index.column_names) else None)
+            lo = range_lo.get(next_col) if next_col else None
+            hi = range_hi.get(next_col) if next_col else None
+            score = 2 * len(prefix) + (1 if (lo or hi) else 0)
+            if score > best_score:
+                best_score = score
+                best = (index, prefix, lo, hi, eq_map, next_col)
+        if best is None:
+            return Planner._AccessPath(residual_conjuncts=list(conjuncts))
+        index, prefix, lo, hi, eq_map, next_col = best
+        compiler = self._compiler(const_scope)
+        prefix_fns = [compiler.compile(e) for e in prefix]
+        lo_fn = compiler.compile(lo[0]) if lo else None
+        hi_fn = compiler.compile(hi[0]) if hi else None
+        seek = IndexSeek(table, index.name, prefix_fns,
+                         lo_fn=lo_fn, hi_fn=hi_fn,
+                         lo_inclusive=lo[1] if lo else True,
+                         hi_inclusive=hi[1] if hi else True,
+                         cost_factor=table.cost_factor)
+        # Conjuncts fully answered by the seek are dropped; everything
+        # else (including eq conjuncts beyond the usable prefix) stays.
+        answered: set[int] = set()
+        prefix_cols = index.column_names[:len(prefix)]
+        for conj in conjuncts:
+            parsed = self._index_conjunct(conj, table)
+            if parsed is None:
+                continue
+            column, op, rhs = parsed
+            if op == "=" and column in prefix_cols \
+                    and eq_map.get(column) is rhs:
+                answered.add(id(conj))
+            elif next_col and column == next_col:
+                if op in (">", ">=") and lo and lo[0] is rhs:
+                    answered.add(id(conj))
+                if op in ("<", "<=") and hi and hi[0] is rhs:
+                    answered.add(id(conj))
+        residual = [c for c in conjuncts if id(c) not in answered]
+        return Planner._AccessPath(index_seek=seek,
+                                   residual_conjuncts=residual)
+
+    def _index_conjunct(self, expr: ast.Expr, table):
+        """Parse ``col <op> rhs`` (either orientation) for ``table``."""
+        if not isinstance(expr, ast.Binary):
+            return None
+        flips = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+        if expr.op not in flips:
+            return None
+        column_names = {c.name.lower() for c in table.info.columns}
+        if isinstance(expr.left, ast.ColumnRef) \
+                and expr.left.name in column_names:
+            return expr.left.name, expr.op, expr.right
+        if isinstance(expr.right, ast.ColumnRef) \
+                and expr.right.name in column_names:
+            return expr.right.name, flips[expr.op], expr.left
+        return None
+
+    def _is_constantish(self, expr: ast.Expr, const_scope: Scope) -> bool:
+        """True when ``expr`` has no local column references (literal,
+        parameter or pure outer correlation)."""
+        try:
+            self._compiler(const_scope).compile(expr)
+            return True
+        except (ColumnNotFoundError, PlanningError):
+            return False
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _plan_aggregate(self, op: PlanOperator, scope: Scope,
+                        schema: list[BoundColumn],
+                        select: ast.SelectStatement,
+                        select_items: list[ast.SelectItem],
+                        aggregates: list[ast.FuncCall],
+                        compiler: ExprCompiler, factor: float):
+        group_fns = [compiler.compile(g) for g in select.group_by]
+        unique_aggs: list[ast.FuncCall] = []
+        for agg in aggregates:
+            if not any(existing is agg for existing in unique_aggs):
+                unique_aggs.append(agg)
+        specs = []
+        for agg in unique_aggs:
+            arg_fn = None
+            if not agg.star:
+                if len(agg.args) != 1:
+                    raise PlanningError(
+                        f"{agg.name.upper()} takes exactly one argument")
+                arg_fn = compiler.compile(agg.args[0])
+            specs.append(AggregateSpec(func=agg.name, arg_fn=arg_fn,
+                                       distinct=agg.distinct))
+        op = HashAggregate(op, group_fns, specs, cost_factor=factor)
+
+        # Output layout: group keys then aggregates.  Group-key columns
+        # keep their source column's name (and therefore type) so that
+        # select-item metadata — which Phoenix turns into CREATE TABLE
+        # column types — resolves against the aggregate's output.
+        group_keys = [_expr_key(g, scope) for g in select.group_by]
+        out_bindings: list[tuple[str, str]] = []
+        out_schema: list[BoundColumn] = []
+        for i, g in enumerate(select.group_by):
+            name = g.name if isinstance(g, ast.ColumnRef) else f"group{i}"
+            column = self._infer_column(g, scope, schema, name)
+            out_bindings.append(("", column.name))
+            out_schema.append(BoundColumn(binding="", column=column))
+        for i, agg in enumerate(unique_aggs):
+            column = Column(name=f"agg{i}", sql_type=(
+                SqlType.INTEGER if agg.name == "count" else SqlType.FLOAT))
+            out_bindings.append(("", column.name))
+            out_schema.append(BoundColumn(binding="", column=column))
+
+        # Rewrite select/having/order expressions: aggregate calls map to
+        # their slots; subexpressions structurally equal to a group key
+        # map to the key's slot.
+        replacements: dict[int, int] = {}
+        for i, agg in enumerate(unique_aggs):
+            slot = len(select.group_by) + i
+            for candidate in aggregates:
+                if _expr_key(candidate, scope) == _expr_key(agg, scope):
+                    replacements[id(candidate)] = slot
+        targets: list[ast.Expr] = [item.expr for item in select_items]
+        if select.having is not None:
+            targets.append(select.having)
+        targets.extend(o.expr for o in select.order_by)
+        for target in targets:
+            _map_group_refs(target, group_keys, scope, replacements)
+
+        new_scope = self._new_scope(out_bindings, scope.outer)
+        return op, new_scope, replacements, out_schema
+
+    # -- projection / ordering helpers ---------------------------------------
+
+    def _expand_stars(self, items: list[ast.SelectItem],
+                      schema: list[BoundColumn]) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                matched = False
+                for bc in schema:
+                    if item.expr.table is None \
+                            or bc.binding == item.expr.table.lower():
+                        expanded.append(ast.SelectItem(
+                            expr=ast.ColumnRef(table=bc.binding or None,
+                                               name=bc.column.name.lower()),
+                            alias=bc.column.name))
+                        matched = True
+                if not matched:
+                    raise PlanningError(
+                        f"no columns for {item.expr.table}.*")
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _order_keys_on_output(self, order_by: list[ast.OrderItem],
+                              select_items: list[ast.SelectItem],
+                              out_schema: list[BoundColumn]):
+        """Map ORDER BY keys to output slots if every key allows it."""
+        if not order_by:
+            return None
+        keys: list[SortKey] = []
+        names = [bc.column.name.lower() for bc in out_schema]
+        for order in order_by:
+            slot = None
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(out_schema):
+                    raise PlanningError(
+                        f"ORDER BY position {position} out of range")
+                slot = position - 1
+            elif isinstance(expr, ast.ColumnRef) and expr.table is None:
+                if expr.name in names:
+                    slot = names.index(expr.name)
+            if slot is None:
+                for i, item in enumerate(select_items):
+                    if _shallow_expr_equal(expr, item.expr):
+                        slot = i
+                        break
+            if slot is None:
+                return None
+            keys.append(SortKey(
+                key_fn=(lambda ctx, s=slot: ctx.row[s]),
+                descending=order.descending))
+        return keys
+
+    def _output_column(self, item: ast.SelectItem, position: int,
+                       schema: list[BoundColumn], scope: Scope) -> Column:
+        name = item.alias
+        if name is None:
+            if isinstance(item.expr, ast.ColumnRef):
+                name = item.expr.name
+            elif isinstance(item.expr, ast.FuncCall):
+                name = item.expr.name
+            else:
+                name = f"col{position + 1}"
+        return self._infer_column(item.expr, scope, schema, name)
+
+    def _infer_column(self, expr: ast.Expr, scope: Scope,
+                      schema: list[BoundColumn], name: str) -> Column:
+        sql_type, length = self._infer_type(expr, scope, schema)
+        return Column(name=name.lower(), sql_type=sql_type, length=length)
+
+    def _infer_type(self, expr: ast.Expr, scope: Scope,
+                    schema: list[BoundColumn]) -> tuple[SqlType, int]:
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return SqlType.VARCHAR, 1
+            sql_type = infer_sql_type(expr.value)
+            length = len(expr.value) if isinstance(expr.value, str) else 0
+            return sql_type, length
+        if isinstance(expr, ast.ColumnRef):
+            try:
+                level, index = scope.resolve(expr.table, expr.name,
+                                             record=False)
+            except ColumnNotFoundError:
+                return SqlType.FLOAT, 0
+            if level == 0 and index < len(schema):
+                column = schema[index].column
+                return column.sql_type, column.length
+            return SqlType.FLOAT, 0
+        if isinstance(expr, ast.FuncCall):
+            if expr.name == "count":
+                return SqlType.INTEGER, 0
+            if expr.name in ("sum", "avg"):
+                return SqlType.FLOAT, 0
+            if expr.name in ("min", "max") and expr.args:
+                return self._infer_type(expr.args[0], scope, schema)
+            if expr.name in ("substring", "upper", "lower"):
+                return SqlType.VARCHAR, 64
+            return SqlType.FLOAT, 0
+        if isinstance(expr, ast.Extract):
+            return SqlType.INTEGER, 0
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("AND", "OR") or expr.op in (
+                    "=", "<>", "<", "<=", ">", ">="):
+                return SqlType.INTEGER, 0
+            if expr.op == "||":
+                return SqlType.VARCHAR, 128
+            left_type, _ = self._infer_type(expr.left, scope, schema)
+            right_type, _ = self._infer_type(expr.right, scope, schema)
+            if SqlType.DATE in (left_type, right_type):
+                return SqlType.DATE, 0
+            return SqlType.FLOAT, 0
+        if isinstance(expr, ast.Unary):
+            return self._infer_type(expr.operand, scope, schema)
+        if isinstance(expr, ast.CaseWhen) and expr.whens:
+            return self._infer_type(expr.whens[0][1], scope, schema)
+        if isinstance(expr, ast.Param):
+            value = self._params.get(expr.name)
+            if value is None:
+                return SqlType.VARCHAR, 64
+            sql_type = infer_sql_type(value)
+            length = len(value) if isinstance(value, str) else 0
+            return sql_type, length
+        return SqlType.FLOAT, 0
+
+    # -- compiler / subquery bridge ---------------------------------------------
+
+    def _compiler(self, scope: Scope,
+                  replacements: dict[int, int] | None = None) -> ExprCompiler:
+        return ExprCompiler(
+            scope=scope,
+            subquery_planner=self._plan_subquery,
+            subquery_runner=self._run_subquery,
+            params=self._params,
+            replacements=replacements)
+
+    def _plan_subquery(self, select: ast.SelectStatement, scope: Scope,
+                       limit_one: bool):
+        """Plan a nested select; returns (plan, correlation refs).
+
+        Correlation refs are harvested from the scopes created while
+        planning the subquery whose outer is ``scope`` — every reference
+        crossing the subquery boundary was recorded on one of them (with
+        the level already re-based), see :meth:`Scope.resolve`.
+        """
+        mark = len(self._scope_log)
+        plan = self._plan_select(select, outer_scope=scope,
+                                 limit_one=limit_one)
+        outer_refs: list[tuple[int, int]] = []
+        for sub_scope in self._scope_log[mark:]:
+            if sub_scope.outer is scope:
+                for ref in sub_scope.outer_refs:
+                    if ref not in outer_refs:
+                        outer_refs.append(ref)
+        del self._scope_log[mark:]
+        return plan, outer_refs
+
+    def _run_subquery(self, plan: Plan, ctx: EvalContext) -> list[tuple]:
+        if self._meter is not None:
+            self._meter.charge(SERVER_CPU,
+                               self._meter.costs.cpu_per_statement_seconds
+                               * 0.1, "subquery eval")
+        return run_plan(plan.root, self._meter, outer=ctx)
+
+
+# ---------------------------------------------------------------------------
+# Conjunct utilities
+# ---------------------------------------------------------------------------
+
+
+class _Conjunct:
+    """One WHERE conjunct plus placement metadata.
+
+    ``column_owner`` maps unqualified column names to the binding that
+    owns them (when unique), so unqualified predicates still get pushed
+    down and can use indexes.
+    """
+
+    def __init__(self, expr: ast.Expr,
+                 column_owner: dict[str, str] | None = None,
+                 ambiguous: set[str] | None = None):
+        self.expr = expr
+        self.has_subquery = _has_subquery(expr)
+        self.consumed = False
+        raw = _expr_bindings(expr)
+        resolved: set[str] = set()
+        unresolved = False
+        for binding in raw:
+            if binding != "?":
+                resolved.add(binding)
+                continue
+            # An unqualified reference: attribute via the owner map.
+            unresolved = True
+        if unresolved:
+            for name in _unqualified_names(expr):
+                if ambiguous and name in ambiguous:
+                    # Ambiguous locally: make the conjunct unplaceable so
+                    # it lands in the late filter, whose compile reports
+                    # the ambiguity properly.
+                    self.bindings = set()
+                    return
+                owner = (column_owner or {}).get(name)
+                if owner is not None:
+                    resolved.add(owner)
+                # else: unknown locally — an outer (correlated) column.
+                # It binds to no local relation, which lets predicates
+                # like ``l_orderkey = o_orderkey`` inside a subquery be
+                # pushed to the local side and drive an index seek.
+        self.bindings = resolved
+
+
+def _unqualified_names(expr: ast.Expr) -> set[str]:
+    found: set[str] = set()
+
+    def walk(node):
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None:
+                found.add(node.name.lower())
+            return
+        if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
+            return
+        if isinstance(node, ast.InSubquery):
+            walk(node.operand)
+            return
+        from repro.sql.expressions import _children
+        if isinstance(node, ast.Expr):
+            for child in _children(node):
+                walk(child)
+
+    walk(expr)
+    return found
+
+
+def _column_owner_map(
+        schema: list[BoundColumn]) -> tuple[dict[str, str], set[str]]:
+    """Map column name -> binding; also return ambiguous names."""
+    owner: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for bc in schema:
+        name = bc.column.name.lower()
+        if name in ambiguous:
+            continue
+        if name in owner and owner[name] != bc.binding:
+            del owner[name]
+            ambiguous.add(name)
+        else:
+            owner[name] = bc.binding
+    return owner, ambiguous
+
+
+def _split_conjuncts(expr: ast.Expr | None) -> list:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _combine_conjuncts(exprs: list[ast.Expr]) -> ast.Expr:
+    combined = exprs[0]
+    for expr in exprs[1:]:
+        combined = ast.Binary(op="AND", left=combined, right=expr)
+    return combined
+
+
+def _side_bindings(expr: ast.Expr, owner: dict[str, str]) -> set[str]:
+    """Bindings of one equality side, resolving unqualified names."""
+    raw = _expr_bindings(expr)
+    resolved: set[str] = set()
+    for binding in raw:
+        if binding != "?":
+            resolved.add(binding)
+            continue
+        for name in _unqualified_names(expr):
+            side_owner = owner.get(name)
+            if side_owner is None:
+                return set()
+            resolved.add(side_owner)
+    return resolved
+
+
+def _expr_bindings(expr: ast.Expr) -> set[str]:
+    """Table qualifiers referenced outside subqueries (unqualified refs
+    return the special marker ``?`` so callers treat them as local)."""
+    found: set[str] = set()
+    _walk_bindings(expr, found)
+    return found
+
+
+def _walk_bindings(node, found: set[str]) -> None:
+    if isinstance(node, ast.ColumnRef):
+        found.add(node.table.lower() if node.table else "?")
+        return
+    if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
+        return
+    if isinstance(node, ast.InSubquery):
+        _walk_bindings(node.operand, found)
+        return
+    from repro.sql.expressions import _children
+    if isinstance(node, ast.Expr):
+        for child in _children(node):
+            _walk_bindings(child, found)
+
+
+def _contains_param(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Param):
+        return True
+    from repro.sql.expressions import _children
+    if isinstance(expr, ast.Expr):
+        return any(_contains_param(c) for c in _children(expr))
+    return False
+
+
+def _has_subquery(expr: ast.Expr) -> bool:
+    if isinstance(expr, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+        return True
+    from repro.sql.expressions import _children
+    if isinstance(expr, ast.Expr):
+        return any(_has_subquery(c) for c in _children(expr))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Structural expression keys (group-by matching)
+# ---------------------------------------------------------------------------
+
+
+def _expr_key(expr: ast.Expr, scope: Scope):
+    """A hashable structural key; column refs are resolved so that
+    ``l.x`` and ``x`` compare equal when they mean the same column."""
+    if isinstance(expr, ast.ColumnRef):
+        try:
+            level, index = scope.resolve(expr.table, expr.name,
+                                         record=False)
+            return ("col", level, index)
+        except ColumnNotFoundError:
+            return ("col?", expr.table, expr.name)
+    if isinstance(expr, ast.Literal):
+        return ("lit", expr.value)
+    if isinstance(expr, ast.Interval):
+        return ("interval", expr.amount, expr.unit)
+    if isinstance(expr, ast.Param):
+        return ("param", expr.name)
+    if isinstance(expr, ast.Unary):
+        return ("unary", expr.op, _expr_key(expr.operand, scope))
+    if isinstance(expr, ast.Binary):
+        return ("binary", expr.op, _expr_key(expr.left, scope),
+                _expr_key(expr.right, scope))
+    if isinstance(expr, ast.FuncCall):
+        return ("func", expr.name, expr.distinct, expr.star,
+                tuple(_expr_key(a, scope) for a in expr.args))
+    if isinstance(expr, ast.Extract):
+        return ("extract", expr.field_name, _expr_key(expr.operand, scope))
+    if isinstance(expr, ast.CaseWhen):
+        return ("case",
+                tuple((_expr_key(c, scope), _expr_key(r, scope))
+                      for c, r in expr.whens),
+                _expr_key(expr.else_result, scope)
+                if expr.else_result is not None else None)
+    if isinstance(expr, ast.IsNull):
+        return ("isnull", expr.negated, _expr_key(expr.operand, scope))
+    if isinstance(expr, ast.Between):
+        return ("between", expr.negated, _expr_key(expr.operand, scope),
+                _expr_key(expr.low, scope), _expr_key(expr.high, scope))
+    if isinstance(expr, ast.Like):
+        return ("like", expr.negated, _expr_key(expr.operand, scope),
+                _expr_key(expr.pattern, scope))
+    # Subqueries and anything else compare by identity.
+    return ("id", id(expr))
+
+
+def _map_group_refs(expr: ast.Expr, group_keys: list, scope: Scope,
+                    replacements: dict[int, int]) -> None:
+    """Record slot replacements for subexpressions equal to group keys."""
+    if not isinstance(expr, ast.Expr) or id(expr) in replacements:
+        return
+    if isinstance(expr, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+        if isinstance(expr, ast.InSubquery):
+            _map_group_refs(expr.operand, group_keys, scope, replacements)
+        return
+    key = _expr_key(expr, scope)
+    for slot, group_key in enumerate(group_keys):
+        if key == group_key:
+            replacements[id(expr)] = slot
+            return
+    from repro.sql.expressions import _children
+    for child in _children(expr):
+        _map_group_refs(child, group_keys, scope, replacements)
+
+
+def _shallow_expr_equal(a: ast.Expr, b: ast.Expr) -> bool:
+    """Alias-free structural comparison used for ORDER BY slot mapping."""
+    empty = Scope([])
+    return _expr_key(a, empty) == _expr_key(b, empty)
+
+
+# ---------------------------------------------------------------------------
+# Schema helpers
+# ---------------------------------------------------------------------------
+
+
+def _scope_bindings(schema: list[BoundColumn]) -> list[tuple[str, str]]:
+    return [(bc.binding, bc.column.name) for bc in schema]
+
+
+def _table_schema(table) -> list[BoundColumn]:
+    return [BoundColumn(binding=table.info.name, column=c)
+            for c in table.info.columns]
+
+
+def _max_factor_of(schema: list[BoundColumn], table_provider) -> float:
+    """Highest amplification factor among the base tables in a schema.
+
+    Derived columns have empty bindings; unknown bindings default to 1.
+    """
+    factor = 1.0
+    seen: set[str] = set()
+    for bc in schema:
+        if not bc.binding or bc.binding in seen:
+            continue
+        seen.add(bc.binding)
+        try:
+            table = table_provider(bc.binding)
+        except Exception:
+            continue
+        factor = max(factor, table.cost_factor)
+    return factor
+
+
+def _exec_context(meter):
+    from repro.sql.executor import ExecContext
+
+    return ExecContext(meter=meter)
+
+
+def _seq_scan_with_rids(table, exec_ctx):
+    costs = exec_ctx.costs
+    per_tuple = (costs.cpu_per_tuple_scan * table.cost_factor
+                 if costs else 0.0)
+    for rid, row in table.heap.scan():
+        exec_ctx.charge_cpu(per_tuple)
+        yield rid, row

@@ -1,0 +1,48 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"      # includes #temp names
+    PARAMETER = "parameter"        # @name
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"          # = <> < <= > >= + - * / || . , ( ) ;
+    END = "end"
+
+
+#: Reserved words recognized by the parser (everything else that looks like
+#: a word is an identifier).  Function names (SUM, SUBSTRING, ...) are *not*
+#: keywords — they parse as identifiers followed by '('.
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "TOP", "DISTINCT", "AS", "AND", "OR", "NOT", "IN", "EXISTS",
+    "BETWEEN", "LIKE", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON", "CROSS",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "PROCEDURE", "PROC",
+    "PRIMARY", "KEY", "VIEW", "EXEC", "EXECUTE", "BEGIN", "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION", "TRAN", "DATE", "INTERVAL", "YEAR", "MONTH", "DAY",
+    "LIMIT", "UNION", "ALL", "DEFAULT", "EXPLAIN",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int = 0
+
+    def matches_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.value}, {self.value!r})"

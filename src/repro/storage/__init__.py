@@ -1,0 +1,35 @@
+"""Storage engine substrate.
+
+A from-scratch page-based storage layer standing in for SQL Server 7.0's
+storage engine:
+
+* :class:`~repro.storage.disk.SimulatedDisk` — the durable medium; its
+  contents survive :meth:`DatabaseServer.crash`.
+* :class:`~repro.storage.page.Page` — a slotted page of rows.
+* :class:`~repro.storage.heap.HeapFile` — unordered row storage over pages.
+* :class:`~repro.storage.buffer_pool.BufferPool` — volatile LRU page cache;
+  dirty pages are lost on crash and recovered from the write-ahead log.
+* :class:`~repro.storage.btree.BTree` — ordered index for point and range
+  lookups (rebuilt from the heap during restart recovery).
+* :class:`~repro.storage.catalog.Catalog` — tables, indexes and stored
+  procedures; snapshotted to disk at checkpoints.
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.catalog import Catalog, IndexInfo, TableInfo
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile, RowId
+from repro.storage.page import Page
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "Catalog",
+    "IndexInfo",
+    "TableInfo",
+    "SimulatedDisk",
+    "HeapFile",
+    "RowId",
+    "Page",
+]

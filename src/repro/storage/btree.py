@@ -1,0 +1,314 @@
+"""An order-``t`` B-tree mapping keys to row ids.
+
+Used for primary-key and secondary indexes (TPC-C is all point lookups and
+short range scans).  Keys are tuples of SQL values compared
+lexicographically; each key maps to one or more :class:`RowId` values
+(unique indexes enforce a single rid per key).
+
+The tree is a plain in-memory structure: it is *not* logged.  After a
+crash the server rebuilds every index from its base heap during restart
+recovery, which is sound because the heap is the durable truth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintError
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self):
+        self.keys: list[tuple] = []
+        self.values: list[list] = []     # parallel to keys; leaf payloads
+        self.children: list["_Node"] = []  # empty for leaves
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree with configurable minimum degree ``t`` (default 16)."""
+
+    def __init__(self, unique: bool = False, t: int = 16):
+        if t < 2:
+            raise ValueError("minimum degree must be at least 2")
+        self._t = t
+        self.unique = unique
+        self._root = _Node()
+        self._size = 0  # number of (key, value) pairs
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- search -------------------------------------------------------------
+
+    def search(self, key: tuple) -> list:
+        """All values stored under ``key`` (empty list if absent)."""
+        node = self._root
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return list(node.values[i])
+            if node.is_leaf:
+                return []
+            node = node.children[i]
+
+    def contains(self, key: tuple) -> bool:
+        return bool(self.search(key))
+
+    def range(self, lo: tuple | None = None, hi: tuple | None = None,
+              lo_inclusive: bool = True, hi_inclusive: bool = True):
+        """Yield ``(key, value)`` pairs with lo <= key <= hi, in key order."""
+        yield from self._range_walk(self._root, lo, hi,
+                                    lo_inclusive, hi_inclusive)
+
+    def items(self):
+        """Yield every ``(key, value)`` pair in key order."""
+        yield from self.range()
+
+    def min_key(self) -> tuple | None:
+        node = self._root
+        if not node.keys:
+            return None
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> tuple | None:
+        node = self._root
+        if not node.keys:
+            return None
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, key: tuple, value) -> None:
+        """Insert ``value`` under ``key``.
+
+        Raises :class:`~repro.errors.ConstraintError` if the index is
+        unique and the key is already present.
+        """
+        existing = self._find_payload(self._root, key)
+        if existing is not None:
+            if self.unique:
+                raise ConstraintError(f"duplicate key {key!r} in unique index")
+            existing.append(value)
+            self._size += 1
+            return
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+        self._size += 1
+
+    # -- delete --------------------------------------------------------------
+
+    def delete(self, key: tuple, value=None) -> bool:
+        """Remove ``value`` from ``key`` (or the whole key if value is None).
+
+        Returns True if something was removed.
+        """
+        payload = self._find_payload(self._root, key)
+        if payload is None:
+            return False
+        if value is not None:
+            if value not in payload:
+                return False
+            payload.remove(value)
+            self._size -= 1
+            if payload:
+                return True
+        else:
+            self._size -= len(payload)
+        self._delete_key(self._root, key)
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        return True
+
+    # -- internals: search helpers ---------------------------------------------
+
+    @staticmethod
+    def _lower_bound(keys: list[tuple], key: tuple) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _find_payload(self, node: _Node, key: tuple) -> list | None:
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.is_leaf:
+                return None
+            node = node.children[i]
+
+    def _range_walk(self, node: _Node, lo, hi, lo_inc, hi_inc):
+        def above_lo(key):
+            if lo is None:
+                return True
+            return key >= lo if lo_inc else key > lo
+
+        def below_hi(key):
+            if hi is None:
+                return True
+            return key <= hi if hi_inc else key < hi
+
+        if node.is_leaf:
+            for key, payload in zip(node.keys, node.values):
+                if above_lo(key) and below_hi(key):
+                    for value in payload:
+                        yield key, value
+            return
+        for i, key in enumerate(node.keys):
+            if lo is None or key > lo or (lo_inc and key >= lo):
+                yield from self._range_walk(node.children[i], lo, hi,
+                                            lo_inc, hi_inc)
+            if above_lo(key) and below_hi(key):
+                for value in node.values[i]:
+                    yield key, value
+            if hi is not None and key > hi:
+                return
+        yield from self._range_walk(node.children[-1], lo, hi, lo_inc, hi_inc)
+
+    # -- internals: insertion ---------------------------------------------------
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        mid_key = child.keys[t - 1]
+        mid_val = child.values[t - 1]
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[:t - 1]
+        child.values = child.values[:t - 1]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, mid_key)
+        parent.values.insert(index, mid_val)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: tuple, value) -> None:
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if node.is_leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, [value])
+                return
+            if len(node.children[i].keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if key > node.keys[i]:
+                    i += 1
+                elif key == node.keys[i]:
+                    # Key migrated up during the split; should not happen
+                    # because presence was checked, but stay safe.
+                    node.values[i].append(value)
+                    return
+            node = node.children[i]
+
+    # -- internals: deletion --------------------------------------------------
+
+    def _delete_key(self, node: _Node, key: tuple) -> None:
+        t = self._t
+        i = self._lower_bound(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.is_leaf:
+                node.keys.pop(i)
+                node.values.pop(i)
+                return
+            left, right = node.children[i], node.children[i + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_val = self._pop_max(left)
+                node.keys[i], node.values[i] = pred_key, pred_val
+            elif len(right.keys) >= t:
+                succ_key, succ_val = self._pop_min(right)
+                node.keys[i], node.values[i] = succ_key, succ_val
+            else:
+                self._merge_children(node, i)
+                self._delete_key(left, key)
+            return
+        if node.is_leaf:
+            return  # key absent
+        child = node.children[i]
+        if len(child.keys) < t:
+            i = self._fill_child(node, i)
+            child = node.children[i]
+        self._delete_key(child, key)
+
+    def _pop_max(self, node: _Node) -> tuple:
+        while not node.is_leaf:
+            if len(node.children[-1].keys) < self._t:
+                i = self._fill_child(node, len(node.children) - 1)
+                node = node.children[i]
+            else:
+                node = node.children[-1]
+        return node.keys.pop(), node.values.pop()
+
+    def _pop_min(self, node: _Node) -> tuple:
+        while not node.is_leaf:
+            if len(node.children[0].keys) < self._t:
+                i = self._fill_child(node, 0)
+                node = node.children[i]
+            else:
+                node = node.children[0]
+        key = node.keys.pop(0)
+        value = node.values.pop(0)
+        return key, value
+
+    def _fill_child(self, node: _Node, i: int) -> int:
+        """Ensure child ``i`` has >= t keys; returns its (possibly new) index."""
+        t = self._t
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            self._borrow_from_left(node, i)
+            return i
+        if i + 1 < len(node.children) and len(node.children[i + 1].keys) >= t:
+            self._borrow_from_right(node, i)
+            return i
+        if i + 1 < len(node.children):
+            self._merge_children(node, i)
+            return i
+        self._merge_children(node, i - 1)
+        return i - 1
+
+    @staticmethod
+    def _borrow_from_left(node: _Node, i: int) -> None:
+        child, left = node.children[i], node.children[i - 1]
+        child.keys.insert(0, node.keys[i - 1])
+        child.values.insert(0, node.values[i - 1])
+        node.keys[i - 1] = left.keys.pop()
+        node.values[i - 1] = left.values.pop()
+        if not left.is_leaf:
+            child.children.insert(0, left.children.pop())
+
+    @staticmethod
+    def _borrow_from_right(node: _Node, i: int) -> None:
+        child, right = node.children[i], node.children[i + 1]
+        child.keys.append(node.keys[i])
+        child.values.append(node.values[i])
+        node.keys[i] = right.keys.pop(0)
+        node.values[i] = right.values.pop(0)
+        if not right.is_leaf:
+            child.children.append(right.children.pop(0))
+
+    @staticmethod
+    def _merge_children(node: _Node, i: int) -> None:
+        child, right = node.children[i], node.children[i + 1]
+        child.keys.append(node.keys.pop(i))
+        child.values.append(node.values.pop(i))
+        child.keys.extend(right.keys)
+        child.values.extend(right.values)
+        child.children.extend(right.children)
+        node.children.pop(i + 1)

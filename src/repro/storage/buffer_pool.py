@@ -1,0 +1,184 @@
+"""Volatile LRU buffer pool.
+
+The pool caches :class:`~repro.storage.page.Page` objects between the
+engine and the :class:`~repro.storage.disk.SimulatedDisk`.  It is the
+component that makes crashes interesting: dirty pages live here and are
+*lost* on crash, so restart recovery must redo committed work from the
+write-ahead log (no-force policy).  Dirty pages may also be flushed before
+their transaction commits when evicted (steal policy), which is why undo
+exists.
+
+The WAL protocol is enforced at the flush point: before a dirty page is
+written to disk, the log is forced up to that page's ``page_lsn``.
+
+Pages of *volatile* files (temp tables, never-logged Phoenix scratch space)
+are registered via :meth:`register_volatile`; they are never flushed and
+never evicted, and simply vanish on crash.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sim.costs import SERVER_DISK
+from repro.sim.meter import Meter
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+
+class BufferPool:
+    """LRU page cache with steal/no-force semantics."""
+
+    def __init__(self, disk: SimulatedDisk, meter: Meter | None = None,
+                 capacity_pages: int = 4096, wal=None):
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self._disk = disk
+        self._meter = meter
+        self._wal = wal
+        self.capacity_pages = capacity_pages
+        self._frames: OrderedDict[tuple[int, int], Page] = OrderedDict()
+        self._dirty: set[tuple[int, int]] = set()
+        self._volatile_files: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def attach_wal(self, wal) -> None:
+        """Late-bind the WAL (server wires storage and log together)."""
+        self._wal = wal
+
+    # -- volatility -------------------------------------------------------------
+
+    def register_volatile(self, file_id: int) -> None:
+        """Mark ``file_id`` as volatile: in-memory only, dies on crash."""
+        self._volatile_files.add(file_id)
+
+    def is_volatile(self, file_id: int) -> bool:
+        return file_id in self._volatile_files
+
+    # -- page access --------------------------------------------------------
+
+    def get_page(self, file_id: int, page_no: int,
+                 cost_factor: float = 1.0) -> Page | None:
+        """Return the page, faulting it in from disk on a miss.
+
+        Returns ``None`` if the page exists neither in the pool nor on
+        disk.  ``cost_factor`` scales the charged I/O time (work
+        amplification for base tables).
+        """
+        key = (file_id, page_no)
+        page = self._frames.get(key)
+        if page is not None:
+            self.hits += 1
+            self._frames.move_to_end(key)
+            return page
+        self.misses += 1
+        if file_id in self._volatile_files:
+            return None
+        image = self._disk.read_page(file_id, page_no)
+        if image is None:
+            return None
+        assert isinstance(image, Page)
+        page = image.clone()
+        self._charge_io(self._read_cost(cost_factor))
+        self._admit(key, page)
+        return page
+
+    def new_page(self, file_id: int, page_no: int, capacity: int) -> Page:
+        """Allocate a fresh page in the pool (dirty, not yet on disk)."""
+        key = (file_id, page_no)
+        if key in self._frames or self._disk.has_page(file_id, page_no):
+            raise ValueError(f"page {key} already exists")
+        page = Page(page_no, capacity)
+        self._admit(key, page)
+        self.mark_dirty(file_id, page_no)
+        return page
+
+    def mark_dirty(self, file_id: int, page_no: int) -> None:
+        key = (file_id, page_no)
+        if key not in self._frames:
+            raise ValueError(f"page {key} is not resident")
+        if file_id not in self._volatile_files:
+            self._dirty.add(key)
+
+    def is_dirty(self, file_id: int, page_no: int) -> bool:
+        return (file_id, page_no) in self._dirty
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush_page(self, file_id: int, page_no: int,
+                   cost_factor: float = 1.0) -> None:
+        """Write one dirty page to disk (forcing the WAL first)."""
+        key = (file_id, page_no)
+        if key not in self._dirty:
+            return
+        page = self._frames[key]
+        if self._wal is not None:
+            self._wal.force(up_to_lsn=page.page_lsn, sync=False)
+        self._disk.write_page(file_id, page_no, page.clone())
+        self._charge_io(self._write_cost(cost_factor))
+        self._dirty.discard(key)
+
+    def flush_all(self, cost_factor: float = 1.0) -> int:
+        """Flush every dirty page (sharp checkpoint); returns count."""
+        keys = sorted(self._dirty)
+        for file_id, page_no in keys:
+            self.flush_page(file_id, page_no, cost_factor)
+        return len(keys)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drop_file(self, file_id: int) -> None:
+        """Forget all cached pages of a dropped file."""
+        keys = [k for k in self._frames if k[0] == file_id]
+        for key in keys:
+            del self._frames[key]
+            self._dirty.discard(key)
+        self._volatile_files.discard(file_id)
+
+    def crash(self) -> None:
+        """Lose everything volatile (called by the server on crash)."""
+        self._frames.clear()
+        self._dirty.clear()
+        self._volatile_files.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def dirty_pages(self) -> int:
+        return len(self._dirty)
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self, key: tuple[int, int], page: Page) -> None:
+        while len(self._frames) >= self.capacity_pages:
+            if not self._evict_one():
+                break  # everything pinned/volatile; allow overflow
+        self._frames[key] = page
+        self._frames.move_to_end(key)
+
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-used non-volatile page."""
+        for key in self._frames:
+            if key[0] in self._volatile_files:
+                continue
+            if key in self._dirty:
+                self.flush_page(*key)
+            del self._frames[key]
+            return True
+        return False
+
+    def _charge_io(self, seconds: float) -> None:
+        if self._meter is not None:
+            self._meter.charge(SERVER_DISK, seconds, "page io")
+            self._meter.count("disk_io")
+
+    def _read_cost(self, cost_factor: float) -> float:
+        costs = self._meter.costs if self._meter else None
+        return (costs.disk_page_read_seconds * cost_factor) if costs else 0.0
+
+    def _write_cost(self, cost_factor: float) -> float:
+        costs = self._meter.costs if self._meter else None
+        return (costs.disk_page_write_seconds * cost_factor) if costs else 0.0

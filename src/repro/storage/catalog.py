@@ -1,0 +1,288 @@
+"""The system catalog: tables, indexes and stored procedures.
+
+The catalog is pure metadata — runtime structures (heap handles, B-trees)
+are owned by the engine.  It is made durable by *snapshotting*: every
+checkpoint writes ``snapshot()`` to the disk as a blob, and DDL is also
+logged in the WAL so that redo can roll the restored snapshot forward to
+the crash point.
+
+Name scoping: all object names are case-insensitive (stored lowercased).
+Tables created in the ``phoenix`` schema (``phoenix.Txxx``) carry
+``amplified=False`` so the cost model does not scale-compensate Phoenix's
+own overhead tables (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import (
+    CatalogError,
+    ProcedureNotFoundError,
+    TableExistsError,
+    TableNotFoundError,
+)
+from repro.types import Column, SqlType
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """Metadata of one index (the B-tree itself is rebuilt at restart)."""
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """Metadata of one table."""
+
+    name: str
+    table_id: int
+    file_id: int
+    columns: tuple[Column, ...]
+    volatile: bool = False        # temp / never-logged, dies on crash
+    amplified: bool = True        # base-table work gets scale compensation
+    primary_key: tuple[str, ...] = ()
+
+    def column_index(self, column_name: str) -> int:
+        target = column_name.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == target:
+                return i
+        raise CatalogError(
+            f"table {self.name!r} has no column {column_name!r}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class ProcedureInfo:
+    """A stored procedure: parameter names and SQL body text."""
+
+    name: str
+    param_names: tuple[str, ...]
+    body_sql: str
+
+
+@dataclass(frozen=True)
+class ViewInfo:
+    """A view: a named SELECT expanded at plan time."""
+
+    name: str
+    body_sql: str
+
+
+@dataclass
+class Catalog:
+    """All metadata, snapshot-able as plain data."""
+
+    tables: dict[str, TableInfo] = field(default_factory=dict)
+    indexes: dict[str, IndexInfo] = field(default_factory=dict)
+    procedures: dict[str, ProcedureInfo] = field(default_factory=dict)
+    views: dict[str, ViewInfo] = field(default_factory=dict)
+    next_table_id: int = 1
+    next_file_id: int = 1
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column],
+                     volatile: bool = False, amplified: bool = True,
+                     primary_key: tuple[str, ...] = (),
+                     table_id: int | None = None,
+                     file_id: int | None = None) -> TableInfo:
+        """Register a table; ids are allocated unless redo supplies them."""
+        key = name.lower()
+        if key in self.tables:
+            raise TableExistsError(f"table {name!r} already exists")
+        if key in self.views:
+            raise TableExistsError(f"{name!r} is a view")
+        if table_id is None:
+            table_id = self.next_table_id
+        if file_id is None:
+            file_id = self.next_file_id
+        self.next_table_id = max(self.next_table_id, table_id + 1)
+        self.next_file_id = max(self.next_file_id, file_id + 1)
+        info = TableInfo(name=key, table_id=table_id, file_id=file_id,
+                         columns=tuple(columns), volatile=volatile,
+                         amplified=amplified,
+                         primary_key=tuple(c.lower() for c in primary_key))
+        self.tables[key] = info
+        return info
+
+    def drop_table(self, name: str) -> TableInfo:
+        key = name.lower()
+        info = self.tables.pop(key, None)
+        if info is None:
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        for index_name in [n for n, ix in self.indexes.items()
+                           if ix.table_name == key]:
+            del self.indexes[index_name]
+        return info
+
+    def get_table(self, name: str) -> TableInfo:
+        info = self.tables.get(name.lower())
+        if info is None:
+            raise TableNotFoundError(f"table {name!r} does not exist")
+        return info
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, name: str, table_name: str,
+                     column_names: list[str], unique: bool = False) -> IndexInfo:
+        key = name.lower()
+        if key in self.indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.get_table(table_name)
+        for col in column_names:
+            table.column_index(col)  # validates existence
+        info = IndexInfo(name=key, table_name=table.name,
+                         column_names=tuple(c.lower() for c in column_names),
+                         unique=unique)
+        self.indexes[key] = info
+        return info
+
+    def drop_index(self, name: str) -> IndexInfo:
+        info = self.indexes.pop(name.lower(), None)
+        if info is None:
+            raise CatalogError(f"index {name!r} does not exist")
+        return info
+
+    def indexes_on(self, table_name: str) -> list[IndexInfo]:
+        key = table_name.lower()
+        return [ix for ix in self.indexes.values() if ix.table_name == key]
+
+    # -- procedures ----------------------------------------------------------
+
+    def create_procedure(self, name: str, param_names: list[str],
+                         body_sql: str) -> ProcedureInfo:
+        key = name.lower()
+        if key in self.procedures:
+            raise CatalogError(f"procedure {name!r} already exists")
+        info = ProcedureInfo(name=key, param_names=tuple(param_names),
+                             body_sql=body_sql)
+        self.procedures[key] = info
+        return info
+
+    def drop_procedure(self, name: str) -> ProcedureInfo:
+        info = self.procedures.pop(name.lower(), None)
+        if info is None:
+            raise ProcedureNotFoundError(f"procedure {name!r} does not exist")
+        return info
+
+    def get_procedure(self, name: str) -> ProcedureInfo:
+        info = self.procedures.get(name.lower())
+        if info is None:
+            raise ProcedureNotFoundError(f"procedure {name!r} does not exist")
+        return info
+
+    def has_procedure(self, name: str) -> bool:
+        return name.lower() in self.procedures
+
+    # -- views ----------------------------------------------------------------
+
+    def create_view(self, name: str, body_sql: str) -> ViewInfo:
+        key = name.lower()
+        if key in self.views:
+            raise CatalogError(f"view {name!r} already exists")
+        if key in self.tables:
+            raise CatalogError(f"{name!r} is a table")
+        info = ViewInfo(name=key, body_sql=body_sql)
+        self.views[key] = info
+        return info
+
+    def drop_view(self, name: str) -> ViewInfo:
+        info = self.views.pop(name.lower(), None)
+        if info is None:
+            raise CatalogError(f"view {name!r} does not exist")
+        return info
+
+    def get_view(self, name: str) -> ViewInfo | None:
+        return self.views.get(name.lower())
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data snapshot (durable tables/procs only) for the disk blob."""
+        return {
+            "tables": [
+                {
+                    "name": t.name,
+                    "table_id": t.table_id,
+                    "file_id": t.file_id,
+                    "columns": [
+                        (c.name, c.sql_type.value, c.length, c.nullable)
+                        for c in t.columns
+                    ],
+                    "amplified": t.amplified,
+                    "primary_key": list(t.primary_key),
+                }
+                for t in self.tables.values() if not t.volatile
+            ],
+            "indexes": [
+                {
+                    "name": ix.name,
+                    "table_name": ix.table_name,
+                    "column_names": list(ix.column_names),
+                    "unique": ix.unique,
+                }
+                for ix in self.indexes.values()
+                if not self.get_table(ix.table_name).volatile
+            ],
+            "procedures": [
+                {
+                    "name": p.name,
+                    "param_names": list(p.param_names),
+                    "body_sql": p.body_sql,
+                }
+                for p in self.procedures.values()
+            ],
+            "views": [
+                {"name": v.name, "body_sql": v.body_sql}
+                for v in self.views.values()
+            ],
+            "next_table_id": self.next_table_id,
+            "next_file_id": self.next_file_id,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict | None) -> "Catalog":
+        """Rebuild a catalog from :meth:`snapshot` output (None → empty)."""
+        catalog = cls()
+        if not snapshot:
+            return catalog
+        for t in snapshot["tables"]:
+            columns = [Column(name, SqlType(type_name), length, nullable)
+                       for name, type_name, length, nullable in t["columns"]]
+            catalog.create_table(
+                t["name"], columns, volatile=False,
+                amplified=t["amplified"],
+                primary_key=tuple(t["primary_key"]),
+                table_id=t["table_id"], file_id=t["file_id"])
+        for ix in snapshot["indexes"]:
+            catalog.create_index(ix["name"], ix["table_name"],
+                                 ix["column_names"], ix["unique"])
+        for p in snapshot["procedures"]:
+            catalog.create_procedure(p["name"], p["param_names"], p["body_sql"])
+        for v in snapshot.get("views", []):
+            catalog.create_view(v["name"], v["body_sql"])
+        catalog.next_table_id = snapshot["next_table_id"]
+        catalog.next_file_id = snapshot["next_file_id"]
+        return catalog
+
+    def rename_table(self, old: str, new: str) -> TableInfo:
+        """Rename a table (keeps ids); used by tests and utilities."""
+        info = self.get_table(old)
+        new_key = new.lower()
+        if new_key in self.tables:
+            raise TableExistsError(f"table {new!r} already exists")
+        del self.tables[info.name]
+        info = replace(info, name=new_key)
+        self.tables[new_key] = info
+        return info

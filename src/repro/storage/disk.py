@@ -1,0 +1,75 @@
+"""The simulated durable medium.
+
+``SimulatedDisk`` is the only component whose contents survive a server
+crash.  It stores page images keyed by ``(file_id, page_no)`` plus named
+blobs (catalog snapshots; the WAL keeps its own durable tail).  All I/O
+*timing* is charged by the buffer pool / WAL, not here; the disk itself
+only counts operations so tests can assert physical behaviour.
+
+Ownership contract: the disk stores the exact object it is given and
+returns the exact object it stored.  The buffer pool — the only page
+client — clones pages on both sides of the boundary
+(:meth:`~repro.storage.page.Page.clone` is cheap because row tuples are
+immutable), so a post-crash read can never observe in-memory mutation that
+was not explicitly written back.
+
+Crash semantics: :class:`~repro.server.server.DatabaseServer` discards
+every volatile structure (buffer pool, sessions, temp tables) but keeps the
+``SimulatedDisk`` instance — exactly like a machine whose power was cut.
+"""
+
+from __future__ import annotations
+
+import copy
+
+
+class SimulatedDisk:
+    """Durable page and blob store."""
+
+    def __init__(self):
+        self._pages: dict[tuple[int, int], object] = {}
+        self._blobs: dict[str, object] = {}
+        self.page_reads = 0
+        self.page_writes = 0
+
+    # -- pages ---------------------------------------------------------------
+
+    def write_page(self, file_id: int, page_no: int, image: object) -> None:
+        """Durably store ``image`` (caller transfers ownership)."""
+        self._pages[(file_id, page_no)] = image
+        self.page_writes += 1
+
+    def read_page(self, file_id: int, page_no: int) -> object:
+        """Return the stored image (caller must clone before mutating)."""
+        self.page_reads += 1
+        return self._pages.get((file_id, page_no))
+
+    def has_page(self, file_id: int, page_no: int) -> bool:
+        return (file_id, page_no) in self._pages
+
+    def drop_file(self, file_id: int) -> int:
+        """Remove every page of ``file_id``; returns how many were dropped."""
+        keys = [k for k in self._pages if k[0] == file_id]
+        for key in keys:
+            del self._pages[key]
+        return len(keys)
+
+    def file_page_numbers(self, file_id: int) -> list[int]:
+        """Sorted page numbers currently stored for ``file_id``."""
+        return sorted(p for (f, p) in self._pages if f == file_id)
+
+    # -- blobs (catalog snapshots etc.) ---------------------------------------
+
+    def write_blob(self, name: str, value: object) -> None:
+        """Durably store a deep copy of ``value`` under ``name``."""
+        self._blobs[name] = copy.deepcopy(value)
+
+    def read_blob(self, name: str, default=None):
+        value = self._blobs.get(name, default)
+        return copy.deepcopy(value)
+
+    def has_blob(self, name: str) -> bool:
+        return name in self._blobs
+
+    def delete_blob(self, name: str) -> None:
+        self._blobs.pop(name, None)

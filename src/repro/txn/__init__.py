@@ -1,0 +1,17 @@
+"""Transactions: strict two-phase table locking plus log-driven rollback.
+
+* :class:`~repro.txn.locks.LockManager` — shared/exclusive table locks,
+  no-wait conflict policy (a conflicting request raises
+  :class:`~repro.errors.DeadlockError` immediately, which is how the
+  single-threaded simulation avoids blocking forever; the paper likewise
+  treats transaction aborts as "a normal event that most applications
+  already handle").
+* :class:`~repro.txn.manager.TransactionManager` — begin/commit/abort,
+  write-ahead logging of every data and DDL change, rollback by walking
+  the per-transaction log chain.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = ["LockManager", "LockMode", "Transaction", "TransactionManager"]

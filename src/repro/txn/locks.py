@@ -1,0 +1,71 @@
+"""Table-granularity lock manager with a no-wait policy.
+
+Shared (S) and exclusive (X) locks at table granularity, strict two-phase:
+locks are held until commit/abort.  A request that conflicts with a lock
+held by a *different* transaction raises
+:class:`~repro.errors.DeadlockError` immediately (no-wait deadlock
+avoidance) — the requester is expected to abort and retry, which matches
+the paper's stance that applications already handle transaction aborts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+from repro.errors import DeadlockError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Tracks table locks per transaction."""
+
+    def __init__(self):
+        # table -> {txn_id -> LockMode}
+        self._locks: dict[str, dict[int, LockMode]] = defaultdict(dict)
+
+    def acquire(self, txn_id: int, table_name: str, mode: LockMode) -> None:
+        """Grant the lock or raise :class:`DeadlockError` on conflict."""
+        table = table_name.lower()
+        holders = self._locks[table]
+        current = holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE:
+            return  # X subsumes everything
+        if mode is LockMode.SHARED:
+            for other, held in holders.items():
+                if other != txn_id and held is LockMode.EXCLUSIVE:
+                    raise DeadlockError(
+                        f"txn {txn_id} blocked on X lock of {table!r} "
+                        f"held by txn {other}")
+            holders[txn_id] = current or LockMode.SHARED
+            return
+        # Exclusive request (possibly an upgrade from shared).
+        for other in holders:
+            if other != txn_id:
+                raise DeadlockError(
+                    f"txn {txn_id} blocked on lock of {table!r} "
+                    f"held by txn {other}")
+        holders[txn_id] = LockMode.EXCLUSIVE
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock of ``txn_id`` (commit/abort time)."""
+        empty = []
+        for table, holders in self._locks.items():
+            holders.pop(txn_id, None)
+            if not holders:
+                empty.append(table)
+        for table in empty:
+            del self._locks[table]
+
+    def held(self, txn_id: int, table_name: str) -> LockMode | None:
+        return self._locks.get(table_name.lower(), {}).get(txn_id)
+
+    def holders(self, table_name: str) -> dict[int, LockMode]:
+        return dict(self._locks.get(table_name.lower(), {}))
+
+    def clear(self) -> None:
+        self._locks.clear()

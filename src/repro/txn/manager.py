@@ -1,0 +1,244 @@
+"""Transaction manager: WAL-logged begin/commit/abort and rollback.
+
+The manager owns transaction identity and the write-ahead discipline.  The
+engine's table runtime calls the ``log_*`` helpers *before* mutating pages
+(WAL rule); commit forces the log; abort walks the transaction's backward
+log chain, applying inverse operations and logging CLRs — the same
+compensation helpers restart recovery uses, so rollback behaviour is
+identical online and after a crash.
+
+Transaction ids restart above the highest id ever seen in the log so an id
+is never reused across crashes (reuse would corrupt a later analysis
+pass).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionError
+from repro.storage.heap import RowId
+from repro.txn.locks import LockManager
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CLRRecord,
+    CommitRecord,
+    CreateIndexRecord,
+    CreateProcedureRecord,
+    CreateTableRecord,
+    DeleteRecord,
+    DropIndexRecord,
+    DropProcedureRecord,
+    DropTableRecord,
+    EndRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One transaction's volatile control block."""
+
+    txn_id: int
+    last_lsn: int = 0
+    state: TxnState = TxnState.ACTIVE
+    #: Actions deferred to commit (e.g. physical deallocation of a dropped
+    #: table's pages — deferring makes DROP TABLE undoable).
+    on_commit: list = field(default_factory=list)
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+
+class TransactionManager:
+    """Creates transactions and mediates all logged changes."""
+
+    def __init__(self, log: WriteAheadLog, locks: LockManager, target):
+        """``target`` is the engine-side recovery interface (heaps + DDL)."""
+        self._log = log
+        self.locks = locks
+        self._target = target
+        self._active: dict[int, Transaction] = {}
+        self._next_txn_id = self._recovered_next_txn_id(log)
+
+    @staticmethod
+    def _recovered_next_txn_id(log: WriteAheadLog) -> int:
+        highest = 0
+        for rec in log.all_records():
+            highest = max(highest, rec.txn_id)
+        return highest + 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        txn = Transaction(txn_id=self._next_txn_id)
+        self._next_txn_id += 1
+        txn.last_lsn = self._log.append(BeginRecord(txn_id=txn.txn_id))
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self._require_active(txn)
+        self._chain(txn, CommitRecord(txn_id=txn.txn_id))
+        self._log.force()
+        self._log.append(EndRecord(txn_id=txn.txn_id))
+        txn.state = TxnState.COMMITTED
+        for action in txn.on_commit:
+            action()
+        txn.on_commit.clear()
+        self._finish(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        self._require_active(txn)
+        self._chain(txn, AbortRecord(txn_id=txn.txn_id))
+        self._rollback(txn)
+        self._log.append(EndRecord(txn_id=txn.txn_id))
+        # Aborts need no synchronous force (the undo is repeatable from
+        # whatever part of the log survives); flush write-behind.
+        self._log.force(sync=False)
+        txn.state = TxnState.ABORTED
+        txn.on_commit.clear()
+        self._finish(txn)
+
+    def abort_all_active(self) -> list[int]:
+        """Abort every in-flight transaction (server-side session sweep)."""
+        ids = sorted(self._active)
+        for txn_id in ids:
+            self.abort(self._active[txn_id])
+        return ids
+
+    @property
+    def active_transactions(self) -> dict[int, Transaction]:
+        return dict(self._active)
+
+    def active_txn_lsns(self) -> dict[int, int]:
+        """txn_id -> last_lsn map recorded in checkpoint records."""
+        return {t.txn_id: t.last_lsn for t in self._active.values()}
+
+    # -- logged data changes (called by the table runtime pre-mutation) --------
+
+    def log_insert(self, txn: Transaction, table_name: str, rid: RowId,
+                   row: tuple, cost_factor: float = 1.0) -> int:
+        return self._chain(txn, InsertRecord(
+            txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
+            page_no=rid.page_no, slot=rid.slot, row=row), cost_factor)
+
+    def log_delete(self, txn: Transaction, table_name: str, rid: RowId,
+                   row: tuple, cost_factor: float = 1.0) -> int:
+        return self._chain(txn, DeleteRecord(
+            txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
+            page_no=rid.page_no, slot=rid.slot, row=row), cost_factor)
+
+    def log_update(self, txn: Transaction, table_name: str, rid: RowId,
+                   old_row: tuple, new_row: tuple,
+                   cost_factor: float = 1.0) -> int:
+        return self._chain(txn, UpdateRecord(
+            txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
+            page_no=rid.page_no, slot=rid.slot, old_row=old_row,
+            new_row=new_row), cost_factor)
+
+    # -- logged DDL -----------------------------------------------------------
+
+    def log_create_table(self, txn: Transaction, table: dict) -> int:
+        return self._chain(txn, CreateTableRecord(txn_id=txn.txn_id,
+                                                  table=table))
+
+    def log_drop_table(self, txn: Transaction, table: dict) -> int:
+        return self._chain(txn, DropTableRecord(txn_id=txn.txn_id,
+                                                table=table))
+
+    def log_create_procedure(self, txn: Transaction, name: str,
+                             param_names: tuple, body_sql: str) -> int:
+        return self._chain(txn, CreateProcedureRecord(
+            txn_id=txn.txn_id, name=name, param_names=param_names,
+            body_sql=body_sql))
+
+    def log_drop_procedure(self, txn: Transaction, name: str,
+                           param_names: tuple, body_sql: str) -> int:
+        return self._chain(txn, DropProcedureRecord(
+            txn_id=txn.txn_id, name=name, param_names=param_names,
+            body_sql=body_sql))
+
+    def log_create_view(self, txn: Transaction, name: str,
+                        body_sql: str) -> int:
+        from repro.wal.records import CreateViewRecord
+
+        return self._chain(txn, CreateViewRecord(txn_id=txn.txn_id,
+                                                 name=name,
+                                                 body_sql=body_sql))
+
+    def log_drop_view(self, txn: Transaction, name: str,
+                      body_sql: str) -> int:
+        from repro.wal.records import DropViewRecord
+
+        return self._chain(txn, DropViewRecord(txn_id=txn.txn_id,
+                                               name=name,
+                                               body_sql=body_sql))
+
+    def log_create_index(self, txn: Transaction, index: dict) -> int:
+        return self._chain(txn, CreateIndexRecord(txn_id=txn.txn_id,
+                                                  index=index))
+
+    def log_drop_index(self, txn: Transaction, index: dict) -> int:
+        return self._chain(txn, DropIndexRecord(txn_id=txn.txn_id,
+                                                index=index))
+
+    # -- internals -------------------------------------------------------------
+
+    def _chain(self, txn: Transaction, record: LogRecord,
+               cost_factor: float = 1.0) -> int:
+        self._require_active(txn)
+        record.prev_lsn = txn.last_lsn
+        txn.last_lsn = self._log.append(record, cost_factor)
+        return txn.last_lsn
+
+    def _rollback(self, txn: Transaction) -> None:
+        """Online rollback.
+
+        Compensating actions are applied through the target's
+        ``undo_action`` (which keeps indexes maintained) rather than the
+        raw-heap path restart recovery uses (which rebuilds indexes at
+        the end instead).
+        """
+        from repro.wal.recovery import compensate
+
+        lsn = txn.last_lsn
+        while lsn:
+            rec = self._log.record(lsn)
+            if isinstance(rec, CLRRecord):
+                lsn = rec.undo_next_lsn
+                continue
+            if isinstance(rec, (BeginRecord, AbortRecord, CommitRecord,
+                                EndRecord)):
+                lsn = rec.prev_lsn
+                continue
+            action = compensate(rec)
+            if action is not None:
+                clr = CLRRecord(txn_id=txn.txn_id, prev_lsn=txn.last_lsn,
+                                action=action, undo_next_lsn=rec.prev_lsn)
+                txn.last_lsn = self._log.append(clr)
+                action.lsn = clr.lsn
+                self._target.undo_action(action)
+            lsn = rec.prev_lsn
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+
+    @staticmethod
+    def _require_active(txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}")

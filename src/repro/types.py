@@ -1,0 +1,157 @@
+"""SQL value types shared by the catalog, the SQL frontend and the drivers.
+
+Values are plain Python objects at runtime (int, float, str,
+``datetime.date``, ``None``); this module defines the *declared* types,
+coercion into them, and per-row byte-width estimation used by the page
+layout and the network cost model.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """Declared SQL column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    FLOAT = "FLOAT"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    CHAR = "CHAR"
+    DATE = "DATE"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.BIGINT,
+                        SqlType.FLOAT, SqlType.DECIMAL)
+
+    @property
+    def is_text(self) -> bool:
+        return self in (SqlType.VARCHAR, SqlType.CHAR)
+
+
+_FIXED_WIDTHS = {
+    SqlType.INTEGER: 4,
+    SqlType.BIGINT: 8,
+    SqlType.FLOAT: 8,
+    SqlType.DECIMAL: 8,
+    SqlType.DATE: 4,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table or result set."""
+
+    name: str
+    sql_type: SqlType
+    length: int = 0  # declared length for CHAR/VARCHAR
+    nullable: bool = True
+
+    @property
+    def width_bytes(self) -> int:
+        """Estimated stored width of one value of this column."""
+        if self.sql_type in _FIXED_WIDTHS:
+            return _FIXED_WIDTHS[self.sql_type]
+        # Text: assume declared length for CHAR, half for VARCHAR.
+        if self.sql_type is SqlType.CHAR:
+            return max(1, self.length)
+        return max(1, self.length // 2 or 1)
+
+    def describe(self) -> str:
+        if self.sql_type.is_text:
+            return f"{self.name} {self.sql_type.value}({self.length})"
+        return f"{self.name} {self.sql_type.value}"
+
+
+def row_width_bytes(columns: list[Column]) -> int:
+    """Estimated byte width of one row with the given columns."""
+    return sum(c.width_bytes for c in columns) or 1
+
+
+def coerce(value, sql_type: SqlType):
+    """Coerce a Python value to the runtime representation of ``sql_type``.
+
+    ``None`` passes through (SQL NULL).  Raises
+    :class:`~repro.errors.TypeMismatchError` on impossible coercions.
+    """
+    if value is None:
+        return None
+    try:
+        if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, (int, float)):
+                return int(value)
+            if isinstance(value, str):
+                return int(value.strip())
+        elif sql_type in (SqlType.FLOAT, SqlType.DECIMAL):
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value.strip())
+        elif sql_type.is_text:
+            if isinstance(value, str):
+                return value
+            if isinstance(value, (int, float)):
+                return str(value)
+            if isinstance(value, datetime.date):
+                return value.isoformat()
+        elif sql_type is SqlType.DATE:
+            if isinstance(value, datetime.date):
+                return value
+            if isinstance(value, str):
+                return datetime.date.fromisoformat(value.strip())
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(
+            f"cannot coerce {value!r} to {sql_type.value}") from exc
+    raise TypeMismatchError(f"cannot coerce {value!r} to {sql_type.value}")
+
+
+def coerce_column(value, column: Column):
+    """Coerce a value to a column's declared type.
+
+    CHAR values are stored as given (no blank padding): padding would
+    break equality and LIKE against unpadded literals, and the *storage*
+    width of a CHAR column is accounted from its declared length by the
+    page layout and result-buffer math, not from the value.
+    """
+    return coerce(value, column.sql_type)
+
+
+def value_width_bytes(value) -> int:
+    """Estimated wire width of one runtime value (for transfer costs)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 4 if -(2 ** 31) <= value < 2 ** 31 else 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, datetime.date):
+        return 4
+    if isinstance(value, str):
+        return max(1, len(value))
+    return 8
+
+
+def infer_sql_type(value) -> SqlType:
+    """Best-effort declared type for a literal runtime value."""
+    if isinstance(value, bool):
+        return SqlType.INTEGER
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, datetime.date):
+        return SqlType.DATE
+    return SqlType.VARCHAR

@@ -1,0 +1,203 @@
+"""Log record types.
+
+Records are physiological: data records name a page/slot (physical) but
+carry whole row values (logical), which keeps redo idempotent via the
+page-LSN test and makes undo trivial (apply the inverse row operation).
+
+Every record carries ``txn_id`` and ``prev_lsn`` — the backward chain used
+by abort and by the undo pass of restart recovery.  ``lsn`` is assigned by
+the log at append time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import value_width_bytes
+
+
+@dataclass
+class LogRecord:
+    """Base class; concrete records are the dataclasses below."""
+
+    txn_id: int
+    prev_lsn: int = 0
+    lsn: int = 0  # assigned by WriteAheadLog.append
+
+    def payload_bytes(self) -> int:
+        """Estimated payload size, for log-write cost charging."""
+        return 16
+
+    @staticmethod
+    def _row_bytes(row) -> int:
+        if row is None:
+            return 0
+        return sum(value_width_bytes(v) for v in row)
+
+
+@dataclass
+class BeginRecord(LogRecord):
+    pass
+
+
+@dataclass
+class CommitRecord(LogRecord):
+    pass
+
+
+@dataclass
+class AbortRecord(LogRecord):
+    """Transaction decided to roll back; CLRs follow."""
+
+
+@dataclass
+class EndRecord(LogRecord):
+    """Transaction fully finished (committed-and-forced or fully undone)."""
+
+
+@dataclass
+class InsertRecord(LogRecord):
+    table_name: str = ""
+    file_id: int = 0
+    page_no: int = 0
+    slot: int = 0
+    row: tuple = ()
+
+    def payload_bytes(self) -> int:
+        return 24 + self._row_bytes(self.row)
+
+
+@dataclass
+class DeleteRecord(LogRecord):
+    table_name: str = ""
+    file_id: int = 0
+    page_no: int = 0
+    slot: int = 0
+    row: tuple = ()  # the deleted row (needed for undo)
+
+    def payload_bytes(self) -> int:
+        return 24 + self._row_bytes(self.row)
+
+
+@dataclass
+class UpdateRecord(LogRecord):
+    table_name: str = ""
+    file_id: int = 0
+    page_no: int = 0
+    slot: int = 0
+    old_row: tuple = ()
+    new_row: tuple = ()
+
+    def payload_bytes(self) -> int:
+        return 24 + self._row_bytes(self.old_row) + self._row_bytes(self.new_row)
+
+
+@dataclass
+class CreateTableRecord(LogRecord):
+    """DDL: table metadata snapshot sufficient to recreate the table."""
+
+    table: dict = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        return 64 + 16 * len(self.table.get("columns", ()))
+
+
+@dataclass
+class DropTableRecord(LogRecord):
+    """DDL: carries the dropped table's metadata so undo can recreate it.
+
+    Note: row contents of a dropped-and-rolled-back table are restored
+    because the drop only becomes physical at commit (the engine defers
+    page deallocation until the dropping transaction commits).
+    """
+
+    table: dict = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        return 64
+
+
+@dataclass
+class CreateProcedureRecord(LogRecord):
+    name: str = ""
+    param_names: tuple = ()
+    body_sql: str = ""
+
+    def payload_bytes(self) -> int:
+        return 32 + len(self.body_sql)
+
+
+@dataclass
+class DropProcedureRecord(LogRecord):
+    name: str = ""
+    param_names: tuple = ()
+    body_sql: str = ""  # retained for undo
+
+    def payload_bytes(self) -> int:
+        return 32 + len(self.body_sql)
+
+
+@dataclass
+class CreateViewRecord(LogRecord):
+    name: str = ""
+    body_sql: str = ""
+
+    def payload_bytes(self) -> int:
+        return 32 + len(self.body_sql)
+
+
+@dataclass
+class DropViewRecord(LogRecord):
+    name: str = ""
+    body_sql: str = ""  # retained for undo
+
+    def payload_bytes(self) -> int:
+        return 32 + len(self.body_sql)
+
+
+@dataclass
+class CreateIndexRecord(LogRecord):
+    index: dict = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        return 48
+
+
+@dataclass
+class DropIndexRecord(LogRecord):
+    index: dict = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        return 48
+
+
+@dataclass
+class CheckpointRecord(LogRecord):
+    """Sharp checkpoint: all dirty pages flushed, catalog snapshotted.
+
+    ``active_txns`` maps txn_id -> last_lsn at checkpoint time so undo can
+    find loser chains that started before the checkpoint.
+    """
+
+    active_txns: dict = field(default_factory=dict)
+    catalog_blob: str = "catalog_snapshot"
+
+    def payload_bytes(self) -> int:
+        return 32 + 12 * len(self.active_txns)
+
+
+@dataclass
+class CLRRecord(LogRecord):
+    """Compensation record: redo-only description of one undone action.
+
+    ``action`` is the compensating data/DDL record (e.g. the DeleteRecord
+    that compensates an insert); ``undo_next_lsn`` is where undo resumes if
+    the system crashes mid-rollback.
+    """
+
+    action: LogRecord | None = None
+    undo_next_lsn: int = 0
+
+    def payload_bytes(self) -> int:
+        inner = self.action.payload_bytes() if self.action is not None else 0
+        return 16 + inner

@@ -1,0 +1,284 @@
+"""Restart recovery: analysis, redo, undo (ARIES-lite).
+
+``RecoveryManager`` drives the three passes against a *target* — the
+engine — through a narrow interface:
+
+* ``target.heap_for_file(file_id)`` → HeapFile or None
+* ``target.redo_create_table / redo_drop_table`` (idempotent DDL redo)
+* ``target.redo_create_procedure / redo_drop_procedure``
+* ``target.redo_create_index / redo_drop_index``
+* ``target.rebuild_indexes()`` (after state is final)
+
+Redo repeats *history* — loser transactions' changes are re-applied and
+then rolled back by the undo pass, exactly as in ARIES.  Redo is
+idempotent via the page-LSN test; undo is restartable via CLRs carrying
+``undo_next_lsn``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.heap import RowId
+from repro.wal.log import WriteAheadLog
+from repro.wal.records import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CLRRecord,
+    CommitRecord,
+    CreateIndexRecord,
+    CreateProcedureRecord,
+    CreateTableRecord,
+    CreateViewRecord,
+    DeleteRecord,
+    DropIndexRecord,
+    DropProcedureRecord,
+    DropTableRecord,
+    DropViewRecord,
+    EndRecord,
+    InsertRecord,
+    LogRecord,
+    UpdateRecord,
+)
+
+
+def compensate(rec: LogRecord) -> LogRecord | None:
+    """Build the record describing the inverse of ``rec``.
+
+    Shared by online rollback (abort) and the restart undo pass so the two
+    code paths cannot diverge.
+    """
+    if isinstance(rec, InsertRecord):
+        return DeleteRecord(txn_id=rec.txn_id, table_name=rec.table_name,
+                            file_id=rec.file_id, page_no=rec.page_no,
+                            slot=rec.slot, row=rec.row)
+    if isinstance(rec, DeleteRecord):
+        return InsertRecord(txn_id=rec.txn_id, table_name=rec.table_name,
+                            file_id=rec.file_id, page_no=rec.page_no,
+                            slot=rec.slot, row=rec.row)
+    if isinstance(rec, UpdateRecord):
+        return UpdateRecord(txn_id=rec.txn_id, table_name=rec.table_name,
+                            file_id=rec.file_id, page_no=rec.page_no,
+                            slot=rec.slot, old_row=rec.new_row,
+                            new_row=rec.old_row)
+    if isinstance(rec, CreateTableRecord):
+        return DropTableRecord(txn_id=rec.txn_id, table=rec.table)
+    if isinstance(rec, DropTableRecord):
+        return CreateTableRecord(txn_id=rec.txn_id, table=rec.table)
+    if isinstance(rec, CreateProcedureRecord):
+        return DropProcedureRecord(txn_id=rec.txn_id, name=rec.name,
+                                   param_names=rec.param_names,
+                                   body_sql=rec.body_sql)
+    if isinstance(rec, DropProcedureRecord):
+        return CreateProcedureRecord(txn_id=rec.txn_id, name=rec.name,
+                                     param_names=rec.param_names,
+                                     body_sql=rec.body_sql)
+    if isinstance(rec, CreateIndexRecord):
+        return DropIndexRecord(txn_id=rec.txn_id, index=rec.index)
+    if isinstance(rec, DropIndexRecord):
+        return CreateIndexRecord(txn_id=rec.txn_id, index=rec.index)
+    if isinstance(rec, CreateViewRecord):
+        return DropViewRecord(txn_id=rec.txn_id, name=rec.name,
+                              body_sql=rec.body_sql)
+    if isinstance(rec, DropViewRecord):
+        return CreateViewRecord(txn_id=rec.txn_id, name=rec.name,
+                                body_sql=rec.body_sql)
+    return None
+
+
+def apply_compensation(action: LogRecord, target) -> None:
+    """Apply a compensating action built by :func:`compensate`."""
+    if isinstance(action, (InsertRecord, DeleteRecord, UpdateRecord)):
+        heap = target.heap_for_file(action.file_id)
+        if heap is None:
+            return
+        rid = RowId(action.file_id, action.page_no, action.slot)
+        if isinstance(action, InsertRecord):
+            heap.apply_insert(rid, action.row, action.lsn)
+        elif isinstance(action, DeleteRecord):
+            heap.apply_delete(rid, action.lsn)
+        else:
+            heap.apply_update(rid, action.new_row, action.lsn)
+    elif isinstance(action, DropTableRecord):
+        target.redo_drop_table(action.table)
+    elif isinstance(action, CreateTableRecord):
+        target.redo_create_table(action.table)
+    elif isinstance(action, DropProcedureRecord):
+        target.redo_drop_procedure(action.name)
+    elif isinstance(action, CreateProcedureRecord):
+        target.redo_create_procedure(action.name, action.param_names,
+                                     action.body_sql)
+    elif isinstance(action, DropIndexRecord):
+        target.redo_drop_index(action.index)
+    elif isinstance(action, CreateIndexRecord):
+        target.redo_create_index(action.index)
+    elif isinstance(action, DropViewRecord):
+        target.redo_drop_view(action.name)
+    elif isinstance(action, CreateViewRecord):
+        target.redo_create_view(action.name, action.body_sql)
+
+
+@dataclass
+class RecoveryReport:
+    """What restart recovery did (used by tests and the server log)."""
+
+    checkpoint_lsn: int = 0
+    winners: set = field(default_factory=set)
+    losers: set = field(default_factory=set)
+    redo_applied: int = 0
+    redo_skipped: int = 0
+    undo_applied: int = 0
+
+
+class RecoveryManager:
+    """Runs the three recovery passes against an engine target."""
+
+    def __init__(self, log: WriteAheadLog, target):
+        self._log = log
+        self._target = target
+
+    def _charge_record(self, rec: LogRecord, applied: bool) -> None:
+        """Charge the honest cost of processing one record at restart:
+        sequential log read plus (when applied) the page operation."""
+        meter = self._log.meter
+        if meter is None:
+            return
+        from repro.sim.costs import SERVER_DISK
+
+        seconds = meter.costs.log_write_seconds(rec.payload_bytes())
+        if applied:
+            seconds += meter.costs.cpu_per_tuple_insert
+        meter.charge(SERVER_DISK, seconds, "restart recovery")
+
+    def recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        report.checkpoint_lsn = self._log.last_checkpoint_lsn()
+        last_lsn, committed, ended = self._analysis(report.checkpoint_lsn)
+        report.winners = set(committed)
+        report.losers = set(last_lsn) - committed - ended
+        self._redo(report)
+        self._undo(report, {t: last_lsn[t] for t in report.losers})
+        self._target.rebuild_indexes()
+        self._log.force()
+        return report
+
+    # -- analysis ----------------------------------------------------------
+
+    def _analysis(
+        self, checkpoint_lsn: int,
+    ) -> tuple[dict[int, int], set[int], set[int]]:
+        """Return (txn -> last undoable lsn, committed txns, ended txns).
+
+        Losers are the txns that appear in the first map but neither
+        committed nor ended.  CLR LSNs also update the last-lsn map so that
+        undo of a crash-during-rollback resumes from the right place.
+        """
+        last_lsn: dict[int, int] = {}
+        committed: set[int] = set()
+        ended: set[int] = set()
+        if checkpoint_lsn:
+            checkpoint = self._log.record(checkpoint_lsn)
+            assert isinstance(checkpoint, CheckpointRecord)
+            last_lsn.update(checkpoint.active_txns)
+        start = checkpoint_lsn + 1 if checkpoint_lsn else 1
+        for rec in self._log.records_from(start):
+            if isinstance(rec, CheckpointRecord):
+                continue
+            if isinstance(rec, EndRecord):
+                ended.add(rec.txn_id)
+                continue
+            if isinstance(rec, CommitRecord):
+                committed.add(rec.txn_id)
+                continue
+            if rec.txn_id:
+                last_lsn[rec.txn_id] = rec.lsn
+        return last_lsn, committed, ended
+
+    # -- redo ---------------------------------------------------------------
+
+    def _redo(self, report: RecoveryReport) -> None:
+        start = report.checkpoint_lsn + 1 if report.checkpoint_lsn else 1
+        for rec in self._log.records_from(start):
+            before = report.redo_applied
+            self._redo_one(rec, report)
+            self._charge_record(rec, applied=report.redo_applied > before)
+
+    def _redo_one(self, rec: LogRecord, report: RecoveryReport) -> None:
+        if isinstance(rec, CLRRecord):
+            if rec.action is not None:
+                action = rec.action
+                action.lsn = rec.lsn  # page-LSN stamp comes from the CLR
+                self._redo_one(action, report)
+            return
+        if isinstance(rec, (InsertRecord, DeleteRecord, UpdateRecord)):
+            heap = self._target.heap_for_file(rec.file_id)
+            if heap is None:
+                report.redo_skipped += 1
+                return
+            if heap.page_lsn(rec.page_no) >= rec.lsn:
+                report.redo_skipped += 1
+                return
+            rid = RowId(rec.file_id, rec.page_no, rec.slot)
+            if isinstance(rec, InsertRecord):
+                heap.apply_insert(rid, rec.row, rec.lsn)
+            elif isinstance(rec, DeleteRecord):
+                heap.apply_delete(rid, rec.lsn)
+            else:
+                heap.apply_update(rid, rec.new_row, rec.lsn)
+            report.redo_applied += 1
+            return
+        if isinstance(rec, CreateTableRecord):
+            self._target.redo_create_table(rec.table)
+            report.redo_applied += 1
+        elif isinstance(rec, DropTableRecord):
+            self._target.redo_drop_table(rec.table)
+            report.redo_applied += 1
+        elif isinstance(rec, CreateProcedureRecord):
+            self._target.redo_create_procedure(rec.name, rec.param_names,
+                                               rec.body_sql)
+            report.redo_applied += 1
+        elif isinstance(rec, DropProcedureRecord):
+            self._target.redo_drop_procedure(rec.name)
+            report.redo_applied += 1
+        elif isinstance(rec, CreateIndexRecord):
+            self._target.redo_create_index(rec.index)
+            report.redo_applied += 1
+        elif isinstance(rec, DropIndexRecord):
+            self._target.redo_drop_index(rec.index)
+            report.redo_applied += 1
+        elif isinstance(rec, CreateViewRecord):
+            self._target.redo_create_view(rec.name, rec.body_sql)
+            report.redo_applied += 1
+        elif isinstance(rec, DropViewRecord):
+            self._target.redo_drop_view(rec.name)
+            report.redo_applied += 1
+
+    # -- undo ----------------------------------------------------------------
+
+    def _undo(self, report: RecoveryReport, losers: dict[int, int]) -> None:
+        for txn_id in sorted(losers):
+            self._undo_txn(txn_id, losers[txn_id], report)
+
+    def _undo_txn(self, txn_id: int, last_lsn: int,
+                  report: RecoveryReport) -> None:
+        lsn = last_lsn
+        while lsn:
+            rec = self._log.record(lsn)
+            if isinstance(rec, CLRRecord):
+                lsn = rec.undo_next_lsn  # already-undone prefix is skipped
+                continue
+            if isinstance(rec, (BeginRecord, AbortRecord)):
+                lsn = rec.prev_lsn
+                continue
+            compensation = compensate(rec)
+            if compensation is not None:
+                clr = CLRRecord(txn_id=txn_id, prev_lsn=0,
+                                action=compensation,
+                                undo_next_lsn=rec.prev_lsn)
+                self._log.append(clr)
+                compensation.lsn = clr.lsn
+                apply_compensation(compensation, self._target)
+                report.undo_applied += 1
+            lsn = rec.prev_lsn
+        self._log.append(EndRecord(txn_id=txn_id))

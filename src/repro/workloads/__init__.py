@@ -1,0 +1,9 @@
+"""Benchmark workloads: TPC-H (decision support) and TPC-C (OLTP).
+
+Scaled-down but structurally faithful implementations of the two
+benchmarks the paper evaluates with: deterministic data generators, the
+full TPC-H query suite (22 queries + RF1/RF2), and the five TPC-C
+transactions with the official mix.  Everything runs through the ODBC
+driver-manager surface, so swapping native ODBC for Phoenix/ODBC is a
+one-line change — exactly the paper's experimental setup.
+"""

@@ -1,0 +1,16 @@
+"""TPC-C: the OLTP workload of §4.
+
+* :mod:`~repro.workloads.tpcc.schema` — the nine tables;
+* :mod:`~repro.workloads.tpcc.datagen` — scaled deterministic generator;
+* :mod:`~repro.workloads.tpcc.transactions` — the five transaction types
+  (new-order, payment, order-status, delivery, stock-level) issued
+  through the driver-manager surface;
+* :mod:`~repro.workloads.tpcc.driver` — emulated terminals with the
+  official mix, trace collection, and the queueing-simulated multi-user
+  run that yields TPM-C / CPU / disk utilization (Table 4).
+"""
+
+from repro.workloads.tpcc.datagen import TpccScale, generate_tpcc
+from repro.workloads.tpcc.schema import setup_tpcc_server
+
+__all__ = ["TpccScale", "generate_tpcc", "setup_tpcc_server"]

@@ -1,0 +1,146 @@
+"""Deterministic scaled TPC-C data generator.
+
+Official cardinalities (per warehouse: 10 districts, 3000 customers per
+district, 100k items, 100k stock rows, 3000 initial orders per district)
+shrink through :class:`TpccScale`; the default keeps the *structure* —
+every district has customers, open orders in the new-order table, filled
+order lines and stock for every item — at roughly 1/100 size.
+
+Customer last names follow the spec's syllable construction so the
+payment-by-last-name path has real collisions to disambiguate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+LAST_NAME_SYLLABLES = ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE",
+                       "ANTI", "CALLY", "ATION", "EING"]
+
+ENTRY_DATE = datetime.date(2000, 11, 1)
+
+
+def last_name(number: int) -> str:
+    """Spec clause 4.3.2.3: syllable-concatenated last name."""
+    return (LAST_NAME_SYLLABLES[(number // 100) % 10]
+            + LAST_NAME_SYLLABLES[(number // 10) % 10]
+            + LAST_NAME_SYLLABLES[number % 10])
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Scale knobs (official values in comments)."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10      # 10
+    customers_per_district: int = 30       # 3000
+    items: int = 1000                      # 100000
+    initial_orders_per_district: int = 30  # 3000
+
+    @property
+    def new_order_low_fraction(self) -> float:
+        # The newest ~30% of initial orders are undelivered (spec: the
+        # last 900 of 3000).
+        return 0.7
+
+
+@dataclass
+class TpccData:
+    scale: TpccScale
+    seed: int
+    warehouse: list[tuple] = field(default_factory=list)
+    district: list[tuple] = field(default_factory=list)
+    customer: list[tuple] = field(default_factory=list)
+    history: list[tuple] = field(default_factory=list)
+    item: list[tuple] = field(default_factory=list)
+    stock: list[tuple] = field(default_factory=list)
+    orders: list[tuple] = field(default_factory=list)
+    new_order: list[tuple] = field(default_factory=list)
+    order_line: list[tuple] = field(default_factory=list)
+
+    def table_rows(self) -> dict[str, list[tuple]]:
+        return {
+            "warehouse": self.warehouse, "district": self.district,
+            "customer": self.customer, "history": self.history,
+            "item": self.item, "stock": self.stock,
+            "orders": self.orders, "new_order": self.new_order,
+            "order_line": self.order_line,
+        }
+
+
+def generate_tpcc(scale: TpccScale | None = None, seed: int = 42) -> TpccData:
+    scale = scale if scale is not None else TpccScale()
+    rng = random.Random(seed)
+    data = TpccData(scale=scale, seed=seed)
+
+    for i_id in range(1, scale.items + 1):
+        data.item.append((
+            i_id, rng.randint(1, 10000), f"item-{i_id}",
+            round(rng.uniform(1.0, 100.0), 2),
+            "ORIGINAL" if rng.random() < 0.1 else f"data-{i_id}"))
+
+    for w_id in range(1, scale.warehouses + 1):
+        data.warehouse.append((
+            w_id, f"wh-{w_id}", f"street {w_id}", "city", "CA",
+            f"9{w_id:04d}0000", round(rng.uniform(0.0, 0.2), 4), 300000.0))
+        for i_id in range(1, scale.items + 1):
+            data.stock.append((
+                w_id, i_id, rng.randint(10, 100), f"dist-{w_id}-{i_id}",
+                0, 0, 0,
+                "ORIGINAL" if rng.random() < 0.1 else f"sdata-{i_id}"))
+        for d_id in range(1, scale.districts_per_warehouse + 1):
+            next_o_id = scale.initial_orders_per_district + 1
+            data.district.append((
+                w_id, d_id, f"dist-{d_id}", f"street {d_id}", "city",
+                "CA", f"9{d_id:04d}1111", round(rng.uniform(0.0, 0.2), 4),
+                30000.0, next_o_id))
+            _generate_district_customers(data, rng, scale, w_id, d_id)
+            _generate_district_orders(data, rng, scale, w_id, d_id)
+    return data
+
+
+def _generate_district_customers(data: TpccData, rng: random.Random,
+                                 scale: TpccScale, w_id: int,
+                                 d_id: int) -> None:
+    for c_id in range(1, scale.customers_per_district + 1):
+        # First customers get spec-style colliding last names.
+        name = last_name(c_id % 1000)
+        credit = "BC" if rng.random() < 0.1 else "GC"
+        data.customer.append((
+            w_id, d_id, c_id, f"first{c_id}", "OE", name,
+            f"street {c_id}", "city", "CA", f"9{c_id:04d}2222",
+            f"555-{c_id:04d}", ENTRY_DATE, credit, 50000.0,
+            round(rng.uniform(0.0, 0.5), 4), -10.0, 10.0, 1, 0,
+            f"customer data {c_id}"))
+        data.history.append((
+            c_id, d_id, w_id, d_id, w_id, ENTRY_DATE, 10.0,
+            f"hist {w_id}-{d_id}-{c_id}"))
+
+
+def _generate_district_orders(data: TpccData, rng: random.Random,
+                              scale: TpccScale, w_id: int,
+                              d_id: int) -> None:
+    order_count = scale.initial_orders_per_district
+    undelivered_from = int(order_count * scale.new_order_low_fraction) + 1
+    customer_ids = list(range(1, scale.customers_per_district + 1))
+    rng.shuffle(customer_ids)
+    for o_id in range(1, order_count + 1):
+        c_id = customer_ids[(o_id - 1) % len(customer_ids)]
+        ol_cnt = rng.randint(5, 15)
+        delivered = o_id < undelivered_from
+        data.orders.append((
+            w_id, d_id, o_id, c_id, ENTRY_DATE,
+            rng.randint(1, 10) if delivered else None,
+            ol_cnt, 1))
+        if not delivered:
+            data.new_order.append((w_id, d_id, o_id))
+        for ol_number in range(1, ol_cnt + 1):
+            i_id = rng.randint(1, scale.items)
+            data.order_line.append((
+                w_id, d_id, o_id, ol_number, i_id, w_id,
+                ENTRY_DATE if delivered else None,
+                5, 0.0 if delivered else round(rng.uniform(0.01, 9999.99),
+                                               2),
+                f"dist-{d_id}"))

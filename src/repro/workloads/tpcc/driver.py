@@ -1,0 +1,131 @@
+"""TPC-C terminal emulation and the multi-user measurement (Table 4).
+
+The paper: 32 emulated users with zero think time submit transactions at
+random per the predefined mix; the measurement starts after a warm-up and
+TPM-C counts completed new-order transactions per minute, with the other
+four types as background (at least 57 % of the mix).
+
+Method: transactions are executed once each (single-threaded, clock
+paused) to record per-transaction resource traces, then the emulated
+users replay sampled traces through the queueing simulator, which yields
+elapsed time, throughput, and CPU/disk utilizations under contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.costs import SERVER_CPU, SERVER_DISK
+from repro.sim.meter import RequestTrace
+from repro.sim.queueing import QueueingSimulator
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpcc.datagen import TpccScale
+from repro.workloads.tpcc.transactions import TRANSACTIONS
+
+#: The official-style mix: new-order at most 43 % of the work, the rest
+#: background ("the background transactions are defined to be at least 57
+#: percent of the mix").
+TRANSACTION_MIX = [
+    ("new_order", 0.43),
+    ("payment", 0.43),
+    ("order_status", 0.05),
+    ("delivery", 0.05),
+    ("stock_level", 0.04),
+]
+
+
+def choose_transaction(rng: random.Random) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for name, share in TRANSACTION_MIX:
+        cumulative += share
+        if roll < cumulative:
+            return name
+    return TRANSACTION_MIX[-1][0]
+
+
+@dataclass
+class TpccRunResult:
+    """Outcome of one Table 4 experiment row."""
+
+    tpmc: float                    # new-order transactions per minute
+    total_tpm: float               # all transaction types per minute
+    elapsed_seconds: float
+    cpu_utilization: float
+    disk_utilization: float
+    cpu_seconds_per_txn: float
+    completions: int
+    new_order_completions: int
+    sampled_transactions: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def collect_transaction_traces(app: BenchmarkApp, scale: TpccScale,
+                               count: int = 120,
+                               seed: int = 5) -> list[RequestTrace]:
+    """Execute ``count`` mixed transactions once, recording traces.
+
+    Runs with the clock paused (trace collection is instrumentation, not
+    workload time); the database *is* mutated, as it would be during a
+    warm-up period.
+    """
+    rng = random.Random(seed)
+    saved = app.meter.advance_clock
+    app.meter.advance_clock = False
+    traces: list[RequestTrace] = []
+    try:
+        for i in range(count):
+            name = choose_transaction(rng)
+            w_id = rng.randint(1, scale.warehouses)
+            timing = app.execute_measured_steps(
+                f"{name}#{i}",
+                lambda a, n=name, w=w_id: TRANSACTIONS[n](a, rng, scale, w))
+            traces.append(timing.trace)
+    finally:
+        app.meter.advance_clock = saved
+    return traces
+
+
+def run_multiuser(traces: list[RequestTrace], users: int = 32,
+                  warmup_seconds: float = 60.0,
+                  measure_seconds: float = 300.0,
+                  seed: int = 17) -> TpccRunResult:
+    """Replay traces from ``users`` zero-think-time terminals."""
+    rng = random.Random(seed)
+    window_end = warmup_seconds + measure_seconds
+    serial_mean = (sum(t.total_seconds for t in traces)
+                   / max(1, len(traces)))
+    # Each stream needs enough requests to keep running past the window;
+    # start from an estimate and grow until no stream runs dry early.
+    per_stream = max(4, int(window_end / max(1e-9, serial_mean
+                                             * max(1, users) / 4)))
+    while True:
+        streams = [
+            [traces[rng.randrange(len(traces))] for _ in range(per_stream)]
+            for _ in range(users)
+        ]
+        result = QueueingSimulator().run(streams)
+        if all(s.finish_time >= window_end for s in result.streams) \
+                or per_stream > 100_000:
+            break
+        per_stream *= 2
+    completions = result.completions_in(warmup_seconds, window_end)
+    new_orders = result.completions_in(warmup_seconds, window_end,
+                                       label_prefix="new_order")
+    minutes = measure_seconds / 60.0
+    busy_cpu = result.busy_seconds.get(SERVER_CPU, 0.0)
+    busy_disk = result.busy_seconds.get(SERVER_DISK, 0.0)
+    total_requests = sum(len(s.completions) for s in result.streams)
+    return TpccRunResult(
+        tpmc=new_orders / minutes,
+        total_tpm=completions / minutes,
+        elapsed_seconds=result.elapsed_seconds,
+        cpu_utilization=result.utilization(SERVER_CPU),
+        disk_utilization=result.utilization(SERVER_DISK),
+        cpu_seconds_per_txn=busy_cpu / max(1, total_requests),
+        completions=completions,
+        new_order_completions=new_orders,
+        sampled_transactions=len(traces),
+        stats={"busy_cpu": busy_cpu, "busy_disk": busy_disk,
+               "per_stream": per_stream})

@@ -1,0 +1,16 @@
+"""TPC-H: the decision-support workload of §3.
+
+* :mod:`~repro.workloads.tpch.schema` — the eight tables;
+* :mod:`~repro.workloads.tpch.datagen` — deterministic scaled generator;
+* :mod:`~repro.workloads.tpch.queries` — all 22 queries (our dialect)
+  plus the parameterized Q11 and the TOP N probe of Table 3;
+* :mod:`~repro.workloads.tpch.refresh` — RF1/RF2, split into two
+  transactions each as in the paper;
+* :mod:`~repro.workloads.tpch.power` / ``throughput`` — the two TPC-H
+  tests (Tables 1 and 2).
+"""
+
+from repro.workloads.tpch.datagen import TpchData, generate
+from repro.workloads.tpch.schema import create_schema, load
+
+__all__ = ["TpchData", "generate", "create_schema", "load"]

@@ -1,0 +1,231 @@
+"""Deterministic TPC-H data generator.
+
+Cardinalities follow the spec linearly in the scale factor (SF 1.0 =
+6 M LINEITEM rows); the default laptop scale is SF 0.001.  Value
+distributions are simplified but preserve what the 22 queries select on:
+date ranges and correlations (ship/commit/receipt dates follow order
+dates), nation/region topology, brand/type/container vocabularies,
+market segments, priorities, ship modes, return flags and line statuses.
+
+Generation is fully deterministic for a given (scale, seed).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# nation -> region index (the spec's 25 nations).
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+            "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+              "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                  "TAKE BACK RETURN"]
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+               "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+               "DRUM"]
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+CURRENT_DATE = datetime.date(1995, 6, 17)  # spec's pseudo-"today"
+
+# Base cardinalities at SF 1.0.
+BASE_SUPPLIER = 10_000
+BASE_PART = 200_000
+BASE_CUSTOMER = 150_000
+BASE_ORDERS = 1_500_000
+MIN_ROWS = 5  # floor so tiny scales still join
+
+
+@dataclass
+class TpchData:
+    """Generated rows per table (tuples in column order)."""
+
+    scale: float
+    seed: int
+    region: list[tuple] = field(default_factory=list)
+    nation: list[tuple] = field(default_factory=list)
+    supplier: list[tuple] = field(default_factory=list)
+    part: list[tuple] = field(default_factory=list)
+    partsupp: list[tuple] = field(default_factory=list)
+    customer: list[tuple] = field(default_factory=list)
+    orders: list[tuple] = field(default_factory=list)
+    lineitem: list[tuple] = field(default_factory=list)
+    #: Highest order key generated (refresh functions continue above it).
+    max_orderkey: int = 0
+
+    def table_rows(self) -> dict[str, list[tuple]]:
+        return {
+            "region": self.region, "nation": self.nation,
+            "supplier": self.supplier, "part": self.part,
+            "partsupp": self.partsupp, "customer": self.customer,
+            "orders": self.orders, "lineitem": self.lineitem,
+        }
+
+
+def _count(base: int, scale: float) -> int:
+    return max(MIN_ROWS, int(base * scale))
+
+
+def generate(scale: float = 0.001, seed: int = 7) -> TpchData:
+    """Generate a TPC-H database at the given scale factor."""
+    rng = random.Random(seed)
+    data = TpchData(scale=scale, seed=seed)
+
+    for i, name in enumerate(REGIONS):
+        data.region.append((i, name, f"region {name.lower()}"))
+    for i, (name, region_key) in enumerate(NATIONS):
+        data.nation.append((i, name, region_key,
+                            f"nation {name.lower()}"))
+
+    n_supplier = _count(BASE_SUPPLIER, scale)
+    n_part = _count(BASE_PART, scale)
+    n_customer = _count(BASE_CUSTOMER, scale)
+    n_orders = _count(BASE_ORDERS, scale)
+
+    for key in range(1, n_supplier + 1):
+        nation = rng.randrange(len(NATIONS))
+        balance = round(rng.uniform(-999.99, 9999.99), 2)
+        data.supplier.append((
+            key, f"Supplier#{key:09d}", f"addr s{key}", nation,
+            f"phone-{key}", balance,
+            "complaints" if rng.random() < 0.02 else f"supplier {key}"))
+
+    for key in range(1, n_part + 1):
+        size = rng.randint(1, 50)
+        brand = f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}"
+        part_type = " ".join([rng.choice(TYPE_SYLL_1),
+                              rng.choice(TYPE_SYLL_2),
+                              rng.choice(TYPE_SYLL_3)])
+        container = (rng.choice(CONTAINER_1) + " "
+                     + rng.choice(CONTAINER_2))
+        retail = round(900 + (key % 1000) + 0.01 * (key % 100), 2)
+        name_words = part_type.lower().split()
+        data.part.append((
+            key, f"{name_words[0]} {name_words[-1]} part {key}",
+            f"Manufacturer#{rng.randint(1, 5)}", brand, part_type, size,
+            container, retail, f"part comment {key}"))
+
+    for part_key in range(1, n_part + 1):
+        for j in range(4):
+            supp_key = ((part_key + j * (n_supplier // 4 + 1))
+                        % n_supplier) + 1
+            qty = rng.randint(1, 9999)
+            cost = round(rng.uniform(1.0, 1000.0), 2)
+            data.partsupp.append((part_key, supp_key, qty, cost,
+                                  f"ps comment {part_key}/{supp_key}"))
+
+    for key in range(1, n_customer + 1):
+        nation = rng.randrange(len(NATIONS))
+        balance = round(rng.uniform(-999.99, 9999.99), 2)
+        data.customer.append((
+            key, f"Customer#{key:09d}", f"addr c{key}", nation,
+            f"{10 + nation}-{key:03d}-555", balance,
+            rng.choice(SEGMENTS), f"customer comment {key}"))
+
+    total_days = (END_DATE - START_DATE).days - 151
+    order_key = 0
+    for _ in range(n_orders):
+        order_key += rng.choice((1, 1, 1, 5))  # sparse keys like dbgen
+        cust_key = rng.randint(1, n_customer)
+        order_date = START_DATE + datetime.timedelta(
+            days=rng.randrange(total_days))
+        lines = rng.randint(1, 7)
+        total = 0.0
+        statuses = []
+        for line_no in range(1, lines + 1):
+            row, price, status = _lineitem_row(rng, order_key, line_no,
+                                               n_part, n_supplier,
+                                               order_date)
+            data.lineitem.append(row)
+            total += price
+            statuses.append(status)
+        if all(s == "F" for s in statuses):
+            order_status = "F"
+        elif all(s == "O" for s in statuses):
+            order_status = "O"
+        else:
+            order_status = "P"
+        data.orders.append((
+            order_key, cust_key, order_status, round(total, 2),
+            order_date, rng.choice(PRIORITIES),
+            f"Clerk#{rng.randint(1, max(1, n_orders // 1000)):09d}",
+            0, f"order comment {order_key}"))
+    data.max_orderkey = order_key
+    return data
+
+
+def _lineitem_row(rng: random.Random, order_key: int, line_no: int,
+                  n_part: int, n_supplier: int,
+                  order_date: datetime.date):
+    part_key = rng.randint(1, n_part)
+    supp_key = ((part_key + rng.randrange(4) * (n_supplier // 4 + 1))
+                % n_supplier) + 1
+    quantity = rng.randint(1, 50)
+    retail = 900 + (part_key % 1000) + 0.01 * (part_key % 100)
+    extended = round(quantity * retail / 10.0, 2)
+    discount = round(rng.randint(0, 10) / 100.0, 2)
+    tax = round(rng.randint(0, 8) / 100.0, 2)
+    ship_date = order_date + datetime.timedelta(days=rng.randint(1, 121))
+    commit_date = order_date + datetime.timedelta(days=rng.randint(30, 90))
+    receipt_date = ship_date + datetime.timedelta(days=rng.randint(1, 30))
+    if receipt_date <= CURRENT_DATE:
+        return_flag = "R" if rng.random() < 0.5 else "A"
+        status = "F"
+    else:
+        return_flag = "N"
+        status = "O" if ship_date > CURRENT_DATE else "F"
+    row = (order_key, part_key, supp_key, line_no, quantity, extended,
+           discount, tax, return_flag, status, ship_date, commit_date,
+           receipt_date, rng.choice(SHIP_INSTRUCTS),
+           rng.choice(SHIP_MODES), f"line comment {order_key}/{line_no}")
+    return row, extended * (1 - discount) * (1 + tax), status
+
+
+def generate_refresh_orders(data: TpchData, count: int, seed: int = 99):
+    """New (orders, lineitems) batches for RF1, keyed above the base set."""
+    rng = random.Random(seed)
+    n_part = len(data.part)
+    n_supplier = len(data.supplier)
+    n_customer = len(data.customer)
+    orders = []
+    lineitems = []
+    order_key = data.max_orderkey
+    total_days = (END_DATE - START_DATE).days - 151
+    for _ in range(count):
+        order_key += 1
+        order_date = START_DATE + datetime.timedelta(
+            days=rng.randrange(total_days))
+        lines = rng.randint(1, 7)
+        total = 0.0
+        for line_no in range(1, lines + 1):
+            row, price, _status = _lineitem_row(rng, order_key, line_no,
+                                                n_part, n_supplier,
+                                                order_date)
+            lineitems.append(row)
+            total += price
+        orders.append((
+            order_key, rng.randint(1, n_customer), "O", round(total, 2),
+            order_date, rng.choice(PRIORITIES), "Clerk#000000001", 0,
+            f"rf order {order_key}"))
+    data.max_orderkey = order_key
+    return orders, lineitems

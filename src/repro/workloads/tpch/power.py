@@ -1,0 +1,56 @@
+"""The TPC-H power test (§3.2, Table 1).
+
+Executes all 22 queries and both refresh functions one at a time in a
+fixed order, measuring each individually — "raw query execution power".
+An optional warm-up pass runs the suite once unmeasured (the paper
+averaged fifty runs, so its numbers are warm-cache numbers; one warm-up
+pass gives us the same steady state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import TpchData
+from repro.workloads.tpch.queries import QUERIES
+from repro.workloads.tpch.refresh import run_rf1, run_rf2
+
+
+@dataclass
+class PowerTestResult:
+    """Per-query and per-refresh timings of one power run."""
+
+    query_seconds: dict[int, float] = field(default_factory=dict)
+    query_rows: dict[int, int] = field(default_factory=dict)
+    rf1_seconds: float = 0.0
+    rf2_seconds: float = 0.0
+    rf_rows: int = 0
+
+    @property
+    def total_query_seconds(self) -> float:
+        return sum(self.query_seconds.values())
+
+    @property
+    def total_update_seconds(self) -> float:
+        return self.rf1_seconds + self.rf2_seconds
+
+
+def run_power_test(app: BenchmarkApp, data: TpchData,
+                   warm: bool = True,
+                   queries: dict[int, str] | None = None) -> PowerTestResult:
+    """One measured power run (after an optional warm-up pass)."""
+    suite = queries if queries is not None else QUERIES
+    if warm:
+        for number in sorted(suite):
+            app.run_query(suite[number], label=f"warmup Q{number:02d}")
+    result = PowerTestResult()
+    timing, key_range = run_rf1(app, data)
+    result.rf1_seconds = timing.seconds
+    result.rf_rows = timing.rows
+    for number in sorted(suite):
+        timing = app.run_query(suite[number], label=f"Q{number:02d}")
+        result.query_seconds[number] = timing.seconds
+        result.query_rows[number] = timing.rows
+    result.rf2_seconds = run_rf2(app, key_range).seconds
+    return result

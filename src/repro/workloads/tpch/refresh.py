@@ -1,0 +1,95 @@
+"""TPC-H refresh functions RF1 and RF2.
+
+Following the paper exactly: "We decomposed each refresh function into
+two transactions; each receives one-half of the key range ... the two
+transactions of refresh function RF1 submit a total of 4 insert requests
+to the server ... RF2 submit a total of 4 delete requests."
+
+RF1 inserts SF x 1500 new orders (and their lineitems); RF2 deletes the
+same key range.  At laptop scale the counts shrink proportionally.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.workloads.app import BenchmarkApp, Timing
+from repro.workloads.tpch.datagen import TpchData, generate_refresh_orders
+
+BASE_RF_ORDERS = 1500
+
+
+def rf_order_count(scale: float) -> int:
+    return max(2, int(BASE_RF_ORDERS * scale))
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"date '{value.isoformat()}'"
+    return repr(value)
+
+
+def _values_clause(rows: list[tuple]) -> str:
+    return ", ".join(
+        "(" + ", ".join(_literal(v) for v in row) + ")" for row in rows)
+
+
+def run_rf1(app: BenchmarkApp, data: TpchData,
+            seed: int = 99) -> tuple[Timing, tuple[int, int]]:
+    """Insert new sales; returns (timing, inserted order-key range)."""
+    count = rf_order_count(data.scale)
+    first_key = data.max_orderkey + 1
+    orders, lineitems = generate_refresh_orders(data, count, seed=seed)
+    last_key = data.max_orderkey
+    halves = _split_by_order_key(orders, lineitems)
+
+    start = app.meter.now
+    with app.meter.request("RF1") as trace:
+        for orders_half, lines_half in halves:
+            app.run_statement("BEGIN TRANSACTION", "rf1 begin")
+            app.run_statement(
+                f"INSERT INTO orders VALUES {_values_clause(orders_half)}",
+                "rf1 orders")
+            app.run_statement(
+                f"INSERT INTO lineitem VALUES {_values_clause(lines_half)}",
+                "rf1 lineitem")
+            app.run_statement("COMMIT", "rf1 commit")
+    timing = Timing(label="RF1", rows=len(orders) + len(lineitems),
+                    seconds=app.meter.now - start, trace=trace)
+    return timing, (first_key, last_key)
+
+
+def run_rf2(app: BenchmarkApp, key_range: tuple[int, int]) -> Timing:
+    """Delete the order-key range RF1 added (obsolete information)."""
+    first_key, last_key = key_range
+    mid = (first_key + last_key) // 2
+    ranges = [(first_key, mid), (mid + 1, last_key)]
+    start = app.meter.now
+    with app.meter.request("RF2") as trace:
+        for lo, hi in ranges:
+            app.run_statement("BEGIN TRANSACTION", "rf2 begin")
+            app.run_statement(
+                f"DELETE FROM lineitem WHERE l_orderkey >= {lo} "
+                f"AND l_orderkey <= {hi}", "rf2 lineitem")
+            app.run_statement(
+                f"DELETE FROM orders WHERE o_orderkey >= {lo} "
+                f"AND o_orderkey <= {hi}", "rf2 orders")
+            app.run_statement("COMMIT", "rf2 commit")
+    return Timing(label="RF2", rows=0, seconds=app.meter.now - start,
+                  trace=trace)
+
+
+def _split_by_order_key(orders: list[tuple], lineitems: list[tuple]):
+    """Split the batch into two halves of the key range (paper §3.2)."""
+    keys = [o[0] for o in orders]
+    mid = keys[len(keys) // 2]
+    first = ([o for o in orders if o[0] < mid],
+             [l for l in lineitems if l[0] < mid])
+    second = ([o for o in orders if o[0] >= mid],
+              [l for l in lineitems if l[0] >= mid])
+    return [half for half in (first, second) if half[0]]

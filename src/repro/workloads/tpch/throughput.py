@@ -1,0 +1,98 @@
+"""The TPC-H throughput test (§3.3, Table 2).
+
+Multiple concurrent query streams plus one refresh stream.  We measure
+each request's resource demand by executing it once (clock paused, trace
+recorded), then replay the streams through the queueing simulator so
+contention on the shared server CPU/disk/network determines elapsed
+time — "the measurement interval starts when the first query of the
+first stream is submitted, and ends when the last query of the second
+stream completes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.meter import RequestTrace
+from repro.sim.queueing import QueueingResult, QueueingSimulator
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import TpchData
+from repro.workloads.tpch.queries import QUERIES
+from repro.workloads.tpch.refresh import run_rf1, run_rf2
+
+# Spec-style per-stream query orderings (streams run the same suite in
+# different orders).
+STREAM_ORDERINGS = [
+    [21, 3, 18, 5, 11, 7, 6, 20, 17, 12, 16, 15, 13, 10, 2, 8, 14, 19,
+     9, 22, 1, 4],
+    [6, 17, 14, 16, 19, 10, 9, 2, 15, 8, 5, 22, 12, 7, 13, 18, 1, 4,
+     20, 3, 11, 21],
+    [8, 5, 4, 6, 17, 7, 1, 18, 22, 14, 9, 10, 15, 11, 20, 2, 21, 19,
+     13, 16, 12, 3],
+    [5, 21, 14, 19, 15, 17, 12, 6, 4, 9, 8, 16, 11, 2, 10, 18, 1, 13,
+     7, 22, 3, 20],
+]
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one throughput test."""
+
+    elapsed_seconds: float
+    stream_count: int
+    queueing: QueueingResult
+    query_traces: dict[int, RequestTrace] = field(default_factory=dict)
+
+
+def collect_query_traces(app: BenchmarkApp,
+                         warm: bool = True) -> dict[int, RequestTrace]:
+    """Execute each query once to record its resource-demand trace."""
+    if warm:
+        for number in sorted(QUERIES):
+            app.run_query(QUERIES[number], label=f"warmup Q{number:02d}")
+    saved = app.meter.advance_clock
+    app.meter.advance_clock = False
+    traces: dict[int, RequestTrace] = {}
+    try:
+        for number in sorted(QUERIES):
+            timing = app.run_query(QUERIES[number], label=f"Q{number:02d}")
+            traces[number] = timing.trace
+    finally:
+        app.meter.advance_clock = saved
+    return traces
+
+
+def collect_refresh_traces(app: BenchmarkApp, data: TpchData,
+                           rounds: int) -> list[RequestTrace]:
+    """Record RF1/RF2 traces for the refresh stream (``rounds`` pairs)."""
+    saved = app.meter.advance_clock
+    app.meter.advance_clock = False
+    traces: list[RequestTrace] = []
+    try:
+        for i in range(rounds):
+            rf1_timing, key_range = run_rf1(app, data, seed=500 + i)
+            traces.append(rf1_timing.trace)
+            traces.append(run_rf2(app, key_range).trace)
+    finally:
+        app.meter.advance_clock = saved
+    return traces
+
+
+def run_throughput_test(app: BenchmarkApp, data: TpchData,
+                        streams: int = 2) -> ThroughputResult:
+    """Run the throughput test with ``streams`` query streams.
+
+    Per the spec, the refresh stream executes one RF1/RF2 pair per query
+    stream.
+    """
+    query_traces = collect_query_traces(app)
+    refresh_traces = collect_refresh_traces(app, data, rounds=streams)
+    stream_lists: list[list[RequestTrace]] = []
+    for s in range(streams):
+        ordering = STREAM_ORDERINGS[s % len(STREAM_ORDERINGS)]
+        stream_lists.append([query_traces[n] for n in ordering])
+    stream_lists.append(refresh_traces)
+    result = QueueingSimulator().run(stream_lists)
+    return ThroughputResult(elapsed_seconds=result.elapsed_seconds,
+                            stream_count=streams, queueing=result,
+                            query_traces=query_traces)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+
+
+@pytest.fixture
+def meter() -> Meter:
+    return Meter(CostModel())
+
+
+@pytest.fixture
+def engine(meter) -> DatabaseEngine:
+    return DatabaseEngine(meter=meter)
+
+
+@pytest.fixture
+def session() -> EngineSession:
+    return EngineSession(session_id=1)
+
+
+@pytest.fixture
+def run(engine, session):
+    """Execute SQL against the engine; returns rows, rowcount, or None."""
+
+    def _run(sql: str, params: dict | None = None):
+        result = engine.execute(sql, session, params)
+        if result.kind == "rows":
+            return result.fetch_all()
+        if result.kind == "rowcount":
+            return result.rowcount
+        return None
+
+    return _run

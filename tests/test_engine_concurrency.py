@@ -1,0 +1,145 @@
+"""Cross-session transaction and locking behaviour."""
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.errors import DeadlockError
+from repro.sim.meter import Meter
+
+
+@pytest.fixture
+def world():
+    engine = DatabaseEngine(meter=Meter())
+    alice = EngineSession(session_id=1)
+    bob = EngineSession(session_id=2)
+    engine.execute("CREATE TABLE acct (id INT NOT NULL, bal INT, "
+                   "PRIMARY KEY (id))", alice)
+    engine.execute("INSERT INTO acct VALUES (1, 100), (2, 200)", alice)
+    return engine, alice, bob
+
+
+def run(engine, session, sql):
+    result = engine.execute(sql, session)
+    if result.kind == "rows":
+        return result.fetch_all()
+    if result.kind == "rowcount":
+        return result.rowcount
+    return None
+
+
+class TestWriteConflicts:
+    def test_writer_blocks_writer(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "UPDATE acct SET bal = 1 WHERE id = 2")
+        run(engine, alice, "ROLLBACK")
+        # After the lock is released the blocked writer can proceed.
+        assert run(engine, bob, "UPDATE acct SET bal = 1 WHERE id = 2") == 1
+
+    def test_writer_blocks_reader_in_txn(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        run(engine, bob, "BEGIN TRANSACTION")
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "SELECT * FROM acct")
+        run(engine, bob, "ROLLBACK")
+        run(engine, alice, "COMMIT")
+
+    def test_readers_share(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "SELECT * FROM acct")
+        run(engine, bob, "BEGIN TRANSACTION")
+        assert len(run(engine, bob, "SELECT * FROM acct")) == 2
+        run(engine, alice, "COMMIT")
+        run(engine, bob, "COMMIT")
+
+    def test_autocommit_select_takes_no_lock(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        # An autocommit read outside a transaction does not queue on
+        # locks in this single-threaded server (read-committed-ish).
+        rows = run(engine, bob, "SELECT count(*) FROM acct")
+        assert rows == [(2,)]
+        run(engine, alice, "ROLLBACK")
+
+    def test_victim_transaction_is_aborted_by_lock_manager(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        run(engine, bob, "BEGIN TRANSACTION")
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "UPDATE acct SET bal = 5 WHERE id = 2")
+        # Bob's transaction is still open (no-wait raises, app decides).
+        assert bob.in_transaction
+        run(engine, bob, "ROLLBACK")
+        run(engine, alice, "COMMIT")
+
+
+class TestInterleavedCommits:
+    """Locks are table-granularity, so interleaved writers use disjoint
+    tables — strict 2PL still interleaves their begin/commit windows."""
+
+    @pytest.fixture
+    def ledgers(self, world):
+        engine, alice, bob = world
+        run(engine, alice, "CREATE TABLE a_log (v INT)")
+        run(engine, alice, "CREATE TABLE b_log (v INT)")
+        return engine, alice, bob
+
+    def test_interleaved_transactions_both_apply(self, ledgers):
+        engine, alice, bob = ledgers
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "INSERT INTO a_log VALUES (1)")
+        run(engine, bob, "BEGIN TRANSACTION")
+        run(engine, bob, "INSERT INTO b_log VALUES (2)")
+        run(engine, bob, "COMMIT")
+        run(engine, alice, "COMMIT")
+        assert run(engine, alice, "SELECT count(*) FROM a_log") == [(1,)]
+        assert run(engine, alice, "SELECT count(*) FROM b_log") == [(1,)]
+
+    def test_one_commits_one_aborts(self, ledgers):
+        engine, alice, bob = ledgers
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "INSERT INTO a_log VALUES (1)")
+        run(engine, bob, "BEGIN TRANSACTION")
+        run(engine, bob, "INSERT INTO b_log VALUES (2)")
+        run(engine, alice, "COMMIT")
+        run(engine, bob, "ROLLBACK")
+        assert run(engine, alice, "SELECT count(*) FROM a_log") == [(1,)]
+        assert run(engine, alice, "SELECT count(*) FROM b_log") == [(0,)]
+
+    def test_crash_with_two_open_transactions(self, ledgers):
+        engine, alice, bob = ledgers
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "INSERT INTO a_log VALUES (1)")
+        run(engine, bob, "BEGIN TRANSACTION")
+        run(engine, bob, "INSERT INTO b_log VALUES (2)")
+        engine.wal.force()
+        disk, wal = engine.disk, engine.wal
+        wal.crash()
+        engine.buffer_pool.crash()
+        restarted = DatabaseEngine.restart(disk, wal, meter=engine.meter)
+        assert len(restarted.last_recovery.losers) == 2
+        fresh = EngineSession(session_id=9)
+        for table in ("a_log", "b_log"):
+            rows = restarted.execute(f"SELECT count(*) FROM {table}",
+                                     fresh).fetch_all()
+            assert rows == [(0,)]
+
+    def test_abort_all_active(self, ledgers):
+        engine, alice, bob = ledgers
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "INSERT INTO a_log VALUES (1)")
+        run(engine, bob, "BEGIN TRANSACTION")
+        run(engine, bob, "INSERT INTO b_log VALUES (2)")
+        aborted = engine.txns.abort_all_active()
+        assert len(aborted) == 2
+        fresh = EngineSession(session_id=3)
+        assert run(engine, fresh, "SELECT count(*) FROM a_log") == [(0,)]
+        assert run(engine, fresh, "SELECT count(*) FROM b_log") == [(0,)]

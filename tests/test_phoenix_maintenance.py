@@ -1,0 +1,149 @@
+"""Tests for system tables and the Phoenix orphan-cleanup tool."""
+
+import pytest
+
+from repro.odbc.driver import NativeDriver
+from repro.odbc.driver_manager import DriverManager
+from repro.phoenix.config import PhoenixConfig
+from repro.phoenix.driver_manager import PhoenixDriverManager
+from repro.phoenix.maintenance import cleanup_orphans, live_op_keys
+from repro.server.network import SimulatedNetwork
+from repro.server.server import DatabaseServer
+from repro.sim.meter import Meter
+
+
+@pytest.fixture
+def world():
+    meter = Meter()
+    server = DatabaseServer(meter=meter)
+    network = SimulatedNetwork(meter)
+    driver = NativeDriver(server, network, meter)
+    return server, driver
+
+
+def connect_phoenix(driver, config=None):
+    manager = PhoenixDriverManager(driver, config)
+    env = manager.alloc_env()
+    conn = manager.alloc_connection(env)
+    assert manager.connect(conn, "app") == 0
+    return manager, conn
+
+
+def native_run(driver, sql):
+    manager = DriverManager(driver)
+    env = manager.alloc_env()
+    conn = manager.alloc_connection(env)
+    manager.connect(conn, "setup")
+    stmt = manager.alloc_statement(conn)
+    rc = manager.exec_direct(stmt, sql)
+    assert rc == 0, manager.get_diag(stmt)
+    rows = []
+    while True:
+        rc, row = manager.fetch(stmt)
+        if rc != 0:
+            break
+        rows.append(row)
+    manager.disconnect(conn)
+    return rows
+
+
+class TestSystemTables:
+    def test_sys_tables_lists_user_tables(self, world, run_setup=None):
+        server, driver = world
+        native_run(driver, "CREATE TABLE alpha (a INT)")
+        native_run(driver, "CREATE TABLE beta (b INT)")
+        names = [r[0] for r in native_run(
+            driver, "SELECT name FROM sys_tables ORDER BY name")]
+        assert "alpha" in names and "beta" in names
+
+    def test_sys_columns(self, world):
+        server, driver = world
+        native_run(driver, "CREATE TABLE t (a INT, b VARCHAR(9))")
+        rows = native_run(
+            driver, "SELECT name, type_name, length FROM sys_columns "
+                    "WHERE table_name = 't' ORDER BY position")
+        assert rows == [("a", "INTEGER", 0), ("b", "VARCHAR", 9)]
+
+    def test_sys_indexes_and_views(self, world):
+        server, driver = world
+        native_run(driver, "CREATE TABLE t (a INT)")
+        native_run(driver, "CREATE UNIQUE INDEX ix ON t (a)")
+        native_run(driver, "CREATE VIEW v AS SELECT a FROM t")
+        indexes = native_run(driver,
+                             "SELECT name, is_unique FROM sys_indexes")
+        assert ("ix", 1) in indexes
+        views = [r[0] for r in native_run(driver,
+                                          "SELECT name FROM sys_views")]
+        assert "v" in views
+
+    def test_system_tables_are_read_only_snapshots(self, world):
+        server, driver = world
+        native_run(driver, "CREATE TABLE t (a INT)")
+        before = native_run(driver, "SELECT count(*) FROM sys_tables")
+        native_run(driver, "CREATE TABLE u (a INT)")
+        after = native_run(driver, "SELECT count(*) FROM sys_tables")
+        assert after[0][0] == before[0][0] + 1
+
+
+class TestCleanup:
+    def seed(self, driver):
+        native_run(driver, "CREATE TABLE items (id INT, PRIMARY KEY (id))")
+        native_run(driver,
+                   "INSERT INTO items VALUES " + ", ".join(
+                       f"({i})" for i in range(30)))
+
+    def orphan_tables(self, server):
+        return [n for n in server.engine.catalog.tables
+                if n.startswith("phoenix_rs_")]
+
+    def test_cleanup_removes_orphans(self, world):
+        server, driver = world
+        self.seed(driver)
+        manager, conn = connect_phoenix(driver)
+        stmt = manager.alloc_statement(conn)
+        manager.exec_direct(stmt, "SELECT id FROM items")
+        assert self.orphan_tables(server)
+        # The client process "dies": nothing claims the table any more.
+        report = cleanup_orphans(driver, managers=[])
+        assert report.dropped_tables
+        assert not self.orphan_tables(server)
+        assert report.pruned_status_keys  # its status record went too
+
+    def test_cleanup_spares_claimed_results(self, world):
+        server, driver = world
+        self.seed(driver)
+        manager, conn = connect_phoenix(driver)
+        stmt = manager.alloc_statement(conn)
+        manager.exec_direct(stmt, "SELECT id FROM items ORDER BY id")
+        rc, row = manager.fetch(stmt)
+        assert rc == 0
+        report = cleanup_orphans(driver, managers=[manager])
+        assert report.dropped_tables == []
+        # The live statement keeps working afterwards.
+        rc, row = manager.fetch(stmt)
+        assert rc == 0 and row == (1,)
+
+    def test_live_op_keys(self, world):
+        server, driver = world
+        self.seed(driver)
+        manager, conn = connect_phoenix(driver)
+        stmt = manager.alloc_statement(conn)
+        manager.exec_direct(stmt, "SELECT id FROM items")
+        keys = live_op_keys([manager])
+        assert len(keys) == 1
+
+    def test_cleanup_on_empty_server(self, world):
+        server, driver = world
+        report = cleanup_orphans(driver, managers=[])
+        assert report.total == 0
+
+    def test_cleanup_handles_cached_mode(self, world):
+        server, driver = world
+        self.seed(driver)
+        manager, conn = connect_phoenix(
+            driver, PhoenixConfig(client_cache_rows=100))
+        stmt = manager.alloc_statement(conn)
+        manager.exec_direct(stmt, "SELECT id FROM items")
+        # Cached results create no server tables; nothing to clean.
+        report = cleanup_orphans(driver, managers=[])
+        assert report.dropped_tables == []

@@ -1,0 +1,115 @@
+"""Soak test: a long random workload with random crashes.
+
+A randomized sequence of inserts, updates, deletes and reads runs
+through Phoenix while the server is crashed (and restarted) at random
+request boundaries.  Every operation that Phoenix reports successful is
+also applied to a plain Python model; at the end the database must match
+the model exactly — the strongest end-to-end statement of the paper's
+exactly-once + transparency guarantees.
+"""
+
+import random
+
+import pytest
+
+from repro.odbc.constants import SQL_NO_DATA, SQL_SUCCESS
+from repro.phoenix.config import PhoenixConfig
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+
+
+class Soak:
+    def __init__(self, seed: int, cache_rows: int, crash_rate: float):
+        self.rng = random.Random(seed)
+        self.meter = Meter(CostModel(output_buffer_bytes=24))
+        self.server = DatabaseServer(meter=self.meter)
+        setup = BenchmarkApp(self.server)
+        setup.run_statement(
+            "CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+        config = PhoenixConfig(client_cache_rows=cache_rows)
+        self.app = BenchmarkApp(self.server, use_phoenix=True,
+                                phoenix_config=config)
+        self.model: dict[int, int] = {}
+        self.next_key = 0
+        # Random crash+restart before some requests.
+        rng = self.rng
+
+        def injector(request):
+            if rng.random() < crash_rate:
+                self.server.crash()
+                self.server.restart()
+
+        self.app.network.fault_injector = injector
+
+    def step(self) -> None:
+        op = self.rng.random()
+        manager, conn = self.app.manager, self.app.conn
+        if op < 0.4:  # insert
+            key = self.next_key
+            self.next_key += 1
+            value = self.rng.randint(0, 99)
+            stmt = manager.alloc_statement(conn)
+            rc = manager.exec_direct(
+                stmt, f"INSERT INTO kv VALUES ({key}, {value})")
+            assert rc == SQL_SUCCESS, manager.get_diag(stmt)
+            self.model[key] = value
+        elif op < 0.6 and self.model:  # update
+            key = self.rng.choice(sorted(self.model))
+            delta = self.rng.randint(1, 9)
+            stmt = manager.alloc_statement(conn)
+            rc = manager.exec_direct(
+                stmt, f"UPDATE kv SET v = v + {delta} WHERE k = {key}")
+            assert rc == SQL_SUCCESS, manager.get_diag(stmt)
+            self.model[key] += delta
+        elif op < 0.7 and self.model:  # delete
+            key = self.rng.choice(sorted(self.model))
+            stmt = manager.alloc_statement(conn)
+            rc = manager.exec_direct(stmt,
+                                     f"DELETE FROM kv WHERE k = {key}")
+            assert rc == SQL_SUCCESS, manager.get_diag(stmt)
+            del self.model[key]
+        else:  # read everything and check against the model
+            stmt = manager.alloc_statement(conn)
+            rc = manager.exec_direct(stmt,
+                                     "SELECT k, v FROM kv ORDER BY k")
+            assert rc == SQL_SUCCESS, manager.get_diag(stmt)
+            rows = []
+            while True:
+                rc, row = manager.fetch(stmt)
+                if rc == SQL_NO_DATA:
+                    break
+                assert rc == SQL_SUCCESS
+                rows.append(row)
+            manager.free_statement(stmt)
+            assert rows == sorted(self.model.items()), \
+                "read diverged from the model mid-workload"
+
+    def final_check(self) -> None:
+        self.app.network.fault_injector = None
+        rows = self.app.query_rows("SELECT k, v FROM kv ORDER BY k")
+        assert rows == sorted(self.model.items())
+        # And the state is durable: a final crash changes nothing.
+        self.server.crash()
+        self.server.restart()
+        rows = self.app.query_rows("SELECT k, v FROM kv ORDER BY k")
+        assert rows == sorted(self.model.items())
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+@pytest.mark.parametrize("cache_rows", [0, 50])
+def test_soak_random_crashes(seed, cache_rows):
+    soak = Soak(seed=seed, cache_rows=cache_rows, crash_rate=0.03)
+    for _ in range(60):
+        soak.step()
+    soak.final_check()
+    assert soak.app.manager.stats["recoveries"] > 0, \
+        "the soak should actually have exercised recovery"
+
+
+def test_soak_heavy_crash_rate():
+    soak = Soak(seed=5, cache_rows=25, crash_rate=0.12)
+    for _ in range(40):
+        soak.step()
+    soak.final_check()

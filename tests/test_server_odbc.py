@@ -1,0 +1,212 @@
+"""Tests for the server, network, native driver and driver manager."""
+
+import pytest
+
+from repro.errors import ConnectionLostError, ServerDownError
+from repro.odbc.constants import SQL_ERROR, SQL_NO_DATA, SQL_SUCCESS
+from repro.odbc.driver import NativeDriver
+from repro.odbc.driver_manager import DriverManager
+from repro.server.network import SimulatedNetwork
+from repro.server.protocol import ConnectRequest, ExecuteRequest, PingRequest
+from repro.server.server import DatabaseServer
+from repro.sim.meter import Meter
+
+
+@pytest.fixture
+def world():
+    meter = Meter()
+    server = DatabaseServer(meter=meter)
+    network = SimulatedNetwork(meter)
+    driver = NativeDriver(server, network, meter)
+    manager = DriverManager(driver)
+    return meter, server, network, manager
+
+
+@pytest.fixture
+def connected(world):
+    meter, server, network, manager = world
+    env = manager.alloc_env()
+    conn = manager.alloc_connection(env)
+    assert manager.connect(conn, "app") == SQL_SUCCESS
+    return meter, server, network, manager, conn
+
+
+def exec_ok(manager, conn, sql):
+    stmt = manager.alloc_statement(conn)
+    rc = manager.exec_direct(stmt, sql)
+    assert rc == SQL_SUCCESS, manager.get_diag(stmt)
+    return stmt
+
+
+def fetch_all(manager, stmt):
+    rows = []
+    while True:
+        rc, row = manager.fetch(stmt)
+        if rc == SQL_NO_DATA:
+            return rows
+        assert rc == SQL_SUCCESS
+        rows.append(row)
+
+
+class TestServerProtocol:
+    def test_ping(self, world):
+        _meter, server, network, _manager = world
+        assert network.call(server, PingRequest()).alive
+
+    def test_connect_creates_session(self, world):
+        _meter, server, network, _manager = world
+        response = network.call(server, ConnectRequest(login="x"))
+        assert response.session_token > 0
+        assert server.open_session_count() == 1
+
+    def test_execute_unknown_session_raises(self, world):
+        _meter, server, network, _manager = world
+        with pytest.raises(ConnectionLostError):
+            network.call(server, ExecuteRequest(session_token=999,
+                                                sql="SELECT 1"))
+
+    def test_down_server_refuses(self, world):
+        _meter, server, network, _manager = world
+        server.crash()
+        with pytest.raises(ServerDownError):
+            network.call(server, PingRequest())
+
+    def test_restart_answers_again(self, world):
+        _meter, server, network, _manager = world
+        server.crash()
+        server.restart()
+        assert network.call(server, PingRequest()).alive
+
+    def test_crash_destroys_sessions(self, world):
+        _meter, server, network, _manager = world
+        token = network.call(server, ConnectRequest()).session_token
+        server.crash()
+        server.restart()
+        with pytest.raises(ConnectionLostError):
+            network.call(server, ExecuteRequest(session_token=token,
+                                                sql="SELECT 1"))
+
+
+class TestDriverManager:
+    def test_query_roundtrip(self, connected):
+        _meter, _server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE t (a INT)")
+        exec_ok(manager, conn, "INSERT INTO t VALUES (1), (2)")
+        stmt = exec_ok(manager, conn, "SELECT a FROM t ORDER BY a")
+        assert fetch_all(manager, stmt) == [(1,), (2,)]
+
+    def test_rowcount(self, connected):
+        _meter, _server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE t (a INT)")
+        stmt = exec_ok(manager, conn, "INSERT INTO t VALUES (1), (2), (3)")
+        assert manager.row_count(stmt) == 3
+
+    def test_describe_col(self, connected):
+        _meter, _server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE t (a INT, b VARCHAR(7))")
+        stmt = exec_ok(manager, conn, "SELECT * FROM t")
+        assert manager.num_result_cols(stmt) == 2
+        name, _sql_type, length = manager.describe_col(stmt, 2)
+        assert name == "b"
+        assert length == 7
+
+    def test_error_sets_diagnostics(self, connected):
+        _meter, _server, _network, manager, conn = connected
+        stmt = manager.alloc_statement(conn)
+        rc = manager.exec_direct(stmt, "SELECT * FROM missing_table")
+        assert rc == SQL_ERROR
+        diags = manager.get_diag(stmt)
+        assert diags and "missing_table" in diags[0].message
+
+    def test_crash_surfaces_comm_link_failure(self, connected):
+        _meter, server, _network, manager, conn = connected
+        server.crash()
+        stmt = manager.alloc_statement(conn)
+        rc = manager.exec_direct(stmt, "SELECT 1")
+        assert rc == SQL_ERROR
+        assert manager.get_diag(stmt)[0].sqlstate == "08S01"
+
+    def test_session_lost_after_restart(self, connected):
+        _meter, server, _network, manager, conn = connected
+        server.crash()
+        server.restart()
+        stmt = manager.alloc_statement(conn)
+        rc = manager.exec_direct(stmt, "SELECT 1")
+        assert rc == SQL_ERROR
+        assert manager.get_diag(stmt)[0].sqlstate == "08003"
+
+    def test_fetch_block(self, connected):
+        _meter, _server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE t (a INT)")
+        exec_ok(manager, conn, "INSERT INTO t VALUES (1), (2), (3)")
+        stmt = exec_ok(manager, conn, "SELECT a FROM t ORDER BY a")
+        rc, rows = manager.fetch_block(stmt, 10)
+        assert rc == SQL_SUCCESS
+        assert rows == [(1,), (2,), (3,)]
+        rc, rows = manager.fetch_block(stmt, 10)
+        assert rc == SQL_NO_DATA
+
+    def test_durable_data_survives_crash(self, connected):
+        _meter, server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE t (a INT)")
+        exec_ok(manager, conn, "INSERT INTO t VALUES (42)")
+        server.crash()
+        server.restart()
+        env = manager.alloc_env()
+        conn2 = manager.alloc_connection(env)
+        manager.connect(conn2, "app")
+        stmt = exec_ok(manager, conn2, "SELECT a FROM t")
+        assert fetch_all(manager, stmt) == [(42,)]
+
+    def test_temp_table_gone_after_reconnect(self, connected):
+        """Temp tables die with the session — Phoenix's crash probe."""
+        _meter, server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE #probe (a INT)")
+        server.crash()
+        server.restart()
+        env = manager.alloc_env()
+        conn2 = manager.alloc_connection(env)
+        manager.connect(conn2, "app")
+        stmt = manager.alloc_statement(conn2)
+        rc = manager.exec_direct(stmt, "SELECT * FROM #probe")
+        assert rc == SQL_ERROR
+
+
+class TestOutputBuffer:
+    def test_large_result_delivered_in_batches(self, connected):
+        meter, server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE big (a INT, pad CHAR(150))")
+        for chunk in range(10):
+            values = ", ".join(f"({chunk * 100 + i}, 'x')"
+                               for i in range(100))
+            exec_ok(manager, conn, f"INSERT INTO big VALUES {values}")
+        stmt = exec_ok(manager, conn, "SELECT * FROM big")
+        # The first batch fits the 75 KB output buffer; more rows exist.
+        assert not stmt.result.done
+        rows = fetch_all(manager, stmt)
+        assert len(rows) == 1000
+
+    def test_execute_time_flat_once_buffer_full(self, connected):
+        """Table 3's artifact: response time stops growing at buffer size."""
+        meter, server, _network, manager, conn = connected
+        exec_ok(manager, conn, "CREATE TABLE big (a INT, pad CHAR(150))")
+        for chunk in range(20):
+            values = ", ".join(f"({chunk * 100 + i}, 'x')"
+                               for i in range(100))
+            exec_ok(manager, conn, f"INSERT INTO big VALUES {values}")
+
+        def execute_cost(n):
+            start = meter.now
+            stmt = manager.alloc_statement(conn)
+            assert manager.exec_direct(
+                stmt, f"SELECT TOP {n} * FROM big") == SQL_SUCCESS
+            elapsed = meter.now - start
+            manager.close_cursor(stmt)
+            return elapsed
+
+        t_600 = execute_cost(600)
+        t_2000 = execute_cost(2000)
+        # Both exceed the ~480-row buffer: response time is ~flat.
+        assert t_2000 == pytest.approx(t_600, rel=0.15)
+        # While below the buffer, response time grows with N.
+        assert execute_cost(100) < 0.6 * t_600

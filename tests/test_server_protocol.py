@@ -1,0 +1,159 @@
+"""Server protocol details: advance, options, disconnect, wire sizing."""
+
+import pytest
+
+from repro.errors import ConnectionLostError
+from repro.server.network import SimulatedNetwork
+from repro.server.protocol import (
+    AdvanceRequest,
+    CloseStatementRequest,
+    ConnectRequest,
+    DisconnectRequest,
+    ExecuteRequest,
+    FetchRequest,
+    PingRequest,
+    SetOptionRequest,
+)
+from repro.server.server import DatabaseServer
+from repro.sim.costs import NETWORK, CostModel
+from repro.sim.meter import Meter
+
+
+@pytest.fixture
+def world():
+    meter = Meter(CostModel(output_buffer_bytes=48,
+                            client_fetch_batch_bytes=16))
+    server = DatabaseServer(meter=meter)
+    network = SimulatedNetwork(meter)
+    token = network.call(server, ConnectRequest(login="t")).session_token
+    network.call(server, ExecuteRequest(
+        session_token=token, sql="CREATE TABLE t (a INT)"))
+    values = ", ".join(f"({i})" for i in range(20))
+    network.call(server, ExecuteRequest(
+        session_token=token, sql=f"INSERT INTO t VALUES {values}"))
+    return meter, server, network, token
+
+
+def open_result(network, server, token):
+    return network.call(server, ExecuteRequest(
+        session_token=token, sql="SELECT a FROM t ORDER BY a"))
+
+
+class TestExecuteFetch:
+    def test_execute_returns_first_batch_only(self, world):
+        _meter, server, network, token = world
+        response = open_result(network, server, token)
+        assert response.kind == "rows"
+        assert not response.done
+        assert 0 < len(response.rows) < 20
+
+    def test_fetch_continues_in_order(self, world):
+        _meter, server, network, token = world
+        response = open_result(network, server, token)
+        statement_id = response.statement_id
+        rows = list(response.rows)
+        done = response.done
+        while not done:
+            batch = network.call(server, FetchRequest(
+                session_token=token, statement_id=statement_id))
+            rows.extend(batch.rows)
+            done = batch.done
+        assert rows == [(i,) for i in range(20)]
+
+    def test_fetch_respects_max_rows(self, world):
+        _meter, server, network, token = world
+        response = open_result(network, server, token)
+        batch = network.call(server, FetchRequest(
+            session_token=token, statement_id=response.statement_id,
+            max_rows=1))
+        assert len(batch.rows) == 1
+
+    def test_fetch_unknown_statement_is_done(self, world):
+        _meter, server, network, token = world
+        response = network.call(server, FetchRequest(
+            session_token=token, statement_id=999))
+        assert response.done and response.rows == []
+
+    def test_close_statement_frees_result(self, world):
+        _meter, server, network, token = world
+        response = open_result(network, server, token)
+        network.call(server, CloseStatementRequest(
+            session_token=token, statement_id=response.statement_id))
+        again = network.call(server, FetchRequest(
+            session_token=token, statement_id=response.statement_id))
+        assert again.done
+
+
+class TestAdvance:
+    def test_advance_skips_without_shipping(self, world):
+        meter, server, network, token = world
+        response = open_result(network, server, token)
+        consumed = len(response.rows)
+        reply = network.call(server, AdvanceRequest(
+            session_token=token, statement_id=response.statement_id,
+            count=10))
+        assert reply.skipped == 10
+        batch = network.call(server, FetchRequest(
+            session_token=token, statement_id=response.statement_id))
+        assert batch.rows[0] == (consumed + 10,)
+
+    def test_advance_past_end(self, world):
+        _meter, server, network, token = world
+        response = open_result(network, server, token)
+        reply = network.call(server, AdvanceRequest(
+            session_token=token, statement_id=response.statement_id,
+            count=1000))
+        assert reply.done
+        assert reply.skipped <= 20
+
+
+class TestSessionManagement:
+    def test_set_option_lands_on_session(self, world):
+        _meter, server, network, token = world
+        network.call(server, SetOptionRequest(
+            session_token=token, name="lock_timeout", value=5))
+        session = server._sessions[token].engine_session
+        assert session.get_option("lock_timeout") == 5
+
+    def test_disconnect_aborts_open_transaction(self, world):
+        _meter, server, network, token = world
+        network.call(server, ExecuteRequest(session_token=token,
+                                            sql="BEGIN TRANSACTION"))
+        network.call(server, ExecuteRequest(
+            session_token=token, sql="INSERT INTO t VALUES (999)"))
+        network.call(server, DisconnectRequest(session_token=token))
+        token2 = network.call(server, ConnectRequest()).session_token
+        response = network.call(server, ExecuteRequest(
+            session_token=token2,
+            sql="SELECT count(*) FROM t WHERE a = 999"))
+        assert response.rows == [(0,)]
+
+    def test_disconnect_twice_is_harmless(self, world):
+        _meter, server, network, token = world
+        network.call(server, DisconnectRequest(session_token=token))
+        network.call(server, DisconnectRequest(session_token=token))
+        with pytest.raises(ConnectionLostError):
+            network.call(server, ExecuteRequest(session_token=token,
+                                                sql="SELECT 1"))
+
+
+class TestWireAccounting:
+    def test_bigger_payloads_cost_more_network_time(self, world):
+        meter, server, network, token = world
+        before = meter.seconds_on(NETWORK)
+        with meter.request("small"):
+            network.call(server, PingRequest())
+        small = meter.seconds_on(NETWORK) - before
+        before = meter.seconds_on(NETWORK)
+        with meter.request("large"):
+            network.call(server, ExecuteRequest(
+                session_token=token, sql="SELECT a FROM t " + " " * 5000))
+        large = meter.seconds_on(NETWORK) - before
+        assert large > small
+
+    def test_request_wire_bytes(self):
+        tiny = ExecuteRequest(sql="SELECT 1").wire_bytes()
+        big = ExecuteRequest(sql="SELECT 1" + " " * 1000).wire_bytes()
+        assert big > tiny
+        assert ConnectRequest(options={"a": 1}).wire_bytes() \
+            > ConnectRequest().wire_bytes()

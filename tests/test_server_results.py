@@ -1,0 +1,101 @@
+"""Unit tests for server-side result sets and the output buffer."""
+
+import pytest
+
+from repro.server.results import ServerResultSet
+from repro.sim.costs import SERVER_CPU, CostModel
+from repro.sim.meter import Meter
+from repro.types import Column, SqlType
+
+
+def make_result(rows, row_bytes=100, buffer_bytes=1000,
+                streamable=False, batch_bytes=None):
+    costs = CostModel(output_buffer_bytes=buffer_bytes)
+    if batch_bytes is not None:
+        costs.client_fetch_batch_bytes = batch_bytes
+    meter = Meter(costs)
+    columns = [Column("pad", SqlType.CHAR, length=row_bytes)]
+    result = ServerResultSet(1, columns, iter(rows), meter,
+                             streamable=streamable)
+    return result, meter
+
+
+class TestOutputBuffer:
+    def test_fill_stops_at_capacity(self):
+        rows = [(f"r{i}",) for i in range(100)]
+        result, _meter = make_result(rows, row_bytes=100,
+                                     buffer_bytes=1000)
+        result.fill_buffer()
+        # 1000 bytes / 100 bytes per row -> ~10 rows buffered.
+        assert result.buffered_rows == 10
+        assert not result.done
+
+    def test_fill_to_exhaustion(self):
+        result, _meter = make_result([(1,), (2,)], buffer_bytes=10 ** 6)
+        result.fill_buffer()
+        assert result.done
+        assert result.buffered_rows == 2
+
+    def test_take_batch_drains_and_refills(self):
+        rows = [(i,) for i in range(30)]
+        result, _meter = make_result(rows, row_bytes=100,
+                                     buffer_bytes=1000)
+        result.fill_buffer()
+        first = result.take_batch()
+        assert len(first) == 10
+        result.fill_buffer()
+        second = result.take_batch()
+        assert [r[0] for r in first + second] == list(range(20))
+
+    def test_take_batch_partial(self):
+        result, _meter = make_result([(i,) for i in range(10)],
+                                     buffer_bytes=10 ** 6)
+        result.fill_buffer()
+        assert len(result.take_batch(3)) == 3
+        assert result.buffered_rows == 7
+
+    def test_exhausted(self):
+        result, _meter = make_result([(1,)], buffer_bytes=10 ** 6)
+        result.fill_buffer()
+        assert not result.exhausted
+        result.take_batch()
+        assert result.exhausted
+
+    def test_client_batch_rows_from_width(self):
+        result, meter = make_result([], row_bytes=100)
+        assert result.client_batch_rows == \
+            meter.costs.client_fetch_batch_bytes // 100
+
+    def test_pipelined_charges_per_row_cpu(self):
+        rows = [("x",)] * 5
+        result, meter = make_result(rows, row_bytes=100,
+                                    buffer_bytes=10 ** 6)
+        result.fill_buffer()
+        expected = 5 * 100 * meter.costs.cpu_per_result_byte_seconds
+        assert meter.now == pytest.approx(expected)
+
+    def test_streamable_charges_per_page(self):
+        rows = [("x",)] * 5
+        result, meter = make_result(rows, row_bytes=100,
+                                    buffer_bytes=10 ** 6,
+                                    streamable=True)
+        result.fill_buffer()
+        # 5 rows fit one page: one page-send charge.
+        assert meter.now == pytest.approx(meter.costs.page_send_seconds)
+
+    def test_skip_rows_consumes_without_delivery(self):
+        rows = [(i,) for i in range(50)]
+        result, meter = make_result(rows, row_bytes=100,
+                                    buffer_bytes=1000)
+        result.fill_buffer()
+        skipped = result.skip_rows(25)
+        assert skipped == 25
+        result.fill_buffer()
+        batch = result.take_batch()
+        assert batch[0] == (25,)
+
+    def test_skip_past_end(self):
+        result, _meter = make_result([(1,), (2,)], buffer_bytes=10 ** 6)
+        result.fill_buffer()
+        assert result.skip_rows(10) == 2
+        assert result.exhausted

@@ -1,0 +1,136 @@
+"""Tests for the virtual clock and the meter."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CLIENT_CPU, NETWORK, SERVER_CPU, CostModel
+from repro.sim.meter import Meter
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-0.1)
+
+
+class TestMeter:
+    def test_charge_advances_clock(self):
+        meter = Meter()
+        meter.charge(SERVER_CPU, 0.25)
+        assert meter.now == pytest.approx(0.25)
+
+    def test_charge_zero_is_noop(self):
+        meter = Meter()
+        meter.charge(SERVER_CPU, 0.0)
+        assert meter.now == 0.0
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            Meter().charge("gpu", 1.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Meter().charge(SERVER_CPU, -1.0)
+
+    def test_request_trace_records_segments(self):
+        meter = Meter()
+        with meter.request("q1") as trace:
+            meter.charge(SERVER_CPU, 0.1)
+            meter.charge(NETWORK, 0.2)
+        assert trace.total_seconds == pytest.approx(0.3)
+        assert trace.seconds_on(SERVER_CPU) == pytest.approx(0.1)
+        assert meter.traces == [trace]
+
+    def test_charges_outside_request_not_traced(self):
+        meter = Meter()
+        meter.charge(SERVER_CPU, 0.1)
+        assert meter.traces == []
+        assert meter.now == pytest.approx(0.1)
+
+    def test_nested_requests_fold_into_parent(self):
+        meter = Meter()
+        with meter.request("outer") as outer:
+            meter.charge(SERVER_CPU, 0.1)
+            with meter.request("inner"):
+                meter.charge(CLIENT_CPU, 0.2)
+        assert outer.total_seconds == pytest.approx(0.3)
+        # Only the top-level trace is recorded (no double counting).
+        assert [t.label for t in meter.traces] == ["outer"]
+        assert meter.seconds_on(CLIENT_CPU) == pytest.approx(0.2)
+
+    def test_mismatched_end_raises(self):
+        meter = Meter()
+        t1 = meter.begin_request("a")
+        meter.begin_request("b")
+        with pytest.raises(ValueError):
+            meter.end_request(t1)
+
+    def test_advance_clock_flag(self):
+        meter = Meter()
+        meter.advance_clock = False
+        with meter.request("q") as trace:
+            meter.charge(SERVER_CPU, 5.0)
+        assert meter.now == 0.0
+        assert trace.total_seconds == pytest.approx(5.0)
+
+    def test_counters(self):
+        meter = Meter()
+        meter.count("disk_io")
+        meter.count("disk_io", 2)
+        assert meter.counters["disk_io"] == 3
+
+    def test_reset_traces_keeps_clock(self):
+        meter = Meter()
+        with meter.request("q"):
+            meter.charge(SERVER_CPU, 1.0)
+        meter.reset_traces()
+        assert meter.traces == []
+        assert meter.now == pytest.approx(1.0)
+
+
+class TestCostModel:
+    def test_transfer_includes_message_overhead(self):
+        costs = CostModel()
+        base = costs.transfer_seconds(0)
+        assert base == pytest.approx(costs.network_message_overhead_seconds)
+        assert costs.transfer_seconds(12_500_000) == pytest.approx(base + 1.0)
+
+    def test_transfer_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().transfer_seconds(-1)
+
+    def test_log_write_scales_with_bytes(self):
+        costs = CostModel()
+        small = costs.log_write_seconds(10)
+        large = costs.log_write_seconds(10_000)
+        assert large > small > 0
+
+    def test_sort_seconds_zero_for_trivial(self):
+        costs = CostModel()
+        assert costs.sort_seconds(0) == 0.0
+        assert costs.sort_seconds(1) == 0.0
+        assert costs.sort_seconds(1024) > 0
+
+    def test_rows_per_page_at_least_one(self):
+        costs = CostModel()
+        assert costs.rows_per_page(10 ** 9) == 1
+        assert costs.rows_per_page(100) == costs.page_size_bytes // 100

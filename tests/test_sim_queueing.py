@@ -1,0 +1,97 @@
+"""Tests for the multi-stream queueing simulator."""
+
+import pytest
+
+from repro.sim.costs import CLIENT_CPU, SERVER_CPU, SERVER_DISK
+from repro.sim.meter import RequestTrace, Segment
+from repro.sim.queueing import QueueingSimulator
+
+
+def request(label: str, *segments: tuple[str, float]) -> RequestTrace:
+    return RequestTrace(label=label,
+                        segments=[Segment(r, s) for r, s in segments])
+
+
+class TestQueueingSimulator:
+    def test_single_stream_is_serial(self):
+        sim = QueueingSimulator()
+        result = sim.run([[request("a", (SERVER_CPU, 1.0), (SERVER_DISK, 2.0)),
+                           request("b", (SERVER_CPU, 0.5))]])
+        assert result.elapsed_seconds == pytest.approx(3.5)
+        assert len(result.streams[0].completions) == 2
+
+    def test_two_streams_serialize_on_shared_resource(self):
+        sim = QueueingSimulator()
+        streams = [[request("a", (SERVER_CPU, 1.0))],
+                   [request("b", (SERVER_CPU, 1.0))]]
+        result = sim.run(streams)
+        # Both need the same CPU: total elapsed is the sum.
+        assert result.elapsed_seconds == pytest.approx(2.0)
+
+    def test_per_stream_resource_runs_in_parallel(self):
+        sim = QueueingSimulator()
+        streams = [[request("a", (CLIENT_CPU, 1.0))],
+                   [request("b", (CLIENT_CPU, 1.0))]]
+        result = sim.run(streams)
+        assert result.elapsed_seconds == pytest.approx(1.0)
+
+    def test_pipeline_overlap(self):
+        # Stream 1 uses CPU then disk; stream 2 can use CPU while stream 1
+        # is on disk.
+        sim = QueueingSimulator()
+        streams = [[request("a", (SERVER_CPU, 1.0), (SERVER_DISK, 1.0))],
+                   [request("b", (SERVER_CPU, 1.0), (SERVER_DISK, 1.0))]]
+        result = sim.run(streams)
+        assert result.elapsed_seconds == pytest.approx(3.0)
+
+    def test_utilization(self):
+        sim = QueueingSimulator()
+        streams = [[request("a", (SERVER_DISK, 2.0))],
+                   [request("b", (SERVER_DISK, 2.0))]]
+        result = sim.run(streams)
+        assert result.utilization(SERVER_DISK) == pytest.approx(1.0)
+        assert result.utilization(SERVER_CPU) == 0.0
+
+    def test_start_times_offset_streams(self):
+        sim = QueueingSimulator()
+        result = sim.run([[request("a", (CLIENT_CPU, 1.0))]],
+                         start_times=[10.0])
+        assert result.elapsed_seconds == pytest.approx(11.0)
+
+    def test_completions_in_window(self):
+        sim = QueueingSimulator()
+        stream = [request("neworder-1", (CLIENT_CPU, 1.0)),
+                  request("payment-1", (CLIENT_CPU, 1.0)),
+                  request("neworder-2", (CLIENT_CPU, 1.0))]
+        result = sim.run([stream])
+        assert result.completions_in(0.0, 3.0) == 3
+        assert result.completions_in(0.0, 3.0, label_prefix="neworder") == 2
+        assert result.completions_in(1.5, 2.5) == 1
+
+    def test_empty_request_completes_instantly(self):
+        sim = QueueingSimulator()
+        result = sim.run([[request("noop")]])
+        assert result.elapsed_seconds == 0.0
+        assert len(result.streams[0].completions) == 1
+
+    def test_latency_includes_queueing(self):
+        sim = QueueingSimulator()
+        streams = [[request("a", (SERVER_CPU, 2.0))],
+                   [request("b", (SERVER_CPU, 1.0))]]
+        result = sim.run(streams)
+        latencies = {c.label: c.latency
+                     for s in result.streams for c in s.completions}
+        # One of them waited behind the other on the shared CPU.
+        assert max(latencies.values()) > min(latencies.values())
+
+    def test_mismatched_start_times_rejected(self):
+        with pytest.raises(ValueError):
+            QueueingSimulator().run([[]], start_times=[0.0, 1.0])
+
+    def test_closed_loop_stream_order_preserved(self):
+        sim = QueueingSimulator()
+        stream = [request(f"r{i}", (SERVER_CPU, 0.1)) for i in range(5)]
+        result = sim.run([stream])
+        finishes = [c.finish_time for c in result.streams[0].completions]
+        assert finishes == sorted(finishes)
+        assert result.elapsed_seconds == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Unit tests for expression semantics: 3VL, LIKE, dates, comparisons."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.sql.expressions import (
+    _IntervalValue,
+    _shift_date,
+    is_true,
+    like_match,
+    sql_and,
+    sql_compare,
+    sql_not,
+    sql_or,
+)
+
+
+class TestThreeValuedLogic:
+    @pytest.mark.parametrize("a,b,expected", [
+        (True, True, True), (True, False, False), (False, False, False),
+        (True, None, None), (None, None, None), (False, None, False),
+    ])
+    def test_and(self, a, b, expected):
+        assert sql_and(a, b) is expected
+        assert sql_and(b, a) is expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (True, True, True), (True, False, True), (False, False, False),
+        (True, None, True), (None, None, None), (False, None, None),
+    ])
+    def test_or(self, a, b, expected):
+        assert sql_or(a, b) is expected
+        assert sql_or(b, a) is expected
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_true(self):
+        assert is_true(True)
+        assert not is_true(False)
+        assert not is_true(None)
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert sql_compare("=", None, 1) is None
+        assert sql_compare("<", 1, None) is None
+
+    def test_numbers_and_strings(self):
+        assert sql_compare("<", 1, 2) is True
+        assert sql_compare(">=", 2.5, 2.5) is True
+        assert sql_compare("=", "abc", "abc") is True
+        assert sql_compare("<>", "a", "b") is True
+
+    def test_dates(self):
+        a = datetime.date(1995, 1, 1)
+        b = datetime.date(1996, 1, 1)
+        assert sql_compare("<", a, b) is True
+
+    def test_numeric_string_coercion(self):
+        assert sql_compare("=", "2", 2) is True
+        assert sql_compare("<", 1, "10") is True
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare("<", datetime.date(2000, 1, 1), 5)
+
+
+class TestLike:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "hello", True),
+        ("hello", "h%", True),
+        ("hello", "%llo", True),
+        ("hello", "h_llo", True),
+        ("hello", "H%", False),       # LIKE is case-sensitive
+        ("hello", "%z%", False),
+        ("a.b", "a.b", True),          # dots are literal, not regex
+        ("axb", "a.b", False),
+        ("", "%", True),
+        ("special%requests", "%special%requests%", True),
+    ])
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null(self):
+        assert like_match(None, "%") is None
+        assert like_match("x", None) is None
+
+
+class TestDateArithmetic:
+    def test_add_days(self):
+        d = datetime.date(1998, 12, 1)
+        assert _IntervalValue(90, "day").subtract_from(d) == \
+            datetime.date(1998, 9, 2)
+
+    def test_add_months_clamps_day(self):
+        d = datetime.date(1999, 1, 31)
+        assert _shift_date(d, 1, "month") == datetime.date(1999, 2, 28)
+
+    def test_add_years(self):
+        d = datetime.date(1994, 1, 1)
+        assert _IntervalValue(1, "year").add_to(d) == \
+            datetime.date(1995, 1, 1)
+
+    def test_month_wraparound(self):
+        d = datetime.date(1994, 11, 15)
+        assert _shift_date(d, 3, "month") == datetime.date(1995, 2, 15)
+        assert _shift_date(d, -12, "month") == datetime.date(1993, 11, 15)

@@ -1,0 +1,167 @@
+"""Tests for the B-tree, including hypothesis properties against a dict."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintError
+from repro.storage.btree import BTree
+
+
+class TestBTreeBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.search((1,)) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_insert_search(self):
+        tree = BTree()
+        tree.insert((5,), "a")
+        assert tree.search((5,)) == ["a"]
+        assert tree.contains((5,))
+        assert not tree.contains((6,))
+
+    def test_duplicate_keys_non_unique(self):
+        tree = BTree()
+        tree.insert((5,), "a")
+        tree.insert((5,), "b")
+        assert sorted(tree.search((5,))) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_unique_rejects_duplicates(self):
+        tree = BTree(unique=True)
+        tree.insert((5,), "a")
+        with pytest.raises(ConstraintError):
+            tree.insert((5,), "b")
+
+    def test_delete_specific_value(self):
+        tree = BTree()
+        tree.insert((5,), "a")
+        tree.insert((5,), "b")
+        assert tree.delete((5,), "a")
+        assert tree.search((5,)) == ["b"]
+        assert len(tree) == 1
+
+    def test_delete_whole_key(self):
+        tree = BTree()
+        tree.insert((5,), "a")
+        tree.insert((5,), "b")
+        assert tree.delete((5,))
+        assert tree.search((5,)) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = BTree()
+        assert not tree.delete((1,))
+        tree.insert((1,), "a")
+        assert not tree.delete((1,), "other")
+
+    def test_many_inserts_force_splits(self):
+        tree = BTree(t=2)
+        for i in range(200):
+            tree.insert((i,), i)
+        assert len(tree) == 200
+        assert [k[0] for k, _v in tree.items()] == list(range(200))
+
+    def test_interleaved_deletes_force_merges(self):
+        tree = BTree(t=2)
+        for i in range(100):
+            tree.insert((i,), i)
+        for i in range(0, 100, 2):
+            assert tree.delete((i,))
+        remaining = [k[0] for k, _v in tree.items()]
+        assert remaining == list(range(1, 100, 2))
+
+    def test_range_scan_inclusive(self):
+        tree = BTree()
+        for i in range(10):
+            tree.insert((i,), i)
+        got = [k[0] for k, _v in tree.range((3,), (6,))]
+        assert got == [3, 4, 5, 6]
+
+    def test_range_scan_exclusive(self):
+        tree = BTree()
+        for i in range(10):
+            tree.insert((i,), i)
+        got = [k[0] for k, _v in tree.range((3,), (6,),
+                                            lo_inclusive=False,
+                                            hi_inclusive=False)]
+        assert got == [4, 5]
+
+    def test_range_open_ended(self):
+        tree = BTree()
+        for i in range(5):
+            tree.insert((i,), i)
+        assert [k[0] for k, _v in tree.range(lo=(3,))] == [3, 4]
+        assert [k[0] for k, _v in tree.range(hi=(1,))] == [0, 1]
+
+    def test_composite_keys_order(self):
+        tree = BTree()
+        keys = [(1, "b"), (1, "a"), (0, "z"), (2, "a")]
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _v in tree.items()] == sorted(keys)
+
+    def test_min_max(self):
+        tree = BTree(t=2)
+        for i in [5, 3, 8, 1, 9]:
+            tree.insert((i,), i)
+        assert tree.min_key() == (1,)
+        assert tree.max_key() == (9,)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            BTree(t=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 5)),
+                max_size=300))
+def test_btree_matches_dict_under_inserts(pairs):
+    """Insert-only property: contents match a reference multimap."""
+    tree = BTree(t=2)
+    reference: dict[tuple, list] = {}
+    for key_val in pairs:
+        key = (key_val[0],)
+        tree.insert(key, key_val[1])
+        reference.setdefault(key, []).append(key_val[1])
+    for key, values in reference.items():
+        assert sorted(tree.search(key)) == sorted(values)
+    assert len(tree) == sum(len(v) for v in reference.values())
+    assert [k for k, _v in tree.items()] == sorted(
+        k for k in reference for _ in reference[k])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(-20, 20)),
+                max_size=300))
+def test_btree_matches_dict_under_mixed_ops(ops):
+    """Insert/delete property: tree always agrees with a reference dict."""
+    tree = BTree(t=2)
+    reference: dict[tuple, list] = {}
+    for is_delete, raw in ops:
+        key = (raw,)
+        if is_delete:
+            expected = bool(reference.pop(key, None))
+            assert tree.delete(key) == expected
+        else:
+            tree.insert(key, raw)
+            reference.setdefault(key, []).append(raw)
+    assert sorted(k for k, _v in tree.items()) == sorted(
+        k for k in reference for _ in reference[k])
+    for key, values in reference.items():
+        assert sorted(tree.search(key)) == sorted(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(-100, 100), max_size=120),
+       st.integers(-100, 100), st.integers(-100, 100))
+def test_btree_range_matches_sorted_filter(keys, lo, hi):
+    tree = BTree(t=3)
+    for k in keys:
+        tree.insert((k,), k)
+    lo_key, hi_key = min(lo, hi), max(lo, hi)
+    got = [k[0] for k, _v in tree.range((lo_key,), (hi_key,))]
+    assert got == sorted(k for k in keys if lo_key <= k <= hi_key)

@@ -1,0 +1,150 @@
+"""Tests for the catalog: DDL metadata, snapshot/restore."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ProcedureNotFoundError,
+    TableExistsError,
+    TableNotFoundError,
+)
+from repro.storage.catalog import Catalog
+from repro.types import Column, SqlType
+
+
+def make_columns():
+    return [Column("id", SqlType.INTEGER, nullable=False),
+            Column("name", SqlType.VARCHAR, length=20)]
+
+
+class TestCatalogTables:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        info = catalog.create_table("T", make_columns(),
+                                    primary_key=("ID",))
+        assert info.name == "t"
+        assert info.primary_key == ("id",)
+        assert catalog.get_table("t") is info
+        assert catalog.get_table("T") is info  # case-insensitive
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        with pytest.raises(TableExistsError):
+            catalog.create_table("T", make_columns())
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(TableNotFoundError):
+            catalog.get_table("t")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(TableNotFoundError):
+            Catalog().drop_table("ghost")
+
+    def test_ids_are_unique_and_monotonic(self):
+        catalog = Catalog()
+        a = catalog.create_table("a", make_columns())
+        b = catalog.create_table("b", make_columns())
+        assert b.file_id > a.file_id
+        assert b.table_id > a.table_id
+
+    def test_explicit_ids_advance_counters(self):
+        catalog = Catalog()
+        catalog.create_table("a", make_columns(), table_id=10, file_id=20)
+        b = catalog.create_table("b", make_columns())
+        assert b.table_id == 11
+        assert b.file_id == 21
+
+    def test_column_index(self):
+        catalog = Catalog()
+        info = catalog.create_table("t", make_columns())
+        assert info.column_index("NAME") == 1
+        with pytest.raises(CatalogError):
+            info.column_index("ghost")
+
+    def test_rename(self):
+        catalog = Catalog()
+        info = catalog.create_table("old", make_columns())
+        renamed = catalog.rename_table("old", "new")
+        assert renamed.file_id == info.file_id
+        assert catalog.has_table("new")
+        assert not catalog.has_table("old")
+
+
+class TestCatalogIndexes:
+    def test_create_index_validates_columns(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        catalog.create_index("ix", "t", ["id"])
+        with pytest.raises(CatalogError):
+            catalog.create_index("ix2", "t", ["ghost"])
+
+    def test_duplicate_index_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        catalog.create_index("ix", "t", ["id"])
+        with pytest.raises(CatalogError):
+            catalog.create_index("IX", "t", ["name"])
+
+    def test_drop_table_drops_its_indexes(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        catalog.create_index("ix", "t", ["id"])
+        catalog.drop_table("t")
+        assert "ix" not in catalog.indexes
+
+    def test_indexes_on(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns())
+        catalog.create_table("u", make_columns())
+        catalog.create_index("ix_t", "t", ["id"])
+        catalog.create_index("ix_u", "u", ["id"])
+        assert [ix.name for ix in catalog.indexes_on("t")] == ["ix_t"]
+
+
+class TestCatalogProcedures:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        catalog.create_procedure("p", ["a"], "SELECT 1")
+        assert catalog.get_procedure("P").body_sql == "SELECT 1"
+        catalog.drop_procedure("p")
+        with pytest.raises(ProcedureNotFoundError):
+            catalog.get_procedure("p")
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_procedure("p", [], "SELECT 1")
+        with pytest.raises(CatalogError):
+            catalog.create_procedure("p", [], "SELECT 2")
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        catalog = Catalog()
+        catalog.create_table("t", make_columns(), primary_key=("id",))
+        catalog.create_index("ix", "t", ["name"])
+        catalog.create_procedure("p", ["x"], "SELECT @x")
+        restored = Catalog.restore(catalog.snapshot())
+        table = restored.get_table("t")
+        assert table.primary_key == ("id",)
+        assert [c.name for c in table.columns] == ["id", "name"]
+        assert restored.indexes["ix"].column_names == ("name",)
+        assert restored.get_procedure("p").param_names == ("x",)
+        assert restored.next_file_id == catalog.next_file_id
+
+    def test_volatile_tables_excluded(self):
+        catalog = Catalog()
+        catalog.create_table("temp", make_columns(), volatile=True)
+        catalog.create_table("real", make_columns())
+        restored = Catalog.restore(catalog.snapshot())
+        assert not restored.has_table("temp")
+        assert restored.has_table("real")
+
+    def test_restore_none_is_empty(self):
+        catalog = Catalog.restore(None)
+        assert catalog.tables == {}
+        assert catalog.next_file_id == 1

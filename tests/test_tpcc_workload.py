@@ -1,0 +1,153 @@
+"""TPC-C: data generation, all five transactions, multi-user runs."""
+
+import random
+
+import pytest
+
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpcc.datagen import TpccScale, generate_tpcc, last_name
+from repro.workloads.tpcc.driver import (
+    TRANSACTION_MIX,
+    choose_transaction,
+    collect_transaction_traces,
+    run_multiuser,
+)
+from repro.workloads.tpcc.schema import setup_tpcc_server
+from repro.workloads.tpcc.transactions import (
+    TRANSACTIONS,
+    delivery,
+    new_order,
+    order_status,
+    payment,
+    stock_level,
+)
+
+SCALE = TpccScale(warehouses=1, districts_per_warehouse=3,
+                  customers_per_district=10, items=50,
+                  initial_orders_per_district=10)
+
+
+@pytest.fixture(scope="module")
+def tpcc_world():
+    meter = Meter(CostModel())
+    server = DatabaseServer(meter=meter)
+    data = generate_tpcc(SCALE, seed=9)
+    setup_tpcc_server(server, data)
+    app = BenchmarkApp(server, use_phoenix=False)
+    return server, app
+
+
+class TestDatagen:
+    def test_cardinalities(self):
+        data = generate_tpcc(SCALE, seed=9)
+        assert len(data.warehouse) == 1
+        assert len(data.district) == 3
+        assert len(data.customer) == 30
+        assert len(data.item) == 50
+        assert len(data.stock) == 50
+        assert len(data.orders) == 30
+        # ~30% of initial orders are undelivered.
+        assert 0 < len(data.new_order) < len(data.orders)
+
+    def test_last_name_syllables(self):
+        assert last_name(0) == "BARBARBAR"
+        assert last_name(371) == "PRICALLYOUGHT"
+        assert last_name(999) == "EINGEINGEING"
+
+    def test_deterministic(self):
+        a = generate_tpcc(SCALE, seed=9)
+        b = generate_tpcc(SCALE, seed=9)
+        assert a.customer == b.customer
+        assert a.order_line == b.order_line
+
+
+class TestTransactions:
+    def test_new_order_commits(self, tpcc_world):
+        server, app = tpcc_world
+        rng = random.Random(1)
+        before = app.query_rows("SELECT count(*) FROM orders")[0][0]
+        outcome = new_order(app, rng, SCALE, 1)
+        after = app.query_rows("SELECT count(*) FROM orders")[0][0]
+        if outcome == "committed":
+            assert after == before + 1
+        else:
+            assert after == before
+
+    def test_new_order_rollback_on_bad_item(self, tpcc_world):
+        server, app = tpcc_world
+
+        class AlwaysRollback(random.Random):
+            def random(self):
+                return 0.0  # forces the 1% unused-item branch
+
+        before = app.query_rows("SELECT count(*) FROM orders")[0][0]
+        outcome = new_order(app, AlwaysRollback(3), SCALE, 1)
+        after = app.query_rows("SELECT count(*) FROM orders")[0][0]
+        assert outcome == "rolled_back"
+        assert after == before
+
+    def test_payment_updates_balances(self, tpcc_world):
+        server, app = tpcc_world
+        rng = random.Random(2)
+        w_ytd_before = app.query_rows(
+            "SELECT w_ytd FROM warehouse WHERE w_id = 1")[0][0]
+        assert payment(app, rng, SCALE, 1) == "committed"
+        w_ytd_after = app.query_rows(
+            "SELECT w_ytd FROM warehouse WHERE w_id = 1")[0][0]
+        assert w_ytd_after > w_ytd_before
+
+    def test_order_status_runs(self, tpcc_world):
+        server, app = tpcc_world
+        assert order_status(app, random.Random(3), SCALE, 1) == "committed"
+
+    def test_delivery_consumes_new_orders(self, tpcc_world):
+        server, app = tpcc_world
+        before = app.query_rows("SELECT count(*) FROM new_order")[0][0]
+        assert delivery(app, random.Random(4), SCALE, 1) == "committed"
+        after = app.query_rows("SELECT count(*) FROM new_order")[0][0]
+        assert after <= before
+
+    def test_stock_level_runs(self, tpcc_world):
+        server, app = tpcc_world
+        assert stock_level(app, random.Random(5), SCALE, 1) == "committed"
+
+    def test_all_types_registered(self):
+        assert set(TRANSACTIONS) == {name for name, _ in TRANSACTION_MIX}
+
+
+class TestMix:
+    def test_mix_shares_sum_to_one(self):
+        assert sum(share for _n, share in TRANSACTION_MIX) == pytest.approx(1.0)
+
+    def test_new_order_at_most_43_percent(self):
+        rng = random.Random(11)
+        picks = [choose_transaction(rng) for _ in range(5000)]
+        share = picks.count("new_order") / len(picks)
+        assert share < 0.46
+
+
+class TestMultiUser:
+    def test_trace_collection_and_queueing(self, tpcc_world):
+        server, app = tpcc_world
+        traces = collect_transaction_traces(app, SCALE, count=30, seed=8)
+        assert len(traces) == 30
+        assert all(t.total_seconds > 0 for t in traces)
+        result = run_multiuser(traces, users=4, warmup_seconds=5.0,
+                               measure_seconds=30.0)
+        assert result.completions > 0
+        assert result.tpmc >= 0
+        assert 0 <= result.cpu_utilization <= 1
+        assert 0 <= result.disk_utilization <= 1
+        assert result.total_tpm >= result.tpmc
+
+    def test_phoenix_transactions_also_run(self, tpcc_world):
+        server, _native_app = tpcc_world
+        app = BenchmarkApp(server, use_phoenix=True)
+        rng = random.Random(21)
+        assert new_order(app, rng, SCALE, 1) in ("committed",
+                                                 "rolled_back")
+        assert payment(app, rng, SCALE, 1) == "committed"
+        assert app.manager.stats["persisted_results"] > 0

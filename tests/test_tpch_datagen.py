@@ -1,0 +1,139 @@
+"""TPC-H data generator: cardinalities, determinism, distributions."""
+
+import datetime
+
+import pytest
+
+from repro.workloads.tpch.datagen import (
+    CURRENT_DATE,
+    NATIONS,
+    REGIONS,
+    TpchData,
+    generate,
+    generate_refresh_orders,
+)
+
+
+@pytest.fixture(scope="module")
+def data() -> TpchData:
+    return generate(scale=0.002, seed=42)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, data):
+        assert len(data.region) == 5
+        assert len(data.nation) == 25
+
+    def test_scaled_tables(self, data):
+        assert len(data.supplier) == 20          # 10000 * 0.002
+        assert len(data.part) == 400             # 200000 * 0.002
+        assert len(data.partsupp) == 4 * len(data.part)
+        assert len(data.customer) == 300         # 150000 * 0.002
+        assert len(data.orders) == 3000          # 1500000 * 0.002
+
+    def test_lineitems_per_order(self, data):
+        from collections import Counter
+
+        per_order = Counter(l[0] for l in data.lineitem)
+        assert set(per_order.values()) <= set(range(1, 8))
+        # o_orderkey set matches lineitem's l_orderkey set.
+        assert set(per_order) == {o[0] for o in data.orders}
+
+    def test_tiny_scale_floors(self):
+        tiny = generate(scale=1e-9, seed=1)
+        assert len(tiny.supplier) >= 5
+        assert len(tiny.orders) >= 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(scale=0.0005, seed=3)
+        b = generate(scale=0.0005, seed=3)
+        assert a.lineitem == b.lineitem
+        assert a.orders == b.orders
+
+    def test_different_seed_differs(self):
+        a = generate(scale=0.0005, seed=3)
+        b = generate(scale=0.0005, seed=4)
+        assert a.lineitem != b.lineitem
+
+
+class TestDistributions:
+    def test_primary_keys_unique(self, data):
+        for rows, key_len in ((data.part, 1), (data.supplier, 1),
+                              (data.customer, 1), (data.orders, 1)):
+            keys = [r[:key_len] for r in rows]
+            assert len(keys) == len(set(keys))
+        line_keys = [(l[0], l[3]) for l in data.lineitem]
+        assert len(line_keys) == len(set(line_keys))
+        ps_keys = [(p[0], p[1]) for p in data.partsupp]
+        assert len(ps_keys) == len(set(ps_keys))
+
+    def test_foreign_keys_resolve(self, data):
+        nation_keys = {n[0] for n in data.nation}
+        assert all(s[3] in nation_keys for s in data.supplier)
+        assert all(c[3] in nation_keys for c in data.customer)
+        part_keys = {p[0] for p in data.part}
+        supp_keys = {s[0] for s in data.supplier}
+        assert all(l[1] in part_keys for l in data.lineitem)
+        assert all(l[2] in supp_keys for l in data.lineitem)
+        region_keys = {r[0] for r in data.region}
+        assert all(n[2] in region_keys for n in NATIONS and data.nation)
+
+    def test_date_correlations(self, data):
+        by_key = {o[0]: o[4] for o in data.orders}
+        for line in data.lineitem:
+            order_date = by_key[line[0]]
+            ship, commit, receipt = line[10], line[11], line[12]
+            assert order_date < ship
+            assert ship < receipt
+            assert order_date < commit
+
+    def test_returnflag_rule(self, data):
+        for line in data.lineitem:
+            receipt, flag = line[12], line[8]
+            if receipt <= CURRENT_DATE:
+                assert flag in ("R", "A")
+            else:
+                assert flag == "N"
+
+    def test_order_status_consistent(self, data):
+        lines_by_order: dict[int, list[str]] = {}
+        for line in data.lineitem:
+            lines_by_order.setdefault(line[0], []).append(line[9])
+        for order in data.orders:
+            statuses = lines_by_order[order[0]]
+            if order[2] == "F":
+                assert all(s == "F" for s in statuses)
+            elif order[2] == "O":
+                assert all(s == "O" for s in statuses)
+            else:
+                assert len(set(statuses)) == 2
+
+    def test_discount_and_tax_ranges(self, data):
+        for line in data.lineitem:
+            assert 0 <= line[6] <= 0.10   # discount
+            assert 0 <= line[7] <= 0.08   # tax
+            assert 1 <= line[4] <= 50     # quantity
+
+    def test_region_names(self, data):
+        assert [r[1] for r in data.region] == REGIONS
+
+    def test_some_suppliers_complain(self, data):
+        complainers = [s for s in data.supplier if "complaints" in s[6]]
+        assert 0 <= len(complainers) <= len(data.supplier) // 5
+
+
+class TestRefreshGeneration:
+    def test_refresh_orders_have_lines(self, data):
+        orders, lines = generate_refresh_orders(data, count=20, seed=1)
+        keys = {o[0] for o in orders}
+        assert {l[0] for l in lines} == keys
+        assert all(1 <= sum(1 for l in lines if l[0] == k) <= 7
+                   for k in keys)
+
+    def test_refresh_advances_max_orderkey(self, data):
+        before = data.max_orderkey
+        orders, _lines = generate_refresh_orders(data, count=5, seed=2)
+        assert data.max_orderkey == max(o[0] for o in orders)
+        assert data.max_orderkey > before

@@ -1,0 +1,73 @@
+"""Power and throughput test harnesses produce sane measurements."""
+
+import pytest
+
+from repro.server.server import DatabaseServer
+from repro.sim.costs import SERVER_CPU, CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.power import run_power_test
+from repro.workloads.tpch.schema import setup_tpch_server
+from repro.workloads.tpch.throughput import run_throughput_test
+
+
+@pytest.fixture(scope="module")
+def tpch_world():
+    meter = Meter(CostModel())
+    server = DatabaseServer(meter=meter)
+    data = generate(scale=0.0005, seed=3)
+    setup_tpch_server(server, data)
+    return server, data
+
+
+class TestPowerTest:
+    def test_native_power_run(self, tpch_world):
+        server, data = tpch_world
+        app = BenchmarkApp(server, use_phoenix=False)
+        result = run_power_test(app, data, warm=False)
+        assert len(result.query_seconds) == 22
+        assert all(s > 0 for s in result.query_seconds.values())
+        assert result.rf1_seconds > 0
+        assert result.rf2_seconds > 0
+        assert result.rf_rows > 0
+
+    def test_phoenix_power_run_has_modest_overhead(self, tpch_world):
+        server, data = tpch_world
+        native = BenchmarkApp(server, use_phoenix=False)
+        native_result = run_power_test(native, data, warm=True)
+        phoenix = BenchmarkApp(server, use_phoenix=True)
+        phoenix_result = run_power_test(phoenix, data, warm=True)
+        assert len(phoenix_result.query_seconds) == 22
+        # Phoenix pays per-query persistence overhead: total time is
+        # higher, but bounded (each query adds table-create + load).
+        assert phoenix_result.total_query_seconds \
+            > native_result.total_query_seconds
+        per_query_overhead = (
+            (phoenix_result.total_query_seconds
+             - native_result.total_query_seconds) / 22)
+        assert per_query_overhead < 5.0
+
+    def test_same_rows_under_both_managers(self, tpch_world):
+        server, data = tpch_world
+        native = BenchmarkApp(server, use_phoenix=False)
+        phoenix = BenchmarkApp(server, use_phoenix=True)
+        native_result = run_power_test(native, data, warm=False)
+        phoenix_result = run_power_test(phoenix, data, warm=False)
+        assert native_result.query_rows == phoenix_result.query_rows
+
+
+class TestThroughputTest:
+    def test_two_streams(self, tpch_world):
+        server, data = tpch_world
+        app = BenchmarkApp(server, use_phoenix=False)
+        result = run_throughput_test(app, data, streams=2)
+        assert result.elapsed_seconds > 0
+        assert result.stream_count == 2
+        # Two streams sharing the server finish no faster than one
+        # stream's serial time and no slower than full serialization.
+        single = sum(t.total_seconds for t in result.query_traces.values())
+        assert result.elapsed_seconds >= single * 0.9
+        assert result.elapsed_seconds <= single * 2.5
+        # The server CPU is the contended resource for this workload.
+        assert result.queueing.utilization(SERVER_CPU) > 0.3

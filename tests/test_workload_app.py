@@ -1,0 +1,91 @@
+"""Tests for the measurement application (BenchmarkApp)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CLIENT_CPU, SERVER_CPU
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp, Timing
+
+
+@pytest.fixture
+def server():
+    server = DatabaseServer(meter=Meter())
+    app = BenchmarkApp(server)
+    app.run_statement("CREATE TABLE t (a INT)")
+    app.run_statement("INSERT INTO t VALUES (1), (2), (3)")
+    return server
+
+
+class TestBenchmarkApp:
+    def test_native_and_phoenix_construction(self, server):
+        native = BenchmarkApp(server, use_phoenix=False)
+        phoenix = BenchmarkApp(server, use_phoenix=True)
+        assert not hasattr(native.manager, "stats")
+        assert hasattr(phoenix.manager, "stats")
+
+    def test_run_query_counts_rows_and_time(self, server):
+        app = BenchmarkApp(server)
+        timing = app.run_query("SELECT a FROM t ORDER BY a",
+                               label="probe")
+        assert isinstance(timing, Timing)
+        assert timing.rows == 3
+        assert timing.seconds > 0
+        assert timing.label == "probe"
+
+    def test_run_query_without_fetch(self, server):
+        app = BenchmarkApp(server)
+        fetched = app.run_query("SELECT a FROM t", fetch=True)
+        unfetched = app.run_query("SELECT a FROM t", fetch=False)
+        assert unfetched.rows == 0
+        assert unfetched.seconds < fetched.seconds
+
+    def test_run_statement_reports_rowcount(self, server):
+        app = BenchmarkApp(server)
+        timing = app.run_statement("UPDATE t SET a = a + 1")
+        assert timing.rowcount == 3
+
+    def test_query_rows_convenience(self, server):
+        app = BenchmarkApp(server)
+        assert sorted(app.query_rows("SELECT a FROM t")) \
+            == [(1,), (2,), (3,)]
+
+    def test_trace_captures_resources(self, server):
+        app = BenchmarkApp(server)
+        timing = app.run_query("SELECT a FROM t")
+        assert timing.trace is not None
+        assert timing.trace.seconds_on(SERVER_CPU) > 0
+        assert timing.trace.seconds_on(CLIENT_CPU) > 0
+        assert timing.trace.total_seconds == pytest.approx(timing.seconds)
+
+    def test_measured_steps_wraps_compound_work(self, server):
+        app = BenchmarkApp(server)
+
+        def steps(a):
+            a.query_rows("SELECT count(*) FROM t")
+            a.run_statement("INSERT INTO t VALUES (99)")
+
+        timing = app.execute_measured_steps("compound", steps)
+        assert timing.label == "compound"
+        # Nested requests folded into one top-level trace.
+        assert timing.trace.total_seconds == pytest.approx(timing.seconds)
+
+    def test_failed_statement_raises_with_diag(self, server):
+        app = BenchmarkApp(server)
+        with pytest.raises(ReproError) as excinfo:
+            app.run_query("SELECT * FROM missing")
+        assert "missing" in str(excinfo.value)
+
+    def test_connect_failure_surfaces(self):
+        down = DatabaseServer(meter=Meter())
+        down.crash()
+        with pytest.raises(ReproError):
+            BenchmarkApp(down)
+
+    def test_apps_share_the_server_meter(self, server):
+        app = BenchmarkApp(server)
+        assert app.meter is server.meter
+        before = app.meter.now
+        app.query_rows("SELECT a FROM t")
+        assert app.meter.now > before
