@@ -1,0 +1,52 @@
+"""Wall-clock effect of the statement/plan caches (host time, §host).
+
+Unlike every other benchmark here, this one measures *host* seconds,
+not virtual seconds: the statement/plan caches and the metadata-probe
+cache are pure host-time optimizations, so the same statement stream is
+timed twice — once with every cache disabled, once with the defaults —
+and the two legs must agree on the virtual clock to the last digit
+while the cached leg finishes measurably sooner.
+
+The mix is TPC-C flavored: a transaction mix (through the Phoenix
+driver manager with the §4 client cache), a point-read loop (the OLTP
+steady state the plan cache targets), and repeated persists of one
+over-cache result set (metadata-probe traffic).  Results land in
+``bench_results/wallclock.json`` so the speedup is a tracked number.
+"""
+
+import json
+
+from conftest import RESULTS_DIR
+
+from repro.bench.experiments import run_wallclock
+
+
+def test_wallclock_speedup(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_wallclock(point_reads=2000), rounds=1, iterations=1)
+    report("wallclock", result.format())
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wallclock.json").write_text(json.dumps({
+        "mix": "TPC-C transactions + point selects + phoenix persists",
+        "baseline_host_seconds": round(result.baseline_host_seconds, 3),
+        "cached_host_seconds": round(result.cached_host_seconds, 3),
+        "speedup_percent": round(result.speedup_percent, 1),
+        "baseline_segments": {k: round(v, 3) for k, v
+                              in result.baseline_segments.items()},
+        "cached_segments": {k: round(v, 3) for k, v
+                            in result.cached_segments.items()},
+        "virtual_seconds": result.cached_virtual_seconds,
+        "counters": result.counters,
+        "cache_stats": result.cache_stats,
+    }, indent=2) + "\n")
+
+    # The caches must never move the virtual clock — bit-identical, not
+    # approximately equal.
+    assert result.baseline_virtual_seconds == result.cached_virtual_seconds
+    # The tracked win: the cached leg is at least 30% faster.
+    assert result.speedup_percent >= 30.0
+    # And the win comes from actual cache traffic.
+    assert result.counters.get("plan_cache_hits", 0) > 0
+    assert result.counters.get("meta_probe_hits", 0) > 0
+    assert result.cache_stats["plan_hits"] > 0

@@ -13,6 +13,8 @@ laptop-scale run reports SF-1-magnitude times (DESIGN.md §6).
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
 
 from repro.bench.reporting import format_table
@@ -28,10 +30,12 @@ from repro.workloads.tpch.schema import setup_tpch_server
 from repro.workloads.tpch.throughput import run_throughput_test
 from repro.workloads.tpcc.datagen import TpccScale, generate_tpcc
 from repro.workloads.tpcc.driver import (
+    choose_transaction,
     collect_transaction_traces,
     run_multiuser,
 )
 from repro.workloads.tpcc.schema import setup_tpcc_server
+from repro.workloads.tpcc.transactions import TRANSACTIONS
 
 DEFAULT_TPCH_SCALE = 0.002
 TARGET_SCALE = 1.0
@@ -503,3 +507,125 @@ def _fetch_per_tuple(app: BenchmarkApp, sql: str) -> float:
     elapsed = app.meter.now - start
     app.manager.free_statement(statement)
     return elapsed / max(1, fetched)
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock speedup of the statement/plan caches (host time, not virtual)
+# ---------------------------------------------------------------------------
+
+#: The repeated point reads of the wall-clock mix (OLTP steady state,
+#: where parse+plan rivals execution and the plan cache pays off).
+_WALLCLOCK_POINT_QUERIES = (
+    "SELECT c_balance, c_first, c_middle, c_last FROM customer "
+    "WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}",
+    "SELECT s_quantity FROM stock WHERE s_w_id = {w} AND s_i_id = {i}",
+)
+
+#: A result wider than the client cache, so Phoenix persists it —
+#: repeating it exercises the metadata-probe cache.
+_WALLCLOCK_PERSIST_QUERY = (
+    "SELECT c_id, c_balance FROM customer "
+    "WHERE c_w_id = 1 AND c_d_id = 1 ORDER BY c_id")
+
+
+@dataclass
+class WallclockResult:
+    """Host-time cost of the same statement mix with caches off vs on.
+
+    The caches are a host-time optimization only, so the two legs must
+    report *identical* virtual clocks — any drift is a fidelity bug.
+    """
+
+    baseline_host_seconds: float
+    cached_host_seconds: float
+    baseline_virtual_seconds: float
+    cached_virtual_seconds: float
+    baseline_segments: dict = field(default_factory=dict)
+    cached_segments: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def speedup_percent(self) -> float:
+        if self.baseline_host_seconds <= 0:
+            return 0.0
+        return 100.0 * (1.0 - self.cached_host_seconds
+                        / self.baseline_host_seconds)
+
+    def format(self) -> str:
+        body = [
+            [segment,
+             f"{self.baseline_segments.get(segment, 0.0):.3f}",
+             f"{self.cached_segments.get(segment, 0.0):.3f}"]
+            for segment in self.baseline_segments
+        ]
+        body.append(["total", f"{self.baseline_host_seconds:.3f}",
+                     f"{self.cached_host_seconds:.3f}"])
+        body.append(["speedup", "", f"{self.speedup_percent:.1f}%"])
+        return format_table(
+            "Wall-clock effect of statement/plan caching "
+            "(host seconds, TPC-C mix)",
+            ["Segment", "Caches off", "Caches on"], body)
+
+
+def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
+                   point_reads: int, persists: int, seed: int):
+    """One timed mix leg; world setup is excluded from the timers."""
+    server = DatabaseServer(
+        meter=Meter(tpcc_cost_model(6.0)),
+        plan_cache_capacity=128 if enable_caches else 0)
+    server.engine.buffer_pool.capacity_pages = 48
+    data = generate_tpcc(scale, seed=seed)
+    setup_tpcc_server(server, data)
+    meta_entries = 256 if enable_caches else 0
+    app = BenchmarkApp(server, use_phoenix=True,
+                       phoenix_config=PhoenixConfig(
+                           client_cache_rows=200,
+                           metadata_cache_entries=meta_entries))
+    # A second driver manager with the client cache off, so its queries
+    # go down the full §2.1 persistence pipeline (probe-cache traffic).
+    persist_app = BenchmarkApp(server, use_phoenix=True,
+                               phoenix_config=PhoenixConfig(
+                                   client_cache_rows=0,
+                                   metadata_cache_entries=meta_entries))
+    rng = random.Random(seed + 1)
+    segments: dict[str, float] = {}
+
+    plan = [(choose_transaction(rng), rng.randint(1, scale.warehouses))
+            for _ in range(txns)]
+    start = time.perf_counter()
+    for name, w_id in plan:
+        TRANSACTIONS[name](app, rng, scale, w_id)
+    segments["tpcc transactions"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(point_reads):
+        w = rng.randint(1, scale.warehouses)
+        d = rng.randint(1, scale.districts_per_warehouse)
+        c = rng.randint(1, scale.customers_per_district)
+        i = rng.randint(1, scale.items)
+        for template in _WALLCLOCK_POINT_QUERIES:
+            app.query_rows(template.format(w=w, d=d, c=c, i=i))
+    segments["point selects"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(persists):
+        persist_app.run_query(_WALLCLOCK_PERSIST_QUERY,
+                              label="persist", fetch=False)
+    segments["phoenix persists"] = time.perf_counter() - start
+
+    return (sum(segments.values()), app.meter.now, segments,
+            dict(app.meter.counters), dict(server.engine.cache_stats))
+
+
+def run_wallclock(scale: TpccScale = DEFAULT_TPCC_SCALE, txns: int = 120,
+                  point_reads: int = 1200, persists: int = 8,
+                  seed: int = 11) -> WallclockResult:
+    """Time an identical statement stream with caches off, then on."""
+    base = _wallclock_leg(False, scale, txns, point_reads, persists, seed)
+    hot = _wallclock_leg(True, scale, txns, point_reads, persists, seed)
+    return WallclockResult(
+        baseline_host_seconds=base[0], cached_host_seconds=hot[0],
+        baseline_virtual_seconds=base[1], cached_virtual_seconds=hot[1],
+        baseline_segments=base[2], cached_segments=hot[2],
+        counters=hot[3], cache_stats=hot[4])

@@ -22,12 +22,20 @@ from repro.errors import (
     TableNotFoundError,
     TransactionError,
 )
+from repro.errors import SqlSyntaxError
 from repro.sim.costs import SERVER_CPU, SERVER_DISK
 from repro.sim.meter import Meter
 from repro.sql import ast
 from repro.sql.executor import is_streamable_plan, iterate_plan
 from repro.sql.expressions import EvalContext
 from repro.sql.parser import parse_script, parse_statement
+from repro.sql.plan_cache import (
+    CachedStatement,
+    LRUCache,
+    PlanCacheEntry,
+    _type_signature,
+    normalize_statement,
+)
 from repro.sql.planner import Planner
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.catalog import Catalog, TableInfo
@@ -61,17 +69,17 @@ _TYPE_ALIASES = {
 }
 
 
-def _sys_tables(catalog: Catalog):
+def _sys_tables(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("table_id", SqlType.INTEGER),
                Column("file_id", SqlType.INTEGER),
                Column("column_count", SqlType.INTEGER)]
     rows = [(t.name, t.table_id, t.file_id, len(t.columns))
-            for t in catalog.tables.values() if not t.volatile]
+            for t in engine.catalog.tables.values() if not t.volatile]
     return columns, rows
 
 
-def _sys_columns(catalog: Catalog):
+def _sys_columns(engine: "DatabaseEngine"):
     columns = [Column("table_name", SqlType.VARCHAR, 64),
                Column("name", SqlType.VARCHAR, 64),
                Column("type_name", SqlType.VARCHAR, 16),
@@ -80,34 +88,45 @@ def _sys_columns(catalog: Catalog):
                Column("position", SqlType.INTEGER)]
     rows = [(t.name, c.name, c.sql_type.value, c.length,
              int(c.nullable), i + 1)
-            for t in catalog.tables.values() if not t.volatile
+            for t in engine.catalog.tables.values() if not t.volatile
             for i, c in enumerate(t.columns)]
     return columns, rows
 
 
-def _sys_indexes(catalog: Catalog):
+def _sys_indexes(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("table_name", SqlType.VARCHAR, 64),
                Column("column_names", SqlType.VARCHAR, 128),
                Column("is_unique", SqlType.INTEGER)]
     rows = [(ix.name, ix.table_name, ", ".join(ix.column_names),
              int(ix.unique))
-            for ix in catalog.indexes.values()]
+            for ix in engine.catalog.indexes.values()]
     return columns, rows
 
 
-def _sys_procedures(catalog: Catalog):
+def _sys_procedures(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("param_count", SqlType.INTEGER)]
     rows = [(p.name, len(p.param_names))
-            for p in catalog.procedures.values()]
+            for p in engine.catalog.procedures.values()]
     return columns, rows
 
 
-def _sys_views(catalog: Catalog):
+def _sys_views(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("definition", SqlType.VARCHAR, 512)]
-    rows = [(v.name, v.body_sql) for v in catalog.views.values()]
+    rows = [(v.name, v.body_sql) for v in engine.catalog.views.values()]
+    return columns, rows
+
+
+def _sys_plan_cache(engine: "DatabaseEngine"):
+    columns = [Column("metric", SqlType.VARCHAR, 32),
+               Column("value", SqlType.BIGINT)]
+    stats = engine.cache_stats
+    rows = [(name, int(stats[name])) for name in sorted(stats)]
+    rows += [("plan_entries", len(engine._plan_cache)),
+             ("stmt_entries", len(engine._stmt_cache)),
+             ("norm_entries", len(engine._norm_cache))]
     return columns, rows
 
 
@@ -117,6 +136,7 @@ _SYSTEM_TABLES = {
     "sys_indexes": _sys_indexes,
     "sys_procedures": _sys_procedures,
     "sys_views": _sys_views,
+    "sys_plan_cache": _sys_plan_cache,
 }
 
 
@@ -126,7 +146,8 @@ class DatabaseEngine:
     def __init__(self, meter: Meter | None = None,
                  disk: SimulatedDisk | None = None,
                  wal: WriteAheadLog | None = None,
-                 recover: bool = False):
+                 recover: bool = False,
+                 plan_cache_capacity: int = 128):
         self.meter = meter if meter is not None else Meter()
         self.disk = disk if disk is not None else SimulatedDisk()
         self.wal = wal if wal is not None else WriteAheadLog(self.meter)
@@ -140,6 +161,20 @@ class DatabaseEngine:
             self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
         self._volatile_seq = 0
+        # Statement/plan caches — a host-time optimization only: every
+        # virtual charge (parse/plan CPU included) is still levied per
+        # execution, so cached and cold runs meter identically.  Pass
+        # ``plan_cache_capacity=0`` to disable (the wall-clock baseline).
+        self.plan_cache_enabled = plan_cache_capacity > 0
+        cap = plan_cache_capacity if self.plan_cache_enabled else 1
+        self._norm_cache = LRUCache(4 * cap)    # raw text -> normalization
+        self._stmt_cache = LRUCache(2 * cap)    # template text -> parsed AST
+        self._plan_cache = LRUCache(cap)        # (text, sig) -> plan entry
+        self._script_cache = LRUCache(cap)      # script text -> parsed batch
+        self.cache_stats = {
+            "plan_hits": 0, "plan_misses": 0, "plan_invalidations": 0,
+            "stmt_hits": 0, "stmt_misses": 0,
+        }
         self.txns = TransactionManager(self.wal, self.locks, self)
         self.last_recovery: RecoveryReport | None = None
         if recover:
@@ -179,7 +214,7 @@ class DatabaseEngine:
         clients use these like SQL Server's system tables, e.g. the
         Phoenix maintenance tool enumerating orphaned result tables.
         """
-        columns, rows = _SYSTEM_TABLES[key](self.catalog)
+        columns, rows = _SYSTEM_TABLES[key](self)
         self._volatile_seq += 1
         file_id = -self._volatile_seq
         self.buffer_pool.register_volatile(file_id)
@@ -336,17 +371,219 @@ class DatabaseEngine:
     def execute(self, sql, session: EngineSession,
                 params: dict | None = None) -> StatementResult:
         """Execute one statement (SQL text or pre-parsed AST)."""
-        statement = parse_statement(sql) if isinstance(sql, str) else sql
-        self.meter.charge(SERVER_CPU,
-                          self.meter.costs.cpu_per_statement_seconds,
-                          "statement parse/plan")
-        return self._execute_parsed(statement, session, params or {})
+        if isinstance(sql, str):
+            prepared, norm = self._prepare(sql)
+        else:
+            prepared, norm = CachedStatement(statement=sql), None
+        return self._execute_one(prepared, norm, session, params or {})
 
     def execute_script(self, sql: str, session: EngineSession,
                        params: dict | None = None) -> list[StatementResult]:
-        """Execute a ``;``-separated batch; returns one result each."""
-        return [self._execute_parsed(stmt, session, params or {})
-                for stmt in parse_script(sql)]
+        """Execute a ``;``-separated batch; returns one result each.
+
+        Each statement is charged the same parse/plan CPU as a statement
+        arriving through :meth:`execute` — batches are not free.
+        """
+        return [self._execute_one(prepared, None, session, params or {})
+                for prepared in self._prepare_script(sql)]
+
+    def _execute_one(self, prepared: CachedStatement, norm,
+                     session: EngineSession,
+                     params: dict) -> StatementResult:
+        """The single entry point every statement funnels through: levy
+        the per-statement parse/plan charge, then dispatch.  ``norm`` is
+        the current text's normalization (its literal values), never the
+        shared template entry's."""
+        self.meter.charge(SERVER_CPU,
+                          self.meter.costs.cpu_per_statement_seconds,
+                          "statement parse/plan")
+        statement = prepared.statement
+        if norm is not None:
+            merged = norm.params
+            if params:
+                merged.update(params)
+            exec_params = merged
+        else:
+            exec_params = params
+        if (self.plan_cache_enabled and prepared.text is not None
+                and prepared.cacheable_plan
+                and isinstance(statement,
+                               (ast.SelectStatement, ast.UnionSelect))):
+            return self._execute_select_cached(prepared, norm, session,
+                                               exec_params, params)
+        return self._execute_parsed(statement, session, exec_params)
+
+    # -- statement preparation (levels 1 and 2) -----------------------------
+
+    def _prepare(self, sql: str):
+        """Resolve ``sql`` through the normalization and template caches.
+
+        Returns ``(shared template entry, this text's normalization)``.
+        """
+        if not self.plan_cache_enabled:
+            return CachedStatement(statement=parse_statement(sql)), None
+        norm = self._norm_cache.get(sql)
+        if norm is None:
+            norm = normalize_statement(sql)
+            self._norm_cache.put(sql, norm if norm is not None else False)
+        if norm is False:
+            norm = None
+        template = norm.text if norm is not None else sql
+        cached = self._stmt_cache.get(template)
+        if cached is not None:
+            self.cache_stats["stmt_hits"] += 1
+            return cached, norm
+        self.cache_stats["stmt_misses"] += 1
+        if norm is not None:
+            try:
+                statement = parse_statement(template)
+            except SqlSyntaxError:
+                # The template hid a literal the grammar needed; remember
+                # that this text must be taken verbatim.
+                self._norm_cache.put(sql, False)
+                norm, template = None, sql
+                statement = parse_statement(sql)
+        else:
+            statement = parse_statement(sql)
+        cached = CachedStatement(statement=statement, text=template)
+        self._stmt_cache.put(template, cached)
+        return cached, norm
+
+    def _prepare_script(self, sql: str) -> tuple:
+        """Parse a ``;``-separated batch once; reuse on repeat texts."""
+        if not self.plan_cache_enabled:
+            return tuple(CachedStatement(statement=s)
+                         for s in parse_script(sql))
+        cached = self._script_cache.get(sql)
+        if cached is None:
+            cached = tuple(CachedStatement(statement=s)
+                           for s in parse_script(sql))
+            self._script_cache.put(sql, cached)
+        return cached
+
+    # -- plan cache (level 3) -----------------------------------------------
+
+    def _execute_select_cached(self, prepared: CachedStatement, norm,
+                               session: EngineSession, params: dict,
+                               user_params: dict) -> StatementResult:
+        statement = prepared.statement
+        sig = norm.signature if norm is not None else ()
+        if user_params:
+            sig = sig + tuple(sorted(
+                (name, _type_signature(value))
+                for name, value in user_params.items()))
+        key = (prepared.text, sig)
+        entry = self._lookup_plan(key, session)
+        if entry is not None:
+            self.cache_stats["plan_hits"] += 1
+            self.meter.count("plan_cache_hits")
+            # Rebind in place: the plan's compiled closures captured this
+            # exact dict.  Subquery memos are cleared so every execution
+            # starts from the state a fresh compile would have.
+            entry.params.clear()
+            entry.params.update(params)
+            for subquery in entry.subqueries:
+                subquery.memo.clear()
+            return self._run_select_entry(entry, statement, session)
+        self.cache_stats["plan_misses"] += 1
+        self.meter.count("plan_cache_misses")
+        plan_params = dict(params)
+        planner = Planner(self.table_provider(session), self.meter,
+                          plan_params, view_provider=self.view_provider())
+        plan = planner.plan_select(statement)
+        entry = PlanCacheEntry(plan=plan, params=plan_params,
+                               subqueries=list(planner.subquery_log),
+                               table_versions={}, temp_tables={},
+                               streamable=is_streamable_plan(plan.root))
+        self._remember_plan(key, entry, statement, session)
+        return self._run_select_entry(entry, statement, session)
+
+    def _lookup_plan(self, key, session: EngineSession):
+        """Find a still-valid cached plan for ``key``, or None."""
+        store = self._plan_cache
+        entry = store.get(key)
+        if entry is None and session is not None:
+            store = session.plan_cache
+            entry = store.get(key)
+        if entry is None:
+            return None
+        if entry.active > 0:
+            # A suspended row stream still reads entry.params; plan fresh
+            # rather than rebinding under it.
+            return None
+        if not entry.is_valid(self.catalog):
+            store.pop(key)
+            self.cache_stats["plan_invalidations"] += 1
+            return None
+        for name, runtime in entry.temp_tables.items():
+            if session is None or session.temp_table(name) is not runtime:
+                store.pop(key)
+                self.cache_stats["plan_invalidations"] += 1
+                return None
+        return entry
+
+    def _remember_plan(self, key, entry: PlanCacheEntry,
+                       statement: ast.Statement,
+                       session: EngineSession) -> None:
+        """Record revalidation facts and store the entry (when legal)."""
+        names = self._plan_dependencies(statement)
+        if any(name in _SYSTEM_TABLES for name in names):
+            return  # sys_* snapshots are rebuilt (and charged) per query
+        for name in names:
+            if name.startswith("#"):
+                runtime = (session.temp_table(name)
+                           if session is not None else None)
+                if runtime is None:
+                    return
+                entry.temp_tables[name] = runtime
+            else:
+                entry.table_versions[name] = self.catalog.version_of(name)
+        if entry.temp_tables:
+            if session is not None:
+                session.plan_cache.put(key, entry)
+        else:
+            self._plan_cache.put(key, entry)
+
+    def _plan_dependencies(self, statement: ast.Statement) -> set[str]:
+        """Every table/view name a plan for ``statement`` depends on,
+        with views expanded recursively."""
+        names: set[str] = set()
+        pending = list(self._referenced_tables(statement))
+        while pending:
+            name = pending.pop()
+            if name in names:
+                continue
+            names.add(name)
+            view = self.catalog.get_view(name)
+            if view is not None:
+                try:
+                    body = parse_statement(view.body_sql)
+                except SqlSyntaxError:
+                    continue
+                pending.extend(self._referenced_tables(body))
+        return names
+
+    def _run_select_entry(self, entry: PlanCacheEntry,
+                          statement: ast.Statement,
+                          session: EngineSession) -> StatementResult:
+        if session is not None and session.in_transaction:
+            for name in self._referenced_tables(statement):
+                if not name.startswith("#"):
+                    self.locks.acquire(session.current_txn.txn_id, name,
+                                       LockMode.SHARED)
+        plan = entry.plan
+        entry.active += 1
+
+        def guarded_rows():
+            try:
+                yield from iterate_plan(plan.root, self.meter)
+            finally:
+                entry.active -= 1
+
+        result = StatementResult.of_rows(plan.output_columns,
+                                         guarded_rows())
+        result.streamable = entry.streamable
+        return result
 
     def _execute_parsed(self, statement: ast.Statement,
                         session: EngineSession,
@@ -725,11 +962,11 @@ class DatabaseEngine:
                 f"arguments, got {len(arg_values)}")
         bound = dict(zip(proc.param_names, arg_values))
         result = StatementResult.ok(f"procedure {proc.name} executed")
-        for stmt in parse_script(proc.body_sql):
+        for prepared in self._prepare_script(proc.body_sql):
             self.meter.charge(SERVER_CPU,
                               self.meter.costs.cpu_per_statement_seconds,
                               "proc statement")
-            result = self._execute_parsed(stmt, session, bound)
+            result = self._execute_parsed(prepared.statement, session, bound)
         return result
 
     # -- helpers ---------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.table import Table
+from repro.sql.plan_cache import LRUCache
 from repro.txn.manager import Transaction
 
 
@@ -23,6 +24,9 @@ class EngineSession:
     temp_tables: dict[str, Table] = field(default_factory=dict)
     current_txn: Transaction | None = None
     settings: dict[str, object] = field(default_factory=dict)
+    #: Plans that reference this session's temp tables; they die with the
+    #: session (disconnect or crash), like the temp tables themselves.
+    plan_cache: LRUCache = field(default_factory=lambda: LRUCache(32))
 
     @property
     def in_transaction(self) -> bool:

@@ -180,4 +180,4 @@ class Table:
         if self._meter is None:
             return
         seconds = getattr(self._meter.costs, cost_attr) * self.cost_factor
-        self._meter.charge(SERVER_CPU, seconds, cost_attr)
+        self._meter.charge_batched(SERVER_CPU, seconds, cost_attr)

@@ -36,6 +36,10 @@ class NativeDriver:
         self.server = server
         self.network = network
         self.meter = meter
+        #: Catalog generation last reported by the server (rides on every
+        #: ExecuteResponse).  Client-side metadata caches key on it so any
+        #: DDL observed through this driver invalidates them.
+        self.last_schema_version = 0
 
     # -- connections ----------------------------------------------------------
 
@@ -81,6 +85,7 @@ class NativeDriver:
         response = self.network.call(self.server, ExecuteRequest(
             session_token=connection.session_token, sql=sql,
             params=dict(params or {})))
+        self.last_schema_version = response.schema_version
         result = ResultState()
         if response.kind == "rows":
             result.columns = response.columns

@@ -111,6 +111,10 @@ class ExecuteResponse:
     done: bool = True            # row stream exhausted?
     rowcount: int = -1
     message: str = ""
+    #: Server catalog generation at execution time; rides in the existing
+    #: header (the 32-byte meta block already has room), so it adds no
+    #: wire bytes.  Clients use it to invalidate metadata caches.
+    schema_version: int = 0
 
     def wire_bytes(self) -> int:
         meta = 32 + 16 * len(self.columns)

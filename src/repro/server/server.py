@@ -64,9 +64,11 @@ class _ServerSession:
 class DatabaseServer:
     """Hosts the engine behind the wire protocol."""
 
-    def __init__(self, meter: Meter | None = None):
+    def __init__(self, meter: Meter | None = None,
+                 plan_cache_capacity: int = 128):
         self.meter = meter if meter is not None else Meter()
-        self.engine = DatabaseEngine(meter=self.meter)
+        self.engine = DatabaseEngine(
+            meter=self.meter, plan_cache_capacity=plan_cache_capacity)
         self.disk = self.engine.disk
         self.wal = self.engine.wal
         self._sessions: dict[int, _ServerSession] = {}
@@ -159,12 +161,15 @@ class DatabaseServer:
         session = self._session(request.session_token)
         result = self.engine.execute(request.sql, session.engine_session,
                                      request.params)
+        schema_version = self.engine.catalog.schema_version
         if result.kind == "rowcount":
             return ExecuteResponse(kind="rowcount",
                                    rowcount=result.rowcount,
-                                   message=result.message)
+                                   message=result.message,
+                                   schema_version=schema_version)
         if result.kind == "ok":
-            return ExecuteResponse(kind="ok", message=result.message)
+            return ExecuteResponse(kind="ok", message=result.message,
+                                   schema_version=schema_version)
         statement_id = session.next_statement_id()
         streamable = getattr(result, "streamable", False)
         open_result = ServerResultSet(statement_id, result.columns,
@@ -179,7 +184,7 @@ class DatabaseServer:
             statement_id = 0 if not rows else statement_id
         return ExecuteResponse(kind="rows", statement_id=statement_id,
                                columns=result.columns, rows=rows,
-                               done=done)
+                               done=done, schema_version=schema_version)
 
     def _handle_fetch(self, request: FetchRequest) -> FetchResponse:
         session = self._session(request.session_token)

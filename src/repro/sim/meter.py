@@ -64,11 +64,16 @@ class Meter:
         #: clock.  Multi-stream experiments set this so elapsed time comes
         #: from the queueing simulator instead of serial accumulation.
         self.advance_clock: bool = True
+        # Pending batched charge: (resource, note, accumulated seconds).
+        self._pending: tuple[str, str, float] | None = None
+        self._recorders: list[list[Segment]] = []
 
     # -- charging -----------------------------------------------------------
 
     def charge(self, resource: str, seconds: float, note: str = "") -> None:
         """Charge ``seconds`` of use of ``resource`` to the current request."""
+        if self._pending is not None:
+            self._flush_pending()
         if resource not in ALL_RESOURCES:
             raise ValueError(f"unknown resource {resource!r}")
         if seconds < 0:
@@ -77,9 +82,63 @@ class Meter:
             return
         if self.advance_clock:
             self.clock.advance(seconds)
+        segment = Segment(resource, seconds, note)
         if self._open_requests:
-            self._open_requests[-1].segments.append(
-                Segment(resource, seconds, note))
+            self._open_requests[-1].segments.append(segment)
+        for sink in self._recorders:
+            sink.append(segment)
+
+    def charge_batched(self, resource: str, seconds: float,
+                       note: str = "") -> None:
+        """Accumulate a hot-path charge, flushed as one ``charge`` later.
+
+        Batching changes only the *granularity* of segments, never the
+        total, so it is safe only when the serial clock is authoritative.
+        Multi-stream experiments (``advance_clock`` False) replay traces
+        through the queueing simulator, where segment boundaries determine
+        how streams interleave — there we fall through to per-call
+        ``charge`` so recorded traces are identical to the unbatched ones.
+        """
+        if not self.advance_clock:
+            self.charge(resource, seconds, note)
+            return
+        if self._pending is not None:
+            p_resource, p_note, p_seconds = self._pending
+            if p_resource == resource and p_note == note:
+                self._pending = (resource, note, p_seconds + seconds)
+                return
+            self._flush_pending()
+        self._pending = (resource, note, seconds)
+
+    def _flush_pending(self) -> None:
+        """Emit the accumulated batched charge as one real segment."""
+        if self._pending is None:
+            return
+        resource, note, seconds = self._pending
+        self._pending = None
+        self.charge(resource, seconds, note)
+
+    # -- segment recording (metadata-probe replay support) ------------------
+
+    def push_recorder(self) -> list[Segment]:
+        """Start teeing every charged segment into a fresh list."""
+        self._flush_pending()
+        sink: list[Segment] = []
+        self._recorders.append(sink)
+        return sink
+
+    def pop_recorder(self, sink: list[Segment]) -> list[Segment]:
+        """Stop recording into ``sink`` (must be the innermost recorder)."""
+        self._flush_pending()
+        if not self._recorders or self._recorders[-1] is not sink:
+            raise ValueError("recorders must be popped innermost-first")
+        self._recorders.pop()
+        return sink
+
+    def replay_segments(self, segments: list[Segment]) -> None:
+        """Re-charge a recorded segment sequence verbatim."""
+        for seg in segments:
+            self.charge(seg.resource, seg.seconds, seg.note)
 
     def count(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named diagnostic counter."""
@@ -89,12 +148,14 @@ class Meter:
 
     def begin_request(self, label: str) -> RequestTrace:
         """Open a request trace; nested requests attach to the innermost."""
+        self._flush_pending()
         trace = RequestTrace(label=label)
         self._open_requests.append(trace)
         return trace
 
     def end_request(self, trace: RequestTrace) -> RequestTrace:
         """Close ``trace`` and append it to the recorded traces."""
+        self._flush_pending()
         if not self._open_requests or self._open_requests[-1] is not trace:
             raise ValueError("request traces must be closed innermost-first")
         self._open_requests.pop()
@@ -129,13 +190,16 @@ class Meter:
 
     @property
     def now(self) -> float:
+        self._flush_pending()
         return self.clock.now
 
     def reset_traces(self) -> None:
         """Drop recorded traces and counters (clock keeps its value)."""
+        self._flush_pending()
         self.traces.clear()
         self.counters.clear()
 
     def seconds_on(self, resource: str) -> float:
         """Total recorded seconds on ``resource`` across all closed traces."""
+        self._flush_pending()
         return sum(t.seconds_on(resource) for t in self.traces)

@@ -28,8 +28,10 @@ class ExecContext:
     outer: EvalContext | None = None
 
     def charge_cpu(self, seconds: float) -> None:
+        # Batched: per-tuple charges accumulate and flush as one segment
+        # with the identical total (see Meter.charge_batched).
         if self.meter is not None and seconds > 0:
-            self.meter.charge(SERVER_CPU, seconds, "query cpu")
+            self.meter.charge_batched(SERVER_CPU, seconds, "query cpu")
 
     @property
     def costs(self):

@@ -383,12 +383,14 @@ class ExprCompiler:
 
     def __init__(self, scope: Scope, subquery_planner=None,
                  subquery_runner=None, params: dict | None = None,
-                 replacements: dict[int, int] | None = None):
+                 replacements: dict[int, int] | None = None,
+                 subquery_log: list | None = None):
         self._scope = scope
         self._plan_subquery = subquery_planner
         self._run_subquery = subquery_runner
         self._params = params or {}
         self._replacements = replacements or {}
+        self._subquery_log = subquery_log
 
     def compile(self, node: ast.Expr):
         """Return ``fn(ctx: EvalContext) -> value``."""
@@ -415,8 +417,11 @@ class ExprCompiler:
     def _compile_param(self, node: ast.Param):
         if node.name not in self._params:
             raise PlanningError(f"unbound parameter @{node.name}")
-        value = self._params[node.name]
-        return lambda ctx: value
+        # Look the value up at eval time: cached plans are re-executed with
+        # the same (mutable) params dict rebound to new values.
+        params = self._params
+        name = node.name
+        return lambda ctx: params[name]
 
     def _compile_columnref(self, node: ast.ColumnRef):
         level, index = self._scope.resolve(node.table, node.name)
@@ -597,7 +602,10 @@ class ExprCompiler:
             raise PlanningError("subqueries are not allowed in this context")
         plan, outer_refs = self._plan_subquery(select, self._scope,
                                                limit_one)
-        return CompiledSubquery(plan=plan, outer_refs=outer_refs)
+        compiled = CompiledSubquery(plan=plan, outer_refs=outer_refs)
+        if self._subquery_log is not None:
+            self._subquery_log.append(compiled)
+        return compiled
 
     def _execute_subquery(self, compiled: CompiledSubquery,
                           ctx: EvalContext) -> list[tuple]:

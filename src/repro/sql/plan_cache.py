@@ -1,0 +1,365 @@
+"""Statement normalization and multi-level statement/plan caching.
+
+Everything here trades *host* time for memory without moving a single
+virtual second: the engine still levies ``cpu_per_statement_seconds`` per
+executed statement, so paper-calibrated timings are untouched whether a
+statement hits or misses these caches.
+
+Three levels, all LRU-bounded:
+
+1. **Normalization cache** — raw statement text to its auto-parameterized
+   form (:func:`normalize_statement`): literals are replaced by ``@__litN``
+   markers so the thousands of distinct TPC-C texts that differ only in
+   inlined values collapse onto a handful of templates.  Pure text
+   transform, schema independent, never invalidated.
+2. **Template cache** — normalized (or raw, when not normalizable) text to
+   its parsed AST.  Parsing is schema independent too; cached ASTs are
+   treated as read-only and shared.
+3. **Plan cache** — ``(normalized text, parameter type signature)`` to a
+   compiled SELECT plan.  Plans bake in schema facts (column layouts,
+   chosen indexes, inferred output types), so each entry records the
+   catalog version of every table/view it touched and is revalidated on
+   lookup; any DDL on a referenced object makes the entry stale.  Entries
+   whose statements touch temp tables are held on the session (they die
+   with it); everything else is engine-wide and dies with the engine on a
+   crash.
+
+Why literals become parameters *selectively*: the planner folds provably
+constant predicates (``WHERE 0 = 1`` becomes an empty scan), treats bare
+integers in ORDER BY as output positions, and requires literal integers
+after TOP/LIMIT — parameterizing those would change plan shapes and
+therefore virtual time.  The normalizer keeps exactly those literal
+positions verbatim; see :func:`_literals_to_keep`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+#: Namespace for auto-generated parameters; statements that already use it
+#: are left alone so explicit binds can never collide.
+PARAM_PREFIX = "__lit"
+
+_NORMALIZABLE_STARTERS = frozenset({"SELECT", "INSERT", "UPDATE", "DELETE"})
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+_LITERAL_TYPES = (TokenType.NUMBER, TokenType.STRING)
+#: Keywords that can directly precede a bare-constant conjunct
+#: (``WHERE 0``): such literals stay verbatim so constant folding in
+#: the planner sees exactly what the raw text said.
+_CONJUNCT_HEADS = frozenset({"WHERE", "AND", "OR", "HAVING", "NOT"})
+
+
+class LRUCache:
+    """A size-bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._items: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._items.get(key)
+        if value is not None:
+            self._items.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    def pop(self, key) -> None:
+        self._items.pop(key, None)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def values(self):
+        return self._items.values()
+
+    def items(self):
+        return self._items.items()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key) -> bool:
+        return key in self._items
+
+
+@dataclass(frozen=True)
+class NormalizedStatement:
+    """Outcome of auto-parameterizing one statement text."""
+
+    text: str                     # template with @__litN markers
+    values: tuple                 # (name, value) pairs, in marker order
+    signature: tuple              # per-marker type signature (cache key part)
+
+    @property
+    def params(self) -> dict:
+        return dict(self.values)
+
+
+def normalize_statement(sql: str) -> NormalizedStatement | None:
+    """Auto-parameterize ``sql``; None when it must be taken verbatim.
+
+    Only plain DML/queries are normalized — DDL carries literals that are
+    grammar (VARCHAR lengths), and control statements have none worth
+    extracting.  Returns None rather than guessing whenever any rule is
+    unsure, in which case the caller caches on the raw text instead.
+    """
+    # Cheap starter screen before paying for a full tokenize: anything
+    # that is not plain DML/query (DDL, EXEC, BEGIN, ...) is verbatim.
+    # Only trusted when the text starts with a word — a leading comment
+    # hides the real starter, so fall through to the tokenizer then.
+    head = sql.lstrip()[:6].upper()
+    if head[:1].isalpha() and head not in _NORMALIZABLE_STARTERS:
+        return None
+    try:
+        tokens = tokenize(sql)
+    except SqlSyntaxError:
+        return None
+    if not tokens or tokens[0].type is not TokenType.KEYWORD:
+        return None
+    if tokens[0].value not in _NORMALIZABLE_STARTERS:
+        return None
+    for tok in tokens:
+        if (tok.type is TokenType.PARAMETER
+                and tok.value.startswith(PARAM_PREFIX)):
+            return None
+
+    keep = _literals_to_keep(tokens)
+    out: list[str] = []
+    names: dict[tuple, str] = {}       # (kind, key) -> param name
+    values: list[tuple[str, object]] = []
+    signature: list[tuple] = []
+
+    def intern(kind: str, key, value) -> str:
+        name = names.get((kind, key))
+        if name is None:
+            name = f"{PARAM_PREFIX}{len(names)}"
+            names[(kind, key)] = name
+            values.append((name, value))
+            signature.append(_type_signature(value))
+        return name
+
+    i = 0
+    n = len(tokens)
+    changed = False
+    while i < n:
+        tok = tokens[i]
+        if tok.type is TokenType.END:
+            break
+        # DATE 'yyyy-mm-dd' collapses into one date-valued parameter
+        # (the parser only accepts a STRING after DATE, so the pair must
+        # be absorbed together or left together).
+        if (tok.type is TokenType.KEYWORD and tok.value == "DATE"
+                and i + 1 < n and tokens[i + 1].type is TokenType.STRING
+                and (i + 1) not in keep):
+            try:
+                date_value = datetime.date.fromisoformat(tokens[i + 1].value)
+            except ValueError:
+                return None  # the parser would reject it; keep seed behavior
+            out.append("@" + intern("date", tokens[i + 1].value, date_value))
+            changed = True
+            i += 2
+            continue
+        if tok.type in _LITERAL_TYPES and i not in keep:
+            prev = tokens[i - 1] if i > 0 else None
+            if (prev is not None and prev.type is TokenType.KEYWORD
+                    and prev.value in ("DATE", "INTERVAL")):
+                out.append(_render(tok))
+                i += 1
+                continue
+            if tok.type is TokenType.NUMBER:
+                value = _number_value(tok.value)
+                out.append("@" + intern("num", tok.value, value))
+            else:
+                out.append("@" + intern("str", tok.value, tok.value))
+            changed = True
+            i += 1
+            continue
+        out.append(_render(tok))
+        i += 1
+
+    if not changed:
+        return None
+    return NormalizedStatement(text=" ".join(out), values=tuple(values),
+                               signature=tuple(signature))
+
+
+def _number_value(text: str):
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)
+
+
+def _type_signature(value) -> tuple:
+    # String lengths are part of the signature because the planner's output
+    # type inference reports VARCHAR(len(value)) for string parameters —
+    # a cached plan must reproduce the exact column metadata of a cold one.
+    if isinstance(value, str):
+        return ("str", len(value))
+    if isinstance(value, bool):
+        return ("bool",)
+    if isinstance(value, int):
+        return ("int",)
+    if isinstance(value, float):
+        return ("float",)
+    if isinstance(value, datetime.date):
+        return ("date",)
+    return (type(value).__name__,)
+
+
+def _render(tok: Token) -> str:
+    if tok.type is TokenType.STRING:
+        return "'" + tok.value.replace("'", "''") + "'"
+    if tok.type is TokenType.PARAMETER:
+        return "@" + tok.value
+    return tok.value
+
+
+def _literals_to_keep(tokens: list[Token]) -> set[int]:
+    """Indices of literal tokens that must stay verbatim in the template.
+
+    Kept positions are exactly the ones where the planner's behavior
+    depends on *seeing* a literal:
+
+    * integers after TOP / LIMIT (grammar requires them);
+    * literals after DATE / INTERVAL (grammar; DATE is absorbed separately);
+    * bare integers in an ORDER BY list (1-based output positions);
+    * literal-compared-to-literal predicates (constant folding —
+      ``WHERE 0 = 1`` must still plan as an empty scan);
+    * a literal standing alone as a conjunct (``WHERE 0``).
+    """
+    keep: set[int] = set()
+    n = len(tokens)
+    depth = 0
+    order_depth: int | None = None
+
+    def literal_unit(start: int) -> tuple[int, ...]:
+        """Literal token indices of a constant operand at ``start``
+        (empty when that side of the comparison is not a constant).
+        ``DATE 'x'`` counts as a constant whose literal is the string."""
+        if not 0 <= start < n:
+            return ()
+        if tokens[start].type in _LITERAL_TYPES:
+            return (start,)
+        if (tokens[start].type is TokenType.KEYWORD
+                and tokens[start].value == "DATE" and start + 1 < n
+                and tokens[start + 1].type is TokenType.STRING):
+            return (start + 1,)
+        return ()
+
+    for i, tok in enumerate(tokens):
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < n else None
+
+        if tok.type is TokenType.OPERATOR:
+            if tok.value == "(":
+                depth += 1
+            elif tok.value == ")":
+                depth -= 1
+                if order_depth is not None and depth < order_depth:
+                    order_depth = None
+            elif tok.value in _COMPARISON_OPS:
+                left = literal_unit(i - 1)
+                right = literal_unit(i + 1)
+                if left and right:
+                    keep.update(left)
+                    keep.update(right)
+            continue
+
+        if tok.type is TokenType.KEYWORD:
+            if (tok.value == "BY" and prev is not None
+                    and prev.type is TokenType.KEYWORD
+                    and prev.value == "ORDER"):
+                order_depth = depth
+            elif tok.value == "LIMIT" and order_depth == depth:
+                order_depth = None
+            continue
+
+        if tok.type not in _LITERAL_TYPES:
+            continue
+
+        if (prev is not None and prev.type is TokenType.KEYWORD
+                and prev.value in ("TOP", "LIMIT", "INTERVAL")):
+            keep.add(i)
+            continue
+        # Bare-constant conjunct: WHERE 0 / ... AND 1 — the planner folds
+        # these, so hide nothing from it.
+        if (prev is not None and prev.type is TokenType.KEYWORD
+                and prev.value in _CONJUNCT_HEADS
+                and (nxt is None or nxt.type is TokenType.END
+                     or nxt.type is TokenType.KEYWORD
+                     or (nxt.type is TokenType.OPERATOR
+                         and nxt.value == ")"))):
+            keep.add(i)
+            continue
+        # ORDER BY positional: integer list element at the list's depth.
+        if (tok.type is TokenType.NUMBER and order_depth == depth
+                and "." not in tok.value
+                and "e" not in tok.value and "E" not in tok.value
+                and prev is not None
+                and ((prev.type is TokenType.KEYWORD and prev.value == "BY")
+                     or (prev.type is TokenType.OPERATOR
+                         and prev.value == ","))
+                and nxt is not None
+                and ((nxt.type is TokenType.OPERATOR
+                      and nxt.value in (",", ")"))
+                     or (nxt.type is TokenType.KEYWORD
+                         and nxt.value in ("ASC", "DESC", "LIMIT"))
+                     or nxt.type is TokenType.END)):
+            keep.add(i)
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# Cached objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CachedStatement:
+    """Level-2 entry: one parsed statement, shared across every raw text
+    that normalizes to the same template.  Holds nothing text-specific —
+    per-call literal values travel in the :class:`NormalizedStatement`
+    of the *current* raw text, never in this shared object."""
+
+    statement: object                         # parsed AST (read-only)
+    #: Template text the statement was parsed from; None when the
+    #: statement arrived pre-parsed (no text to key a plan on).
+    text: str | None = None
+    cacheable_plan: bool = True               # False after a planning mishap
+
+
+@dataclass
+class PlanCacheEntry:
+    """Level-3 entry: one compiled SELECT plan plus revalidation facts."""
+
+    plan: object                 # repro.sql.planner.Plan
+    params: dict                 # mutable dict the plan's closures captured
+    subqueries: list             # CompiledSubquery objects (memos cleared
+                                 # before each reuse)
+    table_versions: dict[str, int]   # referenced name -> catalog version
+    #: Referenced temp tables, name -> the Table runtime the plan baked
+    #: in.  Validated by object identity: a dropped/recreated temp table
+    #: gets a fresh runtime, which makes the entry unusable.
+    temp_tables: dict
+    streamable: bool = False
+    #: Number of row streams of this plan currently being consumed.  A
+    #: suspended stream still reads the shared params dict, so a new
+    #: execution must not rebind it; lookups bypass active entries.
+    active: int = 0
+
+    def is_valid(self, catalog) -> bool:
+        return all(catalog.version_of(name) == version
+                   for name, version in self.table_versions.items())

@@ -112,6 +112,10 @@ class Planner:
         #: Scopes created while planning, used to harvest correlation refs
         #: at subquery boundaries.
         self._scope_log: list[Scope] = []
+        #: Every CompiledSubquery built for this planner's plans.  The plan
+        #: cache clears their memos before re-executing a cached plan, so a
+        #: reuse sees exactly the fresh-compile memo state.
+        self.subquery_log: list = []
 
     def _new_scope(self, bindings: list[tuple[str, str]],
                    outer: Scope | None) -> Scope:
@@ -833,7 +837,8 @@ class Planner:
             subquery_planner=self._plan_subquery,
             subquery_runner=self._run_subquery,
             params=self._params,
-            replacements=replacements)
+            replacements=replacements,
+            subquery_log=self.subquery_log)
 
     def _plan_subquery(self, select: ast.SelectStatement, scope: Scope,
                        limit_one: bool):

@@ -37,7 +37,12 @@ class BufferPool:
         self._meter = meter
         self._wal = wal
         self.capacity_pages = capacity_pages
+        #: Durable frames only, in LRU order — eviction scans this directly.
         self._frames: OrderedDict[tuple[int, int], Page] = OrderedDict()
+        #: Volatile frames (temp tables, Phoenix scratch): never flushed and
+        #: never evicted, kept out of the LRU so eviction does not have to
+        #: skip-scan past them.  They still occupy capacity.
+        self._volatile_frames: dict[tuple[int, int], Page] = {}
         self._dirty: set[tuple[int, int]] = set()
         self._volatile_files: set[int] = set()
         self.hits = 0
@@ -52,6 +57,9 @@ class BufferPool:
     def register_volatile(self, file_id: int) -> None:
         """Mark ``file_id`` as volatile: in-memory only, dies on crash."""
         self._volatile_files.add(file_id)
+        for key in [k for k in self._frames if k[0] == file_id]:
+            self._volatile_frames[key] = self._frames.pop(key)
+            self._dirty.discard(key)
 
     def is_volatile(self, file_id: int) -> bool:
         return file_id in self._volatile_files
@@ -67,14 +75,19 @@ class BufferPool:
         amplification for base tables).
         """
         key = (file_id, page_no)
+        if file_id in self._volatile_files:
+            page = self._volatile_frames.get(key)
+            if page is not None:
+                self.hits += 1
+                return page
+            self.misses += 1
+            return None
         page = self._frames.get(key)
         if page is not None:
             self.hits += 1
             self._frames.move_to_end(key)
             return page
         self.misses += 1
-        if file_id in self._volatile_files:
-            return None
         image = self._disk.read_page(file_id, page_no)
         if image is None:
             return None
@@ -87,7 +100,8 @@ class BufferPool:
     def new_page(self, file_id: int, page_no: int, capacity: int) -> Page:
         """Allocate a fresh page in the pool (dirty, not yet on disk)."""
         key = (file_id, page_no)
-        if key in self._frames or self._disk.has_page(file_id, page_no):
+        if key in self._frames or key in self._volatile_frames \
+                or self._disk.has_page(file_id, page_no):
             raise ValueError(f"page {key} already exists")
         page = Page(page_no, capacity)
         self._admit(key, page)
@@ -96,10 +110,13 @@ class BufferPool:
 
     def mark_dirty(self, file_id: int, page_no: int) -> None:
         key = (file_id, page_no)
+        if file_id in self._volatile_files:
+            if key not in self._volatile_frames:
+                raise ValueError(f"page {key} is not resident")
+            return
         if key not in self._frames:
             raise ValueError(f"page {key} is not resident")
-        if file_id not in self._volatile_files:
-            self._dirty.add(key)
+        self._dirty.add(key)
 
     def is_dirty(self, file_id: int, page_no: int) -> bool:
         return (file_id, page_no) in self._dirty
@@ -130,21 +147,23 @@ class BufferPool:
 
     def drop_file(self, file_id: int) -> None:
         """Forget all cached pages of a dropped file."""
-        keys = [k for k in self._frames if k[0] == file_id]
-        for key in keys:
+        for key in [k for k in self._frames if k[0] == file_id]:
             del self._frames[key]
             self._dirty.discard(key)
+        for key in [k for k in self._volatile_frames if k[0] == file_id]:
+            del self._volatile_frames[key]
         self._volatile_files.discard(file_id)
 
     def crash(self) -> None:
         """Lose everything volatile (called by the server on crash)."""
         self._frames.clear()
+        self._volatile_frames.clear()
         self._dirty.clear()
         self._volatile_files.clear()
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        return len(self._frames) + len(self._volatile_frames)
 
     @property
     def dirty_pages(self) -> int:
@@ -153,17 +172,22 @@ class BufferPool:
     # -- internals -----------------------------------------------------------
 
     def _admit(self, key: tuple[int, int], page: Page) -> None:
-        while len(self._frames) >= self.capacity_pages:
+        # Volatile pages count toward capacity (they occupy real frames),
+        # so admissions of either kind apply the same eviction pressure.
+        while len(self._frames) + len(self._volatile_frames) \
+                >= self.capacity_pages:
             if not self._evict_one():
                 break  # everything pinned/volatile; allow overflow
-        self._frames[key] = page
-        self._frames.move_to_end(key)
+        if key[0] in self._volatile_files:
+            self._volatile_frames[key] = page
+        else:
+            self._frames[key] = page
+            self._frames.move_to_end(key)
 
     def _evict_one(self) -> bool:
-        """Evict the least-recently-used non-volatile page."""
+        """Evict the least-recently-used durable page (O(1): volatile
+        frames live in their own dict and are never candidates)."""
         for key in self._frames:
-            if key[0] in self._volatile_files:
-                continue
             if key in self._dirty:
                 self.flush_page(*key)
             del self._frames[key]
@@ -172,7 +196,7 @@ class BufferPool:
 
     def _charge_io(self, seconds: float) -> None:
         if self._meter is not None:
-            self._meter.charge(SERVER_DISK, seconds, "page io")
+            self._meter.charge_batched(SERVER_DISK, seconds, "page io")
             self._meter.count("disk_io")
 
     def _read_cost(self, cost_factor: float) -> float:

@@ -86,6 +86,25 @@ class Catalog:
     views: dict[str, ViewInfo] = field(default_factory=dict)
     next_table_id: int = 1
     next_file_id: int = 1
+    #: Per-object-name DDL version counters (plan-cache invalidation keys).
+    versions: dict[str, int] = field(default_factory=dict)
+    #: Client-visible schema version carried in the protocol.  Counts only
+    #: application DDL: Phoenix's own result-set tables and load procedures
+    #: (``phoenix``-prefixed) churn constantly and must not invalidate the
+    #: client metadata cache.
+    schema_version: int = 0
+
+    # -- versioning ----------------------------------------------------------
+
+    def bump_version(self, name: str) -> None:
+        """Record a DDL change to the named object."""
+        key = name.lower()
+        self.versions[key] = self.versions.get(key, 0) + 1
+        if not key.startswith("phoenix"):
+            self.schema_version += 1
+
+    def version_of(self, name: str) -> int:
+        return self.versions.get(name.lower(), 0)
 
     # -- tables ---------------------------------------------------------------
 
@@ -111,6 +130,7 @@ class Catalog:
                          amplified=amplified,
                          primary_key=tuple(c.lower() for c in primary_key))
         self.tables[key] = info
+        self.bump_version(key)
         return info
 
     def drop_table(self, name: str) -> TableInfo:
@@ -121,6 +141,7 @@ class Catalog:
         for index_name in [n for n, ix in self.indexes.items()
                            if ix.table_name == key]:
             del self.indexes[index_name]
+        self.bump_version(key)
         return info
 
     def get_table(self, name: str) -> TableInfo:
@@ -146,12 +167,14 @@ class Catalog:
                          column_names=tuple(c.lower() for c in column_names),
                          unique=unique)
         self.indexes[key] = info
+        self.bump_version(table.name)
         return info
 
     def drop_index(self, name: str) -> IndexInfo:
         info = self.indexes.pop(name.lower(), None)
         if info is None:
             raise CatalogError(f"index {name!r} does not exist")
+        self.bump_version(info.table_name)
         return info
 
     def indexes_on(self, table_name: str) -> list[IndexInfo]:
@@ -168,12 +191,14 @@ class Catalog:
         info = ProcedureInfo(name=key, param_names=tuple(param_names),
                              body_sql=body_sql)
         self.procedures[key] = info
+        self.bump_version(key)
         return info
 
     def drop_procedure(self, name: str) -> ProcedureInfo:
         info = self.procedures.pop(name.lower(), None)
         if info is None:
             raise ProcedureNotFoundError(f"procedure {name!r} does not exist")
+        self.bump_version(info.name)
         return info
 
     def get_procedure(self, name: str) -> ProcedureInfo:
@@ -195,12 +220,14 @@ class Catalog:
             raise CatalogError(f"{name!r} is a table")
         info = ViewInfo(name=key, body_sql=body_sql)
         self.views[key] = info
+        self.bump_version(key)
         return info
 
     def drop_view(self, name: str) -> ViewInfo:
         info = self.views.pop(name.lower(), None)
         if info is None:
             raise CatalogError(f"view {name!r} does not exist")
+        self.bump_version(info.name)
         return info
 
     def get_view(self, name: str) -> ViewInfo | None:
@@ -249,6 +276,8 @@ class Catalog:
             ],
             "next_table_id": self.next_table_id,
             "next_file_id": self.next_file_id,
+            "versions": dict(self.versions),
+            "schema_version": self.schema_version,
         }
 
     @classmethod
@@ -274,6 +303,11 @@ class Catalog:
             catalog.create_view(v["name"], v["body_sql"])
         catalog.next_table_id = snapshot["next_table_id"]
         catalog.next_file_id = snapshot["next_file_id"]
+        # The create_* calls above bumped fresh counters; overwrite with the
+        # persisted values so versions survive restart exactly.
+        catalog.versions = dict(snapshot.get("versions", catalog.versions))
+        catalog.schema_version = snapshot.get("schema_version",
+                                              catalog.schema_version)
         return catalog
 
     def rename_table(self, old: str, new: str) -> TableInfo:
@@ -283,6 +317,8 @@ class Catalog:
         if new_key in self.tables:
             raise TableExistsError(f"table {new!r} already exists")
         del self.tables[info.name]
+        self.bump_version(old)
         info = replace(info, name=new_key)
         self.tables[new_key] = info
+        self.bump_version(new_key)
         return info

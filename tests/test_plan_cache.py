@@ -1,0 +1,266 @@
+"""Statement/plan cache tests: normalization, reuse, invalidation.
+
+The cache layer is a host-time optimization only — every test here that
+touches the meter asserts the cached path charges *exactly* what the
+cold path charges.
+"""
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.sim.meter import Meter
+from repro.sql.plan_cache import normalize_statement
+
+
+# ---------------------------------------------------------------------------
+# Auto-parameterization (normalize_statement)
+# ---------------------------------------------------------------------------
+
+
+class TestNormalization:
+    def test_literals_collapse_to_one_template(self):
+        a = normalize_statement("SELECT a FROM t WHERE b = 7")
+        b = normalize_statement("SELECT a FROM t WHERE b = 99")
+        assert a is not None and b is not None
+        assert a.text == b.text
+        assert a.params != b.params
+
+    def test_values_and_signature_recorded(self):
+        norm = normalize_statement(
+            "SELECT a FROM t WHERE b = 7 AND s = 'x'")
+        assert sorted(norm.params.values(), key=str) == [7, "x"]
+        assert len(norm.signature) == 2
+
+    def test_top_limit_literals_are_grammar(self):
+        norm = normalize_statement("SELECT TOP 5 a FROM t WHERE b = 1")
+        assert "TOP 5" in norm.text
+        assert 5 not in norm.params.values()
+
+    def test_order_by_position_kept(self):
+        norm = normalize_statement(
+            "SELECT a, b FROM t WHERE a = 3 ORDER BY 2")
+        assert norm.text.rstrip().endswith("ORDER BY 2")
+
+    def test_where_zero_equals_one_kept(self):
+        # The Phoenix metadata probe relies on WHERE 0 = 1 pruning the
+        # plan to nothing; parameterizing it would change plan shape.
+        norm = normalize_statement("SELECT a FROM t WHERE 0 = 1")
+        assert norm is None or "0 = 1" in norm.text
+
+    def test_date_literal_becomes_one_date_param(self):
+        import datetime
+
+        norm = normalize_statement(
+            "SELECT a FROM t WHERE d < date '2001-04-02'")
+        assert datetime.date(2001, 4, 2) in norm.params.values()
+
+    def test_ddl_not_normalized(self):
+        assert normalize_statement("CREATE TABLE t (a INT)") is None
+        assert normalize_statement("DROP TABLE t") is None
+
+    def test_no_literals_means_none(self):
+        assert normalize_statement("SELECT a FROM t") is None
+
+
+# ---------------------------------------------------------------------------
+# Plan reuse and invalidation (engine level)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def cached_run(run, engine):
+    """Like ``run``, returning (rows, hits-delta) per call."""
+
+    def _go(sql):
+        before = engine.cache_stats["plan_hits"]
+        rows = run(sql)
+        return rows, engine.cache_stats["plan_hits"] - before
+
+    return _go
+
+
+@pytest.fixture
+def people(run):
+    run("CREATE TABLE people (id INT NOT NULL, name VARCHAR(20), "
+        "age INT, PRIMARY KEY (id))")
+    run("INSERT INTO people (id, name, age) VALUES "
+        "(1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)")
+
+
+class TestPlanReuse:
+    def test_second_execution_hits(self, cached_run, people):
+        _, hits = cached_run("SELECT name FROM people WHERE age > 20")
+        assert hits == 0
+        rows, hits = cached_run("SELECT name FROM people WHERE age > 20")
+        assert hits == 1
+        assert sorted(rows) == [("alice",), ("bob",), ("carol",)]
+
+    def test_different_literals_share_plan(self, cached_run, people):
+        rows, _ = cached_run("SELECT name FROM people WHERE id = 1")
+        assert rows == [("alice",)]
+        rows, hits = cached_run("SELECT name FROM people WHERE id = 3")
+        assert hits == 1
+        assert rows == [("carol",)]
+
+    def test_cached_rows_match_cold_engine(self, people, run):
+        cold = DatabaseEngine(meter=Meter(), plan_cache_capacity=0)
+        cold_session = EngineSession(session_id=9)
+        cold.execute("CREATE TABLE people (id INT NOT NULL, "
+                     "name VARCHAR(20), age INT, PRIMARY KEY (id))",
+                     cold_session)
+        cold.execute("INSERT INTO people (id, name, age) VALUES "
+                     "(1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35)",
+                     cold_session)
+        for key in (1, 2, 3, 2, 1):
+            sql = f"SELECT name, age FROM people WHERE id = {key}"
+            assert run(sql) == cold.execute(sql,
+                                            cold_session).fetch_all()
+
+    def test_param_type_change_replans(self, engine, session, people):
+        # A VARCHAR(5) vs VARCHAR(6) literal is a different signature —
+        # both must execute correctly, as separate plan entries.
+        sql = "SELECT id FROM people WHERE name = {0!r}"
+        assert engine.execute(sql.format("bob"), session).fetch_all() \
+            == [(2,)]
+        assert engine.execute(sql.format("carol"), session).fetch_all() \
+            == [(3,)]
+
+    def test_sys_plan_cache_view(self, run, people):
+        run("SELECT * FROM people WHERE id = 1")
+        run("SELECT * FROM people WHERE id = 2")
+        stats = dict(run("SELECT metric, value FROM sys_plan_cache"))
+        assert stats["plan_hits"] >= 1
+        assert stats["plan_entries"] >= 1
+
+
+class TestInvalidation:
+    def test_create_table_bumps_version(self, run, engine):
+        before = engine.catalog.schema_version
+        run("CREATE TABLE t (a INT)")
+        assert engine.catalog.version_of("t") == 1
+        assert engine.catalog.schema_version > before
+
+    def test_drop_table_evicts_plan(self, run, engine, people):
+        run("SELECT name FROM people WHERE id = 1")
+        assert len(engine._plan_cache) == 1
+        run("DROP TABLE people")
+        run("CREATE TABLE people (id INT, name VARCHAR(20), age INT)")
+        run("INSERT INTO people VALUES (7, 'dora', 40)")
+        before = engine.cache_stats["plan_invalidations"]
+        assert run("SELECT name FROM people WHERE id = 7") == [("dora",)]
+        assert engine.cache_stats["plan_invalidations"] == before + 1
+
+    def test_create_index_invalidates_and_is_used(self, run, engine,
+                                                  people):
+        run("SELECT name FROM people WHERE age = 25")
+        run("CREATE INDEX ix_age ON people (age)")
+        before = engine.cache_stats["plan_invalidations"]
+        assert run("SELECT name FROM people WHERE age = 25") == [("bob",)]
+        assert engine.cache_stats["plan_invalidations"] == before + 1
+        plan = run("EXPLAIN SELECT name FROM people WHERE age = 25")
+        assert any("ix_age" in str(row) for row in plan)
+
+    def test_unrelated_ddl_keeps_plan(self, run, engine, people):
+        run("SELECT name FROM people WHERE id = 1")
+        run("CREATE TABLE other (x INT)")
+        before = engine.cache_stats["plan_hits"]
+        run("SELECT name FROM people WHERE id = 1")
+        assert engine.cache_stats["plan_hits"] == before + 1
+
+
+class TestTempTablePlans:
+    def test_temp_plan_is_session_scoped(self, engine, session, run):
+        run("CREATE TABLE #scratch (a INT)")
+        run("INSERT INTO #scratch VALUES (1), (2)")
+        assert run("SELECT a FROM #scratch WHERE a = 1") == [(1,)]
+        assert len(session.plan_cache) == 1
+        assert len(engine._plan_cache) == 0
+        other = EngineSession(session_id=2)
+        with pytest.raises(Exception):
+            engine.execute("SELECT a FROM #scratch WHERE a = 1", other)
+
+    def test_temp_plan_dies_with_session(self, engine, run, session):
+        run("CREATE TABLE #scratch (a INT)")
+        run("INSERT INTO #scratch VALUES (1)")
+        run("SELECT a FROM #scratch WHERE a = 1")
+        # A crash kills the session; the replacement session re-creates
+        # the temp table and must not see the old session's plan.
+        fresh = EngineSession(session_id=3)
+        engine.execute("CREATE TABLE #scratch (a VARCHAR(5))", fresh)
+        engine.execute("INSERT INTO #scratch VALUES ('x')", fresh)
+        assert engine.execute("SELECT a FROM #scratch WHERE a = 'x'",
+                              fresh).fetch_all() == [("x",)]
+        assert len(fresh.plan_cache) == 1
+
+    def test_recreated_temp_table_invalidates(self, run, session):
+        run("CREATE TABLE #scratch (a INT)")
+        run("INSERT INTO #scratch VALUES (1)")
+        assert run("SELECT a FROM #scratch WHERE a = 1") == [(1,)]
+        run("DROP TABLE #scratch")
+        run("CREATE TABLE #scratch (a INT)")
+        run("INSERT INTO #scratch VALUES (5)")
+        # Same text, same session — but the runtime object changed, so
+        # the cached plan must not resurrect the dropped heap.
+        assert run("SELECT a FROM #scratch WHERE a = 5") == [(5,)]
+
+
+# ---------------------------------------------------------------------------
+# Virtual-time fidelity
+# ---------------------------------------------------------------------------
+
+
+def _fresh_world(plan_cache_capacity):
+    engine = DatabaseEngine(meter=Meter(),
+                            plan_cache_capacity=plan_cache_capacity)
+    session = EngineSession(session_id=1)
+    return engine, session
+
+
+class TestVirtualFidelity:
+    def _load_tpch(self, engine, session):
+        from repro.workloads.tpch.datagen import generate
+        from repro.workloads.tpch.schema import create_schema, load
+
+        create_schema(engine, session)
+        load(engine, session, generate(scale=0.0005, seed=11))
+
+    def test_tpch_query_cold_vs_cached_meter_totals(self):
+        """Acceptance regression: one TPC-H query, cold vs. cached."""
+        from repro.workloads.tpch.queries import QUERIES
+
+        totals = {}
+        for capacity in (0, 128):
+            engine, session = _fresh_world(capacity)
+            self._load_tpch(engine, session)
+            marks = []
+            rows = []
+            for _ in range(3):  # cold, then (maybe) cached twice
+                start = engine.meter.now
+                rows.append(engine.execute(QUERIES[6],
+                                           session).fetch_all())
+                marks.append(engine.meter.now - start)
+            totals[capacity] = marks
+            assert rows[0] == rows[1] == rows[2]
+        assert totals[0] == totals[128]
+
+    def test_execute_script_charges_like_execute(self):
+        """execute_script levies the same per-statement parse/plan CPU."""
+        script = ("INSERT INTO t VALUES (1); "
+                  "INSERT INTO t VALUES (2); "
+                  "SELECT a FROM t WHERE a = 1")
+        engine, session = _fresh_world(128)
+        engine.execute("CREATE TABLE t (a INT)", session)
+        start = engine.meter.now
+        results = engine.execute_script(script, session)
+        results[-1].fetch_all()
+        script_seconds = engine.meter.now - start
+
+        engine2, session2 = _fresh_world(128)
+        engine2.execute("CREATE TABLE t (a INT)", session2)
+        start = engine2.meter.now
+        for sql in script.split("; "):
+            result = engine2.execute(sql, session2)
+            if result.kind == "rows":
+                result.fetch_all()
+        assert engine2.meter.now - start == script_seconds

@@ -101,6 +101,47 @@ class TestPreparedStatements:
         assert fetch_all(manager, stmt) == [("two",)]
 
 
+class TestPlanCacheThroughManagers:
+    def test_reexecution_hits_plan_cache(self, manager_conn):
+        server, manager, conn = manager_conn
+        stmt = manager.alloc_statement(conn)
+        manager.prepare(stmt, "SELECT s FROM t WHERE a = @key")
+        for key in (1, 2, 3):
+            manager.bind_param(stmt, "key", key)
+            assert manager.execute(stmt) == SQL_SUCCESS
+            fetch_all(manager, stmt)
+        assert server.engine.cache_stats["plan_hits"] >= 2
+
+    def test_ddl_between_executions_stays_correct(self, manager_conn):
+        server, manager, conn = manager_conn
+        stmt = manager.alloc_statement(conn)
+        manager.prepare(stmt, "SELECT s FROM t WHERE a = @key")
+        manager.bind_param(stmt, "key", 2)
+        assert manager.execute(stmt) == SQL_SUCCESS
+        assert fetch_all(manager, stmt) == [("two",)]
+        ddl = manager.alloc_statement(conn)
+        assert manager.exec_direct(
+            ddl, "CREATE INDEX ix_a ON t (a)") == SQL_SUCCESS
+        assert manager.execute(stmt) == SQL_SUCCESS
+        assert fetch_all(manager, stmt) == [("two",)]
+        assert server.engine.cache_stats["plan_invalidations"] >= 1
+
+    def test_phoenix_probe_cache_counts_hits(self, manager_conn):
+        server, manager, conn = manager_conn
+        if not isinstance(manager, PhoenixDriverManager):
+            pytest.skip("metadata probes are Phoenix-only")
+        # client_cache_rows defaults to 0, so each SELECT is persisted
+        # and starts with a WHERE 0=1 metadata probe; the second run of
+        # the same text must be answered from the probe cache.
+        for _ in range(2):
+            stmt = manager.alloc_statement(conn)
+            assert manager.exec_direct(
+                stmt, "SELECT s FROM t ORDER BY a") == SQL_SUCCESS
+            fetch_all(manager, stmt)
+            manager.free_statement(stmt)
+        assert server.meter.counters.get("meta_probe_hits", 0) >= 1
+
+
 class TestInlineParameters:
     def test_values_rendered(self):
         sql = inline_parameters(

@@ -105,6 +105,23 @@ class TestBufferPool:
         pool.crash()
         assert pool.get_page(99, 0) is None
 
+    def test_volatile_frames_stay_out_of_the_lru(self, disk, meter):
+        # The eviction scan must never walk volatile frames: they live
+        # in their own dict, so the durable LRU holds only candidates.
+        pool = BufferPool(disk, meter, capacity_pages=8)
+        pool.register_volatile(99)
+        for i in range(6):
+            pool.new_page(99, i, capacity=4)
+        pool.new_page(1, 0, capacity=4)
+        assert all(key[0] != 99 for key in pool._frames)
+        assert pool.resident_pages == 7
+        # Filling past capacity evicts the durable page even though the
+        # volatile majority is unevictable.
+        pool.new_page(1, 1, capacity=4)
+        pool.new_page(1, 2, capacity=4)
+        assert disk.has_page(1, 0)
+        assert pool.get_page(99, 3) is not None
+
     def test_drop_file_forgets_pages(self, disk, meter):
         pool = BufferPool(disk, meter)
         pool.new_page(1, 0, capacity=4)
