@@ -8,6 +8,7 @@ regenerated artifacts.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -26,3 +27,26 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _report
+
+
+@pytest.fixture
+def record_recovery_phases():
+    """Merge one figure's per-phase breakdowns into
+    ``bench_results/recovery_phases.json`` (fig3 writes the ``client``
+    key, fig4 the ``server`` key; reruns overwrite only their own key).
+    """
+
+    def _record(mode: str, breakdowns: list[dict]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "recovery_phases.json"
+        merged: dict = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except ValueError:
+                merged = {}
+        merged[mode] = breakdowns
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True)
+                        + "\n")
+
+    return _record

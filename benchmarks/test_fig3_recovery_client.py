@@ -13,13 +13,18 @@ FRACTIONS = (0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.002,
              0.001, 0.0)
 
 
-def test_fig3_recovery_client(benchmark, report):
+def test_fig3_recovery_client(benchmark, report, record_recovery_phases):
     result = benchmark.pedantic(
         lambda: run_fig3(scale=SCALE, fractions=FRACTIONS),
         rounds=1, iterations=1)
     report("fig3_recovery_client", result.format())
+    record_recovery_phases("client", result.breakdowns)
 
     assert len(result.rows) >= 3, "need several result sizes"
+    assert len(result.breakdowns) == len(result.rows)
+    for breakdown in result.breakdowns:
+        assert breakdown["reconnect"] > 0
+        assert breakdown["reposition"] > 0
     sizes = [size for size, _v, _s in result.rows]
     sql_state = [s for _size, _v, s in result.rows]
     virtual = [v for _size, v, _s in result.rows]

@@ -13,13 +13,15 @@ FRACTIONS = (0.05, 0.03, 0.02, 0.015, 0.01, 0.007, 0.005, 0.002,
              0.001, 0.0)
 
 
-def test_fig4_recovery_server(benchmark, report):
+def test_fig4_recovery_server(benchmark, report, record_recovery_phases):
     result = benchmark.pedantic(
         lambda: run_fig4(scale=SCALE, fractions=FRACTIONS),
         rounds=1, iterations=1)
     report("fig4_recovery_server", result.format())
+    record_recovery_phases("server", result.breakdowns)
 
     assert len(result.rows) >= 3
+    assert len(result.breakdowns) == len(result.rows)
     totals = [v + s for _size, v, s in result.rows]
     # Sub-second recovery across the board.
     assert all(t < 1.0 for t in totals)

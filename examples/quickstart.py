@@ -7,7 +7,14 @@ application code below never mentions crashes — it just keeps calling
 ``USE_PHOENIX`` to False to watch the same application break.
 
     python examples/quickstart.py
+
+With ``REPRO_TRACE=1`` the run is traced end to end and the span tree
+is exported as JSONL (``REPRO_TRACE_OUT``, default
+``quickstart_trace.jsonl``) for ``python -m repro.obs.validate`` and
+``python -m repro.bench trace-report --input``.
 """
+
+import os
 
 from repro.odbc.constants import SQL_NO_DATA, SQL_SUCCESS
 from repro.server.server import DatabaseServer
@@ -67,6 +74,14 @@ def main() -> None:
         print(f"phoenix stats: {stats['persisted_results']} result set(s) "
               f"persisted, {stats['recoveries']} session recover(ies)")
     print(f"virtual time elapsed: {app.meter.now:.3f}s")
+
+    if app.meter.obs.enabled:
+        from repro.obs.export import export_trace
+
+        out = os.environ.get("REPRO_TRACE_OUT", "quickstart_trace.jsonl")
+        count = export_trace(app.meter.obs, out)
+        print(f"trace: {len(app.meter.obs.tracer.finished)} span(s) "
+              f"recorded, {count} record(s) exported to {out}")
 
 
 if __name__ == "__main__":

@@ -7,9 +7,14 @@ Phoenix recovers the session and repositions inside the persisted result
 — compare the client-side and server-side repositioning costs (the
 paper's Figures 3 and 4) printed at the end.
 
+Each run is traced: the dashboard finishes with a per-layer span
+summary, the five-phase recovery breakdown, and a ``SELECT`` against
+the ``sys_recovery_phases`` system view — the observability tour.
+
     python examples/report_dashboard.py
 """
 
+from repro.obs.report import summarize_spans
 from repro.odbc.constants import SQL_NO_DATA, SQL_SUCCESS
 from repro.phoenix.config import PhoenixConfig
 from repro.server.server import DatabaseServer
@@ -31,6 +36,7 @@ def page_through_report(server: DatabaseServer, mode: str) -> dict:
     """Run the stock report, crash mid-paging, recover, finish."""
     config = PhoenixConfig(reposition_mode=mode)
     app = BenchmarkApp(server, use_phoenix=True, phoenix_config=config)
+    app.meter.obs.tracer.enable()
     sql = q11(fraction=0.0)  # the Important Stock Identification Query
 
     statement = app.manager.alloc_statement(app.conn)
@@ -50,9 +56,13 @@ def page_through_report(server: DatabaseServer, mode: str) -> dict:
         assert rc == SQL_SUCCESS
         rows += 1
     phases = app.manager.recovery_phase_seconds
+    view_rows = app.query_rows(
+        "SELECT recovery_id, phase, seconds FROM sys_recovery_phases")
     return {"mode": mode, "rows": rows, "crashed": crashed,
             "virtual_session_s": phases.get("virtual_session", 0.0),
-            "sql_state_s": phases.get("sql_state", 0.0)}
+            "sql_state_s": phases.get("sql_state", 0.0),
+            "breakdown": app.manager.recovery_phase_breakdown,
+            "obs": app.meter.obs, "view_rows": view_rows}
 
 
 def main() -> None:
@@ -68,6 +78,20 @@ def main() -> None:
         print(f"  recovery: virtual session "
               f"{outcome['virtual_session_s']:.3f}s + SQL state "
               f"{outcome['sql_state_s']:.3f}s")
+        print("  phase breakdown (virtual seconds):")
+        for phase, seconds in outcome["breakdown"].items():
+            print(f"    {phase:<18} {seconds:.4f}")
+        print("  SELECT phase, seconds FROM sys_recovery_phases:")
+        for _rid, phase, seconds in outcome["view_rows"]:
+            print(f"    {phase:<18} {seconds:.4f}")
+        obs = outcome["obs"]
+        spans = [span.to_dict() for span in obs.tracer.finished]
+        summary = summarize_spans(
+            spans, source=f"{mode}-side run",
+            dropped=obs.tracer.dropped,
+            counters=obs.metrics.counters)
+        print()
+        print(summary.format())
     client, server_side = results
     if server_side["sql_state_s"] > 0:
         speedup = client["sql_state_s"] / server_side["sql_state_s"]

@@ -8,6 +8,10 @@ Regenerate any of the paper's tables/figures without pytest:
 
 Results print as paper-style tables and are also written under
 ``bench_results/``.
+
+``trace-report`` is the odd one out: instead of running a simulation it
+summarizes an exported JSONL trace (``--input trace.jsonl``) per layer —
+see :mod:`repro.obs.export` for producing one.
 """
 
 from __future__ import annotations
@@ -33,12 +37,21 @@ EXPERIMENTS = {
 }
 
 
+def _trace_report(args):
+    from repro.obs.report import build_trace_report
+
+    if not args.input:
+        raise SystemExit("trace-report needs --input <trace.jsonl>")
+    return build_trace_report(args.input)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all"],
+                        choices=sorted(EXPERIMENTS) + ["all",
+                                                       "trace-report"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale factor override")
@@ -46,8 +59,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="TPC-C measurement window (virtual seconds)")
     parser.add_argument("--out", default="bench_results",
                         help="directory for the result tables")
+    parser.add_argument("--input", default=None,
+                        help="exported JSONL trace (trace-report only)")
     args = parser.parse_args(argv)
 
+    if args.experiment == "trace-report":
+        print(_trace_report(args).format())
+        return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out)

@@ -224,6 +224,10 @@ class RecoveryResult:
     scale: float
     #: (result size, virtual-session seconds, sql-state seconds)
     rows: list[tuple] = field(default_factory=list)
+    #: One dict per measured recovery: ``result_size`` plus the
+    #: five-phase breakdown (:data:`repro.obs.RECOVERY_PHASES` keys) —
+    #: exported to ``bench_results/recovery_phases.json``.
+    breakdowns: list[dict] = field(default_factory=list)
 
     def format(self) -> str:
         title = ("Figure 3" if self.reposition_mode == "client"
@@ -285,7 +289,11 @@ def run_recovery_experiment(reposition_mode: str,
         phases = app.manager.recovery_phase_seconds
         result.rows.append((size, phases.get("virtual_session", 0.0),
                             phases.get("sql_state", 0.0)))
+        result.breakdowns.append(
+            {"result_size": size,
+             **app.manager.recovery_phase_breakdown})
     result.rows.sort()
+    result.breakdowns.sort(key=lambda b: b["result_size"])
     return result
 
 

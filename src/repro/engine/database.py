@@ -23,6 +23,7 @@ from repro.errors import (
     TransactionError,
 )
 from repro.errors import SqlSyntaxError
+from repro.obs.views import SYSTEM_VIEWS, system_view
 from repro.sim.costs import SERVER_CPU, SERVER_DISK
 from repro.sim.meter import Meter
 from repro.sql import ast
@@ -69,6 +70,7 @@ _TYPE_ALIASES = {
 }
 
 
+@system_view("sys_tables")
 def _sys_tables(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("table_id", SqlType.INTEGER),
@@ -79,6 +81,7 @@ def _sys_tables(engine: "DatabaseEngine"):
     return columns, rows
 
 
+@system_view("sys_columns")
 def _sys_columns(engine: "DatabaseEngine"):
     columns = [Column("table_name", SqlType.VARCHAR, 64),
                Column("name", SqlType.VARCHAR, 64),
@@ -93,6 +96,7 @@ def _sys_columns(engine: "DatabaseEngine"):
     return columns, rows
 
 
+@system_view("sys_indexes")
 def _sys_indexes(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("table_name", SqlType.VARCHAR, 64),
@@ -104,6 +108,7 @@ def _sys_indexes(engine: "DatabaseEngine"):
     return columns, rows
 
 
+@system_view("sys_procedures")
 def _sys_procedures(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("param_count", SqlType.INTEGER)]
@@ -112,6 +117,7 @@ def _sys_procedures(engine: "DatabaseEngine"):
     return columns, rows
 
 
+@system_view("sys_views")
 def _sys_views(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("definition", SqlType.VARCHAR, 512)]
@@ -119,25 +125,9 @@ def _sys_views(engine: "DatabaseEngine"):
     return columns, rows
 
 
-def _sys_plan_cache(engine: "DatabaseEngine"):
-    columns = [Column("metric", SqlType.VARCHAR, 32),
-               Column("value", SqlType.BIGINT)]
-    stats = engine.cache_stats
-    rows = [(name, int(stats[name])) for name in sorted(stats)]
-    rows += [("plan_entries", len(engine._plan_cache)),
-             ("stmt_entries", len(engine._stmt_cache)),
-             ("norm_entries", len(engine._norm_cache))]
-    return columns, rows
-
-
-_SYSTEM_TABLES = {
-    "sys_tables": _sys_tables,
-    "sys_columns": _sys_columns,
-    "sys_indexes": _sys_indexes,
-    "sys_procedures": _sys_procedures,
-    "sys_views": _sys_views,
-    "sys_plan_cache": _sys_plan_cache,
-}
+# The observability views (sys_traces, sys_metrics, sys_recovery_phases,
+# sys_plan_cache) register themselves into the same SYSTEM_VIEWS registry
+# when repro.obs.views is imported above.
 
 
 class DatabaseEngine:
@@ -176,6 +166,9 @@ class DatabaseEngine:
             "stmt_hits": 0, "stmt_misses": 0,
         }
         self.txns = TransactionManager(self.wal, self.locks, self)
+        #: Live engine sessions by connection token — lets system views
+        #: (``sys_plan_cache``) report per-session temp-plan state.
+        self.sessions: dict[int, EngineSession] = {}
         self.last_recovery: RecoveryReport | None = None
         if recover:
             self.last_recovery = RecoveryManager(self.wal, self).recover()
@@ -202,7 +195,7 @@ class DatabaseEngine:
             if temp is None:
                 raise TableNotFoundError(f"temp table {name!r} does not exist")
             return temp
-        if key in _SYSTEM_TABLES:
+        if key in SYSTEM_VIEWS:
             return self._system_table(key)
         info = self.catalog.get_table(key)
         return self._runtime(info)
@@ -214,7 +207,7 @@ class DatabaseEngine:
         clients use these like SQL Server's system tables, e.g. the
         Phoenix maintenance tool enumerating orphaned result tables.
         """
-        columns, rows = _SYSTEM_TABLES[key](self)
+        columns, rows = SYSTEM_VIEWS[key](self)
         self._volatile_seq += 1
         file_id = -self._volatile_seq
         self.buffer_pool.register_volatile(file_id)
@@ -394,6 +387,18 @@ class DatabaseEngine:
         the per-statement parse/plan charge, then dispatch.  ``norm`` is
         the current text's normalization (its literal values), never the
         shared template entry's."""
+        obs = self.meter.obs
+        if obs.enabled:
+            with obs.tracer.span(
+                    "engine.execute", layer="engine",
+                    statement=type(prepared.statement).__name__):
+                return self._execute_one_inner(prepared, norm, session,
+                                               params)
+        return self._execute_one_inner(prepared, norm, session, params)
+
+    def _execute_one_inner(self, prepared: CachedStatement, norm,
+                           session: EngineSession,
+                           params: dict) -> StatementResult:
         self.meter.charge(SERVER_CPU,
                           self.meter.costs.cpu_per_statement_seconds,
                           "statement parse/plan")
@@ -527,7 +532,7 @@ class DatabaseEngine:
                        session: EngineSession) -> None:
         """Record revalidation facts and store the entry (when legal)."""
         names = self._plan_dependencies(statement)
-        if any(name in _SYSTEM_TABLES for name in names):
+        if any(name in SYSTEM_VIEWS for name in names):
             return  # sys_* snapshots are rebuilt (and charged) per query
         for name in names:
             if name.startswith("#"):

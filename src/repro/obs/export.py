@@ -1,0 +1,62 @@
+"""JSONL trace exporter.
+
+One record per line:
+
+* first a ``meta`` record — schema version, span counts, how many
+  finished spans the ring buffer dropped (validators relax the
+  parent-must-exist check when spans were dropped);
+* one ``span`` record per finished span (schema in
+  :mod:`repro.obs.validate`);
+* one ``metric`` record per counter/gauge/histogram-bucket row.
+
+The file is the interchange format between a traced run and the offline
+tools: ``python -m repro.obs.validate trace.jsonl`` checks it, and
+``python -m repro.bench trace-report --input trace.jsonl`` renders the
+per-layer latency summary.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+SCHEMA_VERSION = 1
+
+
+def trace_records(obs) -> list[dict]:
+    """Every exportable record of one world, meta line first."""
+    tracer = obs.tracer
+    records: list[dict] = [{
+        "type": "meta", "version": SCHEMA_VERSION,
+        "spans": len(tracer.finished), "dropped": tracer.dropped,
+        "open_spans": tracer.open_span_count,
+    }]
+    records.extend(span.to_dict() for span in tracer.finished)
+    records.extend({"type": "metric", "kind": kind, "name": name,
+                    "bucket": bucket, "value": value}
+                   for kind, name, bucket, value in obs.metrics.rows())
+    return records
+
+
+def export_trace(obs, path) -> int:
+    """Write one world's trace + metrics as JSONL; returns #records."""
+    records = trace_records(obs)
+    text = "\n".join(json.dumps(r, sort_keys=True) for r in records)
+    pathlib.Path(path).write_text(text + "\n")
+    return len(records)
+
+
+def load_records(path) -> list[dict]:
+    """Parse a JSONL trace file back into record dicts."""
+    records = []
+    for line_no, line in enumerate(
+            pathlib.Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{line_no}: not valid JSON: {error}") from error
+    return records

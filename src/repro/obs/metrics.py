@@ -1,0 +1,119 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` lives on each :class:`~repro.sim.meter.Meter`
+(one per simulated world).  The meter's ad-hoc diagnostic counters are
+the registry's counters — ``Meter.count`` delegates here, so every
+counter that used to live in ``meter.counters`` now shares one namespace
+with the gauges and histograms the observability layer adds, and all of
+them surface through the ``sys_metrics`` view and the JSONL exporter.
+
+Histograms use fixed bucket boundaries (seconds by default, spanning
+0.1 ms to 30 s in a 1-3-10 ladder) so two runs of the same workload
+produce comparable shapes without any adaptive state.
+"""
+
+from __future__ import annotations
+
+#: Default histogram ladder (seconds): 1-3-10 steps from 0.1 ms to 30 s.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+    30.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = bounds
+        #: counts[i] counts values <= bounds[i]; the final slot is +Inf.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_rows(self) -> list[tuple[str, int]]:
+        """(upper-bound label, count) pairs, +Inf last."""
+        rows = [(_bound_label(b), n)
+                for b, n in zip(self.bounds, self.bucket_counts)]
+        rows.append(("+Inf", self.bucket_counts[-1]))
+        return rows
+
+
+def _bound_label(bound: float) -> str:
+    return f"{bound:g}"
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one world."""
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- writing ------------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name, bounds)
+            self.histograms[name] = histogram
+        histogram.observe(value)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- reading ------------------------------------------------------------
+
+    def rows(self) -> list[tuple[str, str, str, float]]:
+        """Flat (kind, name, bucket, value) rows for views/exports.
+
+        Counters and gauges use an empty bucket label; each histogram
+        contributes one row per bucket plus ``count``/``sum`` rollups.
+        """
+        out: list[tuple[str, str, str, float]] = []
+        for name in sorted(self.counters):
+            out.append(("counter", name, "", float(self.counters[name])))
+        for name in sorted(self.gauges):
+            out.append(("gauge", name, "", float(self.gauges[name])))
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            out.append(("histogram", name, "count",
+                        float(histogram.count)))
+            out.append(("histogram", name, "sum", histogram.total))
+            for label, bucket_count in histogram.bucket_rows():
+                out.append(("histogram", name, f"le:{label}",
+                            float(bucket_count)))
+        return out

@@ -1,0 +1,178 @@
+"""Trace schema checker: is an exported JSONL trace well-formed?
+
+Checks, per record type:
+
+* ``meta`` — present first, integer counts;
+* ``span`` — required fields with the right types, ``end >= start``,
+  unique ids, no ``open`` status, parents exist (unless the exporting
+  ring dropped spans) and strictly-nested spans lie inside their
+  parent's interval (``stream`` spans are exempt: they bracket lazy work
+  whose lifetime legitimately overlaps siblings);
+* ``metric`` — known kind, numeric value.
+
+Also usable on live :class:`~repro.obs.trace.Span` objects
+(:func:`validate_spans`) — the crash-fuzz test asserts every fuzzed
+crash still yields a complete, well-nested span tree.
+
+CLI::
+
+    python -m repro.obs.validate trace.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+
+_SPAN_FIELDS = {
+    "span_id": int,
+    "parent_id": int,
+    "name": str,
+    "layer": str,
+    "kind": str,
+    "status": str,
+    "start": (int, float),
+    "end": (int, float),
+    "attrs": dict,
+}
+_SPAN_KINDS = ("span", "stream")
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+#: Interval-containment slack: timestamps are exact floats from one
+#: clock, so equality at the edges is legal but drift is not.
+_EPS = 1e-9
+
+
+def validate_records(records: list[dict]) -> list[str]:
+    """Return every schema violation found (empty list == valid)."""
+    errors: list[str] = []
+    spans: dict[int, dict] = {}
+    dropped = 0
+    for i, record in enumerate(records, start=1):
+        where = f"record {i}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        rtype = record.get("type")
+        if rtype == "meta":
+            if i != 1:
+                errors.append(f"{where}: meta record must come first")
+            for field in ("version", "spans", "dropped", "open_spans"):
+                if not isinstance(record.get(field), int):
+                    errors.append(
+                        f"{where}: meta.{field} must be an integer")
+            dropped = record.get("dropped", 0) \
+                if isinstance(record.get("dropped"), int) else 0
+        elif rtype == "span":
+            errors.extend(_check_span_fields(record, where))
+            span_id = record.get("span_id")
+            if isinstance(span_id, int):
+                if span_id in spans:
+                    errors.append(f"{where}: duplicate span_id {span_id}")
+                else:
+                    spans[span_id] = record
+        elif rtype == "metric":
+            if record.get("kind") not in _METRIC_KINDS:
+                errors.append(
+                    f"{where}: metric kind {record.get('kind')!r} not in "
+                    f"{_METRIC_KINDS}")
+            if not isinstance(record.get("name"), str):
+                errors.append(f"{where}: metric.name must be a string")
+            if not isinstance(record.get("value"), (int, float)):
+                errors.append(f"{where}: metric.value must be numeric")
+        else:
+            errors.append(f"{where}: unknown record type {rtype!r}")
+    errors.extend(_check_tree(spans, dropped))
+    return errors
+
+
+def _check_span_fields(record: dict, where: str) -> list[str]:
+    errors = []
+    for field, types in _SPAN_FIELDS.items():
+        if field not in record:
+            errors.append(f"{where}: span missing field {field!r}")
+        elif not isinstance(record[field], types):
+            errors.append(
+                f"{where}: span field {field!r} has type "
+                f"{type(record[field]).__name__}")
+    if record.get("kind") not in _SPAN_KINDS:
+        errors.append(f"{where}: span kind {record.get('kind')!r} not in "
+                      f"{_SPAN_KINDS}")
+    if record.get("status") == "open":
+        errors.append(
+            f"{where}: span {record.get('span_id')} was never closed")
+    start, end = record.get("start"), record.get("end")
+    if isinstance(start, (int, float)) and isinstance(end, (int, float)) \
+            and end < start:
+        errors.append(
+            f"{where}: span {record.get('span_id')} ends before it "
+            f"starts ({end} < {start})")
+    return errors
+
+
+def _check_tree(spans: dict[int, dict], dropped: int) -> list[str]:
+    """Parent existence and nesting containment over the span forest."""
+    errors = []
+    for span in spans.values():
+        parent_id = span.get("parent_id")
+        span_id = span.get("span_id")
+        if not isinstance(parent_id, int) or parent_id == 0:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            if not dropped:
+                errors.append(
+                    f"span {span_id}: orphan — parent {parent_id} "
+                    f"does not exist")
+            continue
+        if parent.get("kind") == "stream":
+            errors.append(
+                f"span {span_id}: parent {parent_id} is a stream span "
+                f"(streams cannot have children)")
+        if span.get("kind") != "span":
+            continue  # stream spans legitimately overlap siblings
+        try:
+            inside = (span["start"] >= parent["start"] - _EPS
+                      and span["end"] <= parent["end"] + _EPS)
+        except (KeyError, TypeError):
+            continue  # field errors already reported
+        if not inside:
+            errors.append(
+                f"span {span_id} [{span['start']}, {span['end']}] not "
+                f"nested inside parent {parent_id} "
+                f"[{parent['start']}, {parent['end']}]")
+    return errors
+
+
+def validate_spans(spans) -> list[str]:
+    """Validate live Span objects (no meta line, no drop slack)."""
+    return validate_records([span.to_dict() for span in spans])
+
+
+def validate_file(path) -> list[str]:
+    from repro.obs.export import load_records
+
+    try:
+        records = load_records(path)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    if not records:
+        return [f"{path}: empty trace file"]
+    return validate_records(records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.jsonl>",
+              file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    if errors:
+        for error in errors:
+            print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: trace is valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Queryable ``sys_*`` views and the registry they plug into.
+
+A system view is a function ``fn(engine) -> (columns, rows)`` registered
+under its table name with :func:`system_view`.  The engine resolves any
+table name found in :data:`SYSTEM_VIEWS` by materializing the function's
+rows into a volatile snapshot table — rebuilt (and charged) per
+reference, exactly like SQL Server's system tables.
+
+The engine registers its catalog views (``sys_tables``, ...) in
+:mod:`repro.engine.database`; this module registers the observability
+views:
+
+* ``sys_traces`` — finished spans of the world's tracer;
+* ``sys_metrics`` — every counter/gauge/histogram bucket;
+* ``sys_recovery_phases`` — per-phase virtual-time breakdown of each
+  Phoenix session recovery;
+* ``sys_plan_cache`` — statement/plan cache statistics, including
+  per-session temp-table plan counts and LRU evictions.
+
+View functions only read engine/meter state; they import nothing from
+the engine so the registry itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.types import Column, SqlType
+
+#: table name -> fn(engine) -> (columns, rows)
+SYSTEM_VIEWS: dict[str, Callable] = {}
+
+
+def system_view(name: str):
+    """Decorator registering a system-view builder under ``name``."""
+
+    def register(fn: Callable) -> Callable:
+        SYSTEM_VIEWS[name.lower()] = fn
+        return fn
+
+    return register
+
+
+def _render_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return text[:200]
+
+
+@system_view("sys_traces")
+def _sys_traces(engine):
+    columns = [Column("span_id", SqlType.INTEGER),
+               Column("parent_id", SqlType.INTEGER),
+               Column("name", SqlType.VARCHAR, 48),
+               Column("layer", SqlType.VARCHAR, 24),
+               Column("kind", SqlType.VARCHAR, 8),
+               Column("status", SqlType.VARCHAR, 8),
+               Column("start_s", SqlType.FLOAT),
+               Column("end_s", SqlType.FLOAT),
+               Column("duration_s", SqlType.FLOAT),
+               Column("attrs", SqlType.VARCHAR, 200)]
+    tracer = engine.meter.obs.tracer
+    # The newest spans matter most; cap the snapshot so one view query
+    # does not insert tens of thousands of volatile rows.
+    recent = list(tracer.finished)[-1000:]
+    rows = [(s.span_id, s.parent_id, s.name, s.layer, s.kind, s.status,
+             s.start, s.end, s.duration, _render_attrs(s.attrs))
+            for s in recent]
+    return columns, rows
+
+
+@system_view("sys_metrics")
+def _sys_metrics(engine):
+    columns = [Column("kind", SqlType.VARCHAR, 12),
+               Column("name", SqlType.VARCHAR, 64),
+               Column("bucket", SqlType.VARCHAR, 16),
+               Column("value", SqlType.FLOAT)]
+    return columns, engine.meter.obs.metrics.rows()
+
+
+@system_view("sys_recovery_phases")
+def _sys_recovery_phases(engine):
+    columns = [Column("recovery_id", SqlType.INTEGER),
+               Column("phase", SqlType.VARCHAR, 24),
+               Column("seconds", SqlType.FLOAT),
+               Column("finished_at", SqlType.FLOAT)]
+    rows = [(record["recovery_id"], phase, seconds,
+             record["finished_at"])
+            for record in engine.meter.obs.recovery_log
+            for phase, seconds in record["phases"]]
+    return columns, rows
+
+
+@system_view("sys_plan_cache")
+def _sys_plan_cache(engine):
+    columns = [Column("metric", SqlType.VARCHAR, 48),
+               Column("value", SqlType.BIGINT)]
+    stats = engine.cache_stats
+    rows = [(name, int(stats[name])) for name in sorted(stats)]
+    rows += [("plan_entries", len(engine._plan_cache)),
+             ("plan_evictions", engine._plan_cache.evictions),
+             ("stmt_entries", len(engine._stmt_cache)),
+             ("stmt_evictions", engine._stmt_cache.evictions),
+             ("norm_entries", len(engine._norm_cache)),
+             ("norm_evictions", engine._norm_cache.evictions),
+             ("script_entries", len(engine._script_cache)),
+             ("script_evictions", engine._script_cache.evictions)]
+    session_entries = 0
+    session_evictions = 0
+    for token in sorted(engine.sessions):
+        cache = engine.sessions[token].plan_cache
+        session_entries += len(cache)
+        session_evictions += cache.evictions
+        if len(cache) or cache.evictions:
+            rows.append((f"session_{token}_temp_plans", len(cache)))
+            rows.append((f"session_{token}_temp_plan_evictions",
+                         cache.evictions))
+    rows += [("session_plan_entries", session_entries),
+             ("session_plan_evictions", session_evictions)]
+    return columns, rows

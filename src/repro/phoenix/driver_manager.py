@@ -133,6 +133,14 @@ class PhoenixDriverManager(DriverManager):
 
     def exec_direct(self, statement: StatementHandle, sql: str,
                     params: dict | None = None) -> int:
+        obs = self.meter.obs
+        if obs.enabled:
+            with obs.tracer.span("phoenix.exec_direct", layer="phoenix"):
+                return self._exec_direct(statement, sql, params)
+        return self._exec_direct(statement, sql, params)
+
+    def _exec_direct(self, statement: StatementHandle, sql: str,
+                     params: dict | None = None) -> int:
         vconn = self._require_vconn(statement.connection)
         if params:
             # Phoenix re-embeds the SQL text in generated statements, so
@@ -505,19 +513,33 @@ class PhoenixDriverManager(DriverManager):
         logger.info("failure intercepted: %s", original)
         if self._private is not None:
             self._private.connected = False  # will re-dial lazily
-        if not self._detector.await_server():
+        # Failure detection is the first of the five recovery phases:
+        # everything up to knowing whether the *session* (not just the
+        # server) survived.  Timed with pure clock reads so the
+        # bookkeeping itself costs no virtual time.
+        obs = self.meter.obs
+        peek = self.meter.peek_now
+        detect_start = peek()
+        if obs.enabled:
+            with obs.tracer.span("recovery.failure_detection",
+                                 layer="phoenix"):
+                verdict = self._detect_failure(vconn)
+        else:
+            verdict = self._detect_failure(vconn)
+        detection_seconds = peek() - detect_start
+        if verdict == "down":
             # Give up and reveal the failure to the application,
             # passing along the original error (§2.3).
             logger.warning("reconnect budget exhausted; exposing failure")
             raise original
-        if self._detector.session_survived(vconn.app_handle,
-                                           vconn.probe_table):
+        if verdict == "blip":
             self.stats["blips"] += 1
             logger.info("session survived (network blip); retrying")
             return "blip"
         while True:
             try:
-                self._recovery.recover_connection(vconn)
+                self._recovery.recover_connection(
+                    vconn, detection_seconds=detection_seconds)
                 break
             except ReproError as error:
                 # A failure during recovery: recovery is idempotent, so
@@ -542,10 +564,30 @@ class PhoenixDriverManager(DriverManager):
     # Experiment instrumentation
     # ------------------------------------------------------------------
 
+    def _detect_failure(self, vconn: VirtualConnection) -> str:
+        """Ping until the server answers, then probe the session.
+
+        Returns ``'down'`` (budget exhausted), ``'blip'`` (session
+        survived — a network glitch) or ``'dead'`` (session lost; full
+        recovery needed).
+        """
+        if not self._detector.await_server():
+            return "down"
+        if self._detector.session_survived(vconn.app_handle,
+                                           vconn.probe_table):
+            return "blip"
+        return "dead"
+
     @property
     def recovery_phase_seconds(self) -> dict[str, float]:
         """Phase timings of the most recent session recovery (Fig. 3/4)."""
         return dict(self._recovery.last_phase_seconds)
+
+    @property
+    def recovery_phase_breakdown(self) -> dict[str, float]:
+        """Five-phase breakdown of the most recent session recovery,
+        keyed by :data:`repro.obs.RECOVERY_PHASES` names."""
+        return dict(self._recovery.last_phase_breakdown)
 
     @property
     def persist_step_seconds(self) -> dict[str, float]:

@@ -68,29 +68,35 @@ class ResultPersistor:
         """
         sql = sql.rstrip().rstrip(";")
         steps: dict[str, float] = {}
-        start = self._meter.now
-        columns = self._fetch_metadata(app_connection, sql)
-        steps["metadata"] = self._meter.now - start
+        obs = self._meter.obs
+        tracer = obs.tracer if obs.enabled else None
 
+        def step(name: str, fn):
+            start = self._meter.now
+            if tracer is not None:
+                with tracer.span(f"persist.{name}", layer="phoenix"):
+                    result = fn()
+            else:
+                result = fn()
+            steps[name] = self._meter.now - start
+            return result
+
+        columns = step("metadata",
+                       lambda: self._fetch_metadata(app_connection, sql))
         table_name = f"{self._config.table_prefix}rs_{op_key}"
-        start = self._meter.now
         # Inside an application transaction the table is created on the
         # app connection so the DDL joins the transaction (no separate
         # commit force per result set); otherwise Phoenix's private
         # connection masks the activity, as §2.2 describes.
         create_connection = (app_connection if in_app_txn
                              else private_connection)
-        self._create_result_table(create_connection, table_name, columns)
-        steps["create_table"] = self._meter.now - start
-
-        start = self._meter.now
-        self._load_result(app_connection, table_name, sql, op_key,
-                          in_app_txn)
-        steps["load"] = self._meter.now - start
-
-        start = self._meter.now
-        self.reopen(state, table_name, columns, sql, position=0)
-        steps["reopen"] = self._meter.now - start
+        step("create_table",
+             lambda: self._create_result_table(create_connection,
+                                               table_name, columns))
+        step("load", lambda: self._load_result(app_connection, table_name,
+                                               sql, op_key, in_app_txn))
+        step("reopen", lambda: self.reopen(state, table_name, columns,
+                                           sql, position=0))
         self.last_step_seconds = steps
 
     def _fetch_metadata(self, connection: ConnectionHandle,

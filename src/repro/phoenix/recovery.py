@@ -47,42 +47,97 @@ class SessionRecovery:
         #: Phase timings of the most recent recovery (Figures 3 and 4):
         #: keys 'virtual_session' and 'sql_state', virtual seconds.
         self.last_phase_seconds: dict[str, float] = {}
+        #: Finer per-phase breakdown of the most recent recovery, keyed
+        #: by the canonical :data:`repro.obs.RECOVERY_PHASES` names.
+        self.last_phase_breakdown: dict[str, float] = {}
 
-    def recover_connection(self, vconn: VirtualConnection) -> None:
+    def recover_connection(self, vconn: VirtualConnection,
+                           detection_seconds: float = 0.0) -> None:
+        """Run both recovery phases, timing each fine-grained step.
+
+        ``detection_seconds`` is how long the driver manager spent
+        *noticing* the outage (pinging until the server answered) before
+        calling us — it completes the five-phase breakdown.  All
+        timestamps are :meth:`~repro.sim.meter.Meter.peek_now` pure
+        reads, so the bookkeeping never perturbs the virtual clock.
+        """
         self.recoveries += 1
-        start = self._meter.now
-        self._recover_virtual_session(vconn)
-        mid = self._meter.now
-        self._recover_sql_state(vconn)
-        self.last_phase_seconds = {
-            "virtual_session": mid - start,
-            "sql_state": self._meter.now - mid,
-        }
+        obs = self._meter.obs
+        tracer = obs.tracer if obs.enabled else None
+        breakdown: dict[str, float] = {
+            "failure_detection": detection_seconds}
+        peek = self._meter.peek_now
+
+        def phase(name: str, step) -> None:
+            t0 = peek()
+            if tracer is not None:
+                with tracer.span(f"recovery.{name}", layer="phoenix"):
+                    step()
+            else:
+                step()
+            breakdown[name] = breakdown.get(name, 0.0) + (peek() - t0)
+
+        def run() -> None:
+            start = peek()
+            self._recover_virtual_session(vconn, phase)
+            mid = peek()
+            self._recover_sql_state(vconn, phase)
+            self.last_phase_seconds = {
+                "virtual_session": mid - start,
+                "sql_state": peek() - mid,
+            }
+
+        if tracer is not None:
+            with tracer.span("phoenix.recover", layer="phoenix",
+                             recovery=self.recoveries):
+                run()
+        else:
+            run()
+        self.last_phase_breakdown = dict(breakdown)
+        obs.record_recovery(breakdown, finished_at=peek())
 
     # -- phase 1 ---------------------------------------------------------------
 
-    def _recover_virtual_session(self, vconn: VirtualConnection) -> None:
+    def _recover_virtual_session(self, vconn: VirtualConnection,
+                                 phase) -> None:
         """Reconnect and re-map the virtual connection handle."""
         handle = vconn.app_handle
-        handle.connected = False
-        self._driver.connect(handle, vconn.login)
-        for name, value in vconn.option_log:
-            self._driver.set_connection_option(handle, name, value)
-        self._detector.create_probe(handle, vconn.probe_table)
+
+        def reconnect() -> None:
+            handle.connected = False
+            self._driver.connect(handle, vconn.login)
+
+        def replay_options() -> None:
+            for name, value in vconn.option_log:
+                self._driver.set_connection_option(handle, name, value)
+
+        phase("reconnect", reconnect)
+        phase("option_replay", replay_options)
+        phase("status_probe",
+              lambda: self._detector.create_probe(handle,
+                                                  vconn.probe_table))
         vconn.connected = True
 
     # -- phase 2 ---------------------------------------------------------------
 
-    def _recover_sql_state(self, vconn: VirtualConnection) -> None:
+    def _recover_sql_state(self, vconn: VirtualConnection, phase) -> None:
         for state in vconn.open_result_states():
             if state.mode is StatementMode.CACHED:
                 continue  # the cache is client-resident: nothing to do
-            if not self._persistor.table_exists(vconn.app_handle,
-                                                state.table_name):
-                raise PhoenixError(
-                    f"materialized result {state.table_name!r} did not "
-                    f"survive database recovery")
-            self._driver.execute(state.handle,
-                                 f"SELECT * FROM {state.table_name}")
-            reposition(self._driver, state.handle, state.position,
-                       self._config.reposition_mode)
+            phase("status_probe",
+                  lambda s=state: self._verify_result(vconn, s))
+            phase("reposition",
+                  lambda s=state: self._reopen_result(s))
+
+    def _verify_result(self, vconn: VirtualConnection, state) -> None:
+        if not self._persistor.table_exists(vconn.app_handle,
+                                            state.table_name):
+            raise PhoenixError(
+                f"materialized result {state.table_name!r} did not "
+                f"survive database recovery")
+
+    def _reopen_result(self, state) -> None:
+        self._driver.execute(state.handle,
+                             f"SELECT * FROM {state.table_name}")
+        reposition(self._driver, state.handle, state.position,
+                   self._config.reposition_mode)

@@ -101,8 +101,15 @@ class DatabaseServer:
         """Bring the server back up, running restart recovery."""
         if self._running:
             return
-        self.engine = DatabaseEngine.restart(self.disk, self.wal,
-                                             meter=self.meter)
+        obs = self.meter.obs
+        if obs.enabled:
+            with obs.tracer.span("server.restart", layer="server",
+                                 crash=self.crashes):
+                self.engine = DatabaseEngine.restart(self.disk, self.wal,
+                                                     meter=self.meter)
+        else:
+            self.engine = DatabaseEngine.restart(self.disk, self.wal,
+                                                 meter=self.meter)
         self._running = True
         report = self.engine.last_recovery
         if report is not None:
@@ -118,6 +125,14 @@ class DatabaseServer:
     # -- request dispatch ------------------------------------------------------
 
     def handle(self, request: Request):
+        obs = self.meter.obs
+        if obs.enabled:
+            with obs.tracer.span("server.handle", layer="server",
+                                 request=type(request).__name__):
+                return self._handle(request)
+        return self._handle(request)
+
+    def _handle(self, request: Request):
         self._require_up()
         if isinstance(request, PingRequest):
             self.meter.charge(SERVER_CPU, self.meter.costs.ping_seconds,
@@ -147,10 +162,12 @@ class DatabaseServer:
         for name, value in request.options.items():
             session.engine_session.set_option(name, value)
         self._sessions[session.token] = session
+        self.engine.sessions[session.token] = session.engine_session
         return ConnectResponse(session_token=session.token)
 
     def _handle_disconnect(self, request: DisconnectRequest) -> OkResponse:
         session = self._sessions.pop(request.session_token, None)
+        self.engine.sessions.pop(request.session_token, None)
         if session is not None:
             engine_session = session.engine_session
             if engine_session.in_transaction:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import Observability
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import ALL_RESOURCES, CostModel
 
@@ -58,7 +59,13 @@ class Meter:
         self.costs = cost_model if cost_model is not None else CostModel()
         self.clock = clock if clock is not None else VirtualClock()
         self.traces: list[RequestTrace] = []
-        self.counters: dict[str, float] = {}
+        #: The observability bundle of this world: tracer + metrics +
+        #: recovery log.  Span timestamps come from :meth:`peek_now` — a
+        #: pure read — so tracing can never move the virtual clock.
+        self.obs = Observability(self.peek_now)
+        #: Legacy diagnostic counters; the dict *is* the metrics
+        #: registry's counter store, so both views stay in sync.
+        self.counters: dict[str, float] = self.obs.metrics.counters
         self._open_requests: list[RequestTrace] = []
         #: When False, ``charge`` records segments but does not advance the
         #: clock.  Multi-stream experiments set this so elapsed time comes
@@ -82,6 +89,8 @@ class Meter:
             return
         if self.advance_clock:
             self.clock.advance(seconds)
+        if self.obs.enabled:
+            self.obs.metrics.observe(f"charge.{resource}", seconds)
         segment = Segment(resource, seconds, note)
         if self._open_requests:
             self._open_requests[-1].segments.append(segment)
@@ -141,8 +150,8 @@ class Meter:
             self.charge(seg.resource, seg.seconds, seg.note)
 
     def count(self, counter: str, amount: float = 1.0) -> None:
-        """Increment a named diagnostic counter."""
-        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+        """Increment a named diagnostic counter (a registry counter)."""
+        self.obs.metrics.count(counter, amount)
 
     # -- request bracketing ---------------------------------------------------
 
@@ -191,6 +200,16 @@ class Meter:
     @property
     def now(self) -> float:
         self._flush_pending()
+        return self.clock.now
+
+    def peek_now(self) -> float:
+        """Current virtual time *without* flushing the pending batched
+        charge — a pure read.  Instrumentation (span timestamps,
+        recovery-phase bookkeeping) uses this so observation never
+        perturbs segment granularity, let alone the clock itself."""
+        pending = self._pending
+        if pending is not None:
+            return self.clock.now + pending[2]
         return self.clock.now
 
     def reset_traces(self) -> None:

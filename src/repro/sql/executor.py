@@ -554,8 +554,36 @@ def is_streamable_plan(root: PlanOperator) -> bool:
 
 def iterate_plan(root: PlanOperator, meter,
                  outer: EvalContext | None = None):
-    """Lazily iterate a plan's output rows."""
-    return root.rows(ExecContext(meter=meter, outer=outer))
+    """Lazily iterate a plan's output rows.
+
+    Under tracing, the iteration is bracketed by a detached ``stream``
+    span (the rows are pulled lazily, possibly interleaved with other
+    spans, so strict nesting does not apply) that records the operator
+    and how many rows it ultimately produced.
+    """
+    rows = root.rows(ExecContext(meter=meter, outer=outer))
+    obs = getattr(meter, "obs", None)
+    if obs is None or not obs.tracer.enabled:
+        return rows
+    return _traced_rows(rows, obs, type(root).__name__)
+
+
+def _traced_rows(rows, obs, op: str):
+    span = obs.tracer.start_stream("executor.plan", layer="executor",
+                                   op=op)
+    produced = 0
+    try:
+        for row in rows:
+            produced += 1
+            yield row
+    except BaseException:
+        span.set_attr("rows", produced)
+        obs.tracer.end_stream(span, status="error")
+        raise
+    else:
+        span.set_attr("rows", produced)
+        obs.tracer.end_stream(span)
+        obs.metrics.observe("executor.rows_per_plan", produced)
 
 
 def run_plan(root: PlanOperator, meter,

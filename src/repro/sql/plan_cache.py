@@ -62,6 +62,10 @@ class LRUCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
+        #: Lifetime count of entries pushed out by the size bound
+        #: (explicit ``pop``/``clear`` are not evictions); surfaced by
+        #: the ``sys_plan_cache`` view.
+        self.evictions = 0
         self._items: OrderedDict = OrderedDict()
 
     def get(self, key):
@@ -75,6 +79,7 @@ class LRUCache:
         self._items.move_to_end(key)
         while len(self._items) > self.capacity:
             self._items.popitem(last=False)
+            self.evictions += 1
 
     def pop(self, key) -> None:
         self._items.pop(key, None)

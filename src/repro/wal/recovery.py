@@ -152,13 +152,43 @@ class RecoveryManager:
         meter.charge(SERVER_DISK, seconds, "restart recovery")
 
     def recover(self) -> RecoveryReport:
+        tracer = self._tracer()
+        if tracer is not None:
+            with tracer.span("wal.recover", layer="wal") as root:
+                report = self._recover(tracer)
+                root.set_attr("redo_applied", report.redo_applied)
+                root.set_attr("undo_applied", report.undo_applied)
+                root.set_attr("losers", len(report.losers))
+                return report
+        return self._recover(None)
+
+    def _tracer(self):
+        meter = self._log.meter
+        if meter is None or not meter.obs.tracer.enabled:
+            return None
+        return meter.obs.tracer
+
+    def _recover(self, tracer) -> RecoveryReport:
         report = RecoveryReport()
         report.checkpoint_lsn = self._log.last_checkpoint_lsn()
-        last_lsn, committed, ended = self._analysis(report.checkpoint_lsn)
+        if tracer is not None:
+            with tracer.span("wal.analysis", layer="wal"):
+                last_lsn, committed, ended = self._analysis(
+                    report.checkpoint_lsn)
+        else:
+            last_lsn, committed, ended = self._analysis(
+                report.checkpoint_lsn)
         report.winners = set(committed)
         report.losers = set(last_lsn) - committed - ended
-        self._redo(report)
-        self._undo(report, {t: last_lsn[t] for t in report.losers})
+        if tracer is not None:
+            with tracer.span("wal.redo", layer="wal"):
+                self._redo(report)
+            with tracer.span("wal.undo", layer="wal"):
+                self._undo(report,
+                           {t: last_lsn[t] for t in report.losers})
+        else:
+            self._redo(report)
+            self._undo(report, {t: last_lsn[t] for t in report.losers})
         self._target.rebuild_indexes()
         self._log.force()
         return report

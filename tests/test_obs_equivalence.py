@@ -1,0 +1,74 @@
+"""Tracing must be free on the virtual clock: bit-identical outputs.
+
+The instrumentation contract is that enabling tracing changes *nothing*
+a simulated world computes — every span timestamp is a pure clock read
+(:meth:`Meter.peek_now`), never a flush or a charge.  This runs the
+wallclock TPC-C mix (the workload that exercises batching, plan caches,
+persistence, the whole stack) twice — traced via ``REPRO_TRACE=1`` and
+untraced — and requires the virtual clock and every counter to match to
+the last bit.
+"""
+
+from repro.bench.experiments import DEFAULT_TPCC_SCALE, _wallclock_leg
+from repro.obs import trace_enabled_from_env
+
+
+def run_leg():
+    return _wallclock_leg(True, DEFAULT_TPCC_SCALE, txns=15,
+                          point_reads=40, persists=2, seed=7)
+
+
+def test_virtual_time_bit_identical_traced_vs_untraced(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert not trace_enabled_from_env()
+    _host0, virtual0, _seg0, counters0, stats0 = run_leg()
+
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert trace_enabled_from_env()
+    _host1, virtual1, _seg1, counters1, stats1 = run_leg()
+
+    # Bit-identical, not approximately equal: observation is free.
+    assert virtual0 == virtual1
+    assert counters0 == counters1
+    assert stats0 == stats1
+
+
+def test_phoenix_crash_recovery_bit_identical(monkeypatch):
+    """Same contract on the recovery path (spans bracket every phase)."""
+    from repro.odbc.constants import SQL_SUCCESS
+    from repro.server.server import DatabaseServer
+    from repro.sim.costs import CostModel
+    from repro.sim.meter import Meter
+    from repro.workloads.app import BenchmarkApp
+
+    def crash_run() -> tuple:
+        meter = Meter(CostModel(output_buffer_bytes=16))
+        server = DatabaseServer(meter=meter)
+        setup = BenchmarkApp(server)
+        setup.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                            "PRIMARY KEY (k))")
+        setup.run_statement("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, {i})" for i in range(10)))
+        app = BenchmarkApp(server, use_phoenix=True)
+        statement = app.manager.alloc_statement(app.conn)
+        assert app.manager.exec_direct(
+            statement, "SELECT k, v FROM t ORDER BY k") == SQL_SUCCESS
+        for _ in range(3):
+            rc, _row = app.manager.fetch(statement)
+            assert rc == SQL_SUCCESS
+        server.crash()
+        server.restart()
+        rows = []
+        while True:
+            rc, row = app.manager.fetch(statement)
+            if rc != SQL_SUCCESS:
+                break
+            rows.append(row)
+        return (meter.now, rows, dict(meter.counters),
+                app.manager.recovery_phase_breakdown)
+
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    untraced = crash_run()
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    traced = crash_run()
+    assert untraced == traced

@@ -1,0 +1,299 @@
+"""The observability subsystem: spans, metrics, views, export, report.
+
+Covers the tracer's nesting rules, the ``sys_*`` views (including the
+acceptance scenario: a crash mid-fetch must leave one
+``sys_recovery_phases`` row per phase with nonzero durations), the JSONL
+export/validate round trip, and the trace-report rendering.
+"""
+
+import pytest
+
+from repro.obs import RECOVERY_PHASES, Observability
+from repro.obs.export import export_trace, load_records, trace_records
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import build_trace_report, summarize_spans
+from repro.obs.trace import NOOP_SPAN, Tracer
+from repro.obs.validate import validate_records, validate_spans
+from repro.odbc.constants import SQL_SUCCESS
+from repro.phoenix.config import PhoenixConfig
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.workloads.app import BenchmarkApp
+
+
+# ---------------------------------------------------------------------------
+# Tracer mechanics
+# ---------------------------------------------------------------------------
+
+
+def make_tracer(clock={"now": 0.0}):
+    clock = dict(clock)
+
+    def now():
+        return clock["now"]
+
+    tracer = Tracer(now, enabled=True)
+    return tracer, clock
+
+
+def test_spans_nest_parent_child():
+    tracer, clock = make_tracer()
+    with tracer.span("outer", layer="a") as outer:
+        clock["now"] = 1.0
+        with tracer.span("inner", layer="b") as inner:
+            clock["now"] = 2.0
+        clock["now"] = 3.0
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    assert (outer.start, outer.end) == (0.0, 3.0)
+    assert (inner.start, inner.end) == (1.0, 2.0)
+    assert [s.name for s in tracer.finished] == ["inner", "outer"]
+    assert validate_spans(tracer.finished) == []
+    assert tracer.open_span_count == 0
+
+
+def test_error_inside_span_closes_with_error_status():
+    tracer, _clock = make_tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("fails"):
+            raise ValueError("boom")
+    (span,) = tracer.finished
+    assert span.status == "error"
+    assert tracer.open_span_count == 0
+
+
+def test_stream_spans_may_overlap_siblings():
+    tracer, clock = make_tracer()
+    with tracer.span("parent"):
+        stream = tracer.start_stream("lazy", layer="executor")
+    clock["now"] = 5.0
+    with tracer.span("sibling"):
+        clock["now"] = 6.0
+    tracer.end_stream(stream)  # outlives parent and sibling
+    assert validate_spans(tracer.finished) == []
+
+
+def test_disabled_tracer_hands_out_noop_spans():
+    tracer, _clock = make_tracer()
+    tracer.disable()
+    span_ctx = tracer.span("ignored")
+    assert span_ctx is NOOP_SPAN
+    with span_ctx as span:
+        span.set_attr("x", 1)  # must not blow up
+    assert len(tracer.finished) == 0
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    def now():
+        return 0.0
+
+    tracer = Tracer(now, enabled=True, max_spans=3)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.finished) == 3
+    assert tracer.dropped == 2
+    assert [s.name for s in tracer.finished] == ["s2", "s3", "s4"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_buckets_and_rollups():
+    histogram = Histogram("h", (1.0, 10.0))
+    for value in (0.5, 5.0, 50.0, 0.2):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.bucket_counts == [2, 1, 1]
+    assert histogram.mean == pytest.approx(55.7 / 4)
+
+
+def test_registry_rows_flatten_all_kinds():
+    registry = MetricsRegistry()
+    registry.count("c", 2)
+    registry.gauge_set("g", 7.5)
+    registry.observe("h", 0.5, bounds=(1.0,))
+    rows = registry.rows()
+    kinds = {(kind, name) for kind, name, _b, _v in rows}
+    assert ("counter", "c") in kinds
+    assert ("gauge", "g") in kinds
+    assert ("histogram", "h") in kinds
+    hist_buckets = [b for kind, name, b, _v in rows
+                    if kind == "histogram" and name == "h"]
+    assert "count" in hist_buckets and "sum" in hist_buckets
+
+
+def test_meter_counters_are_the_registry_counters():
+    meter = Meter()
+    meter.count("pages_read", 3)
+    assert meter.counters["pages_read"] == 3
+    assert meter.obs.metrics.counters is meter.counters
+    meter.reset_traces()
+    assert meter.obs.metrics.counters == {}
+
+
+def test_peek_now_never_flushes_pending_batch():
+    from repro.sim.costs import SERVER_CPU
+
+    meter = Meter()
+    meter.charge_batched(SERVER_CPU, 0.25, "hot loop")
+    assert meter.peek_now() == pytest.approx(0.25)
+    assert meter._pending is not None  # still pending: peek was pure
+    assert meter.now == pytest.approx(0.25)  # .now flushes
+    assert meter._pending is None
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: crash mid-fetch, then query the views
+# ---------------------------------------------------------------------------
+
+
+def crashed_phoenix_world():
+    meter = Meter(CostModel(output_buffer_bytes=16))
+    meter.obs.tracer.enable()
+    server = DatabaseServer(meter=meter)
+    setup = BenchmarkApp(server)
+    setup.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                        "PRIMARY KEY (k))")
+    setup.run_statement("INSERT INTO t VALUES " + ", ".join(
+        f"({i}, {i})" for i in range(12)))
+    app = BenchmarkApp(server, use_phoenix=True,
+                       phoenix_config=PhoenixConfig())
+    statement = app.manager.alloc_statement(app.conn)
+    assert app.manager.exec_direct(
+        statement, "SELECT k, v FROM t ORDER BY k") == SQL_SUCCESS
+    for _ in range(3):
+        rc, _row = app.manager.fetch(statement)
+        assert rc == SQL_SUCCESS
+    server.crash()
+    server.restart()
+    rc, _row = app.manager.fetch(statement)  # triggers recovery
+    assert rc == SQL_SUCCESS
+    return server, app
+
+
+def test_sys_recovery_phases_row_per_phase_nonzero():
+    _server, app = crashed_phoenix_world()
+    rows = app.query_rows("SELECT recovery_id, phase, seconds "
+                          "FROM sys_recovery_phases")
+    assert [phase for _rid, phase, _s in rows] == list(RECOVERY_PHASES)
+    for _rid, phase, seconds in rows:
+        assert seconds > 0, f"phase {phase} has zero duration"
+    assert app.manager.recovery_phase_breakdown.keys() \
+        == set(RECOVERY_PHASES)
+
+
+def test_sys_traces_and_sys_metrics_views():
+    _server, app = crashed_phoenix_world()
+    layers = dict(app.query_rows(
+        "SELECT layer, count(*) FROM sys_traces GROUP BY layer"))
+    for layer in ("phoenix", "server", "engine", "wal"):
+        assert layers.get(layer, 0) > 0, f"no spans in layer {layer}"
+    recover = app.query_rows(
+        "SELECT duration_s FROM sys_traces "
+        "WHERE name = 'phoenix.recover'")
+    assert len(recover) == 1 and recover[0][0] > 0
+    counters = app.query_rows(
+        "SELECT name, value FROM sys_metrics WHERE kind = 'counter'")
+    assert dict(counters).get("log_forces", 0) > 0
+    charge = app.query_rows(
+        "SELECT count(*) FROM sys_metrics "
+        "WHERE kind = 'histogram' AND name = 'charge.server_cpu'")
+    assert charge[0][0] > 0
+
+
+def test_sys_plan_cache_reports_sessions_and_evictions():
+    _server, app = crashed_phoenix_world()
+    rows = dict(app.query_rows("SELECT * FROM sys_plan_cache"))
+    # the legacy metrics stay (tests and tools depend on them) ...
+    assert "plan_hits" in rows and "plan_entries" in rows
+    # ... and the new eviction / per-session metrics appear.
+    for metric in ("plan_evictions", "stmt_evictions",
+                   "session_plan_entries", "session_plan_evictions"):
+        assert metric in rows, f"missing {metric}"
+
+
+# ---------------------------------------------------------------------------
+# Export / validate / report round trip
+# ---------------------------------------------------------------------------
+
+
+def test_export_validate_report_roundtrip(tmp_path):
+    _server, app = crashed_phoenix_world()
+    path = tmp_path / "trace.jsonl"
+    count = export_trace(app.meter.obs, path)
+    records = load_records(path)
+    assert len(records) == count
+    assert records[0]["type"] == "meta"
+    assert validate_records(records) == []
+
+    report = build_trace_report(path)
+    assert report.span_count == len(app.meter.obs.tracer.finished)
+    reported_layers = {s.layer for s in report.layers}
+    assert {"phoenix", "server", "engine", "wal"} <= reported_layers
+    text = report.format()
+    assert "Trace report" in text and "phoenix" in text
+
+
+def test_validator_rejects_corrupted_traces(tmp_path):
+    meter = Meter()
+    meter.obs.tracer.enable()
+    with meter.obs.tracer.span("ok"):
+        pass
+    records = trace_records(meter.obs)
+
+    # orphan parent (and no drops to excuse it)
+    bad = [dict(r) for r in records]
+    bad[1]["parent_id"] = 999
+    assert any("orphan" in e for e in validate_records(bad))
+
+    # span never closed
+    bad = [dict(r) for r in records]
+    bad[1]["status"] = "open"
+    assert any("never closed" in e for e in validate_records(bad))
+
+    # child escapes its parent's interval
+    meter2 = Meter()
+    meter2.obs.tracer.enable()
+    tracer = meter2.obs.tracer
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    records2 = trace_records(meter2.obs)
+    inner = next(r for r in records2 if r.get("name") == "inner")
+    inner["end"] = 99.0
+    assert any("not nested" in e for e in validate_records(records2))
+
+    # broken JSON line surfaces with its location
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"type": "meta"}\nnot json\n')
+    with pytest.raises(ValueError, match="broken.jsonl:2"):
+        load_records(path)
+
+
+def test_summarize_spans_groups_by_layer():
+    spans = [{"layer": "a", "start": 0.0, "end": 1.0},
+             {"layer": "a", "start": 0.0, "end": 3.0},
+             {"layer": "b", "start": 0.0, "end": 0.5}]
+    report = summarize_spans(spans)
+    assert [s.layer for s in report.layers] == ["a", "b"]
+    a = report.layers[0]
+    assert a.count == 2 and a.total == 4.0 and a.max == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Recovery log plumbing (works with tracing off)
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_log_records_even_when_tracing_disabled():
+    obs = Observability(lambda: 0.0, enabled=False)
+    record = obs.record_recovery(
+        {"reposition": 0.5, "failure_detection": 0.1, "custom": 0.2},
+        finished_at=1.0)
+    assert record["phases"][0] == ("failure_detection", 0.1)
+    assert record["phases"][-1] == ("custom", 0.2)  # extras sort last
+    assert list(obs.recovery_log) == [record]

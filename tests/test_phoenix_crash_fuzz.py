@@ -5,9 +5,17 @@ swept across the whole range a workload generates.  Whatever N is, the
 application must observe exactly the same results as a run with no
 crashes — this is the paper's transparency claim, verified exhaustively
 at every request boundary (including mid-persistence-pipeline points).
+
+Every world here runs with tracing enabled, and after each fuzzed run
+the recorded span tree must be *complete* (nothing left open — crashes
+close their spans with an error status, they don't leak them) and
+*well-nested* (the schema validator finds nothing) — crash timing must
+never corrupt observability itself.
 """
 
 import pytest
+
+from repro.obs.validate import validate_spans
 
 from repro.odbc.constants import SQL_NO_DATA, SQL_SUCCESS
 from repro.phoenix.config import PhoenixConfig
@@ -19,6 +27,7 @@ from repro.workloads.app import BenchmarkApp
 
 def build_world(cache_rows: int = 0):
     meter = Meter(CostModel(output_buffer_bytes=16))
+    meter.obs.tracer.enable()
     server = DatabaseServer(meter=meter)
     setup = BenchmarkApp(server)
     setup.run_statement("CREATE TABLE ledger (k INT NOT NULL, v INT, "
@@ -93,3 +102,10 @@ def test_crash_at_every_request_boundary(cache_rows):
         assert observed == expected, (
             f"output diverged when crashing at request {crash_at} "
             f"(cache_rows={cache_rows})")
+        tracer = app.meter.obs.tracer
+        assert tracer.open_span_count == 0, (
+            f"spans leaked open when crashing at request {crash_at}")
+        errors = validate_spans(tracer.finished)
+        assert errors == [], (
+            f"span tree invalid when crashing at request {crash_at}: "
+            f"{errors[:3]}")
