@@ -45,13 +45,81 @@ def _trace_report(args):
     return build_trace_report(args.input)
 
 
+def _run_wallclock(args) -> int:
+    """Run the host wall-clock mix and track it over time.
+
+    Writes ``wallclock.json``/``wallclock.txt`` (the current snapshot)
+    and appends one ``{date, commit, host_seconds}`` line to
+    ``wallclock_history.jsonl`` so CI can spot host-time regressions.
+    """
+    import datetime
+    import json
+    import subprocess
+
+    # point_reads matches benchmarks/test_wallclock_speedup.py so the
+    # CLI and the benchmark harness track the same mix.
+    result = experiments.run_wallclock(point_reads=2000)
+    text = result.format()
+    print(text)
+    if result.baseline_virtual_seconds != result.cached_virtual_seconds:
+        print("WARNING: virtual clocks diverged between the caches-off and "
+              "caches-on legs — caching changed simulated behavior")
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    payload = {
+        "mix": "TPC-C transactions + point selects + phoenix persists",
+        "baseline_host_seconds": round(result.baseline_host_seconds, 3),
+        "cached_host_seconds": round(result.cached_host_seconds, 3),
+        "speedup_percent": round(result.speedup_percent, 1),
+        "baseline_segments": {k: round(v, 3)
+                              for k, v in result.baseline_segments.items()},
+        "cached_segments": {k: round(v, 3)
+                            for k, v in result.cached_segments.items()},
+        "virtual_seconds": result.cached_virtual_seconds,
+        "counters": result.counters,
+        "cache_stats": result.cache_stats,
+    }
+    (out_dir / "wallclock.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    (out_dir / "wallclock.txt").write_text(text + "\n")
+
+    history = out_dir / "wallclock_history.jsonl"
+    previous = None
+    if history.exists():
+        lines = [line for line in history.read_text().splitlines()
+                 if line.strip()]
+        if lines:
+            previous = json.loads(lines[-1])
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        commit = "unknown"
+    entry = {"date": datetime.date.today().isoformat(), "commit": commit,
+             "host_seconds": round(result.cached_host_seconds, 3)}
+    with history.open("a") as handle:
+        handle.write(json.dumps(entry) + "\n")
+    print(f"[wallclock history: {entry}]")
+
+    if previous and previous.get("host_seconds"):
+        last = previous["host_seconds"]
+        if entry["host_seconds"] > 1.3 * last:
+            print(f"WARNING: wallclock mix took {entry['host_seconds']:.3f}s"
+                  f" — more than 30% slower than the last recorded"
+                  f" {last:.3f}s ({previous.get('commit', '?')})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all",
-                                                       "trace-report"],
+                        choices=sorted(EXPERIMENTS) + ["all", "trace-report",
+                                                       "wallclock"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale factor override")
@@ -66,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "trace-report":
         print(_trace_report(args).format())
         return 0
+    if args.experiment == "wallclock":
+        return _run_wallclock(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out)

@@ -13,6 +13,8 @@ catalog from the last checkpoint snapshot and runs ARIES-lite recovery.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.engine.results import StatementResult
 from repro.engine.session import EngineSession
 from repro.engine.table import Table
@@ -130,6 +132,28 @@ def _sys_views(engine: "DatabaseEngine"):
 # when repro.obs.views is imported above.
 
 
+@dataclass
+class _CompiledDml:
+    """Host-side compiled form of one DML statement (plan-cache payload).
+
+    Bakes in the target :class:`Table` runtime and the statement's
+    compiled closures so a repeat execution skips re-planning entirely.
+    Revalidation (catalog versions, temp-table identity) is the enclosing
+    :class:`PlanCacheEntry`'s job, exactly as for cached SELECT plans —
+    the per-statement parse/plan *virtual* charge is still levied every
+    execution, so cached and cold runs meter identically.
+    """
+
+    kind: str                           # "insert" | "update" | "delete"
+    table: Table
+    iterate: object = None              # UPDATE/DELETE row-source factory
+    assignments: list = field(default_factory=list)   # (position, fn)
+    target_columns: list = field(default_factory=list)
+    column_positions: list = field(default_factory=list)
+    row_fns: list = field(default_factory=list)   # VALUES row closures
+    select_plan: object = None          # INSERT ... SELECT source plan
+
+
 class DatabaseEngine:
     """Executes SQL statements against the storage substrate."""
 
@@ -157,7 +181,12 @@ class DatabaseEngine:
         # ``plan_cache_capacity=0`` to disable (the wall-clock baseline).
         self.plan_cache_enabled = plan_cache_capacity > 0
         cap = plan_cache_capacity if self.plan_cache_enabled else 1
-        self._norm_cache = LRUCache(4 * cap)    # raw text -> normalization
+        # Normalization entries are tiny (text -> text + literal values),
+        # but the key space is every distinct literal combination, so the
+        # level-1 cache is sized far above the plan cache: a point-query
+        # mix over a small key domain must mostly hit here or every
+        # execution pays a full re-lex of the statement text.
+        self._norm_cache = LRUCache(32 * cap)   # raw text -> normalization
         self._stmt_cache = LRUCache(2 * cap)    # template text -> parsed AST
         self._plan_cache = LRUCache(cap)        # (text, sig) -> plan entry
         self._script_cache = LRUCache(cap)      # script text -> parsed batch
@@ -411,11 +440,16 @@ class DatabaseEngine:
         else:
             exec_params = params
         if (self.plan_cache_enabled and prepared.text is not None
-                and prepared.cacheable_plan
-                and isinstance(statement,
-                               (ast.SelectStatement, ast.UnionSelect))):
-            return self._execute_select_cached(prepared, norm, session,
-                                               exec_params, params)
+                and prepared.cacheable_plan):
+            if isinstance(statement,
+                          (ast.SelectStatement, ast.UnionSelect)):
+                return self._execute_select_cached(prepared, norm, session,
+                                                   exec_params, params)
+            if isinstance(statement, (ast.InsertStatement,
+                                      ast.UpdateStatement,
+                                      ast.DeleteStatement)):
+                return self._execute_dml_cached(prepared, norm, session,
+                                                exec_params, params)
         return self._execute_parsed(statement, session, exec_params)
 
     # -- statement preparation (levels 1 and 2) -----------------------------
@@ -482,6 +516,10 @@ class DatabaseEngine:
         if entry is not None:
             self.cache_stats["plan_hits"] += 1
             self.meter.count("plan_cache_hits")
+            # Plan reuse is compiled-expression reuse: every closure in
+            # the plan was compiled once, on the miss that created it.
+            stats = self.meter.executor_stats
+            stats["expr_cache_hits"] = stats.get("expr_cache_hits", 0) + 1
             # Rebind in place: the plan's compiled closures captured this
             # exact dict.  Subquery memos are cleared so every execution
             # starts from the state a fresh compile would have.
@@ -492,6 +530,8 @@ class DatabaseEngine:
             return self._run_select_entry(entry, statement, session)
         self.cache_stats["plan_misses"] += 1
         self.meter.count("plan_cache_misses")
+        stats = self.meter.executor_stats
+        stats["expr_cache_misses"] = stats.get("expr_cache_misses", 0) + 1
         plan_params = dict(params)
         planner = Planner(self.table_provider(session), self.meter,
                           plan_params, view_provider=self.view_provider())
@@ -502,6 +542,50 @@ class DatabaseEngine:
                                streamable=is_streamable_plan(plan.root))
         self._remember_plan(key, entry, statement, session)
         return self._run_select_entry(entry, statement, session)
+
+    def _execute_dml_cached(self, prepared: CachedStatement, norm,
+                            session: EngineSession, params: dict,
+                            user_params: dict) -> StatementResult:
+        """INSERT/UPDATE/DELETE through the plan cache.
+
+        Same shape as :meth:`_execute_select_cached`: the cache key is
+        the normalized template plus the parameter type signature, hits
+        rebind the entry's captured params dict in place, and entries
+        are revalidated against catalog versions / temp-table identity.
+        DML entries are never left ``active`` — a DML statement consumes
+        its row source before returning — so rebinding is always safe.
+        """
+        statement = prepared.statement
+        sig = norm.signature if norm is not None else ()
+        if user_params:
+            sig = sig + tuple(sorted(
+                (name, _type_signature(value))
+                for name, value in user_params.items()))
+        key = (prepared.text, sig)
+        entry = self._lookup_plan(key, session)
+        stats = self.meter.executor_stats
+        if entry is not None:
+            self.cache_stats["plan_hits"] += 1
+            self.meter.count("plan_cache_hits")
+            stats["expr_cache_hits"] = stats.get("expr_cache_hits", 0) + 1
+            entry.params.clear()
+            entry.params.update(params)
+            for subquery in entry.subqueries:
+                subquery.memo.clear()
+            return self._run_dml(entry.plan, session)
+        self.cache_stats["plan_misses"] += 1
+        self.meter.count("plan_cache_misses")
+        stats["expr_cache_misses"] = stats.get("expr_cache_misses", 0) + 1
+        plan_params = dict(params)
+        planner = Planner(self.table_provider(session), self.meter,
+                          plan_params, view_provider=self.view_provider())
+        compiled = self._compile_dml(statement, session, planner)
+        entry = PlanCacheEntry(plan=compiled, params=plan_params,
+                               subqueries=list(planner.subquery_log),
+                               table_versions={}, temp_tables={},
+                               streamable=False)
+        self._remember_plan(key, entry, statement, session)
+        return self._run_dml(compiled, session)
 
     def _lookup_plan(self, key, session: EngineSession):
         """Find a still-valid cached plan for ``key``, or None."""
@@ -572,10 +656,15 @@ class DatabaseEngine:
                           statement: ast.Statement,
                           session: EngineSession) -> StatementResult:
         if session is not None and session.in_transaction:
-            for name in self._referenced_tables(statement):
-                if not name.startswith("#"):
-                    self.locks.acquire(session.current_txn.txn_id, name,
-                                       LockMode.SHARED)
+            lock_tables = entry.lock_tables
+            if lock_tables is None:
+                lock_tables = [name
+                               for name in self._referenced_tables(statement)
+                               if not name.startswith("#")]
+                entry.lock_tables = lock_tables
+            txn_id = session.current_txn.txn_id
+            for name in lock_tables:
+                self.locks.acquire(txn_id, name, LockMode.SHARED)
         plan = entry.plan
         entry.active += 1
 
@@ -711,22 +800,62 @@ class DatabaseEngine:
     def _execute_insert(self, statement: ast.InsertStatement,
                         session: EngineSession,
                         params: dict) -> StatementResult:
-        table = self.table(statement.table, session)
         planner = Planner(self.table_provider(session), self.meter, params,
                           view_provider=self.view_provider())
-        if statement.select is not None:
-            plan = planner.plan_select(statement.select)
-            source_rows = list(iterate_plan(plan.root, self.meter))
+        return self._run_dml(self._compile_dml(statement, session, planner),
+                             session)
+
+    def _compile_dml(self, statement: ast.Statement,
+                     session: EngineSession,
+                     planner: Planner) -> _CompiledDml:
+        """Plan one DML statement into reusable compiled artifacts."""
+        if isinstance(statement, ast.InsertStatement):
+            table = self.table(statement.table, session)
+            compiled = _CompiledDml(kind="insert", table=table)
+            if statement.select is not None:
+                compiled.select_plan = planner.plan_select(statement.select)
+            else:
+                compiled.row_fns = [
+                    [planner.compile_scalar(e) for e in row_exprs]
+                    for row_exprs in statement.rows]
+            compiled.target_columns = statement.columns or [
+                c.name for c in table.info.columns]
+            compiled.column_positions = [table.info.column_index(c)
+                                         for c in compiled.target_columns]
+            return compiled
+        iterate, table = planner.plan_dml_source(statement.table,
+                                                 statement.where)
+        if isinstance(statement, ast.DeleteStatement):
+            return _CompiledDml(kind="delete", table=table, iterate=iterate)
+        bindings = [(table.info.name, c.name) for c in table.info.columns]
+        assignments = []
+        for column_name, expr in statement.assignments:
+            position = table.info.column_index(column_name)
+            assignments.append((position,
+                                planner.compile_row_expr(expr, bindings)))
+        return _CompiledDml(kind="update", table=table, iterate=iterate,
+                            assignments=assignments)
+
+    def _run_dml(self, compiled: _CompiledDml,
+                 session: EngineSession) -> StatementResult:
+        if compiled.kind == "insert":
+            return self._run_insert(compiled, session)
+        if compiled.kind == "update":
+            return self._run_update(compiled, session)
+        return self._run_delete(compiled, session)
+
+    def _run_insert(self, compiled: _CompiledDml,
+                    session: EngineSession) -> StatementResult:
+        table = compiled.table
+        if compiled.select_plan is not None:
+            source_rows = list(iterate_plan(compiled.select_plan.root,
+                                            self.meter))
         else:
             ctx = EvalContext(row=())
-            source_rows = []
-            for row_exprs in statement.rows:
-                fns = [planner.compile_scalar(e) for e in row_exprs]
-                source_rows.append(tuple(fn(ctx) for fn in fns))
-        target_columns = statement.columns or [
-            c.name for c in table.info.columns]
-        column_positions = [table.info.column_index(c)
-                            for c in target_columns]
+            source_rows = [tuple(fn(ctx) for fn in fns)
+                           for fns in compiled.row_fns]
+        target_columns = compiled.target_columns
+        column_positions = compiled.column_positions
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
             self._lock_for_write(session, txn, table)
@@ -759,24 +888,22 @@ class DatabaseEngine:
                         params: dict) -> StatementResult:
         planner = Planner(self.table_provider(session), self.meter, params,
                           view_provider=self.view_provider())
-        iterate, table = planner.plan_dml_source(statement.table,
-                                                 statement.where)
-        bindings = [(table.info.name, c.name) for c in table.info.columns]
-        compiler_fns = []
-        for column_name, expr in statement.assignments:
-            position = table.info.column_index(column_name)
-            fn = planner.compile_row_expr(expr, bindings)
-            compiler_fns.append((position, fn,
-                                 table.info.columns[position].sql_type))
+        return self._run_dml(self._compile_dml(statement, session, planner),
+                             session)
+
+    def _run_update(self, compiled: _CompiledDml,
+                    session: EngineSession) -> StatementResult:
+        table = compiled.table
+        columns = table.info.columns
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
             self._lock_for_write(session, txn, table)
-            matches = list(iterate())
+            matches = list(compiled.iterate())
             for rid, row in matches:
                 new_values = list(row)
                 ctx = EvalContext(row=row)
-                for position, fn, _sql_type in compiler_fns:
-                    column = table.info.columns[position]
+                for position, fn in compiled.assignments:
+                    column = columns[position]
                     value = coerce_column(fn(ctx), column)
                     if value is None and not column.nullable:
                         raise EngineError(
@@ -791,12 +918,16 @@ class DatabaseEngine:
                         params: dict) -> StatementResult:
         planner = Planner(self.table_provider(session), self.meter, params,
                           view_provider=self.view_provider())
-        iterate, table = planner.plan_dml_source(statement.table,
-                                                 statement.where)
+        return self._run_dml(self._compile_dml(statement, session, planner),
+                             session)
+
+    def _run_delete(self, compiled: _CompiledDml,
+                    session: EngineSession) -> StatementResult:
+        table = compiled.table
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
             self._lock_for_write(session, txn, table)
-            matches = list(iterate())
+            matches = list(compiled.iterate())
             for rid, _row in matches:
                 table.delete(rid, txn, self.txns)
                 count += 1
@@ -1028,6 +1159,24 @@ class DatabaseEngine:
                                 + node.group_by
                                 + [o.expr for o in node.order_by]):
                 self._collect_expr_tables(expr_holder, names)
+            return
+        if isinstance(node, ast.InsertStatement):
+            names.add(node.table.lower())
+            if node.select is not None:
+                self._collect_tables(node.select, names)
+            for row_exprs in node.rows:
+                for expr in row_exprs:
+                    self._collect_expr_tables(expr, names)
+            return
+        if isinstance(node, ast.UpdateStatement):
+            names.add(node.table.lower())
+            for _column, expr in node.assignments:
+                self._collect_expr_tables(expr, names)
+            self._collect_expr_tables(node.where, names)
+            return
+        if isinstance(node, ast.DeleteStatement):
+            names.add(node.table.lower())
+            self._collect_expr_tables(node.where, names)
 
     def _collect_from_item(self, item, names: set[str]) -> None:
         if isinstance(item, ast.TableName):

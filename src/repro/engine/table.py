@@ -29,6 +29,8 @@ class Table:
         self.heap = heap
         self._meter = meter
         self._indexes: dict[str, tuple[IndexInfo, BTree]] = {}
+        #: index name -> column positions, memoized off the DML hot path
+        self._key_positions: dict[str, list[int]] = {}
         if info.primary_key:
             pk_info = IndexInfo(name=f"__pk_{info.name}",
                                 table_name=info.name,
@@ -56,6 +58,10 @@ class Table:
     def has_index(self, name: str) -> bool:
         return name.lower() in self._indexes
 
+    def scan_pages(self):
+        """Page-block scan for the batch executor (see HeapFile.scan_pages)."""
+        return self.heap.scan_pages()
+
     # -- index management ----------------------------------------------------
 
     def add_index(self, info: IndexInfo) -> None:
@@ -65,9 +71,11 @@ class Table:
         for rid, row in self.heap.scan():
             tree.insert(tuple(row[p] for p in positions), rid)
         self._indexes[info.name.lower()] = (info, tree)
+        self._key_positions.pop(info.name, None)
 
     def remove_index(self, name: str) -> None:
         self._indexes.pop(name.lower(), None)
+        self._key_positions.pop(name, None)
 
     def rebuild_indexes(self) -> None:
         """Rebuild every index from the heap (after restart recovery)."""
@@ -77,7 +85,11 @@ class Table:
             self.add_index(info)
 
     def _index_key(self, row: tuple, info: IndexInfo) -> tuple:
-        positions = [self.info.column_index(c) for c in info.column_names]
+        positions = self._key_positions.get(info.name)
+        if positions is None:
+            positions = [self.info.column_index(c)
+                         for c in info.column_names]
+            self._key_positions[info.name] = positions
         return tuple(row[p] for p in positions)
 
     # -- mutations ----------------------------------------------------------

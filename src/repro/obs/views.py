@@ -15,7 +15,9 @@ views:
 * ``sys_recovery_phases`` — per-phase virtual-time breakdown of each
   Phoenix session recovery;
 * ``sys_plan_cache`` — statement/plan cache statistics, including
-  per-session temp-table plan counts and LRU evictions.
+  per-session temp-table plan counts and LRU evictions;
+* ``sys_executor`` — batch-execution diagnostics: batches per operator
+  class, point-lookup fast-path hits, compiled-expression cache traffic.
 
 View functions only read engine/meter state; they import nothing from
 the engine so the registry itself stays dependency-free.
@@ -89,6 +91,25 @@ def _sys_recovery_phases(engine):
              record["finished_at"])
             for record in engine.meter.obs.recovery_log
             for phase, seconds in record["phases"]]
+    return columns, rows
+
+
+@system_view("sys_executor")
+def _sys_executor(engine):
+    """Batch-executor diagnostics.
+
+    Per-world counters come from ``meter.executor_stats`` (kept separate
+    from ``meter.counters`` so virtual-output equivalence comparisons are
+    not perturbed by host-side bookkeeping); ``expr_*`` compile totals
+    come from the process-wide :data:`repro.sql.expressions.EXPR_STATS`.
+    """
+    from repro.sql.expressions import EXPR_STATS
+
+    columns = [Column("metric", SqlType.VARCHAR, 48),
+               Column("value", SqlType.BIGINT)]
+    stats = engine.meter.executor_stats
+    rows = [(name, int(stats[name])) for name in sorted(stats)]
+    rows += [(name, int(EXPR_STATS[name])) for name in sorted(EXPR_STATS)]
     return columns, rows
 
 

@@ -25,6 +25,7 @@ from repro.server.protocol import (
 from repro.server.server import DatabaseServer
 from repro.sim.costs import CLIENT_CPU
 from repro.sim.meter import Meter
+from repro.odbc.constants import SQL_ATTR_CURSOR_TYPE, SQL_CURSOR_STATIC
 from repro.odbc.handles import ConnectionHandle, ResultState, StatementHandle
 
 
@@ -99,11 +100,6 @@ class NativeDriver:
             result.done = True
         statement.result = result
         statement.last_sql = sql
-        from repro.odbc.constants import (
-            SQL_ATTR_CURSOR_TYPE,
-            SQL_CURSOR_STATIC,
-        )
-
         if response.kind == "rows" and statement.attrs.get(
                 SQL_ATTR_CURSOR_TYPE) == SQL_CURSOR_STATIC:
             self._materialize_static(statement, result)

@@ -16,7 +16,7 @@ from repro.types import Column
 _handle_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Diagnostic:
     """One diagnostic record (SQLSTATE + message)."""
 
@@ -64,7 +64,7 @@ class ConnectionHandle(_Handle):
         environment.connections.append(self)
 
 
-@dataclass
+@dataclass(slots=True)
 class ResultState:
     """Client-side state of one open result."""
 

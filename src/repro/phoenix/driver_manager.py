@@ -58,8 +58,6 @@ logger = logging.getLogger(__name__)
 class PhoenixDriverManager(DriverManager):
     """Drop-in replacement for the native driver manager (§2)."""
 
-    _nonce_counter = itertools.count(1)
-
     def __init__(self, driver: NativeDriver,
                  config: PhoenixConfig | None = None):
         super().__init__(driver)
@@ -76,7 +74,19 @@ class PhoenixDriverManager(DriverManager):
         self._cache = ClientCache(driver, self.config)
         self._private_env = EnvironmentHandle()
         self._private: ConnectionHandle | None = None
-        self._nonce = next(PhoenixDriverManager._nonce_counter)
+        # Incarnation nonce: makes op keys unique across driver-manager
+        # incarnations so a restarted client never collides with keys a
+        # previous incarnation persisted in the status table.  The counter
+        # is scoped to the meter — i.e. to one simulated world — NOT to
+        # the process: op keys are embedded in persisted SQL text whose
+        # byte widths are charged, so a process-global counter made
+        # virtual time depend on how many worlds ran earlier in the same
+        # process (the nonce gaining a digit widened every op key).
+        counter = getattr(self.meter, "_phoenix_nonce_counter", None)
+        if counter is None:
+            counter = itertools.count(1)
+            self.meter._phoenix_nonce_counter = counter
+        self._nonce = next(counter)
         self._op_seq = 0
         #: Observable counters for the experiments.
         self.stats = {"persisted_results": 0, "cached_results": 0,

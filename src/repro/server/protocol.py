@@ -18,11 +18,13 @@ from repro.types import Column, value_width_bytes
 class Request:
     """Base class; ``wire_bytes`` sizes the request for transfer costs."""
 
+    __slots__ = ()
+
     def wire_bytes(self) -> int:
         return 32
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectRequest(Request):
     login: str = "app"
     database: str = "default"
@@ -32,12 +34,12 @@ class ConnectRequest(Request):
         return 64 + 16 * len(self.options)
 
 
-@dataclass
+@dataclass(slots=True)
 class DisconnectRequest(Request):
     session_token: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecuteRequest(Request):
     session_token: int = 0
     sql: str = ""
@@ -47,7 +49,7 @@ class ExecuteRequest(Request):
         return 32 + len(self.sql) + 16 * len(self.params)
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchRequest(Request):
     """Ask the server to refill the row stream of an open statement."""
 
@@ -56,7 +58,7 @@ class FetchRequest(Request):
     max_rows: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class AdvanceRequest(Request):
     """Server-side repositioning: skip ``count`` rows of an open statement
     without shipping them to the client.
@@ -71,20 +73,20 @@ class AdvanceRequest(Request):
     count: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CloseStatementRequest(Request):
     session_token: int = 0
     statement_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SetOptionRequest(Request):
     session_token: int = 0
     name: str = ""
     value: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PingRequest(Request):
     pass
 
@@ -92,7 +94,7 @@ class PingRequest(Request):
 # -- responses ---------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectResponse:
     session_token: int
 
@@ -100,7 +102,7 @@ class ConnectResponse:
         return 32
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecuteResponse:
     """Result header plus the first buffered batch of rows."""
 
@@ -118,22 +120,21 @@ class ExecuteResponse:
 
     def wire_bytes(self) -> int:
         meta = 32 + 16 * len(self.columns)
-        data = sum(sum(value_width_bytes(v) for v in row)
-                   for row in self.rows)
+        data = sum(sum(map(value_width_bytes, row)) for row in self.rows)
         return meta + data
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchResponse:
     rows: list[tuple] = field(default_factory=list)
     done: bool = True
 
     def wire_bytes(self) -> int:
-        return 16 + sum(sum(value_width_bytes(v) for v in row)
+        return 16 + sum(sum(map(value_width_bytes, row))
                         for row in self.rows)
 
 
-@dataclass
+@dataclass(slots=True)
 class AdvanceResponse:
     skipped: int = 0
     done: bool = False
@@ -142,7 +143,7 @@ class AdvanceResponse:
         return 16
 
 
-@dataclass
+@dataclass(slots=True)
 class OkResponse:
     message: str = ""
 
@@ -150,7 +151,7 @@ class OkResponse:
         return 16
 
 
-@dataclass
+@dataclass(slots=True)
 class PingResponse:
     alive: bool = True
 

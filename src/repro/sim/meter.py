@@ -21,15 +21,24 @@ the micro-overhead experiment and by tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.obs import Observability
 from repro.sim.clock import VirtualClock
 from repro.sim.costs import ALL_RESOURCES, CostModel
 
+# Frozen copy for O(1) membership on the charge hot path (ALL_RESOURCES
+# stays a tuple because callers rely on its canonical order).
+_RESOURCE_SET = frozenset(ALL_RESOURCES)
 
-@dataclass(frozen=True)
-class Segment:
-    """One contiguous use of one resource."""
+
+class Segment(NamedTuple):
+    """One contiguous use of one resource.
+
+    A NamedTuple rather than a frozen dataclass: one Segment is built per
+    ``charge`` call, which is the single hottest allocation site in the
+    simulator.
+    """
 
     resource: str
     seconds: float
@@ -74,6 +83,13 @@ class Meter:
         # Pending batched charge: (resource, note, accumulated seconds).
         self._pending: tuple[str, str, float] | None = None
         self._recorders: list[list[Segment]] = []
+        #: Executor diagnostics (batches per operator, fast-path counts).
+        #: Kept out of ``counters`` so virtual-output equivalence checks
+        #: comparing counters are not perturbed by host-side bookkeeping.
+        self.executor_stats: dict[str, int] = {}
+        # Memoized "charge.<resource>" metric names (host-only: avoids an
+        # f-string per charge).
+        self._charge_metric_names: dict[str, str] = {}
 
     # -- charging -----------------------------------------------------------
 
@@ -81,19 +97,25 @@ class Meter:
         """Charge ``seconds`` of use of ``resource`` to the current request."""
         if self._pending is not None:
             self._flush_pending()
-        if resource not in ALL_RESOURCES:
+        if resource not in _RESOURCE_SET:
             raise ValueError(f"unknown resource {resource!r}")
-        if seconds < 0:
-            raise ValueError("cannot charge negative time")
-        if seconds == 0:
+        if seconds <= 0:
+            if seconds < 0:
+                raise ValueError("cannot charge negative time")
             return
         if self.advance_clock:
             self.clock.advance(seconds)
-        if self.obs.enabled:
-            self.obs.metrics.observe(f"charge.{resource}", seconds)
+        obs = self.obs
+        if obs.enabled:
+            metric = self._charge_metric_names.get(resource)
+            if metric is None:
+                metric = f"charge.{resource}"
+                self._charge_metric_names[resource] = metric
+            obs.metrics.observe(metric, seconds)
         segment = Segment(resource, seconds, note)
-        if self._open_requests:
-            self._open_requests[-1].segments.append(segment)
+        open_requests = self._open_requests
+        if open_requests:
+            open_requests[-1].segments.append(segment)
         for sink in self._recorders:
             sink.append(segment)
 
@@ -118,6 +140,66 @@ class Meter:
                 return
             self._flush_pending()
         self._pending = (resource, note, seconds)
+
+    def charge_rows(self, resource: str, per_row: float, n: int,
+                    note: str = "") -> None:
+        """Charge ``per_row`` seconds ``n`` times, as one batched update.
+
+        Equivalent to ``n`` calls to :meth:`charge_batched` with the same
+        arguments — including the floating-point result.  Repeated addition
+        is not multiplication in IEEE 754, and the bit-identical contract of
+        the batch executor requires reproducing the exact left-fold the
+        row-at-a-time path performs, so this loops rather than multiplies.
+        """
+        if n <= 0 or per_row <= 0:
+            return
+        if not self.advance_clock:
+            # Multi-stream mode: segment boundaries feed the queueing
+            # simulator, so emit per-row segments exactly as before.
+            for _ in range(n):
+                self.charge(resource, per_row, note)
+            return
+        if self._pending is not None:
+            p_resource, p_note, total = self._pending
+            if p_resource != resource or p_note != note:
+                self._flush_pending()
+                total = 0.0
+        else:
+            total = 0.0
+        for _ in range(n):
+            total += per_row
+        self._pending = (resource, note, total)
+
+    def charge_run_list(self, resource: str, runs, note: str = "") -> None:
+        """Charge a sequence of ``(per_row, count)`` runs, fold-preserving.
+
+        The batch executor defers per-row charges and replays them here in
+        the exact order the row-at-a-time engine would have issued them;
+        each run expands to ``count`` individual additions into the
+        pending accumulator (see :meth:`charge_rows` for why).
+        """
+        if not runs:
+            return
+        if not self.advance_clock:
+            for per_row, n in runs:
+                if per_row > 0:
+                    for _ in range(n):
+                        self.charge(resource, per_row, note)
+            return
+        if self._pending is not None:
+            p_resource, p_note, total = self._pending
+            if p_resource != resource or p_note != note:
+                self._flush_pending()
+                total = 0.0
+        else:
+            total = 0.0
+        for per_row, n in runs:
+            if n == 1:
+                total += per_row
+            else:
+                for _ in range(n):
+                    total += per_row
+        self._pending = (resource, note, total)
 
     def _flush_pending(self) -> None:
         """Emit the accumulated batched charge as one real segment."""

@@ -1,23 +1,48 @@
-"""Physical operators: a pull-based (iterator) executor.
+"""Physical operators: a batch-at-a-time executor with a row-mode twin.
 
-Every operator is lazy — rows are produced on demand.  Laziness matters
-for fidelity: the server pulls rows from a query into its network output
-buffer and *suspends* the scan when the buffer fills (the Table 3
-artifact), which only works if production is demand-driven.
+Every operator implements two protocols:
 
-Cost charging happens inside the iterators: CPU per tuple actually
-processed (scaled by the operator's ``cost_factor`` — the work
-amplification of the base tables involved) and I/O via the buffer pool as
-pages actually fault in.
+* ``rows(exec_ctx)`` — the original pull-based row-at-a-time iterators,
+  retained as a debug/reference mode (``REPRO_ROW_EXEC=1``);
+* ``batches(exec_ctx)`` — the default engine: each step yields
+  ``(rows, costs)`` where ``rows`` is a list of tuples and ``costs``
+  describes the per-row virtual-time charges still *owed* for them.
+
+Laziness matters for fidelity: the server pulls rows into its network
+output buffer and *suspends* the scan when the buffer fills (the Table 3
+artifact), and abandoned result sets must never charge for rows the
+consumer did not pull.  The batch engine therefore defers per-tuple CPU
+charges: a batch carries "cost runs" — ``(per_row_seconds, count)``
+pairs, in row-examination order — and the root adapter charges a row's
+runs only at the moment that row is handed to the consumer
+(:func:`_batch_row_stream`).  Charges for rows examined but not emitted
+(filtered out, duplicate, unmatched probes) ride along as a *carry*
+attached to the next emitted row, or are realized when the consumer
+pulls past the end — exactly when the row engine would have examined
+them.  :meth:`Meter.charge_run_list` expands runs as individual
+additions into the batched-charge accumulator, so the floating-point
+fold — and with it the virtual clock, every segment boundary, and every
+trace — is bit-identical to row-at-a-time execution.
+
+Two situations pin execution to the row engine: expressions containing
+subqueries (evaluation charges the meter mid-expression, so deferral
+would reorder segments — see :func:`_row_fallback_batches`) and the
+explicit ``REPRO_ROW_EXEC=1`` debug mode.  Scan batches are
+page-granular and index lookups single-row so that buffer-pool faults
+(disk charges) stay at the same consumption points as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
+from itertools import repeat
+from operator import itemgetter
 
 from repro.errors import PlanningError
 from repro.sim.costs import SERVER_CPU
-from repro.sql.expressions import EvalContext, is_true, sql_compare
+from repro.sql.expressions import (EvalContext, is_impure, is_true, slot_of,
+                                   sql_compare)
 
 
 @dataclass
@@ -39,15 +64,139 @@ class ExecContext:
 
 
 class PlanOperator:
-    """Base class: concrete operators implement ``rows(exec_ctx)``."""
+    """Base class: operators implement ``rows`` and usually ``batches``."""
 
     cost_factor: float = 1.0
 
     def rows(self, exec_ctx: ExecContext):
         raise NotImplementedError
 
+    def batches(self, exec_ctx: ExecContext):
+        return _row_fallback_batches(self, exec_ctx)
+
     def children(self) -> list["PlanOperator"]:
         return []
+
+
+# ---------------------------------------------------------------------------
+# Batch-protocol helpers
+# ---------------------------------------------------------------------------
+#
+# ``costs`` in a ``(rows, costs)`` batch is one of:
+#   None          — nothing owed (a blocking operator already charged);
+#   a runs tuple  — uniform: every row owes these runs (shared object);
+#   a list        — per row: ``costs[i]`` is None or a runs tuple.
+# A "runs tuple" is ``((per_row_seconds, count), ...)`` in examination
+# order; expanding it run by run, addition by addition, reproduces the
+# row engine's exact charge sequence.
+
+
+def _merge_runs(a: tuple, b: tuple) -> tuple:
+    """Concatenate run tuples, merging the boundary runs when their
+    per-row values match.  Merging ``(x, n)`` with ``(x, m)`` into
+    ``(x, n + m)`` expands to the same addition sequence, so the fold is
+    unchanged while drop streaks stay O(1) runs instead of O(rows)."""
+    if not a:
+        return b
+    if not b:
+        return a
+    av, an = a[-1]
+    bv, bn = b[0]
+    if av == bv:
+        return a[:-1] + ((av, an + bn),) + b[1:]
+    return a + b
+
+
+def _pairs(rows: list, costs):
+    """Iterate ``(row, owed_runs)`` for one batch, any costs shape."""
+    if type(costs) is list:
+        return zip(rows, costs)
+    return zip(rows, repeat(costs))
+
+
+def _row_fallback_batches(op: PlanOperator, exec_ctx: ExecContext):
+    """Run ``op``'s whole subtree row-at-a-time, wrapped as size-1
+    batches with nothing owed.  Used when expressions are impure
+    (subqueries charge the meter mid-evaluation): the row engine's
+    charge ordering is reproduced by simply being the row engine."""
+    for row in op.rows(exec_ctx):
+        yield [row], None
+
+
+def _realize_carry(meter, carry: tuple) -> None:
+    """Charge runs owed for rows examined after the last emitted row.
+
+    Called exactly when the consumer pulls *past* those rows — the same
+    pull during which the row engine would have examined and charged
+    them — and always *before* the next child batch is requested, so a
+    page fault in that request still flushes the accumulator in seed
+    order."""
+    if carry and meter is not None:
+        meter.charge_run_list(SERVER_CPU, carry, "query cpu")
+
+
+def _repeat_runs(runs: tuple, n: int):
+    for _ in range(n):
+        yield from runs
+
+
+def _per_row_runs(costs: list, extra: float):
+    for rc in costs:
+        if rc:
+            yield from rc
+        if extra > 0:
+            yield (extra, 1)
+
+
+def _charge_deferred(meter, n_rows: int, costs, extra: float) -> None:
+    """Realize a consumed batch's owed charges immediately.
+
+    Blocking operators (sort, aggregate, join build) drain their input
+    during the consumer's first pull, so input charges are due the
+    moment each row is consumed: each row's own runs first, then the
+    ``extra`` per-tuple cost of consuming it — the row engine's order.
+    """
+    if meter is None or n_rows == 0:
+        return
+    if costs is None:
+        if extra > 0:
+            meter.charge_rows(SERVER_CPU, extra, n_rows, "query cpu")
+        return
+    if type(costs) is tuple:
+        if extra > 0:
+            per_row = costs + ((extra, 1),)
+        else:
+            per_row = costs
+        if len(per_row) == 1:
+            value, count = per_row[0]
+            meter.charge_rows(SERVER_CPU, value, count * n_rows, "query cpu")
+        else:
+            meter.charge_run_list(SERVER_CPU, _repeat_runs(per_row, n_rows),
+                                  "query cpu")
+        return
+    meter.charge_run_list(SERVER_CPU, _per_row_runs(costs, extra),
+                          "query cpu")
+
+
+def _all_slots(fns) -> list[int] | None:
+    """Tuple indexes read by ``fns`` when every one is a bare level-0
+    column reference (see ``slot_of``); None if any is not."""
+    slots = []
+    for fn in fns:
+        slot = slot_of(fn)
+        if slot is None:
+            return None
+        slots.append(slot)
+    return slots
+
+
+def _stats(exec_ctx: ExecContext):
+    return getattr(exec_ctx.meter, "executor_stats", None)
+
+
+def _count_batch(stats, key: str) -> None:
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + 1
 
 
 # ---------------------------------------------------------------------------
@@ -61,6 +210,9 @@ class SingleRowScan(PlanOperator):
     def rows(self, exec_ctx: ExecContext):
         yield ()
 
+    def batches(self, exec_ctx: ExecContext):
+        yield [()], None
+
 
 class EmptyScan(PlanOperator):
     """Produces no rows — used when the WHERE clause is provably false.
@@ -71,6 +223,9 @@ class EmptyScan(PlanOperator):
     """
 
     def rows(self, exec_ctx: ExecContext):
+        return iter(())
+
+    def batches(self, exec_ctx: ExecContext):
         return iter(())
 
 
@@ -92,6 +247,20 @@ class SeqScan(PlanOperator):
         for rid, row in self.table.heap.scan():
             exec_ctx.charge_cpu(per_tuple)
             yield rid, row
+
+    def batches(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_scan * self.cost_factor
+                     if costs else 0.0)
+        run = ((per_tuple, 1),) if per_tuple > 0 else None
+        stats = _stats(exec_ctx)
+        # One batch per heap page: the pool's fault (disk charge) happens
+        # while producing the batch — the same pull that first needs it.
+        for block in self.table.scan_pages():
+            if not block:
+                continue
+            _count_batch(stats, "batches.SeqScan")
+            yield [row for _rid, row in block], run
 
 
 class IndexSeek(PlanOperator):
@@ -118,28 +287,47 @@ class IndexSeek(PlanOperator):
         for _rid, row in self.rows_with_rids(exec_ctx):
             yield row
 
-    def rows_with_rids(self, exec_ctx: ExecContext):
-        costs = exec_ctx.costs
-        per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
-                     if costs else 0.0)
+    def _matching_rids(self, exec_ctx: ExecContext) -> list:
         ctx = EvalContext(row=(), outer=exec_ctx.outer)
         prefix = tuple(fn(ctx) for fn in self.prefix_fns)
         tree = self.table.index_tree(self.index_name)
         index_width = len(self.table.index_info(self.index_name).column_names)
         if self.lo_fn is None and self.hi_fn is None \
                 and len(prefix) == index_width:
-            rids = tree.search(prefix)
-        else:
-            lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
-            hi_key, hi_inc = self._upper_key(prefix, ctx, index_width)
-            rids = [rid for _key, rid in tree.range(
-                lo_key, hi_key, lo_inclusive=lo_inc, hi_inclusive=hi_inc)]
+            return tree.search(prefix)
+        lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
+        hi_key, hi_inc = self._upper_key(prefix, ctx, index_width)
+        return [rid for _key, rid in tree.range(
+            lo_key, hi_key, lo_inclusive=lo_inc, hi_inclusive=hi_inc)]
+
+    def rows_with_rids(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
+                     if costs else 0.0)
+        rids = self._matching_rids(exec_ctx)
         for rid in rids:
             row = self.table.heap.read(rid)
             if row is None:
                 continue
             exec_ctx.charge_cpu(per_tuple)
             yield rid, row
+
+    def batches(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
+                     if costs else 0.0)
+        run = ((per_tuple, 1),) if per_tuple > 0 else None
+        stats = _stats(exec_ctx)
+        rids = self._matching_rids(exec_ctx)
+        read = self.table.heap.read
+        # Single-row batches: each heap read can fault a page, and that
+        # fault must land on the pull that consumes the row.
+        for rid in rids:
+            row = read(rid)
+            if row is None:
+                continue
+            _count_batch(stats, "batches.IndexSeek")
+            yield [row], run
 
     def _lower_key(self, prefix: tuple, ctx, index_width: int):
         if self.lo_fn is not None:
@@ -189,7 +377,7 @@ class _Infinity:
 
 
 # ---------------------------------------------------------------------------
-# Row-at-a-time operators
+# Streaming operators
 # ---------------------------------------------------------------------------
 
 
@@ -208,6 +396,37 @@ class Filter(PlanOperator):
             if is_true(predicate(EvalContext(row=row, outer=outer))):
                 yield row
 
+    def batches(self, exec_ctx: ExecContext):
+        predicate = self.predicate
+        if is_impure(predicate):
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        child_it = self.child.batches(exec_ctx)
+        carry: tuple = ()
+        while True:
+            _realize_carry(meter, carry)
+            carry = ()
+            batch = next(child_it, None)
+            if batch is None:
+                return
+            rows, costs = batch
+            out: list = []
+            out_costs: list = []
+            for row, rc in _pairs(rows, costs):
+                if rc:
+                    carry = _merge_runs(carry, rc)
+                ctx.row = row
+                if predicate(ctx) is True:
+                    out.append(row)
+                    out_costs.append(carry if carry else None)
+                    carry = ()
+            if out:
+                _count_batch(stats, "batches.Filter")
+                yield out, out_costs
+
 
 class Project(PlanOperator):
     def __init__(self, child: PlanOperator, exprs: list):
@@ -223,6 +442,35 @@ class Project(PlanOperator):
         for row in self.child.rows(exec_ctx):
             ctx = EvalContext(row=row, outer=outer)
             yield tuple(expr(ctx) for expr in exprs)
+
+    def batches(self, exec_ctx: ExecContext):
+        exprs = self.exprs
+        if any(is_impure(expr) for expr in exprs):
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        stats = _stats(exec_ctx)
+        slots = _all_slots(exprs)
+        if slots is not None and slots:
+            # Pure column projection: index tuples directly, no contexts.
+            if len(slots) == 1:
+                s0 = slots[0]
+                for rows, costs in self.child.batches(exec_ctx):
+                    _count_batch(stats, "batches.Project")
+                    yield [(row[s0],) for row in rows], costs
+            else:
+                getter = itemgetter(*slots)
+                for rows, costs in self.child.batches(exec_ctx):
+                    _count_batch(stats, "batches.Project")
+                    yield [getter(row) for row in rows], costs
+            return
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        for rows, costs in self.child.batches(exec_ctx):
+            out = []
+            for row in rows:
+                ctx.row = row
+                out.append(tuple(expr(ctx) for expr in exprs))
+            _count_batch(stats, "batches.Project")
+            yield out, costs
 
 
 class Limit(PlanOperator):
@@ -242,6 +490,25 @@ class Limit(PlanOperator):
             produced += 1
             if produced >= self.count:
                 return
+
+    def batches(self, exec_ctx: ExecContext):
+        if self.count <= 0:
+            return
+        stats = _stats(exec_ctx)
+        remaining = self.count
+        for rows, costs in self.child.batches(exec_ctx):
+            if len(rows) >= remaining:
+                # Rows past the limit were never examined by the row
+                # engine: drop them *and* their owed charges.
+                rows = rows[:remaining]
+                if type(costs) is list:
+                    costs = costs[:remaining]
+                _count_batch(stats, "batches.Limit")
+                yield rows, costs
+                return
+            remaining -= len(rows)
+            _count_batch(stats, "batches.Limit")
+            yield rows, costs
 
 
 class Distinct(PlanOperator):
@@ -263,6 +530,39 @@ class Distinct(PlanOperator):
                 seen.add(row)
                 yield row
 
+    def batches(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_agg * self.cost_factor
+                     if costs else 0.0)
+        my_run = ((per_tuple, 1),) if per_tuple > 0 else ()
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        seen: set = set()
+        child_it = self.child.batches(exec_ctx)
+        carry: tuple = ()
+        while True:
+            _realize_carry(meter, carry)
+            carry = ()
+            batch = next(child_it, None)
+            if batch is None:
+                return
+            rows, costs_in = batch
+            out: list = []
+            out_costs: list = []
+            for row, rc in _pairs(rows, costs_in):
+                if rc:
+                    carry = _merge_runs(carry, rc)
+                if my_run:
+                    carry = _merge_runs(carry, my_run)
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+                    out_costs.append(carry if carry else None)
+                    carry = ()
+            if out:
+                _count_batch(stats, "batches.Distinct")
+                yield out, out_costs
+
 
 class Concat(PlanOperator):
     """Sequential concatenation of same-arity inputs (UNION ALL)."""
@@ -276,6 +576,10 @@ class Concat(PlanOperator):
     def rows(self, exec_ctx: ExecContext):
         for child in self.inputs:
             yield from child.rows(exec_ctx)
+
+    def batches(self, exec_ctx: ExecContext):
+        for child in self.inputs:
+            yield from child.batches(exec_ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -309,24 +613,37 @@ class HashJoin(PlanOperator):
     def children(self):
         return [self.left, self.right]
 
+    def _impure(self) -> bool:
+        return (is_impure(self.residual)
+                or any(is_impure(fn) for fn in self.left_key_fns)
+                or any(is_impure(fn) for fn in self.right_key_fns))
+
     def rows(self, exec_ctx: ExecContext):
         costs = exec_ctx.costs
         per_tuple = (costs.cpu_per_tuple_join * self.cost_factor
                      if costs else 0.0)
         outer = exec_ctx.outer
+        right_slots = _all_slots(self.right_key_fns)
+        left_slots = _all_slots(self.left_key_fns)
         table: dict = {}
         for row in self.right.rows(exec_ctx):
             exec_ctx.charge_cpu(per_tuple)
-            ctx = EvalContext(row=row, outer=outer)
-            key = tuple(fn(ctx) for fn in self.right_key_fns)
+            if right_slots is not None:
+                key = tuple(row[i] for i in right_slots)
+            else:
+                ctx = EvalContext(row=row, outer=outer)
+                key = tuple(fn(ctx) for fn in self.right_key_fns)
             if any(v is None for v in key):
                 continue  # NULL never equi-joins
             table.setdefault(key, []).append(row)
         null_right = (None,) * self.right_width
         for left_row in self.left.rows(exec_ctx):
             exec_ctx.charge_cpu(per_tuple)
-            ctx = EvalContext(row=left_row, outer=outer)
-            key = tuple(fn(ctx) for fn in self.left_key_fns)
+            if left_slots is not None:
+                key = tuple(left_row[i] for i in left_slots)
+            else:
+                ctx = EvalContext(row=left_row, outer=outer)
+                key = tuple(fn(ctx) for fn in self.left_key_fns)
             matched = False
             if not any(v is None for v in key):
                 for right_row in table.get(key, ()):
@@ -339,6 +656,87 @@ class HashJoin(PlanOperator):
                     yield combined
             if not matched and self.kind == "left":
                 yield left_row + null_right
+
+    def batches(self, exec_ctx: ExecContext):
+        if self._impure():
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        costs_model = exec_ctx.costs
+        per_tuple = (costs_model.cpu_per_tuple_join * self.cost_factor
+                     if costs_model else 0.0)
+        join_run = ((per_tuple, 1),) if per_tuple > 0 else ()
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        outer = exec_ctx.outer
+        # Build: the row engine drains the right side during the first
+        # pull, so input charges are due as each batch is consumed —
+        # realized before the next batch is requested (fault ordering).
+        table: dict = {}
+        right_slots = _all_slots(self.right_key_fns)
+        right_key_fns = self.right_key_fns
+        ctx = EvalContext(row=(), outer=outer)
+        for rows, costs in self.right.batches(exec_ctx):
+            _charge_deferred(meter, len(rows), costs, per_tuple)
+            if right_slots is not None:
+                for row in rows:
+                    key = tuple(row[i] for i in right_slots)
+                    if None in key:
+                        continue  # NULL never equi-joins
+                    table.setdefault(key, []).append(row)
+            else:
+                for row in rows:
+                    ctx.row = row
+                    key = tuple(fn(ctx) for fn in right_key_fns)
+                    if None in key:
+                        continue
+                    table.setdefault(key, []).append(row)
+        # Probe: streaming with a carry, like Filter.
+        left_slots = _all_slots(self.left_key_fns)
+        left_key_fns = self.left_key_fns
+        residual = self.residual
+        is_left_join = self.kind == "left"
+        null_right = (None,) * self.right_width
+        empty: tuple = ()
+        left_it = self.left.batches(exec_ctx)
+        carry: tuple = ()
+        while True:
+            _realize_carry(meter, carry)
+            carry = ()
+            batch = next(left_it, None)
+            if batch is None:
+                return
+            rows, costs = batch
+            out: list = []
+            out_costs: list = []
+            for left_row, rc in _pairs(rows, costs):
+                if rc:
+                    carry = _merge_runs(carry, rc)
+                if join_run:
+                    carry = _merge_runs(carry, join_run)
+                if left_slots is not None:
+                    key = tuple(left_row[i] for i in left_slots)
+                else:
+                    ctx.row = left_row
+                    key = tuple(fn(ctx) for fn in left_key_fns)
+                matched = False
+                if None not in key:
+                    for right_row in table.get(key, empty):
+                        combined = left_row + right_row
+                        if residual is not None:
+                            ctx.row = combined
+                            if residual(ctx) is not True:
+                                continue
+                        matched = True
+                        out.append(combined)
+                        out_costs.append(carry if carry else None)
+                        carry = ()
+                if not matched and is_left_join:
+                    out.append(left_row + null_right)
+                    out_costs.append(carry if carry else None)
+                    carry = ()
+            if out:
+                _count_batch(stats, "batches.HashJoin")
+                yield out, out_costs
 
 
 class NestedLoopJoin(PlanOperator):
@@ -365,6 +763,9 @@ class NestedLoopJoin(PlanOperator):
         right_rows = list(self.right.rows(exec_ctx))
         null_right = (None,) * self.right_width
         for left_row in self.left.rows(exec_ctx):
+            # Charge the probe row itself, matching HashJoin — an empty
+            # right side still examines every left row.
+            exec_ctx.charge_cpu(per_tuple)
             matched = False
             for right_row in right_rows:
                 exec_ctx.charge_cpu(per_tuple)
@@ -377,6 +778,61 @@ class NestedLoopJoin(PlanOperator):
                 yield combined
             if not matched and self.kind == "left":
                 yield left_row + null_right
+
+    def batches(self, exec_ctx: ExecContext):
+        if is_impure(self.condition):
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        costs_model = exec_ctx.costs
+        per_tuple = (costs_model.cpu_per_tuple_join * self.cost_factor
+                     if costs_model else 0.0)
+        join_run = ((per_tuple, 1),) if per_tuple > 0 else ()
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        right_rows: list = []
+        for rows, costs in self.right.batches(exec_ctx):
+            _charge_deferred(meter, len(rows), costs, 0.0)
+            right_rows.extend(rows)
+        condition = self.condition
+        is_left_join = self.kind == "left"
+        null_right = (None,) * self.right_width
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        left_it = self.left.batches(exec_ctx)
+        carry: tuple = ()
+        while True:
+            _realize_carry(meter, carry)
+            carry = ()
+            batch = next(left_it, None)
+            if batch is None:
+                return
+            rows, costs = batch
+            out: list = []
+            out_costs: list = []
+            for left_row, rc in _pairs(rows, costs):
+                if rc:
+                    carry = _merge_runs(carry, rc)
+                if join_run:
+                    carry = _merge_runs(carry, join_run)
+                matched = False
+                for right_row in right_rows:
+                    if join_run:
+                        carry = _merge_runs(carry, join_run)
+                    combined = left_row + right_row
+                    if condition is not None:
+                        ctx.row = combined
+                        if condition(ctx) is not True:
+                            continue
+                    matched = True
+                    out.append(combined)
+                    out_costs.append(carry if carry else None)
+                    carry = ()
+                if not matched and is_left_join:
+                    out.append(left_row + null_right)
+                    out_costs.append(carry if carry else None)
+                    carry = ()
+            if out:
+                _count_batch(stats, "batches.NestedLoopJoin")
+                yield out, out_costs
 
 
 # ---------------------------------------------------------------------------
@@ -487,6 +943,63 @@ class HashAggregate(PlanOperator):
         for key in order:
             yield key + tuple(acc.result() for acc in groups[key])
 
+    def _impure(self) -> bool:
+        return (any(is_impure(fn) for fn in self.group_fns)
+                or any(spec.arg_fn is not None and is_impure(spec.arg_fn)
+                       for spec in self.agg_specs))
+
+    def batches(self, exec_ctx: ExecContext):
+        if self._impure():
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        costs_model = exec_ctx.costs
+        per_tuple = (costs_model.cpu_per_tuple_agg * self.cost_factor
+                     if costs_model else 0.0)
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        groups: dict[tuple, list[_Accumulator]] = {}
+        order: list[tuple] = []
+        specs = self.agg_specs
+        group_slots = _all_slots(self.group_fns)
+        group_fns = self.group_fns
+        # (spec, direct tuple index or None) pairs; an index avoids the
+        # EvalContext entirely for bare-column aggregate arguments.
+        arg_plan = [(spec, slot_of(spec.arg_fn)
+                     if spec.arg_fn is not None else None)
+                    for spec in specs]
+        needs_ctx = (group_slots is None
+                     or any(spec.arg_fn is not None and slot is None
+                            for spec, slot in arg_plan))
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        for rows, costs in self.child.batches(exec_ctx):
+            _charge_deferred(meter, len(rows), costs, per_tuple)
+            for row in rows:
+                if needs_ctx:
+                    ctx.row = row
+                if group_slots is not None:
+                    key = tuple(row[i] for i in group_slots)
+                else:
+                    key = tuple(fn(ctx) for fn in group_fns)
+                accs = groups.get(key)
+                if accs is None:
+                    accs = [_Accumulator(s.func, s.distinct) for s in specs]
+                    groups[key] = accs
+                    order.append(key)
+                for (spec, slot), acc in zip(arg_plan, accs):
+                    if spec.arg_fn is None:
+                        acc.add(_COUNT_STAR)
+                    elif slot is not None:
+                        acc.add(row[slot])
+                    else:
+                        acc.add(spec.arg_fn(ctx))
+        _count_batch(stats, "batches.HashAggregate")
+        if not groups and not group_fns:
+            accs = [_Accumulator(s.func, s.distinct) for s in specs]
+            yield [tuple(acc.result() for acc in accs)], None
+            return
+        yield [key + tuple(acc.result() for acc in groups[key])
+               for key in order], None
+
 
 # ---------------------------------------------------------------------------
 # Sorting
@@ -525,6 +1038,38 @@ class Sort(PlanOperator):
                 reverse=key.descending)
         yield from rows
 
+    def batches(self, exec_ctx: ExecContext):
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        rows: list = []
+        for batch_rows, costs in self.child.batches(exec_ctx):
+            _charge_deferred(meter, len(batch_rows), costs, 0.0)
+            rows.extend(batch_rows)
+        costs_model = exec_ctx.costs
+        if costs_model is not None:
+            exec_ctx.charge_cpu(costs_model.sort_seconds(len(rows))
+                                * self.cost_factor)
+        # Decorate-sort-undecorate, one stable pass per key (innermost
+        # last, like the multi-pass list.sort).  ``list.sort(key=...)``
+        # evaluates keys once per row in list order, so even this
+        # precomputation order matches the row engine's.
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        for key in reversed(self.keys):
+            key_fn = key.key_fn
+            slot = slot_of(key_fn)
+            if slot is not None:
+                decorated = [_null_safe_key(row[slot]) for row in rows]
+            else:
+                decorated = []
+                for row in rows:
+                    ctx.row = row
+                    decorated.append(_null_safe_key(key_fn(ctx)))
+            index = sorted(range(len(rows)), key=decorated.__getitem__,
+                           reverse=key.descending)
+            rows = [rows[i] for i in index]
+        _count_batch(stats, "batches.Sort")
+        yield rows, None
+
 
 def _null_safe_key(value):
     # (0, None-marker) sorts before any real value.
@@ -534,8 +1079,70 @@ def _null_safe_key(value):
 
 
 # ---------------------------------------------------------------------------
+# Point lookups
+# ---------------------------------------------------------------------------
+
+
+class PointLookup(PlanOperator):
+    """A projected full-prefix B-tree equality lookup, fused.
+
+    The planner rewrites ``Project(IndexSeek)`` into this when the seek
+    is a pure equality over the index's full width — the point-select
+    shape that dominates the cached wall-clock mix.  Row mode delegates
+    to the wrapped project, so virtual outputs are identical by
+    construction; batch mode goes straight from tree search to heap read
+    to projected tuple with no intermediate operator machinery.
+    """
+
+    def __init__(self, project: "Project"):
+        seek = project.child
+        if not isinstance(seek, IndexSeek):
+            raise PlanningError("PointLookup requires Project over IndexSeek")
+        self.project = project
+        self.seek = seek
+        self.cost_factor = seek.cost_factor
+
+    def children(self):
+        return [self.project]
+
+    def rows(self, exec_ctx: ExecContext):
+        return self.project.rows(exec_ctx)
+
+    def batches(self, exec_ctx: ExecContext):
+        seek = self.seek
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_index_lookup * seek.cost_factor
+                     if costs else 0.0)
+        run = ((per_tuple, 1),) if per_tuple > 0 else None
+        stats = _stats(exec_ctx)
+        if stats is not None:
+            stats["point_lookups"] = stats.get("point_lookups", 0) + 1
+        ctx = EvalContext(row=(), outer=exec_ctx.outer)
+        prefix = tuple(fn(ctx) for fn in seek.prefix_fns)
+        tree = seek.table.index_tree(seek.index_name)
+        read = seek.table.heap.read
+        exprs = self.project.exprs
+        slots = _all_slots(exprs)
+        for rid in tree.search(prefix):
+            row = read(rid)
+            if row is None:
+                continue
+            if slots is not None:
+                out_row = tuple(row[i] for i in slots)
+            else:
+                ctx.row = row
+                out_row = tuple(expr(ctx) for expr in exprs)
+            yield [out_row], run
+
+
+# ---------------------------------------------------------------------------
 # Running plans
 # ---------------------------------------------------------------------------
+
+
+def row_exec_enabled() -> bool:
+    """True when ``REPRO_ROW_EXEC=1`` pins plans to row-at-a-time mode."""
+    return os.environ.get("REPRO_ROW_EXEC", "") not in ("", "0")
 
 
 def is_streamable_plan(root: PlanOperator) -> bool:
@@ -552,6 +1159,29 @@ def is_streamable_plan(root: PlanOperator) -> bool:
     return isinstance(op, SeqScan)
 
 
+def _batch_row_stream(root: PlanOperator, exec_ctx: ExecContext):
+    """Flatten a batch stream into rows, charging each row's owed runs
+    at the moment it is handed over — the row engine's charge point."""
+    meter = exec_ctx.meter
+    if meter is None:
+        for rows, _costs in root.batches(exec_ctx):
+            yield from rows
+        return
+    charge_run_list = meter.charge_run_list
+    for rows, costs in root.batches(exec_ctx):
+        if costs is None:
+            yield from rows
+        elif type(costs) is tuple:
+            for row in rows:
+                charge_run_list(SERVER_CPU, costs, "query cpu")
+                yield row
+        else:
+            for row, rc in zip(rows, costs):
+                if rc:
+                    charge_run_list(SERVER_CPU, rc, "query cpu")
+                yield row
+
+
 def iterate_plan(root: PlanOperator, meter,
                  outer: EvalContext | None = None):
     """Lazily iterate a plan's output rows.
@@ -561,7 +1191,11 @@ def iterate_plan(root: PlanOperator, meter,
     spans, so strict nesting does not apply) that records the operator
     and how many rows it ultimately produced.
     """
-    rows = root.rows(ExecContext(meter=meter, outer=outer))
+    exec_ctx = ExecContext(meter=meter, outer=outer)
+    if row_exec_enabled():
+        rows = root.rows(exec_ctx)
+    else:
+        rows = _batch_row_stream(root, exec_ctx)
     obs = getattr(meter, "obs", None)
     if obs is None or not obs.tracer.enabled:
         return rows

@@ -18,6 +18,7 @@ from repro.sql.executor import (
     Limit,
     NestedLoopJoin,
     PlanOperator,
+    PointLookup,
     Project,
     SeqScan,
     SingleRowScan,
@@ -52,6 +53,9 @@ def _describe(op: PlanOperator) -> str:
         return (f"IndexSeek({op.table.info.name} "
                 + " ".join(parts)
                 + _factor_suffix(op.cost_factor) + ")")
+    if isinstance(op, PointLookup):
+        return (f"PointLookup({op.seek.table.info.name} "
+                f"index={op.seek.index_name})")
     if isinstance(op, Filter):
         return "Filter"
     if isinstance(op, Project):

@@ -24,6 +24,31 @@ from dataclasses import dataclass, field
 from repro.errors import ColumnNotFoundError, PlanningError, TypeMismatchError
 from repro.sql import ast
 
+#: Process-wide compiler diagnostics, surfaced through the ``sys_executor``
+#: system view.  Counts compilations, not evaluations, so steady-state
+#: workloads running from the plan cache leave these flat.
+EXPR_STATS: dict[str, int] = {
+    "exprs_compiled": 0,
+    "consts_folded": 0,
+    "slot_refs": 0,
+}
+
+
+def slot_of(fn) -> int | None:
+    """The level-0 row index a compiled closure reads, if it is a bare
+    column (or replacement-slot) reference — the batch executor uses this
+    to index tuples directly instead of allocating an :class:`EvalContext`
+    per row."""
+    return getattr(fn, "_slot", None)
+
+
+def is_impure(fn) -> bool:
+    """True when evaluating ``fn`` can have side effects on the meter
+    (the expression contains a subquery, whose execution charges virtual
+    time).  Impure expressions pin the operator to row-at-a-time
+    evaluation so charge ordering stays bit-identical."""
+    return getattr(fn, "_impure", False)
+
 
 @dataclass
 class EvalContext:
@@ -150,11 +175,13 @@ _COMPARES = {
 def sql_compare(op: str, a, b):
     if a is None or b is None:
         return None
+    # Branches ordered by frequency (numbers dominate key comparisons);
+    # the guards are mutually exclusive so order never changes the result.
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return _COMPARES[op](a, b)
     if isinstance(a, str) and isinstance(b, str):
         return _COMPARES[op](a, b)
     if isinstance(a, datetime.date) and isinstance(b, datetime.date):
-        return _COMPARES[op](a, b)
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
         return _COMPARES[op](a, b)
     # Mixed string/number comparisons: coerce string to number if possible.
     if isinstance(a, str) and isinstance(b, (int, float)):
@@ -325,6 +352,37 @@ def _walk_for_aggregates(node, found: list) -> None:
         _walk_for_aggregates(child, found)
 
 
+def expr_has_subquery(node) -> bool:
+    """True when ``node``'s subtree contains any subquery expression."""
+    if node is None or not isinstance(node, ast.Expr):
+        return False
+    if isinstance(node, (ast.ScalarSubquery, ast.Exists, ast.InSubquery)):
+        return True
+    return any(expr_has_subquery(child) for child in _children(node))
+
+
+_CONST_LEAVES = (ast.Literal, ast.Interval)
+_NONCONST_NODES = (ast.ColumnRef, ast.Param, ast.ScalarSubquery,
+                   ast.Exists, ast.InSubquery)
+#: Context handed to constant subtrees when folding; they never read it.
+_CONST_CTX = EvalContext(row=())
+
+
+def _is_constant(node: ast.Expr) -> bool:
+    """True when ``node`` evaluates to the same value on every row:
+    literal leaves combined by deterministic operators/functions, with no
+    column refs, parameters, or subqueries anywhere in the subtree."""
+    if isinstance(node, _NONCONST_NODES):
+        return False
+    if isinstance(node, ast.FuncCall) and node.name in AGGREGATE_NAMES:
+        return False
+    children = _children(node)
+    if not children:
+        # Unknown childless node types are conservatively non-constant.
+        return isinstance(node, _CONST_LEAVES)
+    return all(_is_constant(child) for child in children)
+
+
 def _children(node: ast.Expr):
     if isinstance(node, ast.Unary):
         return [node.operand]
@@ -393,16 +451,42 @@ class ExprCompiler:
         self._subquery_log = subquery_log
 
     def compile(self, node: ast.Expr):
-        """Return ``fn(ctx: EvalContext) -> value``."""
+        """Return ``fn(ctx: EvalContext) -> value``.
+
+        Compiled closures carry two advisory attributes read through
+        :func:`slot_of` / :func:`is_impure`: ``_slot`` (the closure is a
+        bare level-0 column read of that tuple index — eligible for the
+        batch executor's direct-indexing fast paths) and ``_impure`` (the
+        subtree contains a subquery, so evaluation charges the meter and
+        the operator must stay row-at-a-time).  Constant subtrees are
+        folded to their value at compile time; a fold that raises falls
+        back to the runtime closure so errors still surface during
+        execution, exactly as before.
+        """
         slot = self._replacements.get(id(node))
         if slot is not None:
-            return lambda ctx, s=slot: ctx.row[s]
+            fn = lambda ctx, s=slot: ctx.row[s]  # noqa: E731
+            fn._slot = slot
+            EXPR_STATS["slot_refs"] += 1
+            return fn
         method = getattr(self, "_compile_" + type(node).__name__.lower(),
                          None)
         if method is None:
             raise PlanningError(
                 f"cannot compile expression node {type(node).__name__}")
-        return method(node)
+        fn = method(node)
+        EXPR_STATS["exprs_compiled"] += 1
+        if expr_has_subquery(node):
+            fn._impure = True
+            return fn
+        if not isinstance(node, _CONST_LEAVES) and _is_constant(node):
+            try:
+                value = fn(_CONST_CTX)
+            except Exception:
+                return fn
+            EXPR_STATS["consts_folded"] += 1
+            return lambda ctx, v=value: v
+        return fn
 
     # -- leaves ---------------------------------------------------------------
 
@@ -426,7 +510,10 @@ class ExprCompiler:
     def _compile_columnref(self, node: ast.ColumnRef):
         level, index = self._scope.resolve(node.table, node.name)
         if level == 0:
-            return lambda ctx, i=index: ctx.row[i]
+            fn = lambda ctx, i=index: ctx.row[i]  # noqa: E731
+            fn._slot = index
+            EXPR_STATS["slot_refs"] += 1
+            return fn
         return lambda ctx, l=level, i=index: ctx.at_level(l).row[i]
 
     # -- operators ---------------------------------------------------------
@@ -476,6 +563,7 @@ class ExprCompiler:
     def _compile_inlist(self, node: ast.InList):
         operand = self.compile(node.operand)
         items = [self.compile(item) for item in node.items]
+        negated = node.negated
 
         def evaluate(ctx):
             value = operand(ctx)
@@ -488,10 +576,32 @@ class ExprCompiler:
                     saw_null = True
                     continue
                 if sql_compare("=", value, candidate) is True:
-                    return False if node.negated else True
+                    return False if negated else True
             if saw_null:
                 return None
-            return True if node.negated else False
+            return True if negated else False
+
+        # Fast path: every list item is a numeric literal.  A frozenset
+        # probe matches sql_compare's numeric ``=`` exactly (int/float
+        # hash equality), and the NULL bookkeeping vanishes because no
+        # candidate is NULL.  Non-numeric operand values (a string
+        # compared against numbers, a date mismatch) fall back to the
+        # general loop so coercion and error behavior stay identical.
+        if items and all(isinstance(item, ast.Literal)
+                         and type(item.value) in (int, float)
+                         for item in node.items):
+            candidates = frozenset(item.value for item in node.items)
+
+            def evaluate_fast(ctx):
+                value = operand(ctx)
+                if value is None:
+                    return None
+                if type(value) is int or type(value) is float:
+                    hit = value in candidates
+                    return (not hit) if negated else hit
+                return evaluate(ctx)
+
+            return evaluate_fast
 
         return evaluate
 

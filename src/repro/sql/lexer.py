@@ -1,4 +1,4 @@
-"""Hand-written SQL lexer.
+"""SQL lexer: a regex scanner with a character-loop fallback.
 
 Produces a flat token list the recursive-descent parser consumes.  Details
 worth knowing:
@@ -8,9 +8,18 @@ worth knowing:
 * identifiers may start with ``#`` (temp tables) or contain ``_``;
 * ``@name`` is a procedure parameter token;
 * multi-character operators: ``<=`` ``>=`` ``<>`` ``!=`` ``||``.
+
+The scanner is on the statement-cache hot path (auto-parameterization
+re-lexes every distinct statement text), so ASCII input — all of it, in
+practice — goes through one compiled master regex.  Non-ASCII input falls
+back to the original character loop, whose ``str.isalpha``/``isalnum``
+classes are Unicode-aware in ways ``[A-Za-z0-9]`` is not; both paths
+produce identical tokens for ASCII text.
 """
 
 from __future__ import annotations
+
+import re
 
 from repro.errors import SqlSyntaxError
 from repro.sql.tokens import KEYWORDS, Token, TokenType
@@ -18,9 +27,91 @@ from repro.sql.tokens import KEYWORDS, Token, TokenType
 _OPERATOR_PAIRS = ("<=", ">=", "<>", "!=", "||")
 _OPERATOR_SINGLES = "=<>+-*/.,();"
 
+# One master pattern, leading whitespace folded in so blank runs never
+# cost a loop iteration.  Alternation order matters: WORD cannot start
+# with a digit so it safely precedes NUMBER; NUMBER must precede OP so
+# ``.5`` lexes as a number while a bare ``.`` falls through to OP; the
+# comment branches must precede OP or ``--``/``/*`` would lex as minus
+# and divide.  STRING's trailing ``(?!')`` forbids a closing quote that
+# is immediately followed by another quote — that pair is always the
+# ``''`` escape — so an unterminated literal fails to match outright
+# instead of backtracking to a shorter string plus garbage.
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+      (?P<WORD>[A-Za-z_\#][A-Za-z0-9_]*)
+    | (?P<NUMBER>\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)
+    | (?P<STRING>'[^']*(?:''[^']*)*'(?!'))
+    | (?P<PARAM>@\#?[A-Za-z0-9_]*)
+    | (?P<LINEC>--[^\n]*(?:\n|$))
+    | (?P<BLOCKC>/\*(?:[^*]|\*(?!/))*\*/)
+    | (?P<OP>(?:<=|>=|<>|!=|\|\|)|[=<>+\-*/.,();])
+    )?""",
+    re.VERBOSE)
+
+# Group numbers of the master pattern, for int dispatch on m.lastindex.
+_G_WORD, _G_NUMBER, _G_STRING, _G_PARAM, _G_LINEC, _G_BLOCKC, _G_OP = \
+    range(1, 8)
+
 
 def tokenize(sql: str) -> list[Token]:
     """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    if not sql.isascii():
+        return _tokenize_slow(sql)
+    tokens: list[Token] = []
+    append = tokens.append
+    match = _TOKEN_RE.match
+    kw = TokenType.KEYWORD
+    ident = TokenType.IDENTIFIER
+    i = 0
+    n = len(sql)
+    while i < n:
+        m = match(sql, i)  # never None: the \s* prefix can match empty
+        idx = m.lastindex
+        if idx is None:
+            i = m.end()
+            if i >= n:
+                break  # trailing whitespace
+            if sql[i] == "'":
+                raise SqlSyntaxError(f"unterminated string literal at {i}")
+            raise SqlSyntaxError(
+                f"unexpected character {sql[i]!r} at position {i}")
+        i = m.end()
+        if idx == _G_WORD:
+            value = m.group(idx)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                append(Token(kw, upper, m.start(idx)))
+            else:
+                append(Token(ident, value, m.start(idx)))
+        elif idx == _G_OP:
+            value = m.group(idx)
+            start = m.start(idx)
+            if value == "/" and sql.startswith("/*", start):
+                # "/*" with no terminator: BLOCKC failed to match, so the
+                # bare "/" fell through to the operator branch.
+                raise SqlSyntaxError(
+                    f"unterminated block comment at {start}")
+            append(Token(TokenType.OPERATOR,
+                         "<>" if value == "!=" else value, start))
+        elif idx == _G_NUMBER:
+            append(Token(TokenType.NUMBER, m.group(idx), m.start(idx)))
+        elif idx == _G_STRING:
+            append(Token(TokenType.STRING,
+                         m.group(idx)[1:-1].replace("''", "'"),
+                         m.start(idx)))
+        elif idx == _G_PARAM:
+            value = m.group(idx)
+            if len(value) == 1:
+                raise SqlSyntaxError(f"lone '@' at position {m.start(idx)}")
+            append(Token(TokenType.PARAMETER, value[1:].lower(),
+                         m.start(idx)))
+        # LINEC / BLOCKC produce no token.
+    append(Token(TokenType.END, "", n))
+    return tokens
+
+
+def _tokenize_slow(sql: str) -> list[Token]:
+    """Character-loop scanner (Unicode-aware identifier/digit classes)."""
     tokens: list[Token] = []
     i = 0
     n = len(sql)

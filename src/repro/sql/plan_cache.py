@@ -35,6 +35,7 @@ positions verbatim; see :func:`_literals_to_keep`.
 from __future__ import annotations
 
 import datetime
+import re
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -113,6 +114,116 @@ class NormalizedStatement:
         return dict(self.values)
 
 
+#: Fast-path eligibility: plain DML/query starter ...
+_FAST_STARTER = re.compile(r"\s*(?:SELECT|INSERT|UPDATE|DELETE)\b",
+                           re.IGNORECASE).match
+#: ... and none of the features whose literal-keeping rules need real
+#: token context: explicit parameters, comments, doubled-quote escapes,
+#: double-quoted identifiers, and the keywords after which literals stay
+#: verbatim (TOP/LIMIT/INTERVAL/DATE) or become positional (ORDER BY).
+_FAST_BLOCKER = re.compile(
+    r"[@?\";]|--|/\*|''|\b(?:TOP|LIMIT|ORDER|INTERVAL|DATE)\b",
+    re.IGNORECASE).search
+#: Simple string literals and stand-alone numbers (no exponent forms,
+#: nothing glued to identifiers or dots).
+_FAST_LITERAL = re.compile(r"'([^']*)'|(?<![\w.])\d+(?:\.\d+)?(?![\w.])")
+#: A literal is parameterized on the fast path only when the previous
+#: non-space character proves it is a comparison/arithmetic operand or a
+#: list element.  Every other context (bare conjuncts, select-list
+#: constants, keyword-adjacent literals) falls back to the tokenizer.
+_FAST_PREV_OK = frozenset("=<>(,+-*/")
+#: Characters that, adjacent to a comparison operator, may mean the other
+#: operand is a constant too (literal-vs-literal predicates are kept
+#: verbatim so the planner can fold them) — over-triggering is fine, it
+#: only costs a fallback to the exact path.
+_FAST_CONST_CHARS = frozenset("0123456789'.+-")
+
+
+def _fast_compared_to_constant(sql: str, start: int, end: int) -> bool:
+    """Might the literal at ``sql[start:end]`` sit in a literal-vs-literal
+    comparison?  Conservative: True on any doubt."""
+    n = len(sql)
+    j = end
+    while j < n and sql[j].isspace():
+        j += 1
+    if j < n and sql[j] in "=<>":
+        while j < n and sql[j] in "=<>":
+            j += 1
+        while j < n and sql[j].isspace():
+            j += 1
+        if j < n and sql[j] in _FAST_CONST_CHARS:
+            return True
+    j = start - 1
+    while j >= 0 and sql[j].isspace():
+        j -= 1
+    if j >= 0 and sql[j] in "=<>":
+        while j >= 0 and sql[j] in "=<>":
+            j -= 1
+        while j >= 0 and sql[j].isspace():
+            j -= 1
+        if j >= 0 and sql[j] in _FAST_CONST_CHARS:
+            return True
+    return False
+
+
+def _fast_normalize(sql: str) -> NormalizedStatement | None:
+    """Regex-only normalization for simple literal shapes.
+
+    Host-only shortcut: produces a usable template without tokenizing
+    when every literal is provably an operand position the keep-rules
+    never protect.  Returns None on *any* doubt — the caller then runs
+    the exact tokenizer path.  Fast templates keep the raw text's
+    spacing (the tokenizer path re-joins tokens), so the two paths can
+    yield different-but-equivalent templates; each is self-consistent,
+    which is all the statement/plan caches need.
+    """
+    if _FAST_BLOCKER(sql) or not _FAST_STARTER(sql):
+        return None
+    matches = list(_FAST_LITERAL.finditer(sql))
+    if not matches:
+        return None
+    names: dict[tuple, str] = {}
+    values: list[tuple[str, object]] = []
+    signature: list[tuple] = []
+    out: list[str] = []
+    last = 0
+    for m in matches:
+        start = m.start()
+        j = start - 1
+        while j >= 0 and sql[j].isspace():
+            j -= 1
+        if j < 0 or sql[j] not in _FAST_PREV_OK:
+            return None
+        if _fast_compared_to_constant(sql, start, m.end()):
+            return None
+        content = m.group(1)
+        if content is not None:
+            key = ("str", content)
+            value: object = content
+        else:
+            text = m.group(0)
+            key = ("num", text)
+            value = _number_value(text)
+        name = names.get(key)
+        if name is None:
+            name = f"{PARAM_PREFIX}{len(names)}"
+            names[key] = name
+            values.append((name, value))
+            signature.append(_type_signature(value))
+        out.append(sql[last:start])
+        out.append("@")
+        out.append(name)
+        last = m.end()
+    out.append(sql[last:])
+    template = "".join(out)
+    if "'" in template:
+        # An unpaired quote survived the literal scan — string syntax is
+        # richer than the fast regex assumed; let the lexer decide.
+        return None
+    return NormalizedStatement(text=template, values=tuple(values),
+                               signature=tuple(signature))
+
+
 def normalize_statement(sql: str) -> NormalizedStatement | None:
     """Auto-parameterize ``sql``; None when it must be taken verbatim.
 
@@ -128,6 +239,9 @@ def normalize_statement(sql: str) -> NormalizedStatement | None:
     head = sql.lstrip()[:6].upper()
     if head[:1].isalpha() and head not in _NORMALIZABLE_STARTERS:
         return None
+    fast = _fast_normalize(sql)
+    if fast is not None:
+        return fast
     try:
         tokens = tokenize(sql)
     except SqlSyntaxError:
@@ -136,10 +250,11 @@ def normalize_statement(sql: str) -> NormalizedStatement | None:
         return None
     if tokens[0].value not in _NORMALIZABLE_STARTERS:
         return None
-    for tok in tokens:
-        if (tok.type is TokenType.PARAMETER
-                and tok.value.startswith(PARAM_PREFIX)):
-            return None
+    if "@" in sql:  # parameter tokens cannot exist without an '@'
+        for tok in tokens:
+            if (tok.type is TokenType.PARAMETER
+                    and tok.value.startswith(PARAM_PREFIX)):
+                return None
 
     keep = _literals_to_keep(tokens)
     out: list[str] = []
@@ -159,40 +274,56 @@ def normalize_statement(sql: str) -> NormalizedStatement | None:
     i = 0
     n = len(tokens)
     changed = False
+    append = out.append
     while i < n:
         tok = tokens[i]
-        if tok.type is TokenType.END:
-            break
-        # DATE 'yyyy-mm-dd' collapses into one date-valued parameter
-        # (the parser only accepts a STRING after DATE, so the pair must
-        # be absorbed together or left together).
-        if (tok.type is TokenType.KEYWORD and tok.value == "DATE"
-                and i + 1 < n and tokens[i + 1].type is TokenType.STRING
-                and (i + 1) not in keep):
-            try:
-                date_value = datetime.date.fromisoformat(tokens[i + 1].value)
-            except ValueError:
-                return None  # the parser would reject it; keep seed behavior
-            out.append("@" + intern("date", tokens[i + 1].value, date_value))
-            changed = True
-            i += 2
+        ttype = tok.type
+        # Identifiers and operators — the bulk of any statement — render
+        # as their raw value; branch for them first.
+        if ttype is TokenType.IDENTIFIER or ttype is TokenType.OPERATOR:
+            append(tok.value)
+            i += 1
             continue
-        if tok.type in _LITERAL_TYPES and i not in keep:
+        if ttype is TokenType.KEYWORD:
+            # DATE 'yyyy-mm-dd' collapses into one date-valued parameter
+            # (the parser only accepts a STRING after DATE, so the pair
+            # must be absorbed together or left together).
+            if (tok.value == "DATE"
+                    and i + 1 < n
+                    and tokens[i + 1].type is TokenType.STRING
+                    and (i + 1) not in keep):
+                try:
+                    date_value = datetime.date.fromisoformat(
+                        tokens[i + 1].value)
+                except ValueError:
+                    return None  # the parser would reject it anyway
+                append("@" + intern("date", tokens[i + 1].value,
+                                    date_value))
+                changed = True
+                i += 2
+                continue
+            append(tok.value)
+            i += 1
+            continue
+        if ttype is TokenType.END:
+            break
+        if (ttype is TokenType.NUMBER or ttype is TokenType.STRING) \
+                and i not in keep:
             prev = tokens[i - 1] if i > 0 else None
             if (prev is not None and prev.type is TokenType.KEYWORD
                     and prev.value in ("DATE", "INTERVAL")):
-                out.append(_render(tok))
+                append(_render(tok))
                 i += 1
                 continue
-            if tok.type is TokenType.NUMBER:
-                value = _number_value(tok.value)
-                out.append("@" + intern("num", tok.value, value))
+            if ttype is TokenType.NUMBER:
+                append("@" + intern("num", tok.value,
+                                    _number_value(tok.value)))
             else:
-                out.append("@" + intern("str", tok.value, tok.value))
+                append("@" + intern("str", tok.value, tok.value))
             changed = True
             i += 1
             continue
-        out.append(_render(tok))
+        append(_render(tok))
         i += 1
 
     if not changed:
@@ -265,10 +396,8 @@ def _literals_to_keep(tokens: list[Token]) -> set[int]:
         return ()
 
     for i, tok in enumerate(tokens):
-        prev = tokens[i - 1] if i > 0 else None
-        nxt = tokens[i + 1] if i + 1 < n else None
-
-        if tok.type is TokenType.OPERATOR:
+        ttype = tok.type
+        if ttype is TokenType.OPERATOR:
             if tok.value == "(":
                 depth += 1
             elif tok.value == ")":
@@ -283,17 +412,21 @@ def _literals_to_keep(tokens: list[Token]) -> set[int]:
                     keep.update(right)
             continue
 
-        if tok.type is TokenType.KEYWORD:
-            if (tok.value == "BY" and prev is not None
-                    and prev.type is TokenType.KEYWORD
-                    and prev.value == "ORDER"):
+        if ttype is TokenType.KEYWORD:
+            if (tok.value == "BY" and i > 0
+                    and tokens[i - 1].type is TokenType.KEYWORD
+                    and tokens[i - 1].value == "ORDER"):
                 order_depth = depth
             elif tok.value == "LIMIT" and order_depth == depth:
                 order_depth = None
             continue
 
-        if tok.type not in _LITERAL_TYPES:
+        if ttype is not TokenType.NUMBER and ttype is not TokenType.STRING:
             continue
+
+        # Neighbors matter only for literal tokens; fetch them lazily.
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < n else None
 
         if (prev is not None and prev.type is TokenType.KEYWORD
                 and prev.value in ("TOP", "LIMIT", "INTERVAL")):
@@ -364,6 +497,10 @@ class PlanCacheEntry:
     #: suspended stream still reads the shared params dict, so a new
     #: execution must not rebind it; lookups bypass active entries.
     active: int = 0
+    #: Memoized non-temp table names the statement references directly
+    #: (the shared-lock set for transactional reads).  Computed lazily on
+    #: first transactional use; a pure function of the template AST.
+    lock_tables: list[str] | None = None
 
     def is_valid(self, catalog) -> bool:
         return all(catalog.version_of(name) == version

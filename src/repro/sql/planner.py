@@ -39,6 +39,7 @@ from repro.sql.executor import (
     Limit,
     NestedLoopJoin,
     PlanOperator,
+    PointLookup,
     Project,
     SeqScan,
     SingleRowScan,
@@ -52,6 +53,7 @@ from repro.sql.expressions import (
     ExprCompiler,
     Scope,
     find_aggregates,
+    is_impure,
 )
 from repro.types import Column, SqlType, infer_sql_type
 
@@ -245,6 +247,7 @@ class Planner:
                         for o in select.order_by]
             op = Sort(op, pre_keys, cost_factor=factor)
         op = Project(op, out_exprs)
+        op = _maybe_point_lookup(op)
         if select.distinct:
             op = Distinct(op, cost_factor=factor)
         if post_sort_keys is not None:
@@ -1015,6 +1018,27 @@ def _contains_param(expr: ast.Expr) -> bool:
     if isinstance(expr, ast.Expr):
         return any(_contains_param(c) for c in _children(expr))
     return False
+
+
+def _maybe_point_lookup(op: PlanOperator) -> PlanOperator:
+    """Fuse ``Project(IndexSeek)`` into a :class:`PointLookup` when the
+    seek is a pure equality over the index's full width — the
+    point-select shape that dominates the cached wall-clock mix.  Row
+    mode delegates to the wrapped project, so plan semantics and virtual
+    outputs are unchanged; only the batch engine takes the fused path."""
+    if not isinstance(op, Project) or not isinstance(op.child, IndexSeek):
+        return op
+    seek = op.child
+    if seek.lo_fn is not None or seek.hi_fn is not None:
+        return op
+    width = len(seek.table.index_info(seek.index_name).column_names)
+    if len(seek.prefix_fns) != width:
+        return op
+    if any(is_impure(fn) for fn in seek.prefix_fns):
+        return op
+    if any(is_impure(expr) for expr in op.exprs):
+        return op
+    return PointLookup(op)
 
 
 def _has_subquery(expr: ast.Expr) -> bool:

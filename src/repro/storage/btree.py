@@ -12,6 +12,8 @@ recovery, which is sound because the heap is the durable truth.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from repro.errors import ConstraintError
 
 
@@ -134,16 +136,9 @@ class BTree:
 
     # -- internals: search helpers ---------------------------------------------
 
-    @staticmethod
-    def _lower_bound(keys: list[tuple], key: tuple) -> int:
-        lo, hi = 0, len(keys)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if keys[mid] < key:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
+    # ``bisect_left`` performs exactly the hand-written binary search this
+    # used to be (same ``<`` probes, same insertion point), in C.
+    _lower_bound = staticmethod(bisect_left)
 
     def _find_payload(self, node: _Node, key: tuple) -> list | None:
         while True:

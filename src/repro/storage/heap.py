@@ -111,12 +111,24 @@ class HeapFile:
 
     def scan(self):
         """Yield ``(RowId, row)`` for every live row, page order."""
+        for block in self.scan_pages():
+            yield from block
+
+    def scan_pages(self):
+        """Yield each page's live rows as one block of ``(RowId, row)``.
+
+        The batch executor consumes pages as blocks so its batch
+        boundaries coincide with page-fault boundaries — any disk charge
+        the pool makes happens at exactly the same consumption point as
+        under row-at-a-time iteration.  ``scan`` is this, flattened.
+        """
+        file_id = self.file_id
         for page_no in range(self.page_count):
-            page = self._pool.get_page(self.file_id, page_no, self.cost_factor)
+            page = self._pool.get_page(file_id, page_no, self.cost_factor)
             if page is None:
                 continue
-            for slot, row in page.rows():
-                yield RowId(self.file_id, page_no, slot), row
+            yield [(RowId(file_id, page_no, slot), row)
+                   for slot, row in page.rows()]
 
     def count_rows(self) -> int:
         return sum(1 for _ in self.scan())

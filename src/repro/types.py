@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import datetime
 import enum
+import functools
 from dataclasses import dataclass
 
 from repro.errors import TypeMismatchError
@@ -54,7 +55,10 @@ class Column:
     length: int = 0  # declared length for CHAR/VARCHAR
     nullable: bool = True
 
-    @property
+    # cached_property writes straight into the instance __dict__, which
+    # sidesteps the frozen-dataclass setattr guard — the width of an
+    # immutable column never changes, so computing it once is safe.
+    @functools.cached_property
     def width_bytes(self) -> int:
         """Estimated stored width of one value of this column."""
         if self.sql_type in _FIXED_WIDTHS:
@@ -83,6 +87,19 @@ def coerce(value, sql_type: SqlType):
     """
     if value is None:
         return None
+    # Exact-type fast paths for values already in runtime form (the
+    # overwhelmingly common case on the insert path).  ``type(True) is
+    # int`` is False, so bools still take the ladder below.
+    t = type(value)
+    if t is int:
+        if sql_type is SqlType.INTEGER or sql_type is SqlType.BIGINT:
+            return value
+    elif t is str:
+        if sql_type is SqlType.VARCHAR or sql_type is SqlType.CHAR:
+            return value
+    elif t is float:
+        if sql_type is SqlType.FLOAT or sql_type is SqlType.DECIMAL:
+            return value
     try:
         if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
             if isinstance(value, bool):
@@ -129,6 +146,15 @@ def coerce_column(value, column: Column):
 
 def value_width_bytes(value) -> int:
     """Estimated wire width of one runtime value (for transfer costs)."""
+    # Exact-type fast paths first: this runs per value on every row
+    # transfer and WAL record.  ``type(True) is int`` is False, so the
+    # int fast path cannot misclassify bools; subclasses fall through to
+    # the original isinstance ladder.
+    t = type(value)
+    if t is int:
+        return 4 if -(2 ** 31) <= value < 2 ** 31 else 8
+    if t is str:
+        return max(1, len(value))
     if value is None:
         return 1
     if isinstance(value, bool):

@@ -32,7 +32,7 @@ class LogRecord:
     def _row_bytes(row) -> int:
         if row is None:
             return 0
-        return sum(value_width_bytes(v) for v in row)
+        return sum(map(value_width_bytes, row))
 
 
 @dataclass

@@ -1,0 +1,182 @@
+"""Batch engine vs. row engine: bit-identical virtual outputs.
+
+The batch-at-a-time executor is a host-time optimization; the original
+row-at-a-time operators are retained behind ``REPRO_ROW_EXEC=1``.  These
+tests run identical workloads in both modes and require *exact* equality
+of every virtual output: row streams, the virtual clock, and the meter's
+counters.  Any drift means a batch operator charges differently from the
+row loop it replaced.
+"""
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.sim.meter import Meter
+
+
+@pytest.fixture(params=["batch", "rows"])
+def exec_mode(request, monkeypatch):
+    """Run the decorated test once per executor mode."""
+    if request.param == "rows":
+        monkeypatch.setenv("REPRO_ROW_EXEC", "1")
+    else:
+        monkeypatch.delenv("REPRO_ROW_EXEC", raising=False)
+    return request.param
+
+
+def _set_mode(monkeypatch, mode: str) -> None:
+    if mode == "rows":
+        monkeypatch.setenv("REPRO_ROW_EXEC", "1")
+    else:
+        monkeypatch.delenv("REPRO_ROW_EXEC", raising=False)
+
+
+# ---------------------------------------------------------------------------
+# TPC-H power run
+# ---------------------------------------------------------------------------
+
+
+def _tpch_power_outputs():
+    """(rows per query, final clock, counters) of a small power run."""
+    from repro.workloads.tpch.datagen import generate
+    from repro.workloads.tpch.queries import QUERIES
+    from repro.workloads.tpch.schema import create_schema, load
+
+    engine = DatabaseEngine(meter=Meter(), plan_cache_capacity=128)
+    session = EngineSession(session_id=1)
+    create_schema(engine, session)
+    load(engine, session, generate(scale=0.0005, seed=11))
+    outputs = []
+    for number in sorted(QUERIES):
+        outputs.append((number,
+                        engine.execute(QUERIES[number],
+                                       session).fetch_all()))
+    return outputs, engine.meter.now, dict(engine.meter.counters)
+
+
+def test_tpch_power_batch_vs_row_bit_identical(monkeypatch):
+    _set_mode(monkeypatch, "batch")
+    batch_rows, batch_clock, batch_counters = _tpch_power_outputs()
+    _set_mode(monkeypatch, "rows")
+    row_rows, row_clock, row_counters = _tpch_power_outputs()
+
+    for (num_b, rows_b), (num_r, rows_r) in zip(batch_rows, row_rows):
+        assert num_b == num_r
+        assert rows_b == rows_r, f"rows diverged on TPC-H Q{num_b}"
+    assert batch_clock == row_clock
+    assert batch_counters == row_counters
+
+
+# ---------------------------------------------------------------------------
+# Phoenix crash fuzzer workload
+# ---------------------------------------------------------------------------
+
+
+def _crash_run(crash_at: int | None):
+    """Observed app outputs + clock for one crash-injected run."""
+    from tests.test_phoenix_crash_fuzz import build_world, workload
+
+    server, app = build_world(cache_rows=0)
+    if crash_at is not None:
+        fired = {"count": 0, "done": False}
+
+        def injector(request):
+            fired["count"] += 1
+            if fired["count"] == crash_at and not fired["done"]:
+                fired["done"] = True
+                server.crash()
+                server.restart()
+
+        app.network.fault_injector = injector
+    return workload(app), app.meter.now, dict(app.meter.counters)
+
+
+@pytest.mark.parametrize("crash_at", [None, 3, 7, 11])
+def test_phoenix_crash_workload_batch_vs_row(monkeypatch, crash_at):
+    _set_mode(monkeypatch, "batch")
+    batch = _crash_run(crash_at)
+    _set_mode(monkeypatch, "rows")
+    rows = _crash_run(crash_at)
+    assert batch[0] == rows[0], f"observed outputs diverged (crash_at="\
+                                f"{crash_at})"
+    assert batch[1] == rows[1], f"virtual clock diverged (crash_at="\
+                                f"{crash_at})"
+    assert batch[2] == rows[2], f"counters diverged (crash_at={crash_at})"
+
+
+# ---------------------------------------------------------------------------
+# Mixed DML + join workload on the bare engine
+# ---------------------------------------------------------------------------
+
+
+def _mixed_dml_outputs():
+    engine = DatabaseEngine(meter=Meter(), plan_cache_capacity=128)
+    session = EngineSession(session_id=1)
+    run = lambda sql: engine.execute(sql, session)
+    run("CREATE TABLE acct (id INT NOT NULL, owner VARCHAR(10), "
+        "balance INT, PRIMARY KEY (id))")
+    run("CREATE TABLE movement (acct_id INT, delta INT)")
+    run("CREATE INDEX ix_move ON movement (acct_id)")
+    run("INSERT INTO acct VALUES " + ", ".join(
+        f"({i}, 'own{i % 3}', {i * 100})" for i in range(1, 21)))
+    run("INSERT INTO movement VALUES " + ", ".join(
+        f"({1 + (i * 7) % 20}, {(-1) ** i * i})" for i in range(40)))
+    outputs = []
+    for _ in range(3):  # repeat so the plan cache's hot path is exercised
+        run("UPDATE acct SET balance = balance + 1 "
+            "WHERE id IN (2, 4, 6, 8)")
+        run("DELETE FROM movement WHERE delta = 0")
+        run("INSERT INTO movement VALUES (3, 5), (9, -2)")
+        outputs.append(run(
+            "SELECT a.owner, count(*), sum(m.delta) "
+            "FROM acct a, movement m WHERE a.id = m.acct_id "
+            "GROUP BY a.owner ORDER BY a.owner").fetch_all())
+        outputs.append(run(
+            "SELECT id, balance FROM acct WHERE balance > 500 "
+            "ORDER BY balance DESC").fetch_all())
+    return outputs, engine.meter.now, dict(engine.meter.counters)
+
+
+def test_mixed_dml_batch_vs_row_bit_identical(monkeypatch):
+    _set_mode(monkeypatch, "batch")
+    batch = _mixed_dml_outputs()
+    _set_mode(monkeypatch, "rows")
+    rows = _mixed_dml_outputs()
+    assert batch[0] == rows[0]
+    assert batch[1] == rows[1]
+    assert batch[2] == rows[2]
+
+
+# ---------------------------------------------------------------------------
+# sys_executor view
+# ---------------------------------------------------------------------------
+
+
+def test_sys_executor_view_reports_batch_activity():
+    engine = DatabaseEngine(meter=Meter(), plan_cache_capacity=128)
+    session = EngineSession(session_id=1)
+    engine.execute("CREATE TABLE t (a INT, b VARCHAR(4))", session)
+    engine.execute("INSERT INTO t VALUES " + ", ".join(
+        f"({i}, 'v{i % 5}')" for i in range(50)), session)
+    for _ in range(3):
+        engine.execute("SELECT b, count(*) FROM t WHERE a > 10 "
+                       "GROUP BY b ORDER BY b", session).fetch_all()
+    stats = dict(engine.execute(
+        "SELECT metric, value FROM sys_executor", session).fetch_all())
+    assert stats, "sys_executor returned no rows"
+    batch_totals = [v for k, v in stats.items() if k.startswith("batches.")]
+    assert batch_totals and sum(batch_totals) > 0
+    assert all(isinstance(v, int) and v >= 0 for v in stats.values())
+
+
+def test_sys_executor_counts_stay_out_of_meter_counters():
+    """Executor diagnostics must not leak into the fidelity counters."""
+    engine = DatabaseEngine(meter=Meter(), plan_cache_capacity=128)
+    session = EngineSession(session_id=1)
+    engine.execute("CREATE TABLE t (a INT)", session)
+    engine.execute("INSERT INTO t VALUES (1), (2), (3)", session)
+    engine.execute("SELECT a FROM t WHERE a > 1", session).fetch_all()
+    assert engine.meter.executor_stats  # diagnostics were recorded
+    assert not any(key.startswith("batches.")
+                   for key in engine.meter.counters)

@@ -62,6 +62,55 @@ class TestNormalization:
     def test_no_literals_means_none(self):
         assert normalize_statement("SELECT a FROM t") is None
 
+    def test_fast_path_agrees_with_tokenizer_path(self, monkeypatch):
+        """The regex fast path must extract the same parameters as the
+        tokenizer path on every text it accepts (templates may differ in
+        whitespace only — each path is self-consistent as a cache key)."""
+        from repro.sql import plan_cache
+
+        corpus = [
+            "SELECT c_first, c_last FROM customer WHERE c_id = 42",
+            "SELECT s_quantity FROM stock WHERE s_i_id = 7 AND s_w_id = 1",
+            "SELECT a FROM t WHERE b IN (1, 2, 3)",
+            "UPDATE stock SET s_quantity = 18 WHERE s_i_id = 7",
+            "INSERT INTO history VALUES (1, 2, 'payment')",
+            "DELETE FROM new_order WHERE no_o_id = 3001",
+            "SELECT a FROM t WHERE s = 'abc' GROUP BY a HAVING COUNT(*) > 2",
+            # Texts the fast path must decline (constant folding, grammar
+            # literals, escapes) — the tokenizer path decides these.
+            "SELECT a FROM t WHERE 1 = 1",
+            "SELECT a FROM t WHERE (3 = 3)",
+            "SELECT TOP 5 a FROM t WHERE b = 1",
+            "SELECT a, b FROM t WHERE a = 3 ORDER BY 2",
+            "SELECT a FROM t WHERE s = 'it''s'",
+            "SELECT 1",
+        ]
+        fast_hits = 0
+        for sql in corpus:
+            fast = plan_cache._fast_normalize(sql)
+            with monkeypatch.context() as m:
+                m.setattr(plan_cache, "_fast_normalize", lambda s: None)
+                slow = normalize_statement(sql)
+            if fast is None:
+                continue
+            fast_hits += 1
+            assert slow is not None, sql
+            assert fast.values == slow.values, sql
+            assert fast.signature == slow.signature, sql
+        assert fast_hits >= 6  # the fast path actually covers the mix
+
+    def test_fast_path_declines_constant_folding_texts(self):
+        from repro.sql import plan_cache
+
+        for sql in ["SELECT a FROM t WHERE 1 = 1",
+                    "SELECT a FROM t WHERE (3 = 3)",
+                    "SELECT a FROM t WHERE 0 = 1",
+                    "SELECT TOP 5 a FROM t WHERE b = 1",
+                    "SELECT a, b FROM t WHERE a = 3 ORDER BY 2",
+                    "SELECT a FROM t WHERE s = 'it''s'",
+                    "SELECT 1"]:
+            assert plan_cache._fast_normalize(sql) is None, sql
+
 
 # ---------------------------------------------------------------------------
 # Plan reuse and invalidation (engine level)
@@ -143,7 +192,9 @@ class TestInvalidation:
 
     def test_drop_table_evicts_plan(self, run, engine, people):
         run("SELECT name FROM people WHERE id = 1")
-        assert len(engine._plan_cache) == 1
+        # Two entries: the fixture INSERT (DML plans are cached too) and
+        # this SELECT.
+        assert len(engine._plan_cache) == 2
         run("DROP TABLE people")
         run("CREATE TABLE people (id INT, name VARCHAR(20), age INT)")
         run("INSERT INTO people VALUES (7, 'dora', 40)")
@@ -174,7 +225,8 @@ class TestTempTablePlans:
         run("CREATE TABLE #scratch (a INT)")
         run("INSERT INTO #scratch VALUES (1), (2)")
         assert run("SELECT a FROM #scratch WHERE a = 1") == [(1,)]
-        assert len(session.plan_cache) == 1
+        # INSERT and SELECT plans both live on the session, not the engine.
+        assert len(session.plan_cache) == 2
         assert len(engine._plan_cache) == 0
         other = EngineSession(session_id=2)
         with pytest.raises(Exception):
@@ -191,7 +243,7 @@ class TestTempTablePlans:
         engine.execute("INSERT INTO #scratch VALUES ('x')", fresh)
         assert engine.execute("SELECT a FROM #scratch WHERE a = 'x'",
                               fresh).fetch_all() == [("x",)]
-        assert len(fresh.plan_cache) == 1
+        assert len(fresh.plan_cache) == 2  # its INSERT and its SELECT
 
     def test_recreated_temp_table_invalidates(self, run, session):
         run("CREATE TABLE #scratch (a INT)")
