@@ -18,17 +18,25 @@ import json
 
 from conftest import RESULTS_DIR
 
-from repro.bench.experiments import run_wallclock
+from repro.bench.experiments import (
+    WALLCLOCK_GROUP_COMMIT_WINDOW,
+    run_wallclock,
+)
 
 
 def test_wallclock_speedup(benchmark, report):
     result = benchmark.pedantic(
-        lambda: run_wallclock(point_reads=2000), rounds=1, iterations=1)
+        lambda: run_wallclock(
+            point_reads=2000,
+            group_commit_window=WALLCLOCK_GROUP_COMMIT_WINDOW),
+        rounds=1, iterations=1)
     report("wallclock", result.format())
 
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "wallclock.json").write_text(json.dumps({
         "mix": "TPC-C transactions + point selects + phoenix persists",
+        "leg": "base",
+        "group_commit_window": WALLCLOCK_GROUP_COMMIT_WINDOW,
         "baseline_host_seconds": round(result.baseline_host_seconds, 3),
         "cached_host_seconds": round(result.cached_host_seconds, 3),
         "speedup_percent": round(result.speedup_percent, 1),
@@ -39,6 +47,8 @@ def test_wallclock_speedup(benchmark, report):
         "virtual_seconds": result.cached_virtual_seconds,
         "counters": result.counters,
         "cache_stats": result.cache_stats,
+        "executor_stats": {k: result.executor_stats[k]
+                           for k in sorted(result.executor_stats)},
     }, indent=2) + "\n")
 
     # The caches must never move the virtual clock — bit-identical, not
@@ -50,3 +60,7 @@ def test_wallclock_speedup(benchmark, report):
     assert result.counters.get("plan_cache_hits", 0) > 0
     assert result.counters.get("meta_probe_hits", 0) > 0
     assert result.cache_stats["plan_hits"] > 0
+    # Group commit must coalesce at least 40% of the ungrouped
+    # seed's 183 synchronous log forces (ISSUE 4 acceptance bar).
+    assert result.counters.get("log_forces", 0) <= 109
+    assert result.counters.get("group_commit_joins", 0) > 0

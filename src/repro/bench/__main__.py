@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "fig6": lambda args: experiments.run_fig6(scale=args.scale or 0.02),
     "micro": lambda args: experiments.run_micro_overheads(
         scale=args.scale or 0.002),
+    "indexbench": lambda args: experiments.run_indexbench(),
 }
 
 
@@ -45,30 +46,23 @@ def _trace_report(args):
     return build_trace_report(args.input)
 
 
-def _run_wallclock(args) -> int:
-    """Run the host wall-clock mix and track it over time.
+#: ``log_forces`` of the tracked mix before group commit existed — the
+#: regression ceiling: no future change may force the log more often
+#: than the ungrouped seed did.
+SEED_LOG_FORCES = 183
 
-    Writes ``wallclock.json``/``wallclock.txt`` (the current snapshot)
-    and appends one ``{date, commit, host_seconds}`` line to
-    ``wallclock_history.jsonl`` so CI can spot host-time regressions.
-    """
-    import datetime
-    import json
-    import subprocess
 
-    # point_reads matches benchmarks/test_wallclock_speedup.py so the
-    # CLI and the benchmark harness track the same mix.
-    result = experiments.run_wallclock(point_reads=2000)
-    text = result.format()
-    print(text)
-    if result.baseline_virtual_seconds != result.cached_virtual_seconds:
-        print("WARNING: virtual clocks diverged between the caches-off and "
-              "caches-on legs — caching changed simulated behavior")
-
-    out_dir = pathlib.Path(args.out)
-    out_dir.mkdir(exist_ok=True)
-    payload = {
-        "mix": "TPC-C transactions + point selects + phoenix persists",
+def _wallclock_payload(result, leg: str) -> dict:
+    mixes = {
+        "base": "TPC-C transactions + point selects + phoenix persists",
+        "indexed": ("TPC-C transactions + secondary-index point selects "
+                    "+ phoenix persists"),
+    }
+    return {
+        "mix": mixes[leg],
+        "leg": leg,
+        "group_commit_window":
+            experiments.WALLCLOCK_GROUP_COMMIT_WINDOW,
         "baseline_host_seconds": round(result.baseline_host_seconds, 3),
         "cached_host_seconds": round(result.cached_host_seconds, 3),
         "speedup_percent": round(result.speedup_percent, 1),
@@ -79,18 +73,48 @@ def _run_wallclock(args) -> int:
         "virtual_seconds": result.cached_virtual_seconds,
         "counters": result.counters,
         "cache_stats": result.cache_stats,
+        "executor_stats": {k: result.executor_stats[k]
+                           for k in sorted(result.executor_stats)},
     }
-    (out_dir / "wallclock.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
-    (out_dir / "wallclock.txt").write_text(text + "\n")
+
+
+def _run_wallclock(args) -> int:
+    """Run the host wall-clock mix (plus its secondary-index variant)
+    and track both over time.
+
+    Writes ``wallclock.json``/``wallclock.txt`` and
+    ``wallclock_indexed.json`` (the current snapshots) and appends one
+    ``{date, commit, leg, host_seconds, log_forces}`` line per leg to
+    ``wallclock_history.jsonl`` so CI can spot host-time regressions.
+    Fails if either leg forces the log more often than the ungrouped
+    seed mix did (``log_forces`` > 183): that would mean group commit
+    stopped coalescing.
+    """
+    import datetime
+    import json
+    import subprocess
+
+    window = experiments.WALLCLOCK_GROUP_COMMIT_WINDOW
+    # point_reads matches benchmarks/test_wallclock_speedup.py so the
+    # CLI and the benchmark harness track the same mix.
+    legs = {
+        "base": experiments.run_wallclock(
+            point_reads=2000, group_commit_window=window),
+        "indexed": experiments.run_wallclock(
+            point_reads=2000, group_commit_window=window, indexed=True),
+    }
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
 
     history = out_dir / "wallclock_history.jsonl"
     previous = None
     if history.exists():
         lines = [line for line in history.read_text().splitlines()
                  if line.strip()]
-        if lines:
-            previous = json.loads(lines[-1])
+        entries = [json.loads(line) for line in lines]
+        base_entries = [e for e in entries if e.get("leg", "base") == "base"]
+        if base_entries:
+            previous = base_entries[-1]
     try:
         commit = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -98,19 +122,44 @@ def _run_wallclock(args) -> int:
         ).stdout.strip() or "unknown"
     except Exception:
         commit = "unknown"
-    entry = {"date": datetime.date.today().isoformat(), "commit": commit,
-             "host_seconds": round(result.cached_host_seconds, 3)}
-    with history.open("a") as handle:
-        handle.write(json.dumps(entry) + "\n")
-    print(f"[wallclock history: {entry}]")
+
+    failed = False
+    for leg, result in legs.items():
+        text = result.format()
+        print(f"[leg: {leg}]")
+        print(text)
+        if result.baseline_virtual_seconds != result.cached_virtual_seconds:
+            print("WARNING: virtual clocks diverged between the caches-off "
+                  "and caches-on legs — caching changed simulated behavior")
+
+        suffix = "" if leg == "base" else f"_{leg}"
+        (out_dir / f"wallclock{suffix}.json").write_text(
+            json.dumps(_wallclock_payload(result, leg), indent=2) + "\n")
+        if leg == "base":
+            (out_dir / "wallclock.txt").write_text(text + "\n")
+
+        log_forces = int(result.counters.get("log_forces", 0))
+        entry = {"date": datetime.date.today().isoformat(),
+                 "commit": commit, "leg": leg,
+                 "host_seconds": round(result.cached_host_seconds, 3),
+                 "log_forces": log_forces}
+        with history.open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        print(f"[wallclock history: {entry}]")
+
+        if log_forces > SEED_LOG_FORCES:
+            print(f"FAIL: {leg} leg forced the log {log_forces} times — "
+                  f"above the ungrouped seed's {SEED_LOG_FORCES}")
+            failed = True
 
     if previous and previous.get("host_seconds"):
         last = previous["host_seconds"]
-        if entry["host_seconds"] > 1.3 * last:
-            print(f"WARNING: wallclock mix took {entry['host_seconds']:.3f}s"
+        now = round(legs["base"].cached_host_seconds, 3)
+        if now > 1.3 * last:
+            print(f"WARNING: wallclock mix took {now:.3f}s"
                   f" — more than 30% slower than the last recorded"
                   f" {last:.3f}s ({previous.get('commit', '?')})")
-    return 0
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

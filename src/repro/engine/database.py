@@ -103,10 +103,28 @@ def _sys_indexes(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
                Column("table_name", SqlType.VARCHAR, 64),
                Column("column_names", SqlType.VARCHAR, 128),
-               Column("is_unique", SqlType.INTEGER)]
-    rows = [(ix.name, ix.table_name, ", ".join(ix.column_names),
-             int(ix.unique))
-            for ix in engine.catalog.indexes.values()]
+               Column("is_unique", SqlType.INTEGER),
+               Column("entries", SqlType.INTEGER)]
+    rows = []
+    for ix in engine.catalog.indexes.values():
+        # Entry counts come from the live B-tree when the table runtime
+        # is already materialized; NULL otherwise — the view must not
+        # force a heap load just to count keys.
+        runtime = engine._tables.get(ix.table_name)
+        entries = None
+        if runtime is not None and runtime.has_index(ix.name):
+            entries = len(runtime.index_tree(ix.name))
+        rows.append((ix.name, ix.table_name, ", ".join(ix.column_names),
+                     int(ix.unique), entries))
+    # Implicit primary-key indexes live on the runtime, not the catalog;
+    # list the materialized ones so every live B-tree is accounted for.
+    for runtime in engine._tables.values():
+        for info in runtime.indexes():
+            if info.name.startswith("__pk_"):
+                rows.append((info.name, info.table_name,
+                             ", ".join(info.column_names),
+                             int(info.unique),
+                             len(runtime.index_tree(info.name))))
     return columns, rows
 
 
@@ -282,9 +300,15 @@ class DatabaseEngine:
     # ------------------------------------------------------------------
 
     def heap_for_file(self, file_id: int) -> HeapFile | None:
+        runtime = self.table_for_file(file_id)
+        return runtime.heap if runtime is not None else None
+
+    def table_for_file(self, file_id: int) -> Table | None:
+        """Table runtime for recovery: lets redo/undo maintain the
+        secondary indexes alongside each heap change."""
         for info in self.catalog.tables.values():
             if info.file_id == file_id:
-                return self._runtime(info).heap
+                return self._runtime(info)
         return None
 
     def redo_create_table(self, table: dict) -> None:

@@ -32,10 +32,15 @@ class Table:
         #: index name -> column positions, memoized off the DML hot path
         self._key_positions: dict[str, list[int]] = {}
         if info.primary_key:
-            pk_info = IndexInfo(name=f"__pk_{info.name}",
-                                table_name=info.name,
-                                column_names=info.primary_key, unique=True)
-            self._indexes[pk_info.name] = (pk_info, BTree(unique=True))
+            # Built from the heap, not created empty: a runtime attached
+            # to a non-empty heap (restart recovery, re-materialization
+            # after cache eviction) must start with a complete PK tree —
+            # incremental index maintenance during redo/undo relies on
+            # every tree reflecting the heap it was attached to.
+            self.add_index(IndexInfo(name=f"__pk_{info.name}",
+                                     table_name=info.name,
+                                     column_names=info.primary_key,
+                                     unique=True))
 
     # -- planner interface ------------------------------------------------------
 

@@ -82,15 +82,29 @@ def _format_histogram(summary: LayerSummary) -> str:
     return "\n".join(lines)
 
 
+def _span_duration(record: dict) -> float:
+    """Duration of one span record, 0.0 when timestamps are unusable.
+
+    Exported traces may contain spans that were cut short (no ``end``),
+    emitted outside any parent phase (no ``start`` inherited), or
+    hand-edited; the report groups them under their layer with a zero
+    duration instead of crashing the whole run.
+    """
+    try:
+        return float(record["end"]) - float(record["start"])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+
+
 def summarize_spans(span_records: list[dict], source: str = "live",
                     dropped: int = 0,
                     counters: dict | None = None) -> TraceReport:
     """Build a :class:`TraceReport` from span record dicts."""
     by_layer: dict[str, list[float]] = {}
     for record in span_records:
-        duration = float(record["end"]) - float(record["start"])
-        by_layer.setdefault(record.get("layer") or "(none)",
-                            []).append(duration)
+        duration = _span_duration(record)
+        layer = record.get("layer") or "(none)"
+        by_layer.setdefault(str(layer), []).append(duration)
     report = TraceReport(source=source, span_count=len(span_records),
                          dropped=dropped, counters=dict(counters or {}))
     for layer in sorted(by_layer):
@@ -117,7 +131,8 @@ def build_trace_report(path) -> TraceReport:
     meta = next((r for r in records if r.get("type") == "meta"), {})
     counters = {r["name"]: r["value"] for r in records
                 if r.get("type") == "metric"
-                and r.get("kind") == "counter"}
+                and r.get("kind") == "counter"
+                and "name" in r and "value" in r}
     return summarize_spans(spans, source=str(path),
                            dropped=meta.get("dropped", 0),
                            counters=counters)

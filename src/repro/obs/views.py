@@ -110,6 +110,14 @@ def _sys_executor(engine):
     stats = engine.meter.executor_stats
     rows = [(name, int(stats[name])) for name in sorted(stats)]
     rows += [(name, int(EXPR_STATS[name])) for name in sorted(EXPR_STATS)]
+    # Group-commit traffic lives in the deterministic world counters
+    # (the joins/batches split is part of the simulated WAL behaviour,
+    # not host bookkeeping), but it belongs in the executor diagnostics
+    # next to the per-operator scan counts.
+    counters = engine.meter.counters
+    rows += [(name, int(counters[name]))
+             for name in ("group_commit_batches", "group_commit_joins")
+             if name in counters]
     return columns, rows
 
 

@@ -269,11 +269,18 @@ class IndexSeek(PlanOperator):
     ``prefix_fns`` produce the equality-prefix key values; ``lo_fn`` /
     ``hi_fn`` optionally bound the next key column.  Values are computed
     at run time so parameters and correlated values work.
+
+    ``index_only=True`` (covering scans) synthesizes output rows from the
+    index keys alone — key columns carry their values, every other slot
+    is None — and never touches the heap, so no page faults are paid.
+    The planner only sets it when the statement provably reads key
+    columns exclusively.
     """
 
     def __init__(self, table, index_name: str, prefix_fns: list,
                  lo_fn=None, hi_fn=None, lo_inclusive: bool = True,
-                 hi_inclusive: bool = True, cost_factor: float = 1.0):
+                 hi_inclusive: bool = True, cost_factor: float = 1.0,
+                 index_only: bool = False):
         self.table = table
         self.index_name = index_name
         self.prefix_fns = prefix_fns
@@ -282,28 +289,79 @@ class IndexSeek(PlanOperator):
         self.lo_inclusive = lo_inclusive
         self.hi_inclusive = hi_inclusive
         self.cost_factor = cost_factor
+        self.index_only = index_only
+        self._key_slots: list[int] | None = None
 
     def rows(self, exec_ctx: ExecContext):
+        if self.index_only:
+            costs = exec_ctx.costs
+            per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
+                         if costs else 0.0)
+            self._count_scan(exec_ctx)
+            for key, _rid in self._matching_entries(exec_ctx):
+                exec_ctx.charge_cpu(per_tuple)
+                yield self._synth_row(key)
+            return
         for _rid, row in self.rows_with_rids(exec_ctx):
             yield row
 
-    def _matching_rids(self, exec_ctx: ExecContext) -> list:
+    def _bounds(self, exec_ctx: ExecContext):
+        """(tree, equality prefix, exact?) for this execution's key values."""
         ctx = EvalContext(row=(), outer=exec_ctx.outer)
         prefix = tuple(fn(ctx) for fn in self.prefix_fns)
         tree = self.table.index_tree(self.index_name)
         index_width = len(self.table.index_info(self.index_name).column_names)
-        if self.lo_fn is None and self.hi_fn is None \
-                and len(prefix) == index_width:
+        exact = (self.lo_fn is None and self.hi_fn is None
+                 and len(prefix) == index_width)
+        return tree, prefix, ctx, index_width, exact
+
+    def _matching_rids(self, exec_ctx: ExecContext) -> list:
+        tree, prefix, ctx, index_width, exact = self._bounds(exec_ctx)
+        if exact:
             return tree.search(prefix)
         lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
         hi_key, hi_inc = self._upper_key(prefix, ctx, index_width)
         return [rid for _key, rid in tree.range(
             lo_key, hi_key, lo_inclusive=lo_inc, hi_inclusive=hi_inc)]
 
+    def _matching_entries(self, exec_ctx: ExecContext) -> list:
+        """Like :meth:`_matching_rids` but keeps the index keys (used by
+        index-only scans, which never consult the heap)."""
+        tree, prefix, ctx, index_width, exact = self._bounds(exec_ctx)
+        if exact:
+            return [(prefix, rid) for rid in tree.search(prefix)]
+        lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
+        hi_key, hi_inc = self._upper_key(prefix, ctx, index_width)
+        return list(tree.range(lo_key, hi_key,
+                               lo_inclusive=lo_inc, hi_inclusive=hi_inc))
+
+    def _synth_row(self, key: tuple) -> tuple:
+        slots = self._key_slots
+        if slots is None:
+            info = self.table.index_info(self.index_name)
+            slots = [self.table.info.column_index(c)
+                     for c in info.column_names]
+            self._key_slots = slots
+        row = [None] * len(self.table.info.columns)
+        for slot, value in zip(slots, key):
+            row[slot] = value
+        return tuple(row)
+
+    def _count_scan(self, exec_ctx: ExecContext) -> None:
+        stats = _stats(exec_ctx)
+        if stats is None:
+            return
+        kind = type(self).__name__
+        key = ("index_only_scans" if self.index_only
+               else "index_range_scans" if kind == "IndexRangeScan"
+               else "index_seeks")
+        stats[key] = stats.get(key, 0) + 1
+
     def rows_with_rids(self, exec_ctx: ExecContext):
         costs = exec_ctx.costs
         per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
                      if costs else 0.0)
+        self._count_scan(exec_ctx)
         rids = self._matching_rids(exec_ctx)
         for rid in rids:
             row = self.table.heap.read(rid)
@@ -318,6 +376,13 @@ class IndexSeek(PlanOperator):
                      if costs else 0.0)
         run = ((per_tuple, 1),) if per_tuple > 0 else None
         stats = _stats(exec_ctx)
+        batch_key = "batches." + type(self).__name__
+        self._count_scan(exec_ctx)
+        if self.index_only:
+            for key, _rid in self._matching_entries(exec_ctx):
+                _count_batch(stats, batch_key)
+                yield [self._synth_row(key)], run
+            return
         rids = self._matching_rids(exec_ctx)
         read = self.table.heap.read
         # Single-row batches: each heap read can fault a page, and that
@@ -326,7 +391,7 @@ class IndexSeek(PlanOperator):
             row = read(rid)
             if row is None:
                 continue
-            _count_batch(stats, "batches.IndexSeek")
+            _count_batch(stats, batch_key)
             yield [row], run
 
     def _lower_key(self, prefix: tuple, ctx, index_width: int):
@@ -352,6 +417,18 @@ class IndexSeek(PlanOperator):
         if prefix:
             return prefix + (_Infinity(),) * (index_width - len(prefix)), True
         return None, True
+
+
+class IndexRangeScan(IndexSeek):
+    """Ordered walk of a contiguous index key range.
+
+    Same machinery as :class:`IndexSeek`, used by the planner whenever
+    the predicate does *not* pin the full key width — a partial equality
+    prefix and/or a range bound on the next key column.  Rows are
+    produced in index-key order (the B-tree range walk is ordered),
+    which is what lets the planner drop a ``Sort`` whose keys match the
+    remaining key columns.
+    """
 
 
 class _Infinity:

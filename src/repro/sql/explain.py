@@ -50,7 +50,9 @@ def _describe(op: PlanOperator) -> str:
             parts.append("lo" + (">=" if op.lo_inclusive else ">"))
         if op.hi_fn is not None:
             parts.append("hi" + ("<=" if op.hi_inclusive else "<"))
-        return (f"IndexSeek({op.table.info.name} "
+        if op.index_only:
+            parts.append("index-only")
+        return (f"{type(op).__name__}({op.table.info.name} "
                 + " ".join(parts)
                 + _factor_suffix(op.cost_factor) + ")")
     if isinstance(op, PointLookup):

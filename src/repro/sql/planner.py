@@ -35,6 +35,7 @@ from repro.sql.executor import (
     Filter,
     HashAggregate,
     HashJoin,
+    IndexRangeScan,
     IndexSeek,
     Limit,
     NestedLoopJoin,
@@ -204,6 +205,7 @@ class Planner:
         if late_conjuncts:
             predicate = compiler.compile(_combine_conjuncts(late_conjuncts))
             op = Filter(op, predicate)
+        self._apply_index_only(op, select, schema)
 
         # 3. Aggregation
         select_items = self._expand_stars(select.select_items, schema)
@@ -238,10 +240,17 @@ class Planner:
         ]
 
         # 6. ORDER BY: after projection when keys map to output slots,
-        # otherwise before projection on the full input row.
+        # otherwise before projection on the full input row.  An ordered
+        # index scan that already delivers the requested order makes the
+        # Sort (either placement) unnecessary.
+        need_sort = bool(select.order_by)
+        if need_sort and self._sort_satisfied_by_scan(op, select,
+                                                      select_items):
+            need_sort = False
+            self._count_plan_stat("sort_eliminations")
         post_sort_keys = self._order_keys_on_output(
             select.order_by, select_items, out_schema)
-        if post_sort_keys is None and select.order_by:
+        if post_sort_keys is None and need_sort:
             pre_keys = [SortKey(key_fn=compiler.compile(o.expr),
                                 descending=o.descending)
                         for o in select.order_by]
@@ -250,7 +259,7 @@ class Planner:
         op = _maybe_point_lookup(op)
         if select.distinct:
             op = Distinct(op, cost_factor=factor)
-        if post_sort_keys is not None:
+        if post_sort_keys is not None and need_sort:
             op = Sort(op, post_sort_keys, cost_factor=factor)
 
         # 7. TOP / limit-one (EXISTS probes)
@@ -592,11 +601,17 @@ class Planner:
         prefix_fns = [compiler.compile(e) for e in prefix]
         lo_fn = compiler.compile(lo[0]) if lo else None
         hi_fn = compiler.compile(hi[0]) if hi else None
-        seek = IndexSeek(table, index.name, prefix_fns,
-                         lo_fn=lo_fn, hi_fn=hi_fn,
-                         lo_inclusive=lo[1] if lo else True,
-                         hi_inclusive=hi[1] if hi else True,
-                         cost_factor=table.cost_factor)
+        # A full-width equality prefix is a point seek; anything that
+        # walks part of the key space (partial prefix and/or a range
+        # bound) is an ordered range scan.
+        exact = (lo is None and hi is None
+                 and len(prefix) == len(index.column_names))
+        op_class = IndexSeek if exact else IndexRangeScan
+        seek = op_class(table, index.name, prefix_fns,
+                        lo_fn=lo_fn, hi_fn=hi_fn,
+                        lo_inclusive=lo[1] if lo else True,
+                        hi_inclusive=hi[1] if hi else True,
+                        cost_factor=table.cost_factor)
         # Conjuncts fully answered by the seek are dropped; everything
         # else (including eq conjuncts beyond the usable prefix) stays.
         answered: set[int] = set()
@@ -642,6 +657,90 @@ class Planner:
             return True
         except (ColumnNotFoundError, PlanningError):
             return False
+
+    # -- index-only scans / ordered-scan sort elimination ----------------------
+
+    def _count_plan_stat(self, key: str) -> None:
+        stats = getattr(self._meter, "executor_stats", None)
+        if stats is not None:
+            stats[key] = stats.get(key, 0) + 1
+
+    @staticmethod
+    def _single_base_scan(op: PlanOperator,
+                          select: ast.SelectStatement) -> IndexSeek | None:
+        """The index scan feeding ``op``, when the FROM clause is exactly
+        one base table (possibly under residual filters)."""
+        if len(select.from_items) != 1 \
+                or not isinstance(select.from_items[0], ast.TableName):
+            return None
+        while isinstance(op, Filter):
+            op = op.child
+        return op if isinstance(op, IndexSeek) else None
+
+    def _apply_index_only(self, op: PlanOperator,
+                          select: ast.SelectStatement,
+                          schema: list[BoundColumn]) -> None:
+        """Covering projection: when every column the statement can read
+        from the scanned table is part of the chosen index key, the scan
+        synthesizes its rows from index keys and never touches the heap."""
+        scan = self._single_base_scan(op, select)
+        if scan is None or scan.index_only:
+            return
+        info = scan.table.index_info(scan.index_name)
+        key_cols = set(info.column_names)
+        local_cols = {bc.column.name.lower() for bc in schema}
+        binding = select.from_items[0].binding_name
+        refs: set[str] = set()
+        if not _collect_table_columns(select, binding, local_cols, refs):
+            return  # a * projection (or similar) defeats coverage analysis
+        if refs <= key_cols:
+            scan.index_only = True
+
+    def _sort_satisfied_by_scan(self, op: PlanOperator,
+                                select: ast.SelectStatement,
+                                select_items: list[ast.SelectItem]) -> bool:
+        """True when the access path already yields rows in ORDER BY
+        order: an index scan whose key columns after the consumed
+        equality prefix match the (ascending) order keys contiguously.
+        Order keys pinned by the equality prefix are single-valued and
+        may appear anywhere."""
+        scan = self._single_base_scan(op, select)
+        if scan is None:
+            return False
+        info = scan.table.index_info(scan.index_name)
+        n_prefix = len(scan.prefix_fns)
+        pinned = set(info.column_names[:n_prefix])
+        remaining = list(info.column_names[n_prefix:])
+        binding = select.from_items[0].binding_name
+        out_aliases: dict[str, ast.Expr] = {}
+        for item in select_items:
+            if item.alias:
+                out_aliases.setdefault(item.alias.lower(), item.expr)
+        idx = 0
+        for order in select.order_by:
+            if order.descending:
+                return False
+            expr = order.expr
+            if not isinstance(expr, ast.ColumnRef):
+                return False
+            name = expr.name
+            if expr.table is None:
+                # ORDER BY resolves output aliases first; only safe when
+                # the alias is the same base column.
+                aliased = out_aliases.get(name)
+                if aliased is not None and not (
+                        isinstance(aliased, ast.ColumnRef)
+                        and aliased.name == name
+                        and aliased.table in (None, binding)):
+                    return False
+            elif expr.table.lower() != binding:
+                return False
+            if name in pinned:
+                continue
+            if idx >= len(remaining) or remaining[idx] != name:
+                return False
+            idx += 1
+        return True
 
     # -- aggregation ---------------------------------------------------------
 
@@ -940,6 +1039,59 @@ def _unqualified_names(expr: ast.Expr) -> set[str]:
     return found
 
 
+def _collect_table_columns(node, binding: str, local_cols: set[str],
+                           refs: set[str]) -> bool:
+    """Collect every column name that may read the ``binding`` relation's
+    rows anywhere in ``node``, descending into subqueries (a correlated
+    reference still reads the outer row).  Unqualified names are included
+    whenever they *could* resolve to the relation (over-collection is
+    safe; missing a read is not).  Returns False when the analysis cannot
+    be conclusive — e.g. a ``*`` projection."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Star):
+        return False
+    if isinstance(node, ast.ColumnRef):
+        if node.table is None:
+            if node.name in local_cols:
+                refs.add(node.name)
+        elif node.table.lower() == binding:
+            refs.add(node.name)
+        return True
+    if isinstance(node, ast.SelectStatement):
+        parts = [item.expr for item in node.select_items]
+        parts.append(node.where)
+        parts.extend(node.group_by)
+        parts.append(node.having)
+        parts.extend(o.expr for o in node.order_by)
+        parts.extend(node.from_items)
+        return all(_collect_table_columns(p, binding, local_cols, refs)
+                   for p in parts)
+    if isinstance(node, ast.UnionSelect):
+        return all(_collect_table_columns(s, binding, local_cols, refs)
+                   for s in node.selects)
+    if isinstance(node, ast.TableName):
+        return True
+    if isinstance(node, ast.DerivedTable):
+        return _collect_table_columns(node.select, binding, local_cols, refs)
+    if isinstance(node, ast.Join):
+        return all(_collect_table_columns(p, binding, local_cols, refs)
+                   for p in (node.left, node.right, node.condition))
+    if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
+        return _collect_table_columns(node.subquery, binding, local_cols,
+                                      refs)
+    if isinstance(node, ast.InSubquery):
+        return (_collect_table_columns(node.operand, binding, local_cols,
+                                       refs)
+                and _collect_table_columns(node.subquery, binding,
+                                           local_cols, refs))
+    from repro.sql.expressions import _children
+    if isinstance(node, ast.Expr):
+        return all(_collect_table_columns(c, binding, local_cols, refs)
+                   for c in _children(node))
+    return True
+
+
 def _column_owner_map(
         schema: list[BoundColumn]) -> tuple[dict[str, str], set[str]]:
     """Map column name -> binding; also return ambiguous names."""
@@ -1029,6 +1181,8 @@ def _maybe_point_lookup(op: PlanOperator) -> PlanOperator:
     if not isinstance(op, Project) or not isinstance(op.child, IndexSeek):
         return op
     seek = op.child
+    if seek.index_only:
+        return op  # the fused batch path reads the heap
     if seek.lo_fn is not None or seek.hi_fn is not None:
         return op
     width = len(seek.table.index_info(seek.index_name).column_names)

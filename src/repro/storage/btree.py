@@ -5,9 +5,12 @@ short range scans).  Keys are tuples of SQL values compared
 lexicographically; each key maps to one or more :class:`RowId` values
 (unique indexes enforce a single rid per key).
 
-The tree is a plain in-memory structure: it is *not* logged.  After a
-crash the server rebuilds every index from its base heap during restart
-recovery, which is sound because the heap is the durable truth.
+The tree is a plain in-memory structure: it is *not* logged.  The heap
+is the durable truth — a table runtime builds each tree from its heap
+at attach time, and restart recovery then maintains the trees
+*incrementally*, routing every redone or undone heap change through the
+index-aware apply methods (see ``wal/recovery.py`` and DESIGN.md §8),
+so no wholesale post-recovery rebuild is needed.
 """
 
 from __future__ import annotations

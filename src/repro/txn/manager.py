@@ -92,7 +92,7 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> None:
         self._require_active(txn)
         self._chain(txn, CommitRecord(txn_id=txn.txn_id))
-        self._log.force()
+        self._log.force(group=True)
         self._log.append(EndRecord(txn_id=txn.txn_id))
         txn.state = TxnState.COMMITTED
         for action in txn.on_commit:

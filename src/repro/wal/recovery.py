@@ -3,16 +3,25 @@
 ``RecoveryManager`` drives the three passes against a *target* — the
 engine — through a narrow interface:
 
-* ``target.heap_for_file(file_id)`` → HeapFile or None
+* ``target.table_for_file(file_id)`` → Table runtime or None
+* ``target.heap_for_file(file_id)`` → HeapFile or None (fallback when the
+  target exposes no table runtimes)
 * ``target.redo_create_table / redo_drop_table`` (idempotent DDL redo)
 * ``target.redo_create_procedure / redo_drop_procedure``
 * ``target.redo_create_index / redo_drop_index``
-* ``target.rebuild_indexes()`` (after state is final)
 
 Redo repeats *history* — loser transactions' changes are re-applied and
 then rolled back by the undo pass, exactly as in ARIES.  Redo is
 idempotent via the page-LSN test; undo is restartable via CLRs carrying
 ``undo_next_lsn``.
+
+Secondary indexes are maintained *incrementally* during both passes:
+a table runtime materializes its B-trees from the heap's on-disk state
+the first time recovery touches the table, and every redone or undone
+heap change also applies the matching index updates (the logical
+equivalent of redoing/undoing index pages).  No wholesale post-recovery
+index rebuild is needed — restart cost scales with the log tail, not
+with total data volume.
 """
 
 from __future__ import annotations
@@ -88,12 +97,27 @@ def compensate(rec: LogRecord) -> LogRecord | None:
 
 
 def apply_compensation(action: LogRecord, target) -> None:
-    """Apply a compensating action built by :func:`compensate`."""
+    """Apply a compensating action built by :func:`compensate`.
+
+    DML compensations go through the table runtime when the target has
+    one, so loser-undo keeps the secondary indexes in step with the heap.
+    """
     if isinstance(action, (InsertRecord, DeleteRecord, UpdateRecord)):
+        rid = RowId(action.file_id, action.page_no, action.slot)
+        runtime = _runtime_for(target, action.file_id)
+        if runtime is not None:
+            if isinstance(action, InsertRecord):
+                runtime.apply_insert_with_indexes(rid, action.row,
+                                                  action.lsn)
+            elif isinstance(action, DeleteRecord):
+                runtime.apply_delete_with_indexes(rid, action.lsn)
+            else:
+                runtime.apply_update_with_indexes(rid, action.new_row,
+                                                  action.lsn)
+            return
         heap = target.heap_for_file(action.file_id)
         if heap is None:
             return
-        rid = RowId(action.file_id, action.page_no, action.slot)
         if isinstance(action, InsertRecord):
             heap.apply_insert(rid, action.row, action.lsn)
         elif isinstance(action, DeleteRecord):
@@ -117,6 +141,14 @@ def apply_compensation(action: LogRecord, target) -> None:
         target.redo_drop_view(action.name)
     elif isinstance(action, CreateViewRecord):
         target.redo_create_view(action.name, action.body_sql)
+
+
+def _runtime_for(target, file_id: int):
+    """The index-maintaining table runtime for ``file_id``, if any."""
+    table_for_file = getattr(target, "table_for_file", None)
+    if table_for_file is None:
+        return None
+    return table_for_file(file_id)
 
 
 @dataclass
@@ -189,7 +221,8 @@ class RecoveryManager:
         else:
             self._redo(report)
             self._undo(report, {t: last_lsn[t] for t in report.losers})
-        self._target.rebuild_indexes()
+        # Indexes were maintained incrementally through redo/undo (see
+        # module docstring); no wholesale rebuild pass is needed.
         self._log.force()
         return report
 
@@ -242,15 +275,28 @@ class RecoveryManager:
                 self._redo_one(action, report)
             return
         if isinstance(rec, (InsertRecord, DeleteRecord, UpdateRecord)):
-            heap = self._target.heap_for_file(rec.file_id)
+            runtime = _runtime_for(self._target, rec.file_id)
+            heap = (runtime.heap if runtime is not None
+                    else self._target.heap_for_file(rec.file_id))
             if heap is None:
                 report.redo_skipped += 1
                 return
             if heap.page_lsn(rec.page_no) >= rec.lsn:
+                # Page already carries this change — and the runtime's
+                # indexes were built from that heap state, so they carry
+                # it too.
                 report.redo_skipped += 1
                 return
             rid = RowId(rec.file_id, rec.page_no, rec.slot)
-            if isinstance(rec, InsertRecord):
+            if runtime is not None:
+                if isinstance(rec, InsertRecord):
+                    runtime.apply_insert_with_indexes(rid, rec.row, rec.lsn)
+                elif isinstance(rec, DeleteRecord):
+                    runtime.apply_delete_with_indexes(rid, rec.lsn)
+                else:
+                    runtime.apply_update_with_indexes(rid, rec.new_row,
+                                                      rec.lsn)
+            elif isinstance(rec, InsertRecord):
                 heap.apply_insert(rid, rec.row, rec.lsn)
             elif isinstance(rec, DeleteRecord):
                 heap.apply_delete(rid, rec.lsn)

@@ -284,6 +284,35 @@ def test_summarize_spans_groups_by_layer():
     assert a.count == 2 and a.total == 4.0 and a.max == 3.0
 
 
+def test_summarize_spans_tolerates_parentless_and_cut_spans(tmp_path):
+    """Spans with no parent phase (no layer), no timestamps, or garbage
+    timestamps must not crash the report — they group under "(none)"
+    with a zero duration (trace-report CLI hardening)."""
+    spans = [{"layer": "a", "start": 0.0, "end": 1.0},
+             {"start": 0.0, "end": 2.0},            # no parent phase
+             {"layer": None, "start": 1.0},          # cut short: no end
+             {"layer": "a", "start": "x", "end": 2}  # mangled timestamp
+             ]
+    report = summarize_spans(spans)
+    assert report.span_count == 4
+    by_layer = {s.layer: s for s in report.layers}
+    assert by_layer["(none)"].count == 2
+    assert by_layer["(none)"].total == 2.0
+    assert by_layer["a"].count == 2 and by_layer["a"].total == 1.0
+    assert "Trace report" in report.format()
+
+    # End to end through the file loader: a metric record missing its
+    # value and an unparentable span must both survive.
+    path = tmp_path / "ragged.jsonl"
+    path.write_text(
+        '{"type": "meta", "dropped": 0}\n'
+        '{"type": "span", "name": "orphan"}\n'
+        '{"type": "metric", "kind": "counter", "name": "incomplete"}\n')
+    report = build_trace_report(path)
+    assert report.span_count == 1
+    assert report.counters == {}
+
+
 # ---------------------------------------------------------------------------
 # Recovery log plumbing (works with tracing off)
 # ---------------------------------------------------------------------------

@@ -212,6 +212,35 @@ class TestInvalidation:
         plan = run("EXPLAIN SELECT name FROM people WHERE age = 25")
         assert any("ix_age" in str(row) for row in plan)
 
+    def test_create_index_replans_range_to_index_scan(self, run, engine,
+                                                      people):
+        # Cache the pre-index range plan, create the index, and check
+        # the stale SeqScan plan is not served: the replan must pick
+        # the ordered IndexRangeScan access path.
+        run("SELECT name FROM people WHERE age > 20")
+        run("CREATE INDEX ix_age ON people (age)")
+        before = engine.cache_stats["plan_invalidations"]
+        # No ORDER BY: the index path returns age order, not heap order.
+        assert sorted(run("SELECT name FROM people WHERE age > 20")) == \
+            [("alice",), ("bob",), ("carol",)]
+        assert engine.cache_stats["plan_invalidations"] == before + 1
+        plan = run("EXPLAIN SELECT name FROM people WHERE age > 20")
+        assert any("IndexRangeScan" in str(row) for row in plan)
+
+    def test_drop_index_invalidates_back_to_seq_scan(self, run, engine,
+                                                     people):
+        run("CREATE INDEX ix_age ON people (age)")
+        plan = run("EXPLAIN SELECT name FROM people WHERE age = 25")
+        assert any("ix_age" in str(row) for row in plan)
+        run("SELECT name FROM people WHERE age = 25")
+        run("DROP INDEX ix_age")
+        before = engine.cache_stats["plan_invalidations"]
+        assert run("SELECT name FROM people WHERE age = 25") == [("bob",)]
+        assert engine.cache_stats["plan_invalidations"] == before + 1
+        plan = run("EXPLAIN SELECT name FROM people WHERE age = 25")
+        assert not any("ix_age" in str(row) for row in plan)
+        assert any("SeqScan" in str(row) for row in plan)
+
     def test_unrelated_ddl_keeps_plan(self, run, engine, people):
         run("SELECT name FROM people WHERE id = 1")
         run("CREATE TABLE other (x INT)")
