@@ -46,9 +46,9 @@ def _trace_report(args):
     return build_trace_report(args.input)
 
 
-#: ``log_forces`` of the tracked mix before group commit existed — the
-#: regression ceiling: no future change may force the log more often
-#: than the ungrouped seed did.
+#: ``log_forces`` of the tracked mix before asynchronous commit existed
+#: — the regression ceiling: no future change may force the log more
+#: often than the synchronous-commit seed did.
 SEED_LOG_FORCES = 183
 
 
@@ -61,8 +61,8 @@ def _wallclock_payload(result, leg: str) -> dict:
     return {
         "mix": mixes[leg],
         "leg": leg,
-        "group_commit_window":
-            experiments.WALLCLOCK_GROUP_COMMIT_WINDOW,
+        "async_commit_window":
+            experiments.WALLCLOCK_ASYNC_COMMIT_WINDOW,
         "baseline_host_seconds": round(result.baseline_host_seconds, 3),
         "cached_host_seconds": round(result.cached_host_seconds, 3),
         "speedup_percent": round(result.speedup_percent, 1),
@@ -86,22 +86,22 @@ def _run_wallclock(args) -> int:
     ``wallclock_indexed.json`` (the current snapshots) and appends one
     ``{date, commit, leg, host_seconds, log_forces}`` line per leg to
     ``wallclock_history.jsonl`` so CI can spot host-time regressions.
-    Fails if either leg forces the log more often than the ungrouped
-    seed mix did (``log_forces`` > 183): that would mean group commit
-    stopped coalescing.
+    Fails if either leg forces the log more often than the
+    synchronous-commit seed mix did (``log_forces`` > 183): that would
+    mean async commit stopped deferring.
     """
     import datetime
     import json
     import subprocess
 
-    window = experiments.WALLCLOCK_GROUP_COMMIT_WINDOW
+    window = experiments.WALLCLOCK_ASYNC_COMMIT_WINDOW
     # point_reads matches benchmarks/test_wallclock_speedup.py so the
     # CLI and the benchmark harness track the same mix.
     legs = {
         "base": experiments.run_wallclock(
-            point_reads=2000, group_commit_window=window),
+            point_reads=2000, async_commit_window=window),
         "indexed": experiments.run_wallclock(
-            point_reads=2000, group_commit_window=window, indexed=True),
+            point_reads=2000, async_commit_window=window, indexed=True),
     }
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(exist_ok=True)
@@ -149,7 +149,7 @@ def _run_wallclock(args) -> int:
 
         if log_forces > SEED_LOG_FORCES:
             print(f"FAIL: {leg} leg forced the log {log_forces} times — "
-                  f"above the ungrouped seed's {SEED_LOG_FORCES}")
+                  f"above the synchronous-commit seed's {SEED_LOG_FORCES}")
             failed = True
 
     if previous and previous.get("host_seconds"):

@@ -545,11 +545,11 @@ _WALLCLOCK_INDEXED_QUERIES = (
     "AND c_last >= '{lo}' AND c_last < '{hi}'",
 )
 
-#: Group-commit window (virtual seconds) the tracked wallclock mix runs
-#: with.  Applied to *both* legs so the caches-off/caches-on virtual
-#: clocks still agree bit-for-bit; EXPERIMENTS.md records the resulting
-#: artifact shift against the pre-group-commit baseline.
-WALLCLOCK_GROUP_COMMIT_WINDOW = 0.25
+#: Asynchronous-commit window (virtual seconds) the tracked wallclock
+#: mix runs with.  Applied to *both* legs so the caches-off/caches-on
+#: virtual clocks still agree bit-for-bit; EXPERIMENTS.md records the
+#: resulting artifact shift against the synchronous-commit baseline.
+WALLCLOCK_ASYNC_COMMIT_WINDOW = 0.25
 
 #: A result wider than the client cache, so Phoenix persists it —
 #: repeating it exercises the metadata-probe cache.
@@ -601,11 +601,11 @@ class WallclockResult:
 
 def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
                    point_reads: int, persists: int, seed: int,
-                   group_commit_window: float = 0.0,
+                   async_commit_window: float = 0.0,
                    indexed: bool = False):
     """One timed mix leg; world setup is excluded from the timers."""
     costs = tpcc_cost_model(6.0)
-    costs.group_commit_window_seconds = group_commit_window
+    costs.async_commit_window_seconds = async_commit_window
     server = DatabaseServer(
         meter=Meter(costs),
         plan_cache_capacity=128 if enable_caches else 0)
@@ -665,17 +665,17 @@ def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
 
 def run_wallclock(scale: TpccScale = DEFAULT_TPCC_SCALE, txns: int = 120,
                   point_reads: int = 1200, persists: int = 8,
-                  seed: int = 11, group_commit_window: float = 0.0,
+                  seed: int = 11, async_commit_window: float = 0.0,
                   indexed: bool = False) -> WallclockResult:
     """Time an identical statement stream with caches off, then on.
 
-    ``group_commit_window`` and ``indexed`` apply to *both* legs, so the
+    ``async_commit_window`` and ``indexed`` apply to *both* legs, so the
     caches-off/caches-on virtual clocks still agree bit-for-bit.
     """
     base = _wallclock_leg(False, scale, txns, point_reads, persists, seed,
-                          group_commit_window, indexed)
+                          async_commit_window, indexed)
     hot = _wallclock_leg(True, scale, txns, point_reads, persists, seed,
-                         group_commit_window, indexed)
+                         async_commit_window, indexed)
     return WallclockResult(
         baseline_host_seconds=base[0], cached_host_seconds=hot[0],
         baseline_virtual_seconds=base[1], cached_virtual_seconds=hot[1],

@@ -285,7 +285,9 @@ class DatabaseEngine:
             self.buffer_pool, self.disk, cost_factor=self._factor(info))
         runtime = Table(info, heap, self.meter)
         for index in self.catalog.indexes_on(info.name):
-            runtime.add_index(index)
+            # Attach-time build: mid-recovery heap state may transiently
+            # duplicate a unique key; redo resolves it (see Table.add_index).
+            runtime.add_index(index, enforce_unique=False)
         self._tables[info.name] = runtime
         return runtime
 

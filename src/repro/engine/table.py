@@ -13,9 +13,11 @@ a post-reconnect server session is the same one it had before.
 
 from __future__ import annotations
 
+from itertools import groupby
+
 from repro.errors import ConstraintError
 from repro.sim.costs import SERVER_CPU
-from repro.storage.btree import BTree
+from repro.storage.btree import BTree, NullKey, encode_key
 from repro.storage.catalog import IndexInfo, TableInfo
 from repro.storage.heap import HeapFile, RowId
 from repro.txn.manager import Transaction, TransactionManager
@@ -40,7 +42,8 @@ class Table:
             self.add_index(IndexInfo(name=f"__pk_{info.name}",
                                      table_name=info.name,
                                      column_names=info.primary_key,
-                                     unique=True))
+                                     unique=True),
+                           enforce_unique=False)
 
     # -- planner interface ------------------------------------------------------
 
@@ -69,12 +72,21 @@ class Table:
 
     # -- index management ----------------------------------------------------
 
-    def add_index(self, info: IndexInfo) -> None:
-        """Register an index and build it from the current heap contents."""
+    def add_index(self, info: IndexInfo,
+                  enforce_unique: bool = True) -> None:
+        """Register an index and build it from the current heap contents.
+
+        ``enforce_unique=False`` is the attach-time mode: a heap read
+        mid-recovery can transiently hold two rows with one unique key
+        (a stale pre-delete page plus a flushed re-insert), and redo
+        resolves that — so the build tolerates duplicates there, while
+        user ``CREATE UNIQUE INDEX`` keeps raising on real ones.
+        """
         tree = BTree(unique=info.unique)
         positions = [self.info.column_index(c) for c in info.column_names]
         for rid, row in self.heap.scan():
-            tree.insert(tuple(row[p] for p in positions), rid)
+            tree.insert(encode_key(row[p] for p in positions), rid,
+                        enforce_unique=enforce_unique)
         self._indexes[info.name.lower()] = (info, tree)
         self._key_positions.pop(info.name, None)
 
@@ -95,7 +107,7 @@ class Table:
             positions = [self.info.column_index(c)
                          for c in info.column_names]
             self._key_positions[info.name] = positions
-        return tuple(row[p] for p in positions)
+        return encode_key(row[p] for p in positions)
 
     # -- mutations ----------------------------------------------------------
 
@@ -150,12 +162,19 @@ class Table:
         return old_row
 
     # -- recovery-side (already-logged) mutations ---------------------------
+    #
+    # Index inserts here never enforce uniqueness: repeating history can
+    # transiently duplicate a unique key (e.g. redo replays an insert of
+    # a key the attach-time tree build already picked up from a flushed
+    # re-insert; the delete between them replays later).  Recovery
+    # re-validates every touched unique tree once undo completes.
 
     def apply_insert_with_indexes(self, rid: RowId, row: tuple,
                                   lsn: int) -> None:
         self.heap.apply_insert(rid, row, lsn)
         for info, tree in self._indexes.values():
-            tree.insert(self._index_key(row, info), rid)
+            tree.insert(self._index_key(row, info), rid,
+                        enforce_unique=False)
 
     def apply_delete_with_indexes(self, rid: RowId, lsn: int) -> None:
         row = self.heap.read(rid)
@@ -176,7 +195,23 @@ class Table:
             new_key = self._index_key(new_row, info)
             if old_key != new_key:
                 tree.delete(old_key, rid)
-                tree.insert(new_key, rid)
+                tree.insert(new_key, rid, enforce_unique=False)
+
+    def validate_unique_indexes(self) -> None:
+        """Assert every unique tree holds exactly one rid per key.
+
+        Called by restart recovery after undo: transient duplicates
+        admitted while repeating history must all have resolved.
+        """
+        for info, tree in self._indexes.values():
+            if not info.unique:
+                continue
+            for key, rids in _grouped(tree.items()):
+                if len(rids) > 1:
+                    raise ConstraintError(
+                        f"unique index {info.name!r} of {self.info.name!r} "
+                        f"holds {len(rids)} rows for key {key!r} after "
+                        f"recovery")
 
     # -- internals ----------------------------------------------------------
 
@@ -185,7 +220,7 @@ class Table:
             if not info.unique:
                 continue
             key = self._index_key(row, info)
-            if any(v is None for v in key):
+            if any(isinstance(v, NullKey) for v in key):
                 raise ConstraintError(
                     f"NULL in unique key {info.name!r} of {self.info.name!r}")
             hits = tree.search(key)
@@ -198,3 +233,10 @@ class Table:
             return
         seconds = getattr(self._meter.costs, cost_attr) * self.cost_factor
         self._meter.charge_batched(SERVER_CPU, seconds, cost_attr)
+
+
+def _grouped(entries):
+    """Group an ordered ``(key, rid)`` stream by key (duplicates are
+    adjacent in a B-tree walk)."""
+    for key, group in groupby(entries, key=lambda kv: kv[0]):
+        yield key, [rid for _key, rid in group]

@@ -110,13 +110,13 @@ def _sys_executor(engine):
     stats = engine.meter.executor_stats
     rows = [(name, int(stats[name])) for name in sorted(stats)]
     rows += [(name, int(EXPR_STATS[name])) for name in sorted(EXPR_STATS)]
-    # Group-commit traffic lives in the deterministic world counters
-    # (the joins/batches split is part of the simulated WAL behaviour,
-    # not host bookkeeping), but it belongs in the executor diagnostics
-    # next to the per-operator scan counts.
+    # Async-commit traffic lives in the deterministic world counters
+    # (the windows/deferrals split is part of the simulated WAL
+    # behaviour, not host bookkeeping), but it belongs in the executor
+    # diagnostics next to the per-operator scan counts.
     counters = engine.meter.counters
     rows += [(name, int(counters[name]))
-             for name in ("group_commit_batches", "group_commit_joins")
+             for name in ("async_commit_deferrals", "async_commit_windows")
              if name in counters]
     return columns, rows
 

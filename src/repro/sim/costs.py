@@ -120,12 +120,15 @@ class CostModel:
     log_bytes_per_second: float = 4.0e6
     log_force_seconds: float = 0.005
     log_record_overhead_bytes: int = 32
-    #: Group-commit window: a commit arriving within this many virtual
-    #: seconds of the last synchronous log force joins the open commit
-    #: group instead of forcing immediately (its records stay in the
-    #: volatile tail until the group's force fires).  0.0 disables
-    #: grouping, which keeps every historical trace bit-identical.
-    group_commit_window_seconds: float = 0.0
+    #: Asynchronous-commit window: a commit arriving within this many
+    #: virtual seconds of the last synchronous log force is acknowledged
+    #: *without* forcing — its records stay in the volatile tail until
+    #: the next real force.  This trades bounded durability (a crash
+    #: inside the window loses acked commits) for fewer log forces; see
+    #: ``TransactionManager.commit``.  0.0 disables deferral, which
+    #: keeps every historical trace bit-identical and is required by
+    #: crash-transparency suites.
+    async_commit_window_seconds: float = 0.0
 
     # -- connections / sessions --------------------------------------------
     connect_seconds: float = 0.25

@@ -43,6 +43,7 @@ from repro.errors import PlanningError
 from repro.sim.costs import SERVER_CPU
 from repro.sql.expressions import (EvalContext, is_impure, is_true, slot_of,
                                    sql_compare)
+from repro.storage.btree import NULL_KEY, decode_key_value
 
 
 @dataclass
@@ -290,6 +291,9 @@ class IndexSeek(PlanOperator):
         self.hi_inclusive = hi_inclusive
         self.cost_factor = cost_factor
         self.index_only = index_only
+        #: set by the planner when this scan's key order made a Sort
+        #: unnecessary; counted per *execution* (plan-cache hits too).
+        self.eliminates_sort = False
         self._key_slots: list[int] | None = None
 
     def rows(self, exec_ctx: ExecContext):
@@ -315,8 +319,23 @@ class IndexSeek(PlanOperator):
                  and len(prefix) == index_width)
         return tree, prefix, ctx, index_width, exact
 
+    def _null_bounded(self, prefix: tuple, ctx) -> bool:
+        """SQL three-valued logic: an equality or range comparison
+        against NULL is *unknown*, so a seek binding NULL matches no
+        rows (stored keys hold the NULL sentinel, which never equals a
+        bound value anyway — this just skips the tree walk)."""
+        if any(v is None for v in prefix):
+            return True
+        if self.lo_fn is not None and self.lo_fn(ctx) is None:
+            return True
+        if self.hi_fn is not None and self.hi_fn(ctx) is None:
+            return True
+        return False
+
     def _matching_rids(self, exec_ctx: ExecContext) -> list:
         tree, prefix, ctx, index_width, exact = self._bounds(exec_ctx)
+        if self._null_bounded(prefix, ctx):
+            return []
         if exact:
             return tree.search(prefix)
         lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
@@ -328,6 +347,8 @@ class IndexSeek(PlanOperator):
         """Like :meth:`_matching_rids` but keeps the index keys (used by
         index-only scans, which never consult the heap)."""
         tree, prefix, ctx, index_width, exact = self._bounds(exec_ctx)
+        if self._null_bounded(prefix, ctx):
+            return []
         if exact:
             return [(prefix, rid) for rid in tree.search(prefix)]
         lo_key, lo_inc = self._lower_key(prefix, ctx, index_width)
@@ -344,7 +365,7 @@ class IndexSeek(PlanOperator):
             self._key_slots = slots
         row = [None] * len(self.table.info.columns)
         for slot, value in zip(slots, key):
-            row[slot] = value
+            row[slot] = decode_key_value(value)
         return tuple(row)
 
     def _count_scan(self, exec_ctx: ExecContext) -> None:
@@ -356,6 +377,9 @@ class IndexSeek(PlanOperator):
                else "index_range_scans" if kind == "IndexRangeScan"
                else "index_seeks")
         stats[key] = stats.get(key, 0) + 1
+        if self.eliminates_sort:
+            stats["sort_eliminations"] = \
+                stats.get("sort_eliminations", 0) + 1
 
     def rows_with_rids(self, exec_ctx: ExecContext):
         costs = exec_ctx.costs
@@ -402,6 +426,13 @@ class IndexSeek(PlanOperator):
                 return base, True
             # Exclusive: skip every key whose next column equals lo by
             # padding the bound above all of lo's tails.
+            return base + (_Infinity(),) * (index_width - len(base)), False
+        if self.hi_fn is not None:
+            # Upper bound only: the consumed range conjunct still
+            # excludes NULL in the bound column (three-valued logic),
+            # and NULL sentinels sort below every value — start just
+            # above them so they cannot leak past the dropped filter.
+            base = prefix + (NULL_KEY,)
             return base + (_Infinity(),) * (index_width - len(base)), False
         if prefix:
             return prefix, True
@@ -1194,8 +1225,13 @@ class PointLookup(PlanOperator):
         stats = _stats(exec_ctx)
         if stats is not None:
             stats["point_lookups"] = stats.get("point_lookups", 0) + 1
+            if seek.eliminates_sort:
+                stats["sort_eliminations"] = \
+                    stats.get("sort_eliminations", 0) + 1
         ctx = EvalContext(row=(), outer=exec_ctx.outer)
         prefix = tuple(fn(ctx) for fn in seek.prefix_fns)
+        if any(v is None for v in prefix):
+            return  # comparison against NULL matches nothing
         tree = seek.table.index_tree(seek.index_name)
         read = seek.table.heap.read
         exprs = self.project.exprs

@@ -247,7 +247,10 @@ class Planner:
         if need_sort and self._sort_satisfied_by_scan(op, select,
                                                       select_items):
             need_sort = False
-            self._count_plan_stat("sort_eliminations")
+            # Flag the scan rather than counting here: the stat must
+            # tick per execution (plan-cache hits included), so the
+            # operator reports it from _count_scan at run time.
+            self._single_base_scan(op, select).eliminates_sort = True
         post_sort_keys = self._order_keys_on_output(
             select.order_by, select_items, out_schema)
         if post_sort_keys is None and need_sort:
@@ -659,11 +662,6 @@ class Planner:
             return False
 
     # -- index-only scans / ordered-scan sort elimination ----------------------
-
-    def _count_plan_stat(self, key: str) -> None:
-        stats = getattr(self._meter, "executor_stats", None)
-        if stats is not None:
-            stats[key] = stats.get(key, 0) + 1
 
     @staticmethod
     def _single_base_scan(op: PlanOperator,

@@ -20,6 +20,53 @@ from bisect import bisect_left
 from repro.errors import ConstraintError
 
 
+class NullKey:
+    """Sorts below every SQL value: the index-key stand-in for NULL.
+
+    B-tree keys compare lexicographically, and ``None`` has no ordering
+    against ints/strings — so stored keys replace NULL with this
+    sentinel (see :func:`encode_key`).  Seeks never bind it: a
+    comparison against NULL is *unknown* in SQL three-valued logic, so
+    the executor short-circuits those to zero matches instead.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other):
+        return not isinstance(other, NullKey)
+
+    def __gt__(self, other):
+        return False
+
+    def __le__(self, other):
+        return True
+
+    def __ge__(self, other):
+        return isinstance(other, NullKey)
+
+    def __eq__(self, other):
+        return isinstance(other, NullKey)
+
+    def __hash__(self):
+        return 0
+
+    def __repr__(self):
+        return "NULL"
+
+
+NULL_KEY = NullKey()
+
+
+def encode_key(values) -> tuple:
+    """Index-key encoding of a column-value sequence (NULL -> sentinel)."""
+    return tuple(NULL_KEY if v is None else v for v in values)
+
+
+def decode_key_value(value):
+    """Inverse of :func:`encode_key` for one key column."""
+    return None if isinstance(value, NullKey) else value
+
+
 class _Node:
     __slots__ = ("keys", "values", "children")
 
@@ -91,15 +138,20 @@ class BTree:
 
     # -- insert --------------------------------------------------------------
 
-    def insert(self, key: tuple, value) -> None:
+    def insert(self, key: tuple, value, enforce_unique: bool = True) -> None:
         """Insert ``value`` under ``key``.
 
         Raises :class:`~repro.errors.ConstraintError` if the index is
-        unique and the key is already present.
+        unique and the key is already present.  Recovery passes
+        ``enforce_unique=False``: repeating history can transiently
+        re-create a key the tree already holds (the delete that resolves
+        it replays later), so redo/undo appends instead of raising and
+        uniqueness is re-validated once undo completes (see
+        ``wal/recovery.py``).
         """
         existing = self._find_payload(self._root, key)
         if existing is not None:
-            if self.unique:
+            if self.unique and enforce_unique:
                 raise ConstraintError(f"duplicate key {key!r} in unique index")
             existing.append(value)
             self._size += 1

@@ -169,6 +169,10 @@ class RecoveryManager:
     def __init__(self, log: WriteAheadLog, target):
         self._log = log
         self._target = target
+        #: table runtimes whose indexes redo/undo touched — their unique
+        #: trees may hold transient duplicates while history is repeated,
+        #: so they are re-validated once undo completes.
+        self._touched_runtimes: dict[int, object] = {}
 
     def _charge_record(self, rec: LogRecord, applied: bool) -> None:
         """Charge the honest cost of processing one record at restart:
@@ -222,7 +226,12 @@ class RecoveryManager:
             self._redo(report)
             self._undo(report, {t: last_lsn[t] for t in report.losers})
         # Indexes were maintained incrementally through redo/undo (see
-        # module docstring); no wholesale rebuild pass is needed.
+        # module docstring); no wholesale rebuild pass is needed.  But
+        # repeating history tolerates transient unique-key duplicates
+        # (apply-mode inserts do not enforce uniqueness), so check the
+        # invariant is restored now that both passes are done.
+        for runtime in self._touched_runtimes.values():
+            runtime.validate_unique_indexes()
         self._log.force()
         return report
 
@@ -289,6 +298,7 @@ class RecoveryManager:
                 return
             rid = RowId(rec.file_id, rec.page_no, rec.slot)
             if runtime is not None:
+                self._touched_runtimes[rec.file_id] = runtime
                 if isinstance(rec, InsertRecord):
                     runtime.apply_insert_with_indexes(rid, rec.row, rec.lsn)
                 elif isinstance(rec, DeleteRecord):
@@ -354,6 +364,13 @@ class RecoveryManager:
                                 undo_next_lsn=rec.prev_lsn)
                 self._log.append(clr)
                 compensation.lsn = clr.lsn
+                if isinstance(compensation,
+                              (InsertRecord, DeleteRecord, UpdateRecord)):
+                    runtime = _runtime_for(self._target,
+                                           compensation.file_id)
+                    if runtime is not None:
+                        self._touched_runtimes[compensation.file_id] = \
+                            runtime
                 apply_compensation(compensation, self._target)
                 report.undo_applied += 1
             lsn = rec.prev_lsn
