@@ -20,6 +20,7 @@ from conftest import RESULTS_DIR
 
 from repro.bench.experiments import (
     WALLCLOCK_ASYNC_COMMIT_WINDOW,
+    run_result_drain,
     run_wallclock,
 )
 
@@ -64,3 +65,21 @@ def test_wallclock_speedup(benchmark, report):
     # 183 log forces (ISSUE 4 acceptance bar).
     assert result.counters.get("log_forces", 0) <= 109
     assert result.counters.get("async_commit_deferrals", 0) > 0
+
+
+def test_result_drain_prefetch_cut(benchmark, report):
+    """The pipelined-delivery companion mix the wallclock CLI gates on:
+    draining one multi-batch result must cut fetch round trips by >=20%
+    and finish at a lower virtual clock, with identical rows."""
+    seed, pipelined = benchmark.pedantic(
+        lambda: (run_result_drain(prefetch=False),
+                 run_result_drain(prefetch=True)),
+        rounds=1, iterations=1)
+    report("result_drain", json.dumps(
+        {"seed": seed, "prefetch": pipelined}, indent=2))
+
+    assert pipelined["rows"] == seed["rows"]
+    assert pipelined["fetch_requests"] <= 0.8 * seed["fetch_requests"]
+    assert pipelined["virtual_seconds"] < seed["virtual_seconds"]
+    assert pipelined["prefetch_hits"] > 0
+    assert seed["prefetch_hits"] == 0 and seed["overlap_seconds"] == 0

@@ -57,6 +57,8 @@ def _wallclock_payload(result, leg: str) -> dict:
         "base": "TPC-C transactions + point selects + phoenix persists",
         "indexed": ("TPC-C transactions + secondary-index point selects "
                     "+ phoenix persists"),
+        "prefetch": ("TPC-C transactions + point selects + phoenix "
+                     "persists, pipelined result delivery on"),
     }
     return {
         "mix": mixes[leg],
@@ -82,13 +84,16 @@ def _run_wallclock(args) -> int:
     """Run the host wall-clock mix (plus its secondary-index variant)
     and track both over time.
 
-    Writes ``wallclock.json``/``wallclock.txt`` and
-    ``wallclock_indexed.json`` (the current snapshots) and appends one
-    ``{date, commit, leg, host_seconds, log_forces}`` line per leg to
+    Writes ``wallclock.json``/``wallclock.txt``,
+    ``wallclock_indexed.json`` and ``wallclock_prefetch.json`` (the
+    current snapshots) and appends one ``{date, commit, leg,
+    host_seconds, log_forces}`` line per leg to
     ``wallclock_history.jsonl`` so CI can spot host-time regressions.
-    Fails if either leg forces the log more often than the
-    synchronous-commit seed mix did (``log_forces`` > 183): that would
-    mean async commit stopped deferring.
+    Fails if any leg forces the log more often than the
+    synchronous-commit seed mix did (``log_forces`` > 183: async commit
+    stopped deferring), if the prefetch leg sends *more* requests than
+    the base leg, or if it cuts fetch round trips on the tracked mix by
+    less than 20%.
     """
     import datetime
     import json
@@ -102,6 +107,8 @@ def _run_wallclock(args) -> int:
             point_reads=2000, async_commit_window=window),
         "indexed": experiments.run_wallclock(
             point_reads=2000, async_commit_window=window, indexed=True),
+        "prefetch": experiments.run_wallclock(
+            point_reads=2000, async_commit_window=window, prefetch=True),
     }
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(exist_ok=True)
@@ -142,7 +149,12 @@ def _run_wallclock(args) -> int:
         entry = {"date": datetime.date.today().isoformat(),
                  "commit": commit, "leg": leg,
                  "host_seconds": round(result.cached_host_seconds, 3),
-                 "log_forces": log_forces}
+                 "log_forces": log_forces,
+                 "requests_sent":
+                     int(result.counters.get("net.requests_sent", 0)),
+                 "fetch_requests":
+                     int(result.counters.get("net.requests.FetchRequest",
+                                             0))}
         with history.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
         print(f"[wallclock history: {entry}]")
@@ -151,6 +163,52 @@ def _run_wallclock(args) -> int:
             print(f"FAIL: {leg} leg forced the log {log_forces} times — "
                   f"above the synchronous-commit seed's {SEED_LOG_FORCES}")
             failed = True
+
+    # Pipelined-delivery regression gates.  The prefetch leg runs the
+    # identical statement stream as the base leg, so it must never send
+    # more requests and must finish at a lower virtual clock (less RTT
+    # stall).  The ≥20% fetch-round-trip cut is tracked on the drain
+    # companion mix — the point-read mix itself never leaves the first
+    # wire batch.
+    base_reqs = int(legs["base"].counters.get("net.requests_sent", 0))
+    pf_reqs = int(legs["prefetch"].counters.get("net.requests_sent", 0))
+    base_clock = legs["base"].cached_virtual_seconds
+    pf_clock = legs["prefetch"].cached_virtual_seconds
+    drain_seed = experiments.run_result_drain(prefetch=False)
+    drain_pf = experiments.run_result_drain(prefetch=True)
+    print(f"[prefetch leg: requests {base_reqs} -> {pf_reqs}, "
+          f"virtual clock {base_clock:.8f} -> {pf_clock:.8f}]")
+    print(f"[result drain: fetch round trips "
+          f"{drain_seed['fetch_requests']} -> {drain_pf['fetch_requests']}, "
+          f"virtual {drain_seed['virtual_seconds']:.6f}s -> "
+          f"{drain_pf['virtual_seconds']:.6f}s, "
+          f"prefetch hits {drain_pf['prefetch_hits']}]")
+    drain_payload = {"query": experiments.RESULT_DRAIN_QUERY,
+                     "seed": drain_seed, "prefetch": drain_pf}
+    prefetch_json = out_dir / "wallclock_prefetch.json"
+    payload = json.loads(prefetch_json.read_text())
+    payload["result_drain"] = drain_payload
+    prefetch_json.write_text(json.dumps(payload, indent=2) + "\n")
+    if pf_reqs > base_reqs:
+        print(f"FAIL: prefetch leg sent {pf_reqs} requests — above the "
+              f"seed mix's {base_reqs}")
+        failed = True
+    if drain_pf["rows"] != drain_seed["rows"]:
+        print("FAIL: drain mix returned different rows with prefetch on")
+        failed = True
+    if drain_pf["fetch_requests"] > 0.8 * drain_seed["fetch_requests"]:
+        print(f"FAIL: drain mix still issued {drain_pf['fetch_requests']} "
+              f"fetch round trips — less than a 20% cut from "
+              f"{drain_seed['fetch_requests']}")
+        failed = True
+    if pf_clock >= base_clock:
+        print("FAIL: prefetch leg's virtual clock did not drop below the "
+              "base leg's — pipelining eliminated no RTT stall")
+        failed = True
+    if drain_pf["virtual_seconds"] >= drain_seed["virtual_seconds"]:
+        print("FAIL: drain mix's virtual time did not drop with "
+              "fetch-ahead on")
+        failed = True
 
     if previous and previous.get("host_seconds"):
         last = previous["host_seconds"]

@@ -557,6 +557,58 @@ _WALLCLOCK_PERSIST_QUERY = (
     "SELECT c_id, c_balance FROM customer "
     "WHERE c_w_id = 1 AND c_d_id = 1 ORDER BY c_id")
 
+#: Pipelined-delivery knobs of the wallclock ``prefetch`` leg.  Applied
+#: to *both* cache legs (the caches-off/caches-on virtual clocks must
+#: still agree bit-for-bit); the tracked claims are fewer fetch round
+#: trips (≥20% on the drain mix), a lower virtual clock than the same
+#: mix without the knobs, and never a higher request count.
+PREFETCH_COST_OVERRIDES = {
+    "fetch_ahead_depth": 2,
+    "fetch_batch_max_bytes": 8192,
+    "output_buffer_max_bytes": 256 * 1024,
+    "persist_pipeline": True,
+}
+
+#: The fetch-heavy companion of the wallclock mix: the point-read mix
+#: itself never leaves the first wire batch, so the fetch-round-trip
+#: claim is tracked on a full customer-table drain through the native
+#: row-at-a-time fetch path instead.
+RESULT_DRAIN_QUERY = ("SELECT c_id, c_d_id, c_w_id, c_balance, c_last "
+                      "FROM customer")
+
+
+def run_result_drain(prefetch: bool = False, seed: int = 11) -> dict:
+    """Drain one multi-batch result; returns the round-trip ledger.
+
+    Runs :data:`RESULT_DRAIN_QUERY` (every TPC-C customer row) through
+    the native driver's stop-and-wait fetch path — or, with
+    ``prefetch``, through fetch-ahead + adaptive batching
+    (:data:`PREFETCH_COST_OVERRIDES`).  The wallclock CLI runs both
+    variants and gates on the reduction.
+    """
+    costs = tpcc_cost_model(6.0)
+    if prefetch:
+        for knob, value in PREFETCH_COST_OVERRIDES.items():
+            setattr(costs, knob, value)
+    server = DatabaseServer(meter=Meter(costs))
+    data = generate_tpcc(DEFAULT_TPCC_SCALE, seed=seed)
+    setup_tpcc_server(server, data)
+    app = BenchmarkApp(server, use_phoenix=False)
+    app.meter.reset_traces()
+    start = app.meter.now
+    rows = app.query_rows(RESULT_DRAIN_QUERY)
+    counters = app.meter.counters
+    return {
+        "prefetch": prefetch,
+        "rows": len(rows),
+        "virtual_seconds": app.meter.now - start,
+        "requests_sent": int(counters.get("net.requests_sent", 0)),
+        "fetch_requests": int(counters.get("net.requests.FetchRequest", 0)),
+        "prefetch_hits": int(counters.get("prefetch_hits", 0)),
+        "prefetch_wasted": int(counters.get("prefetch_wasted", 0)),
+        "overlap_seconds": counters.get("prefetch_overlap_seconds", 0.0),
+    }
+
 
 @dataclass
 class WallclockResult:
@@ -602,10 +654,13 @@ class WallclockResult:
 def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
                    point_reads: int, persists: int, seed: int,
                    async_commit_window: float = 0.0,
-                   indexed: bool = False):
+                   indexed: bool = False, prefetch: bool = False):
     """One timed mix leg; world setup is excluded from the timers."""
     costs = tpcc_cost_model(6.0)
     costs.async_commit_window_seconds = async_commit_window
+    if prefetch:
+        for knob, value in PREFETCH_COST_OVERRIDES.items():
+            setattr(costs, knob, value)
     server = DatabaseServer(
         meter=Meter(costs),
         plan_cache_capacity=128 if enable_caches else 0)
@@ -666,16 +721,18 @@ def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
 def run_wallclock(scale: TpccScale = DEFAULT_TPCC_SCALE, txns: int = 120,
                   point_reads: int = 1200, persists: int = 8,
                   seed: int = 11, async_commit_window: float = 0.0,
-                  indexed: bool = False) -> WallclockResult:
+                  indexed: bool = False,
+                  prefetch: bool = False) -> WallclockResult:
     """Time an identical statement stream with caches off, then on.
 
-    ``async_commit_window`` and ``indexed`` apply to *both* legs, so the
-    caches-off/caches-on virtual clocks still agree bit-for-bit.
+    ``async_commit_window``, ``indexed`` and ``prefetch`` apply to
+    *both* legs, so the caches-off/caches-on virtual clocks still agree
+    bit-for-bit.
     """
     base = _wallclock_leg(False, scale, txns, point_reads, persists, seed,
-                          async_commit_window, indexed)
+                          async_commit_window, indexed, prefetch)
     hot = _wallclock_leg(True, scale, txns, point_reads, persists, seed,
-                         async_commit_window, indexed)
+                         async_commit_window, indexed, prefetch)
     return WallclockResult(
         baseline_host_seconds=base[0], cached_host_seconds=hot[0],
         baseline_virtual_seconds=base[1], cached_virtual_seconds=hot[1],

@@ -17,7 +17,10 @@ views:
 * ``sys_plan_cache`` — statement/plan cache statistics, including
   per-session temp-table plan counts and LRU evictions;
 * ``sys_executor`` — batch-execution diagnostics: batches per operator
-  class, point-lookup fast-path hits, compiled-expression cache traffic.
+  class, point-lookup fast-path hits, compiled-expression cache traffic;
+* ``sys_network`` — wire traffic and pipelining: round trips (total and
+  per request kind), wire bytes up/down, fetch-ahead hit/waste counts
+  and overlap seconds, persist-pipeline bookings and stalls.
 
 View functions only read engine/meter state; they import nothing from
 the engine so the registry itself stays dependency-free.
@@ -118,6 +121,26 @@ def _sys_executor(engine):
     rows += [(name, int(counters[name]))
              for name in ("async_commit_deferrals", "async_commit_windows")
              if name in counters]
+    return columns, rows
+
+
+@system_view("sys_network")
+def _sys_network(engine):
+    """Network/pipelining observability (the round-trip ledger).
+
+    Everything here comes from world counters maintained by
+    :class:`~repro.server.network.SimulatedNetwork` (``net.*``) and the
+    driver's pipelined-delivery layer (``prefetch_*`` / ``pipeline_*``).
+    Notable derivations: ``prefetch_overlap_seconds`` is already net of
+    each batch's realized stall, while the persist pipeline's saved time
+    is ``pipeline_overlap_seconds - pipeline_stall_seconds``.
+    """
+    columns = [Column("metric", SqlType.VARCHAR, 64),
+               Column("value", SqlType.FLOAT)]
+    counters = engine.meter.counters
+    rows = [(name, float(counters[name]))
+            for name in sorted(counters)
+            if name.startswith(("net.", "prefetch_", "pipeline_"))]
     return columns, rows
 
 

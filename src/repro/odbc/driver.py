@@ -6,9 +6,25 @@ the client-side row buffer of each open result, and *raises* transport
 errors (:class:`ServerDownError`, :class:`ServerCrashedError`,
 :class:`ConnectionLostError`) — it makes no attempt to recover.  Masking
 those errors is Phoenix's job, one layer up.
+
+Pipelined result delivery (``CostModel.fetch_ahead_depth`` > 0): after a
+wire batch lands in the client buffer, the driver speculatively issues
+the next :class:`FetchRequest` via ``SimulatedNetwork.call_overlapped``.
+The overlap is modeled deterministically — the in-flight request's
+virtual completion time is recorded at issue (``start + service``, where
+``start`` queues behind anything already in flight on the modeled FIFO
+server), and consuming the batch charges only ``max(0, completion -
+now)``; no wall-clock, no randomness.  A synchronous request issued
+while the pipeline is busy first waits it out (:meth:`_sync_pipeline`).
+Prefetched rows are *not delivered*: ``ResultState.position`` never
+counts them, so crash recovery repositions to the last row the
+application actually saw and in-flight batches are simply discarded
+(counted as ``prefetch_wasted``).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.errors import OdbcError
 from repro.server.network import SimulatedNetwork
@@ -23,10 +39,24 @@ from repro.server.protocol import (
     SetOptionRequest,
 )
 from repro.server.server import DatabaseServer
-from repro.sim.costs import CLIENT_CPU
+from repro.sim.costs import CLIENT_CPU, NETWORK
 from repro.sim.meter import Meter
 from repro.odbc.constants import SQL_ATTR_CURSOR_TYPE, SQL_CURSOR_STATIC
 from repro.odbc.handles import ConnectionHandle, ResultState, StatementHandle
+
+
+@dataclass(slots=True)
+class _InFlightFetch:
+    """One speculative fetch whose service time has not been realized."""
+
+    response: object
+    #: Virtual time at which the modeled server+downlink finish this
+    #: request; consumption charges ``max(0, completion - now)``.
+    completion: float
+    service_seconds: float
+    #: ``server.crashes`` at issue; a mismatch at consumption means the
+    #: batch was lost with the server incarnation that produced it.
+    crash_epoch: int
 
 
 class NativeDriver:
@@ -41,6 +71,11 @@ class NativeDriver:
         #: ExecuteResponse).  Client-side metadata caches key on it so any
         #: DDL observed through this driver invalidates them.
         self.last_schema_version = 0
+        # Modeled FIFO pipeline: virtual time until which in-flight
+        # (overlapped) requests keep the server/wire busy, and the crash
+        # epoch that booking belongs to.
+        self._busy_until = 0.0
+        self._busy_epoch = 0
 
     # -- connections ----------------------------------------------------------
 
@@ -49,8 +84,8 @@ class NativeDriver:
         options = dict(options or {})
         self.meter.charge(CLIENT_CPU, self.meter.costs.connect_seconds,
                           "connect handshake")
-        response = self.network.call(
-            self.server, ConnectRequest(login=login, options=options))
+        response = self._call(
+            ConnectRequest(login=login, options=options))
         connection.connected = True
         connection.session_token = response.session_token
         connection.login = login
@@ -58,7 +93,7 @@ class NativeDriver:
 
     def disconnect(self, connection: ConnectionHandle) -> None:
         if connection.connected:
-            self.network.call(self.server, DisconnectRequest(
+            self._call(DisconnectRequest(
                 session_token=connection.session_token))
         connection.connected = False
         connection.session_token = 0
@@ -68,12 +103,12 @@ class NativeDriver:
         self.meter.charge(CLIENT_CPU,
                           self.meter.costs.option_reset_seconds,
                           "set option")
-        self.network.call(self.server, SetOptionRequest(
+        self._call(SetOptionRequest(
             session_token=connection.session_token, name=name, value=value))
         connection.options[name] = value
 
     def ping(self) -> bool:
-        response = self.network.call(self.server, PingRequest())
+        response = self._call(PingRequest())
         return response.alive
 
     # -- statements ------------------------------------------------------------
@@ -83,9 +118,52 @@ class NativeDriver:
         connection = statement.connection
         if not connection.connected:
             raise OdbcError("08003", "connection is not open")
-        response = self.network.call(self.server, ExecuteRequest(
+        if statement.result is not None:
+            # Re-execute (or a recovery reopen) abandons whatever was
+            # still in flight for the old result.
+            self.discard_prefetch(statement.result)
+        response = self._call(ExecuteRequest(
             session_token=connection.session_token, sql=sql,
             params=dict(params or {})))
+        result = self._install_result(statement, response, sql)
+        if response.kind == "rows":
+            # Prime fetch-ahead on the fresh result (no-op at depth 0).
+            if not result.done:
+                self._issue_prefetch(statement, result)
+            if statement.attrs.get(
+                    SQL_ATTR_CURSOR_TYPE) == SQL_CURSOR_STATIC:
+                self._materialize_static(statement, result)
+        return result
+
+    def execute_pipelined(self, statement: StatementHandle, sql: str,
+                          params: dict | None = None) -> ResultState:
+        """Issue a statement without waiting for its response.
+
+        The uplink is charged now; the server's processing and the
+        response downlink are booked onto the modeled pipeline and
+        realized at the next synchronous request (or
+        :meth:`drain_pipeline`).  Used by the Phoenix persist pipeline
+        for the bookkeeping round trips surrounding a server-local load.
+        Degrades to :meth:`execute` in multi-stream worlds.  Callers
+        issue DML/DDL only, so static-cursor materialization is skipped.
+        """
+        connection = statement.connection
+        if not connection.connected:
+            raise OdbcError("08003", "connection is not open")
+        if not self.meter.advance_clock:
+            return self.execute(statement, sql, params)
+        response, service = self.network.call_overlapped(
+            self.server, ExecuteRequest(
+                session_token=connection.session_token, sql=sql,
+                params=dict(params or {})))
+        self._pipeline_register(service)
+        self.meter.count("pipeline_requests")
+        self.meter.count("pipeline_overlap_seconds", service)
+        return self._install_result(statement, response, sql)
+
+    def _install_result(self, statement: StatementHandle, response,
+                        sql: str) -> ResultState:
+        """Turn an ExecuteResponse into this statement's ResultState."""
         self.last_schema_version = response.schema_version
         result = ResultState()
         if response.kind == "rows":
@@ -100,9 +178,6 @@ class NativeDriver:
             result.done = True
         statement.result = result
         statement.last_sql = sql
-        if response.kind == "rows" and statement.attrs.get(
-                SQL_ATTR_CURSOR_TYPE) == SQL_CURSOR_STATIC:
-            self._materialize_static(statement, result)
         return result
 
     def _materialize_static(self, statement: StatementHandle,
@@ -223,16 +298,33 @@ class NativeDriver:
         return rows
 
     def advance(self, statement: StatementHandle, count: int) -> int:
-        """Server-side skip of ``count`` rows (repositioning procedure)."""
+        """Server-side skip of ``count`` rows (repositioning procedure).
+
+        Returns the number of rows *actually* skipped, which may be less
+        than ``count``: a fully-buffered result (``statement_id`` 0) has
+        nothing left server-side, so the skip clamps to what the client
+        buffer holds.  ``result.position`` advances by the returned
+        count only — callers that need an exact landing point must check
+        the return value, not assume ``count``.
+        """
         result = self._open_result(statement)
         skipped = 0
-        # Rows already shipped to the client buffer are skipped locally.
-        local = min(count, len(result.buffered))
-        if local:
-            del result.buffered[:local]
-            skipped += local
+        while skipped < count:
+            # Rows already shipped to the client are skipped locally —
+            # first the delivered buffer, then in-flight prefetched
+            # batches (their rows are already off the server's stream).
+            if result.buffered:
+                take = min(count - skipped, len(result.buffered))
+                del result.buffered[:take]
+                skipped += take
+                continue
+            if result.prefetch:
+                self._consume_prefetch(result)
+                if result.buffered or result.prefetch:
+                    continue
+            break
         if skipped < count and result.statement_id and not result.done:
-            response = self.network.call(self.server, AdvanceRequest(
+            response = self._call(AdvanceRequest(
                 session_token=statement.connection.session_token,
                 statement_id=result.statement_id, count=count - skipped))
             skipped += response.skipped
@@ -241,10 +333,27 @@ class NativeDriver:
         result.position += skipped
         return skipped
 
+    def discard_prefetch(self, result: ResultState) -> int:
+        """Drop every in-flight fetch-ahead batch (counted as wasted).
+
+        Prefetched rows were never delivered — ``position`` does not
+        count them — so discarding loses nothing.  Recovery paths call
+        this before repositioning; it also covers statement close.
+        """
+        dropped = len(result.prefetch)
+        if dropped:
+            self.meter.count("prefetch_wasted", dropped)
+            result.prefetch.clear()
+        return dropped
+
     def close_statement(self, statement: StatementHandle) -> None:
         result = statement.result
+        if result is not None:
+            # Abandoned in-flight batches: produced and shipped for
+            # nothing.
+            self.discard_prefetch(result)
         if result is not None and result.statement_id and not result.done:
-            self.network.call(self.server, CloseStatementRequest(
+            self._call(CloseStatementRequest(
                 session_token=statement.connection.session_token,
                 statement_id=result.statement_id))
         statement.result = None
@@ -258,11 +367,119 @@ class NativeDriver:
 
     def _next_row(self, statement: StatementHandle, result: ResultState):
         if not result.buffered and not result.done:
-            response = self.network.call(self.server, FetchRequest(
-                session_token=statement.connection.session_token,
-                statement_id=result.statement_id))
-            result.buffered = list(response.rows)
-            result.done = response.done
+            if result.prefetch:
+                self._consume_prefetch(result)
+            if not result.buffered and not result.done:
+                response = self._call(FetchRequest(
+                    session_token=statement.connection.session_token,
+                    statement_id=result.statement_id))
+                result.buffered = list(response.rows)
+                result.done = response.done
+            if not result.done:
+                # Top the pipeline back up after a refill.
+                self._issue_prefetch(statement, result)
         if result.buffered:
             return result.buffered.pop(0)
         return None
+
+    # -- pipelined delivery ---------------------------------------------------
+
+    def _call(self, request):
+        """Synchronous exchange: drains the pipeline, then blocks."""
+        self._sync_pipeline()
+        return self.network.call(self.server, request)
+
+    def _sync_pipeline(self) -> None:
+        """Wait until the modeled server/wire pipeline is idle.
+
+        Overlapped requests keep the FIFO server busy until their
+        recorded completion; a synchronous request queues behind them,
+        so the remaining virtual time is charged here as a stall.  A
+        crash since the booking empties the pipeline instead — the
+        failure (if any) surfaces on the caller's own request.
+        """
+        if self._busy_until <= 0.0:
+            return
+        busy_until = self._busy_until
+        self._busy_until = 0.0
+        if self._busy_epoch != self.server.crashes:
+            return
+        stall = busy_until - self.meter.peek_now()
+        if stall > 0:
+            self.meter.charge(NETWORK, stall, "pipeline stall")
+            self.meter.count("pipeline_stall_seconds", stall)
+
+    def _pipeline_register(self, service_seconds: float) -> float:
+        """Book an overlapped request's service onto the pipeline;
+        returns its virtual completion time."""
+        now = self.meter.peek_now()
+        if (self._busy_until > now
+                and self._busy_epoch == self.server.crashes):
+            start = self._busy_until
+        else:
+            start = now
+        completion = start + service_seconds
+        self._busy_until = completion
+        self._busy_epoch = self.server.crashes
+        return completion
+
+    def drain_pipeline(self) -> None:
+        """Public synchronization point: realize any outstanding
+        overlapped service time (used by the Phoenix persist pipeline
+        so per-step timings stay honest)."""
+        self._sync_pipeline()
+
+    def _issue_prefetch(self, statement: StatementHandle,
+                        result: ResultState) -> None:
+        """Top up fetch-ahead to ``fetch_ahead_depth`` in-flight batches."""
+        depth = self.meter.costs.fetch_ahead_depth
+        if depth <= 0 or not self.meter.advance_clock:
+            return
+        if not result.statement_id:
+            return
+        pending = result.prefetch
+        while len(pending) < depth:
+            stream_done = (pending[-1].response.done if pending
+                           else result.done)
+            if stream_done:
+                return
+            response, service = self.network.call_overlapped(
+                self.server, FetchRequest(
+                    session_token=statement.connection.session_token,
+                    statement_id=result.statement_id,
+                    speculative=True))
+            pending.append(_InFlightFetch(
+                response=response,
+                completion=self._pipeline_register(service),
+                service_seconds=service,
+                crash_epoch=self.server.crashes))
+            self.meter.count("prefetch_issued")
+
+    def _consume_prefetch(self, result: ResultState) -> None:
+        """Install the oldest in-flight batch into the client buffer.
+
+        Charges only the *unoverlapped* remainder of the request —
+        ``max(0, completion - now)`` — the rest ran while the client was
+        consuming the previous batch.  Batches issued to a server
+        incarnation that has since crashed are discarded (the rows died
+        with it); the caller falls through to a synchronous fetch, which
+        surfaces the failure to the recovery layer.
+        """
+        pending = result.prefetch
+        entry = pending.pop(0)
+        if entry.crash_epoch != self.server.crashes:
+            self.meter.count("prefetch_wasted", 1 + len(pending))
+            pending.clear()
+            self._busy_until = 0.0
+            return
+        stall = entry.completion - self.meter.peek_now()
+        if stall > 0:
+            self.meter.charge(NETWORK, stall, "prefetch stall")
+        else:
+            stall = 0.0
+        self.meter.count("prefetch_hits")
+        self.meter.count("prefetch_overlap_seconds",
+                         max(0.0, entry.service_seconds - stall))
+        response = entry.response
+        result.buffered = list(response.rows)
+        result.done = response.done

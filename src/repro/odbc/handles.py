@@ -81,6 +81,12 @@ class ResultState:
     #: ODBC distinguishes "on the last row" from "after the last row"
     #: (SQL_FETCH_PRIOR returns different rows from the two states).
     cursor_after_last: bool = False
+    #: In-flight fetch-ahead batches (oldest first), issued speculatively
+    #: by the driver when ``CostModel.fetch_ahead_depth`` > 0.  Entries
+    #: are :class:`repro.odbc.driver._InFlightFetch`.  Rows here have NOT
+    #: been delivered: ``position`` must not count them (crash recovery
+    #: repositions to the last *delivered* row and discards these).
+    prefetch: list = field(default_factory=list)
 
 
 class StatementHandle(_Handle):

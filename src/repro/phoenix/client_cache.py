@@ -44,7 +44,11 @@ class ClientCache:
 
         Returns a :class:`CacheOutcome` value.  On OVERFLOW the
         statement's server-side cursor has been closed and the caller
-        should fall back to server-side persistence.
+        should fall back to server-side persistence (closing also
+        discards any fetch-ahead batches still in flight — they were
+        never delivered, so nothing is lost).  With
+        ``CostModel.fetch_ahead_depth`` set, the block-cursor drain
+        below overlaps each wire batch with caching the previous one.
         """
         capacity = self._config.client_cache_rows
         result = self._driver.execute(state.handle, sql)

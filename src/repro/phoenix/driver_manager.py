@@ -407,9 +407,11 @@ class PhoenixDriverManager(DriverManager):
         if target != state.position:
             if target > state.position:
                 skip = target - state.position
-                self._with_recovery(
+                skipped = self._with_recovery(
                     vconn, lambda: self.driver.advance(state.handle, skip))
-                state.position = target
+                # ``advance`` may clamp (it skips only rows that exist);
+                # track where the cursor really landed.
+                state.position += skipped
             else:
                 state.position = target
                 self._with_recovery(

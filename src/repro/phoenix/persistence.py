@@ -164,8 +164,17 @@ class ResultPersistor:
             return  # a pre-crash incarnation already loaded the table
         proc_name = f"{self._config.table_prefix}load_{op_key}"
         scratch = StatementHandle(connection)
+        execute = self._driver.execute
+        if self._meter.costs.persist_pipeline and not in_app_txn:
+            # Pipeline the whole chain: the expensive server-local steps
+            # (procedure creation, the INSERT..SELECT move) overlap the
+            # uplinks of the round trips queued behind them.  Responses
+            # are still produced in issue order and errors still raise
+            # at their own call site, so the idempotence guards below
+            # work unchanged; only the virtual-time accounting defers.
+            execute = self._driver.execute_pipelined
         try:
-            self._driver.execute(
+            execute(
                 scratch,
                 f"CREATE PROCEDURE {proc_name} AS "
                 f"INSERT INTO {table_name} {sql}")
@@ -176,15 +185,17 @@ class ResultPersistor:
             # uncommitted writes, and it aborts with the transaction.
             self._driver.execute(scratch, f"EXEC {proc_name}")
         else:
-            self._driver.execute(scratch, "BEGIN TRANSACTION")
-            self._driver.execute(scratch, f"EXEC {proc_name}")
-            self._driver.execute(scratch,
-                                 self._status.record_sql(op_key, 0))
-            self._driver.execute(scratch, "COMMIT")
+            execute(scratch, "BEGIN TRANSACTION")
+            execute(scratch, f"EXEC {proc_name}")
+            execute(scratch, self._status.record_sql(op_key, 0))
+            execute(scratch, "COMMIT")
         try:
-            self._driver.execute(scratch, f"DROP PROCEDURE {proc_name}")
+            execute(scratch, f"DROP PROCEDURE {proc_name}")
         except CatalogError:
             pass
+        # Realize any outstanding overlapped service before the step
+        # timer stops, so the §3.5 load-step breakdown stays honest.
+        self._driver.drain_pipeline()
 
     def reopen(self, state: StatementState, table_name: str,
                columns: list[Column], sql: str, position: int) -> None:

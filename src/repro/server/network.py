@@ -11,6 +11,22 @@ the errors a real driver would surface:
   driver-timeout delay (the client was left "waiting for the server to
   respond to its fetch request", §3.4).
 
+``call_overlapped`` is the pipelined variant used by fetch-ahead and the
+Phoenix persist pipeline: the uplink is charged as the client sends (the
+client serializes its own sends), while server processing and the
+response downlink run inside a :meth:`~repro.sim.meter.Meter.begin_overlap`
+window — recorded as real resource usage, but not clocked.  The caller
+receives the request's total deferred service time and charges only the
+unoverlapped remainder (``max(0, completion - now)``) when it
+synchronizes, which is how overlapping delivery with client compute is
+modeled deterministically.
+
+Every exchange is mirrored into the world's metrics registry
+(``net.requests_sent``, up/down wire bytes, per-request-kind counts) so
+the ``sys_network`` view can report round-trip traffic; the plain
+attributes (``requests_sent``, ``wire_bytes_up``, ...) remain for tests
+that count requests without an engine in reach.
+
 A fault injector hook lets tests and experiments crash the server at
 exact request boundaries or mid-request.
 """
@@ -33,36 +49,90 @@ class SimulatedNetwork:
         #: flight (the driver then times out).
         self.fault_injector = None
         self.requests_sent = 0
+        self.wire_bytes_up = 0
+        self.wire_bytes_down = 0
 
     def call(self, server, request):
         """One request/response exchange; returns the response object."""
+        self._send(server, request)
+        return self._serve(server, request)
+
+    def call_overlapped(self, server, request) -> tuple:
+        """Pipelined exchange: ``(response, deferred service seconds)``.
+
+        The uplink is charged to the clock now; the server's processing
+        and the response downlink are recorded inside an overlap window
+        and returned as seconds for the caller to realize at its next
+        synchronization point.  A transport failure is realized
+        synchronously (the clock advances by whatever the failed attempt
+        recorded, exactly as a blocking call would have charged) and
+        re-raised, so error behaviour is identical to :meth:`call`.
+
+        In multi-stream worlds (``meter.advance_clock`` False) elapsed
+        time belongs to the queueing simulator, so this degrades to a
+        plain synchronous call with zero deferred service.
+        """
+        meter = self._meter
+        if not meter.advance_clock:
+            return self.call(server, request), 0.0
+        self._send(server, request)
+        sink = meter.begin_overlap()
+        try:
+            response = self._serve(server, request)
+        except BaseException:
+            # Failure is observed synchronously: realize the recorded
+            # charges (timeout wait, ...) on the clock and re-raise.
+            seconds = meter.end_overlap(sink)
+            if seconds > 0:
+                meter.clock.advance(seconds)
+            raise
+        return response, meter.end_overlap(sink)
+
+    # -- the two halves of an exchange --------------------------------------
+
+    def _send(self, server, request) -> None:
+        """Book the request and charge its uplink; raises if refused."""
         self.requests_sent += 1
-        costs = self._meter.costs
+        meter = self._meter
+        costs = meter.costs
+        kind = type(request).__name__
+        up_bytes = request.wire_bytes()
+        self.wire_bytes_up += up_bytes
+        meter.count("net.requests_sent")
+        meter.count(f"net.requests.{kind}")
+        meter.count("net.wire_bytes_up", up_bytes)
+        meter.count(f"net.bytes_up.{kind}", up_bytes)
         if self.fault_injector is not None:
             self.fault_injector(request)
         if not server.is_running:
             # Connection refused: one RTT to learn nobody is listening.
-            self._meter.charge(NETWORK, costs.network_rtt_seconds,
-                               "refused")
+            meter.charge(NETWORK, costs.network_rtt_seconds, "refused")
             raise ServerDownError("server is not running")
-        self._meter.charge(
+        meter.charge(
             NETWORK,
-            costs.network_rtt_seconds + self._transfer(request.wire_bytes()),
+            costs.network_rtt_seconds + self._transfer(up_bytes),
             "request")
+
+    def _serve(self, server, request):
+        """Dispatch to the server and charge the response downlink."""
+        meter = self._meter
         if not server.is_running:
             # Crashed while the request was in flight: the client waits
             # out its driver timeout before the error surfaces.
-            self._meter.charge(CLIENT_CPU, self.request_timeout_seconds,
-                               "request timeout")
+            meter.charge(CLIENT_CPU, self.request_timeout_seconds,
+                         "request timeout")
             raise ServerCrashedError("server crashed during request")
         try:
             response = server.handle(request)
         except ServerCrashedError:
-            self._meter.charge(CLIENT_CPU, self.request_timeout_seconds,
-                               "request timeout")
+            meter.charge(CLIENT_CPU, self.request_timeout_seconds,
+                         "request timeout")
             raise
-        self._meter.charge(NETWORK, self._transfer(response.wire_bytes()),
-                           "response")
+        down_bytes = response.wire_bytes()
+        self.wire_bytes_down += down_bytes
+        meter.count("net.wire_bytes_down", down_bytes)
+        meter.count(f"net.bytes_down.{type(request).__name__}", down_bytes)
+        meter.charge(NETWORK, self._transfer(down_bytes), "response")
         return response
 
     def _transfer(self, num_bytes: int) -> float:

@@ -51,11 +51,18 @@ class ExecuteRequest(Request):
 
 @dataclass(slots=True)
 class FetchRequest(Request):
-    """Ask the server to refill the row stream of an open statement."""
+    """Ask the server to refill the row stream of an open statement.
+
+    ``speculative`` marks a fetch-ahead request the driver issued before
+    the application asked for the rows.  It is observability-only — the
+    server answers identically and it adds no wire bytes (the flag rides
+    in the fixed 32-byte header).
+    """
 
     session_token: int = 0
     statement_id: int = 0
     max_rows: int | None = None
+    speculative: bool = False
 
 
 @dataclass(slots=True)

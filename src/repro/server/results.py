@@ -42,6 +42,14 @@ class ServerResultSet:
         self._buffer_bytes = 0
         self.done = False
         self.rows_produced = 0
+        #: FetchRequests served against this result; drives the adaptive
+        #: wire batch (each successive fetch proves the client drained
+        #: everything shipped so far).
+        self.fetches = 0
+        #: Adaptive refill target: starts at the paper's fixed
+        #: suspended-scan buffer and, when ``output_buffer_max_bytes``
+        #: allows, doubles each time the consumer drains the buffer dry.
+        self._fill_limit = meter.costs.output_buffer_bytes
         #: Declared row width — CHAR columns count at their declared
         #: length even though values are stored unpadded.
         self._row_width = max(1, sum(c.width_bytes for c in columns) or 1)
@@ -53,7 +61,7 @@ class ServerResultSet:
     def fill_buffer(self) -> None:
         """Pull rows until the output buffer is full or the stream ends."""
         costs = self._meter.costs
-        limit = costs.output_buffer_bytes
+        limit = self._fill_limit
         while not self.done and self._buffer_bytes < limit:
             try:
                 row = next(self._iterator)
@@ -110,9 +118,39 @@ class ServerResultSet:
             skipped += 1
         return skipped
 
+    def note_fetch(self) -> None:
+        """Record one client :class:`FetchRequest` against this result.
+
+        A fetch that finds the buffer already drained means the consumer
+        is keeping up with the scan; when ``output_buffer_max_bytes``
+        permits, the refill target doubles toward that cap so the
+        suspended scan stalls less often.  Streamable Phoenix re-opens
+        benefit most: their pages are forwarded without re-running a
+        query, so a bigger buffer is almost pure win.
+        """
+        self.fetches += 1
+        cap = self._meter.costs.output_buffer_max_bytes
+        if cap > self._fill_limit and not self._buffer:
+            self._fill_limit = min(cap, self._fill_limit * 2)
+
+    def wire_batch_rows(self) -> int:
+        """Rows the next wire batch should carry.
+
+        With ``fetch_batch_max_bytes`` unset this is the fixed seed batch
+        (= :attr:`client_batch_rows`).  With the cap set, the batch
+        doubles on every successive fetch of this result — the client
+        demonstrably drained everything shipped so far — up to the cap.
+        """
+        costs = self._meter.costs
+        batch_bytes = costs.client_fetch_batch_bytes
+        cap = costs.fetch_batch_max_bytes
+        if cap > batch_bytes:
+            batch_bytes = min(cap, batch_bytes << min(self.fetches, 24))
+        return max(1, batch_bytes // self._row_width)
+
     @property
     def client_batch_rows(self) -> int:
-        """How many rows one wire batch carries to the client."""
+        """How many rows one fixed-size wire batch carries to the client."""
         return max(1, self._meter.costs.client_fetch_batch_bytes
                    // self._row_width)
 

@@ -194,7 +194,7 @@ class DatabaseServer:
                                       streamable=streamable)
         session.results[statement_id] = open_result
         open_result.fill_buffer()
-        rows = open_result.take_batch(open_result.client_batch_rows)
+        rows = open_result.take_batch(open_result.wire_batch_rows())
         done = open_result.exhausted
         if done:
             del session.results[statement_id]
@@ -208,10 +208,11 @@ class DatabaseServer:
         open_result = session.results.get(request.statement_id)
         if open_result is None:
             return FetchResponse(rows=[], done=True)
+        open_result.note_fetch()
         open_result.fill_buffer()
         max_rows = request.max_rows
         if max_rows is None:
-            max_rows = open_result.client_batch_rows
+            max_rows = open_result.wire_batch_rows()
         rows = open_result.take_batch(max_rows)
         done = open_result.exhausted
         if done:

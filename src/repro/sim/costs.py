@@ -84,6 +84,37 @@ class CostModel:
     #: client-side buffering.
     client_fetch_batch_bytes: int = 512
 
+    # -- pipelined result delivery (all default-off = seed-identical) --------
+    #: Speculative ``FetchRequest``s the driver keeps in flight after
+    #: delivering a batch.  While a prefetched batch is in flight, the
+    #: server's production and the response downlink overlap the client's
+    #: per-row fetch CPU: the in-flight request's virtual completion time
+    #: is recorded at issue (``Meter.peek_now`` — a pure read), and
+    #: consumption charges only ``max(0, completion - now)``.  0 disables
+    #: fetch-ahead entirely, which keeps every historical trace
+    #: bit-identical (same convention as ``async_commit_window_seconds``).
+    fetch_ahead_depth: int = 0
+    #: Cap on the adaptive wire batch.  When larger than
+    #: ``client_fetch_batch_bytes``, each successive fetch of one open
+    #: result doubles the rowset a ``FetchResponse`` carries (the consumer
+    #: has demonstrably drained everything shipped so far) up to this many
+    #: row-bytes.  0 keeps the fixed seed batching.
+    fetch_batch_max_bytes: int = 0
+    #: Cap on the adaptive server output buffer.  When larger than
+    #: ``output_buffer_bytes``, a ``ServerResultSet`` whose buffer the
+    #: consumer keeps draining doubles its refill target up to this cap —
+    #: streamable Phoenix re-opens especially benefit, since their pages
+    #: are forwarded without re-running a query.  0 keeps the fixed
+    #: suspended-scan buffer of the paper's §3.4.
+    output_buffer_max_bytes: int = 0
+    #: Overlap the Phoenix load step's server-local ``INSERT INTO T
+    #: <query>`` move with the round trips the load chain issues around
+    #: it (status record, commit, procedure drop): requests are pipelined
+    #: — uplinks charged as sent, server work and downlinks realized at
+    #: the next synchronization point.  False serializes every round trip
+    #: (seed behaviour).
+    persist_pipeline: bool = False
+
     # -- server CPU --------------------------------------------------------
     cpu_per_tuple_scan: float = 8e-6
     cpu_per_tuple_join: float = 1.2e-5

@@ -90,6 +90,11 @@ class Meter:
         # Memoized "charge.<resource>" metric names (host-only: avoids an
         # f-string per charge).
         self._charge_metric_names: dict[str, str] = {}
+        # Overlap window state (pipelined result delivery): while a
+        # window is open, charges are recorded (recorders + metrics) but
+        # neither advance the clock nor land in the open request trace.
+        self._overlap_saved_advance: bool | None = None
+        self._suppress_trace = False
 
     # -- charging -----------------------------------------------------------
 
@@ -114,7 +119,7 @@ class Meter:
             obs.metrics.observe(metric, seconds)
         segment = Segment(resource, seconds, note)
         open_requests = self._open_requests
-        if open_requests:
+        if open_requests and not self._suppress_trace:
             open_requests[-1].segments.append(segment)
         for sink in self._recorders:
             sink.append(segment)
@@ -230,6 +235,38 @@ class Meter:
         """Re-charge a recorded segment sequence verbatim."""
         for seg in segments:
             self.charge(seg.resource, seg.seconds, seg.note)
+
+    # -- overlap windows (pipelined result delivery) -------------------------
+
+    def begin_overlap(self) -> list[Segment]:
+        """Open an overlap window: subsequent charges are *recorded but
+        not clocked*.
+
+        Used for requests whose service overlaps client compute
+        (fetch-ahead, pipelined persist loads): every charge inside the
+        window still reaches the metrics registry and any recorder
+        sinks — it is real resource usage — but the serial clock stays
+        put and the open request trace stays client-perspective (the
+        caller charges the *unoverlapped* remainder at its sync point).
+        Windows do not nest.
+        """
+        if self._suppress_trace:
+            raise ValueError("overlap windows do not nest")
+        sink = self.push_recorder()
+        self._overlap_saved_advance = self.advance_clock
+        self.advance_clock = False
+        self._suppress_trace = True
+        return sink
+
+    def end_overlap(self, sink: list[Segment]) -> float:
+        """Close the overlap window; returns its total recorded seconds
+        (the request's virtual service time)."""
+        self._flush_pending()  # still suppressed: lands in the sink
+        self.pop_recorder(sink)
+        self.advance_clock = self._overlap_saved_advance
+        self._overlap_saved_advance = None
+        self._suppress_trace = False
+        return sum(segment.seconds for segment in sink)
 
     def count(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named diagnostic counter (a registry counter)."""

@@ -73,11 +73,11 @@ def test_tpch_power_batch_vs_row_bit_identical(monkeypatch):
 # ---------------------------------------------------------------------------
 
 
-def _crash_run(crash_at: int | None):
+def _crash_run(crash_at: int | None, prefetch: bool = False):
     """Observed app outputs + clock for one crash-injected run."""
     from tests.test_phoenix_crash_fuzz import build_world, workload
 
-    server, app = build_world(cache_rows=0)
+    server, app = build_world(cache_rows=0, prefetch=prefetch)
     if crash_at is not None:
         fired = {"count": 0, "done": False}
 
@@ -92,12 +92,16 @@ def _crash_run(crash_at: int | None):
     return workload(app), app.meter.now, dict(app.meter.counters)
 
 
+@pytest.mark.parametrize("prefetch", [False, True], ids=["seed", "prefetch"])
 @pytest.mark.parametrize("crash_at", [None, 3, 7, 11])
-def test_phoenix_crash_workload_batch_vs_row(monkeypatch, crash_at):
+def test_phoenix_crash_workload_batch_vs_row(monkeypatch, crash_at,
+                                             prefetch):
+    """Bit-identity holds with pipelined result delivery on, too: the
+    overlap windows charge the same seconds in both executor modes."""
     _set_mode(monkeypatch, "batch")
-    batch = _crash_run(crash_at)
+    batch = _crash_run(crash_at, prefetch)
     _set_mode(monkeypatch, "rows")
-    rows = _crash_run(crash_at)
+    rows = _crash_run(crash_at, prefetch)
     assert batch[0] == rows[0], f"observed outputs diverged (crash_at="\
                                 f"{crash_at})"
     assert batch[1] == rows[1], f"virtual clock diverged (crash_at="\

@@ -25,8 +25,17 @@ from repro.sim.meter import Meter
 from repro.workloads.app import BenchmarkApp
 
 
-def build_world(cache_rows: int = 0):
-    meter = Meter(CostModel(output_buffer_bytes=16))
+def build_world(cache_rows: int = 0, prefetch: bool = False):
+    costs = CostModel(output_buffer_bytes=16)
+    if prefetch:
+        # Pipelined result delivery on, with the output buffer kept tiny
+        # so every result spans many wire batches: crashes land between
+        # prefetch issue and consumption all over the sweep.
+        costs.fetch_ahead_depth = 2
+        costs.fetch_batch_max_bytes = 64
+        costs.output_buffer_max_bytes = 64
+        costs.persist_pipeline = True
+    meter = Meter(costs)
     meter.obs.tracer.enable()
     server = DatabaseServer(meter=meter)
     setup = BenchmarkApp(server)
@@ -66,27 +75,47 @@ def workload(app) -> list:
     return observed
 
 
-def reference_run(cache_rows: int = 0) -> list:
-    _server, app = build_world(cache_rows)
-    return workload(app)
+def reference_run(cache_rows: int = 0, prefetch: bool = False) -> list:
+    _server, app = build_world(cache_rows, prefetch)
+    observed = workload(app)
+    if prefetch:
+        # The reference must actually exercise the pipeline, or the
+        # sweep below would be fuzzing the seed path under a new name.
+        assert app.meter.counters.get("prefetch_issued", 0) > 0
+    return observed
 
 
-def count_requests(cache_rows: int = 0) -> int:
-    server, app = build_world(cache_rows)
+def count_requests(cache_rows: int = 0, prefetch: bool = False) -> int:
+    server, app = build_world(cache_rows, prefetch)
     start = app.network.requests_sent
     workload(app)
     return app.network.requests_sent - start
 
 
+@pytest.mark.parametrize("prefetch", [False, True],
+                         ids=["seed", "prefetch"])
 @pytest.mark.parametrize("cache_rows", [0, 100])
-def test_crash_at_every_request_boundary(cache_rows):
-    expected = reference_run(cache_rows)
-    total = count_requests(cache_rows)
-    assert total > 10
+def test_crash_at_every_request_boundary(cache_rows, prefetch):
+    """Crash transparency at every 2nd request boundary.
+
+    With ``prefetch`` the same sweep runs with fetch-ahead, adaptive
+    batching and the persist pipeline enabled — so crashes land between
+    prefetch issue and consumption.  The invariant is unchanged *and*
+    cross-checked against the seed configuration: Phoenix repositions to
+    the last row actually delivered, nothing is delivered twice, and
+    pipelining must not alter a single observed value.
+    """
+    expected = reference_run(cache_rows, prefetch)
+    assert expected == reference_run(cache_rows), (
+        "pipelined delivery changed the crash-free output")
+    total = count_requests(cache_rows, prefetch)
+    # Adaptive buffering legitimately collapses round trips, so the
+    # pipelined sweep covers fewer boundaries — but never this few.
+    assert total > (5 if prefetch else 10)
     # Sweep every 2nd boundary to keep runtime sane while still covering
     # every pipeline stage (requests alternate through all steps).
     for crash_at in range(1, total + 1, 2):
-        server, app = build_world(cache_rows)
+        server, app = build_world(cache_rows, prefetch)
         fired = {"count": 0, "done": False}
 
         def injector(request, server=server, fired=fired,
@@ -101,7 +130,7 @@ def test_crash_at_every_request_boundary(cache_rows):
         observed = workload(app)
         assert observed == expected, (
             f"output diverged when crashing at request {crash_at} "
-            f"(cache_rows={cache_rows})")
+            f"(cache_rows={cache_rows}, prefetch={prefetch})")
         tracer = app.meter.obs.tracer
         assert tracer.open_span_count == 0, (
             f"spans leaked open when crashing at request {crash_at}")
