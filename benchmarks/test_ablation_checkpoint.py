@@ -6,6 +6,11 @@ recovery must redo more log.  This ablation runs a burst of committed
 updates with different checkpoint cadences, crashes, and measures the
 virtual time the engine spends in ARIES redo at restart — the "pause"
 component an application waits out before Phoenix can even reconnect.
+
+Two families of legs: *sharp* checkpoints (the seed's flush-everything
+``server.checkpoint()`` at a batch cadence) and *fuzzy* checkpoints
+(non-blocking Begin/End on a virtual-time cadence, with log truncation
+and optional parallel partitioned redo — the tentpole path).
 """
 
 from repro.bench.reporting import format_table
@@ -16,34 +21,53 @@ from repro.workloads.app import BenchmarkApp
 
 CADENCES = (0, 50, 10)  # checkpoints every N update batches (0 = never)
 BATCHES = 97  # deliberately off-cadence so every run has a redo tail
+#: (label, redo workers) legs for the fuzzy cost-model knobs; the
+#: interval is derived from the never-checkpoint leg's measured
+#: workload time so roughly 10 checkpoints land in every run.
+FUZZY_LEGS = (("fuzzy", 0), ("fuzzy + 4-worker redo", 4))
+FUZZY_CHECKPOINTS = 10
 
 
-def _recovery_time(checkpoint_every: int) -> tuple[float, int]:
-    server = DatabaseServer(meter=Meter(CostModel()))
+def _recovery_time(checkpoint_every: int, costs: CostModel | None = None,
+                   ) -> tuple[float, int, float]:
+    server = DatabaseServer(meter=Meter(costs or CostModel()))
     app = BenchmarkApp(server)
     app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
                       "PRIMARY KEY (k))")
     app.run_statement("INSERT INTO t VALUES " + ", ".join(
         f"({i}, 0)" for i in range(50)))
+    workload_start = server.meter.now
     for batch in range(BATCHES):
         app.run_statement(f"UPDATE t SET v = v + 1 WHERE k < 25")
         app.run_statement(f"UPDATE t SET v = v + 2 WHERE k >= 25")
         if checkpoint_every and (batch + 1) % checkpoint_every == 0:
             server.checkpoint()
+    workload = server.meter.now - workload_start
     server.crash()
     start = server.meter.now
     server.restart()
     elapsed = server.meter.now - start
     report = server.engine.last_recovery
-    return elapsed, report.redo_applied
+    return elapsed, report.redo_applied, workload
 
 
 def test_ablation_checkpoint_interval(benchmark, report):
-    results = benchmark.pedantic(
-        lambda: {c: _recovery_time(c) for c in CADENCES},
-        rounds=1, iterations=1)
-    rows = [[("never" if c == 0 else f"every {c} batches"),
-             results[c][1], results[c][0]] for c in CADENCES]
+    def run():
+        results = {c: _recovery_time(c) for c in CADENCES}
+        interval = results[0][2] / FUZZY_CHECKPOINTS
+        for label, workers in FUZZY_LEGS:
+            costs = CostModel(checkpoint_interval_seconds=interval,
+                              checkpoint_truncate_log=True,
+                              redo_workers=workers)
+            results[label] = _recovery_time(0, costs)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    legs = [("never" if c == 0 else f"sharp every {c} batches", c)
+            for c in CADENCES]
+    legs += [(label, label) for label, _workers in FUZZY_LEGS]
+    rows = [[label, results[key][1], results[key][0]]
+            for label, key in legs]
     report("ablation_checkpoint", format_table(
         "Ablation: checkpoint cadence vs restart recovery",
         ["Checkpoint cadence", "Records redone", "Recovery (s)"], rows))
@@ -53,6 +77,17 @@ def test_ablation_checkpoint_interval(benchmark, report):
     # More frequent checkpoints mean less redo and faster recovery.
     assert frequent[1] < never[1] / 2
     assert frequent[0] < never[0]
+    # Fuzzy checkpoints bound redo by dirty-page recLSNs and truncation,
+    # without ever flushing the pool inside a checkpoint.
+    fuzzy = results["fuzzy"]
+    assert fuzzy[1] < never[1] / 2
+    assert fuzzy[0] < never[0]
+    # Simulated redo workers can only shrink the charged makespan.  (One
+    # table means one partition here, so the legs only differ by charge
+    # summation order — hence the float tolerance.)
+    parallel = results["fuzzy + 4-worker redo"]
+    assert parallel[0] <= fuzzy[0] + 1e-9
+    assert parallel[1] == fuzzy[1]
     # Everything still recovers correctly regardless of cadence.
-    for cadence in CADENCES:
-        assert results[cadence][0] >= 0
+    for _label, key in legs:
+        assert results[key][0] >= 0

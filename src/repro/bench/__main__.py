@@ -220,13 +220,90 @@ def _run_wallclock(args) -> int:
     return 1 if failed else 0
 
 
+def _run_recovery_scaling(args) -> int:
+    """Sweep restart-recovery time vs log length and gate the tentpole.
+
+    Writes ``recovery_scaling.txt`` and appends one ``{date, commit,
+    records, leg, recovery_seconds, redo_applied}`` line per leg to
+    ``recovery_scaling_history.jsonl``.  Fails (exit 1) if at the
+    longest log the fuzzy+4-worker leg is not at least 3x faster in
+    virtual time than the never-checkpoint leg, if its redone-record
+    count is not bounded well below the log (dirty-page recLSNs, not
+    log length), if more workers make recovery slower, or if any leg
+    recovers different table contents (worker count and checkpoint
+    regime must never change recovered state).
+    """
+    import datetime
+    import json
+    import subprocess
+
+    result = experiments.run_recovery_scaling()
+    text = result.format()
+    print(text)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "recovery_scaling.txt").write_text(text + "\n")
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        commit = "unknown"
+    history = out_dir / "recovery_scaling_history.jsonl"
+    with history.open("a") as handle:
+        for (records, leg, seconds, applied, skipped, checkpoints,
+             truncated, _workload) in result.rows:
+            handle.write(json.dumps(
+                {"date": datetime.date.today().isoformat(),
+                 "commit": commit, "records": records, "leg": leg,
+                 "recovery_seconds": round(seconds, 6),
+                 "redo_applied": applied}) + "\n")
+
+    failed = False
+    longest = max(records for records, *_ in result.rows)
+    none_row = result.leg(longest, "none")
+    w1_row = result.leg(longest, "fuzzy-w1")
+    w4_row = result.leg(longest, "fuzzy-w4")
+    print(f"[recovery scaling at {longest} records: none "
+          f"{none_row[2]:.4f}s / {none_row[3]} applied, fuzzy-w4 "
+          f"{w4_row[2]:.4f}s / {w4_row[3]} applied]")
+    if w4_row[2] * 3.0 > none_row[2]:
+        print(f"FAIL: fuzzy+4-worker recovery took {w4_row[2]:.4f}s at "
+              f"{longest} records — not 3x faster than the "
+              f"never-checkpoint leg's {none_row[2]:.4f}s")
+        failed = True
+    if w4_row[3] * 3 > none_row[3]:
+        print(f"FAIL: fuzzy redo applied {w4_row[3]} records at "
+              f"{longest} records — not bounded by dirty-page recLSNs "
+              f"(never-checkpoint leg applied {none_row[3]})")
+        failed = True
+    if w4_row[2] > w1_row[2]:
+        print(f"FAIL: 4-worker redo ({w4_row[2]:.4f}s) slower than "
+              f"1-worker ({w1_row[2]:.4f}s)")
+        failed = True
+    for records in sorted({r for r, *_ in result.rows}):
+        prints = {leg: result.fingerprints[(records, leg)]
+                  for _r, leg, *_ in result.rows if _r == records}
+        reference = prints["none"]
+        for leg, fingerprint in prints.items():
+            if fingerprint != reference:
+                print(f"FAIL: leg {leg} at {records} records recovered "
+                      "different table contents than the "
+                      "never-checkpoint leg")
+                failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "trace-report",
-                                                       "wallclock"],
+                                                       "wallclock",
+                                                       "recoveryscaling"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale factor override")
@@ -243,6 +320,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "wallclock":
         return _run_wallclock(args)
+    if args.experiment == "recoveryscaling":
+        return _run_recovery_scaling(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out)

@@ -841,3 +841,130 @@ def run_indexbench(rows: int = 4000, group_size: int = 100,
         result.plans[label] = scan_lines[0].strip() if scan_lines \
             else plan[0][0].strip()
     return result
+
+
+@dataclass
+class RecoveryScalingResult:
+    """Restart-recovery time vs log length under different checkpoint
+    regimes.
+
+    One row per (log length, leg): ``none`` never checkpoints (the
+    paper's configuration — recovery replays the whole log), ``sharp``
+    takes the seed's flush-everything checkpoint every tenth of the run,
+    and the ``fuzzy-wN`` legs take non-blocking fuzzy checkpoints on a
+    virtual-time cadence with log truncation on and redo charged over N
+    simulated workers.  The tracked claim is the tentpole: fuzzy
+    recovery time is bounded by the checkpoint interval (flat in log
+    length), and redone records track dirty-page recLSNs, not the log.
+    """
+
+    #: (records, leg, recovery_s, redo_applied, redo_skipped,
+    #:  checkpoints, truncated, workload_s)
+    rows: list = field(default_factory=list)
+    #: (records, leg) -> fingerprint of recovered table contents
+    fingerprints: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        body = [[records, leg, f"{seconds:.4f}", applied, skipped,
+                 int(checkpoints), int(truncated)]
+                for (records, leg, seconds, applied, skipped,
+                     checkpoints, truncated, _workload) in self.rows]
+        return format_table(
+            "Restart recovery vs log length "
+            "(fuzzy checkpoints + partitioned redo)",
+            ["Redo records", "Leg", "Recovery s", "Applied", "Skipped",
+             "Checkpoints", "Truncated"], body)
+
+    def leg(self, records: int, leg: str) -> tuple:
+        for row in self.rows:
+            if row[0] == records and row[1] == leg:
+                return row
+        raise KeyError((records, leg))
+
+
+#: Partitioned redo parallelizes across heap files, so the workload
+#: spreads its updates over this many tables.
+RECOVERY_SCALING_TABLES = 4
+RECOVERY_SCALING_ROWS = 100
+#: Data records per round: 4 tables x UPDATE .. WHERE k < 25.
+RECOVERY_SCALING_RECORDS_PER_ROUND = RECOVERY_SCALING_TABLES * 25
+#: Fuzzy cadence: enough intervals that the redo tail (~2 intervals,
+#: the background flusher's lag) is well under a third of the log.
+RECOVERY_SCALING_CHECKPOINTS = 12
+
+
+def _recovery_scaling_leg(rounds: int, mode: str, workers: int = 0,
+                          interval: float = 0.0) -> dict:
+    """One crash/restart measurement.  ``mode``: none | sharp | fuzzy."""
+    costs = CostModel()
+    if mode == "fuzzy":
+        costs.checkpoint_interval_seconds = interval
+        costs.checkpoint_truncate_log = True
+        costs.redo_workers = workers
+    server = DatabaseServer(meter=Meter(costs))
+    app = BenchmarkApp(server)
+    for t in range(RECOVERY_SCALING_TABLES):
+        app.run_statement(
+            f"CREATE TABLE r{t} (k INT NOT NULL, v INT, a INT, "
+            "PRIMARY KEY (k))")
+        app.run_statement(f"INSERT INTO r{t} VALUES " + ", ".join(
+            f"({i}, 0, {i % 7})" for i in range(RECOVERY_SCALING_ROWS)))
+    start = server.meter.now
+    sharp_every = max(1, rounds // 10)
+    for rnd in range(rounds):
+        for t in range(RECOVERY_SCALING_TABLES):
+            app.run_statement(f"UPDATE r{t} SET v = v + 1 WHERE k < 25")
+        # Never checkpoint on the final round — the crash must land
+        # off-cadence so the sharp leg always has a redo tail.
+        if mode == "sharp" and (rnd + 1) % sharp_every == 0 \
+                and rnd + 1 < rounds:
+            server.checkpoint()
+    workload_seconds = server.meter.now - start
+    server.crash()
+    crash_at = server.meter.now
+    server.restart()
+    elapsed = server.meter.now - crash_at
+    report = server.engine.last_recovery
+    counters = server.meter.counters
+    survivor = BenchmarkApp(server)
+    fingerprint = tuple(
+        tuple(survivor.query_rows(
+            f"SELECT k, v, a FROM r{t} ORDER BY k"))
+        for t in range(RECOVERY_SCALING_TABLES))
+    return {
+        "workload_seconds": workload_seconds,
+        "recovery_seconds": elapsed,
+        "redo_applied": report.redo_applied,
+        "redo_skipped": report.redo_skipped,
+        "checkpoints": counters.get("checkpoints_taken", 0.0),
+        "truncated": counters.get("log_records_truncated", 0.0),
+        "fingerprint": fingerprint,
+    }
+
+
+def run_recovery_scaling(
+        lengths: tuple = (1000, 5000, 20000)) -> RecoveryScalingResult:
+    """Sweep log length x checkpoint regime; see
+    :class:`RecoveryScalingResult`."""
+    result = RecoveryScalingResult()
+    for records in lengths:
+        rounds = max(1, records // RECOVERY_SCALING_RECORDS_PER_ROUND)
+        none = _recovery_scaling_leg(rounds, "none")
+        # The fuzzy cadence is derived from the measured workload so
+        # every length gets the same *number* of checkpoints — that is
+        # what makes recovery time flat in log length.
+        interval = (none["workload_seconds"]
+                    / RECOVERY_SCALING_CHECKPOINTS)
+        legs = [("none", none), ("sharp",
+                                 _recovery_scaling_leg(rounds, "sharp"))]
+        for workers in (1, 2, 4):
+            legs.append((f"fuzzy-w{workers}", _recovery_scaling_leg(
+                rounds, "fuzzy", workers=workers, interval=interval)))
+        for leg_name, leg in legs:
+            result.rows.append(
+                (records, leg_name, leg["recovery_seconds"],
+                 leg["redo_applied"], leg["redo_skipped"],
+                 leg["checkpoints"], leg["truncated"],
+                 leg["workload_seconds"]))
+            result.fingerprints[(records, leg_name)] = leg["fingerprint"]
+    return result

@@ -49,8 +49,10 @@ from repro.txn.manager import Transaction, TransactionManager
 from repro.types import Column, SqlType, coerce_column, row_width_bytes
 from repro.wal.log import WriteAheadLog
 from repro.wal.records import (
+    BeginCheckpointRecord,
     CheckpointRecord,
     DeleteRecord,
+    EndCheckpointRecord,
     InsertRecord,
     LogRecord,
     UpdateRecord,
@@ -217,8 +219,15 @@ class DatabaseEngine:
         #: (``sys_plan_cache``) report per-session temp-plan state.
         self.sessions: dict[int, EngineSession] = {}
         self.last_recovery: RecoveryReport | None = None
+        # Fuzzy-checkpoint cadence state (only consulted when the
+        # ``checkpoint_interval_seconds`` knob is on).
+        self._next_checkpoint_at = 0.0
+        self._last_fuzzy_begin_lsn = 0
         if recover:
             self.last_recovery = RecoveryManager(self.wal, self).recover()
+            checkpoint = self.wal.last_complete_checkpoint()
+            if isinstance(checkpoint, EndCheckpointRecord):
+                self._last_fuzzy_begin_lsn = checkpoint.begin_lsn
 
     @classmethod
     def restart(cls, disk: SimulatedDisk, wal: WriteAheadLog,
@@ -411,6 +420,75 @@ class DatabaseEngine:
         lsn = self.wal.append(record)
         self.wal.force()
         return lsn
+
+    def maybe_fuzzy_checkpoint(self) -> None:
+        """Cadence hook (called after each commit when the knob is on):
+        take a fuzzy checkpoint once the virtual interval has elapsed."""
+        interval = self.meter.costs.checkpoint_interval_seconds
+        if interval <= 0.0:
+            return
+        now = self.meter.peek_now()
+        if now < self._next_checkpoint_at:
+            return
+        self._next_checkpoint_at = now + interval
+        self.fuzzy_checkpoint()
+
+    def fuzzy_checkpoint(self, truncate: bool | None = None) -> int:
+        """ARIES-style fuzzy checkpoint: Begin/End records around the
+        dirty-page and active-transaction tables — **no pool flush, no
+        blocking of in-flight transactions**.  Returns the Begin LSN.
+
+        Ordering matters for truncation safety: the background flusher
+        runs *before* the dirty-page table is captured, so the DPT logged
+        in the End record is exactly the one the truncation decision is
+        made from (a stale pre-flush DPT could let recovery's redo start
+        point below the truncation boundary).
+
+        ``truncate=None`` follows the ``checkpoint_truncate_log`` knob.
+        """
+        if truncate is None:
+            truncate = self.meter.costs.checkpoint_truncate_log
+        begin_lsn = self.wal.append(BeginCheckpointRecord(txn_id=0))
+        # The catalog snapshot reflects every DDL record below begin_lsn
+        # (appends are single-threaded), so redo skips pre-Begin DDL.
+        self.disk.write_blob("catalog_snapshot", self.catalog.snapshot())
+        # Background flusher: write out pages that stayed dirty for a
+        # whole interval, advancing the DPT's minimum recLSN.
+        flushed = self.buffer_pool.flush_dirtied_before(
+            self._last_fuzzy_begin_lsn)
+        dirty_pages = self.buffer_pool.dirty_page_table()
+        end = EndCheckpointRecord(
+            txn_id=0, begin_lsn=begin_lsn, dirty_pages=dirty_pages,
+            active_txns=self.txns.active_txn_lsns(),
+            active_first_lsns=self.txns.active_txn_first_lsns())
+        self.wal.append(end)
+        # Write-behind force (no commit latency): the checkpoint must be
+        # durable before its truncation takes effect.
+        self.wal.force(sync=False)
+        self.meter.count("checkpoints_taken")
+        if flushed:
+            self.meter.count("pages_flushed_background", flushed)
+        self.meter.obs.metrics.gauge_set(
+            "min_reclsn", float(min(dirty_pages.values(),
+                                    default=begin_lsn)))
+        if truncate:
+            keep_from = begin_lsn
+            if dirty_pages:
+                keep_from = min(keep_from, min(dirty_pages.values()))
+            if end.active_first_lsns:
+                keep_from = min(keep_from,
+                                min(end.active_first_lsns.values()))
+            if keep_from > 1:
+                truncated = self.wal.truncate(
+                    keep_from - 1, archive=self._archive_log_records)
+                if truncated:
+                    self.meter.count("log_records_truncated", truncated)
+        self._last_fuzzy_begin_lsn = begin_lsn
+        return begin_lsn
+
+    def _archive_log_records(self, records: list) -> None:
+        """Truncation sink: move the dropped log prefix to cold storage."""
+        self.disk.append_blob("wal_archive", records)
 
     # ------------------------------------------------------------------
     # Statement execution

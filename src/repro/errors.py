@@ -68,6 +68,17 @@ class TransactionError(EngineError):
     """Illegal transaction state transition (e.g. COMMIT with no BEGIN)."""
 
 
+class LogTruncatedError(EngineError):
+    """A log record below the truncation point was requested.
+
+    Raised loudly instead of returning wrong state: after fuzzy-checkpoint
+    log truncation, any read below the archive boundary means the
+    truncation safety rule (keep everything a loser transaction or a
+    dirty page's recLSN may still need) was violated, or the archive
+    itself is gone.  Recovery must fail, not silently skip history.
+    """
+
+
 class DeadlockError(TransactionError):
     """Lock acquisition timed out; the transaction was chosen as victim."""
 

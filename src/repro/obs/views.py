@@ -144,6 +144,34 @@ def _sys_network(engine):
     return columns, rows
 
 
+@system_view("sys_checkpoint")
+def _sys_checkpoint(engine):
+    """Fuzzy-checkpoint / log-truncation observability.
+
+    Counters (``checkpoints_taken``, ``pages_flushed_background``,
+    ``log_records_truncated``) accumulate in the world counters; the
+    remaining rows are instantaneous state read straight off the buffer
+    pool and the WAL, so a query always sees the live dirty-page table
+    even between checkpoints.
+    """
+    columns = [Column("metric", SqlType.VARCHAR, 48),
+               Column("value", SqlType.FLOAT)]
+    counters = engine.meter.counters
+    rows = [(name, float(counters.get(name, 0)))
+            for name in ("checkpoints_taken", "pages_flushed_background",
+                         "log_records_truncated")]
+    dirty = engine.buffer_pool.dirty_page_table()
+    rows.append(("dirty_pages", float(len(dirty))))
+    rows.append(("min_reclsn", float(min(dirty.values(), default=0))))
+    checkpoint = engine.wal.last_complete_checkpoint()
+    rows.append(("last_checkpoint_lsn",
+                 float(checkpoint.lsn if checkpoint is not None else 0)))
+    rows.append(("truncated_lsn", float(engine.wal.truncated_lsn)))
+    rows.append(("flushed_lsn", float(engine.wal.flushed_lsn)))
+    rows.append(("last_lsn", float(engine.wal.last_lsn)))
+    return columns, rows
+
+
 @system_view("sys_plan_cache")
 def _sys_plan_cache(engine):
     columns = [Column("metric", SqlType.VARCHAR, 48),

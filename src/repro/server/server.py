@@ -118,9 +118,12 @@ class DatabaseServer:
                 report.redo_applied, report.redo_skipped,
                 report.undo_applied, sorted(report.losers))
 
-    def checkpoint(self) -> None:
+    def checkpoint(self, fuzzy: bool = False) -> None:
         self._require_up()
-        self.engine.checkpoint()
+        if fuzzy:
+            self.engine.fuzzy_checkpoint()
+        else:
+            self.engine.checkpoint()
 
     # -- request dispatch ------------------------------------------------------
 

@@ -161,6 +161,30 @@ class CostModel:
     #: crash-transparency suites.
     async_commit_window_seconds: float = 0.0
 
+    # -- fuzzy checkpoints / parallel redo (default-off = seed-identical) ----
+    #: Virtual-time cadence of *fuzzy* checkpoints: after each commit the
+    #: engine takes a non-blocking Begin/End checkpoint if this many
+    #: virtual seconds have passed since the last one.  No pages are
+    #: flushed at checkpoint time (a background flusher writes out pages
+    #: dirtied before the *previous* checkpoint, advancing the dirty-page
+    #: table's minimum recLSN).  0.0 disables the cadence entirely, which
+    #: keeps every historical trace bit-identical (same convention as
+    #: ``async_commit_window_seconds``).
+    checkpoint_interval_seconds: float = 0.0
+    #: Restart-recovery redo parallelism: when >= 1, redo is replayed in
+    #: per-table partitions over this many simulated workers — records
+    #: are still *applied* serially in LSN order (worker count can never
+    #: change recovered contents), but the charged virtual time becomes
+    #: serial-log-read + the makespan of the per-partition apply work
+    #: (DDL acts as a serial barrier).  0 keeps the seed's serial redo
+    #: charging, bit-identical.
+    redo_workers: int = 0
+    #: Let fuzzy checkpoints truncate (archive) the log prefix below
+    #: min(dirty-page recLSNs, active transactions' first LSNs, the
+    #: checkpoint's own Begin LSN).  Reads below the boundary raise
+    #: ``LogTruncatedError``.  False keeps the log append-only (seed).
+    checkpoint_truncate_log: bool = False
+
     # -- connections / sessions --------------------------------------------
     connect_seconds: float = 0.25
     #: Re-installing one connection option during recovery (one round trip).

@@ -43,7 +43,11 @@ class BufferPool:
         #: never evicted, kept out of the LRU so eviction does not have to
         #: skip-scan past them.  They still occupy capacity.
         self._volatile_frames: dict[tuple[int, int], Page] = {}
-        self._dirty: set[tuple[int, int]] = set()
+        #: Dirty-page table: (file_id, page_no) -> recLSN, the LSN of the
+        #: first record that dirtied the page since it was last clean
+        #: (0 = unknown, conservatively "needs the log from the start").
+        #: Fuzzy checkpoints log this table instead of flushing it.
+        self._dirty: dict[tuple[int, int], int] = {}
         self._volatile_files: set[int] = set()
         self.hits = 0
         self.misses = 0
@@ -59,7 +63,7 @@ class BufferPool:
         self._volatile_files.add(file_id)
         for key in [k for k in self._frames if k[0] == file_id]:
             self._volatile_frames[key] = self._frames.pop(key)
-            self._dirty.discard(key)
+            self._dirty.pop(key, None)
 
     def is_volatile(self, file_id: int) -> bool:
         return file_id in self._volatile_files
@@ -108,7 +112,16 @@ class BufferPool:
         self.mark_dirty(file_id, page_no)
         return page
 
-    def mark_dirty(self, file_id: int, page_no: int) -> None:
+    def mark_dirty(self, file_id: int, page_no: int,
+                   rec_lsn: int = 0) -> None:
+        """Mark a resident page dirty, tracking its recLSN.
+
+        ``rec_lsn`` is the LSN of the record responsible for this
+        dirtying (0 = unknown).  The table keeps the *minimum* over all
+        dirtyings since the page was last clean, with 0 as the
+        conservative floor — an unknown recLSN pins redo (and blocks
+        truncation) back to the start of the log, which is always safe.
+        """
         key = (file_id, page_no)
         if file_id in self._volatile_files:
             if key not in self._volatile_frames:
@@ -116,7 +129,11 @@ class BufferPool:
             return
         if key not in self._frames:
             raise ValueError(f"page {key} is not resident")
-        self._dirty.add(key)
+        existing = self._dirty.get(key)
+        if existing is None:
+            self._dirty[key] = rec_lsn
+        elif rec_lsn < existing:
+            self._dirty[key] = rec_lsn
 
     def is_dirty(self, file_id: int, page_no: int) -> bool:
         return (file_id, page_no) in self._dirty
@@ -134,7 +151,7 @@ class BufferPool:
             self._wal.force(up_to_lsn=page.page_lsn, sync=False)
         self._disk.write_page(file_id, page_no, page.clone())
         self._charge_io(self._write_cost(cost_factor))
-        self._dirty.discard(key)
+        self._dirty.pop(key, None)
 
     def flush_all(self, cost_factor: float = 1.0) -> int:
         """Flush every dirty page (sharp checkpoint); returns count."""
@@ -143,13 +160,38 @@ class BufferPool:
             self.flush_page(file_id, page_no, cost_factor)
         return len(keys)
 
+    def flush_dirtied_before(self, lsn: int,
+                             cost_factor: float = 1.0) -> int:
+        """Background flusher: flush pages whose recLSN precedes ``lsn``.
+
+        The fuzzy checkpointer calls this with the *previous* checkpoint's
+        Begin LSN, so every page that has stayed dirty for a whole
+        checkpoint interval reaches disk and the dirty-page table's
+        minimum recLSN keeps advancing — which is what lets the log
+        truncate.  Pages dirtied after ``lsn`` (the hot set) stay dirty.
+        """
+        keys = sorted(k for k, rec in self._dirty.items() if rec < lsn)
+        for file_id, page_no in keys:
+            self.flush_page(file_id, page_no, cost_factor)
+        return len(keys)
+
+    def dirty_page_table(self) -> dict[tuple[int, int], int]:
+        """Snapshot of the dirty-page table ((file, page) -> recLSN)."""
+        return dict(self._dirty)
+
+    def min_rec_lsn(self) -> int | None:
+        """Smallest recLSN across dirty pages (None when nothing dirty)."""
+        if not self._dirty:
+            return None
+        return min(self._dirty.values())
+
     # -- lifecycle -----------------------------------------------------------
 
     def drop_file(self, file_id: int) -> None:
         """Forget all cached pages of a dropped file."""
         for key in [k for k in self._frames if k[0] == file_id]:
             del self._frames[key]
-            self._dirty.discard(key)
+            self._dirty.pop(key, None)
         for key in [k for k in self._volatile_frames if k[0] == file_id]:
             del self._volatile_frames[key]
         self._volatile_files.discard(file_id)

@@ -64,6 +64,17 @@ class SimulatedDisk:
         """Durably store a deep copy of ``value`` under ``name``."""
         self._blobs[name] = copy.deepcopy(value)
 
+    def append_blob(self, name: str, items: list) -> None:
+        """Append deep copies of ``items`` to a list-valued blob.
+
+        Used by WAL truncation to archive the dropped log prefix without
+        rewriting (and re-deep-copying) the whole archive each time.
+        """
+        existing = self._blobs.setdefault(name, [])
+        if not isinstance(existing, list):
+            raise TypeError(f"blob {name!r} is not appendable")
+        existing.extend(copy.deepcopy(items))
+
     def read_blob(self, name: str, default=None):
         value = self._blobs.get(name, default)
         return copy.deepcopy(value)

@@ -172,6 +172,6 @@ class HeapFile:
     def _stamp(self, page: Page, page_no: int, lsn: int) -> None:
         if lsn:
             page.page_lsn = max(page.page_lsn, lsn)
-        self._pool.mark_dirty(self.file_id, page_no)
+        self._pool.mark_dirty(self.file_id, page_no, rec_lsn=lsn)
         if not page.has_space():
             self._pages_with_space.discard(page_no)

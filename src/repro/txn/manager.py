@@ -52,6 +52,10 @@ class Transaction:
 
     txn_id: int
     last_lsn: int = 0
+    #: LSN of this transaction's BeginRecord — the oldest record undo can
+    #: reach; log truncation must never drop past the minimum first_lsn
+    #: of the active set.
+    first_lsn: int = 0
     state: TxnState = TxnState.ACTIVE
     #: Actions deferred to commit (e.g. physical deallocation of a dropped
     #: table's pages — deferring makes DROP TABLE undoable).
@@ -75,7 +79,9 @@ class TransactionManager:
 
     @staticmethod
     def _recovered_next_txn_id(log: WriteAheadLog) -> int:
-        highest = 0
+        # Records archived by log truncation are no longer iterable, but
+        # their txn ids must stay retired (reuse would corrupt analysis).
+        highest = getattr(log, "truncated_max_txn_id", 0)
         for rec in log.all_records():
             highest = max(highest, rec.txn_id)
         return highest + 1
@@ -86,6 +92,7 @@ class TransactionManager:
         txn = Transaction(txn_id=self._next_txn_id)
         self._next_txn_id += 1
         txn.last_lsn = self._log.append(BeginRecord(txn_id=txn.txn_id))
+        txn.first_lsn = txn.last_lsn
         self._active[txn.txn_id] = txn
         return txn
 
@@ -111,6 +118,14 @@ class TransactionManager:
             action()
         txn.on_commit.clear()
         self._finish(txn)
+        # Fuzzy-checkpoint cadence hook: with the knob at its 0.0 default
+        # this is a single comparison — no charge, no behaviour change.
+        meter = self._log.meter
+        if meter is not None \
+                and meter.costs.checkpoint_interval_seconds > 0.0:
+            hook = getattr(self._target, "maybe_fuzzy_checkpoint", None)
+            if hook is not None:
+                hook()
 
     def abort(self, txn: Transaction) -> None:
         self._require_active(txn)
@@ -138,6 +153,11 @@ class TransactionManager:
     def active_txn_lsns(self) -> dict[int, int]:
         """txn_id -> last_lsn map recorded in checkpoint records."""
         return {t.txn_id: t.last_lsn for t in self._active.values()}
+
+    def active_txn_first_lsns(self) -> dict[int, int]:
+        """txn_id -> first_lsn map (fuzzy checkpoints log this so undo
+        chains stay reachable and truncation knows what to keep)."""
+        return {t.txn_id: t.first_lsn for t in self._active.values()}
 
     # -- logged data changes (called by the table runtime pre-mutation) --------
 

@@ -14,9 +14,14 @@ table" — Phoenix pays real log-force time to make result sets durable.
 
 from __future__ import annotations
 
+from repro.errors import LogTruncatedError
 from repro.sim.costs import SERVER_DISK
 from repro.sim.meter import Meter
-from repro.wal.records import CheckpointRecord, LogRecord
+from repro.wal.records import (
+    CheckpointRecord,
+    EndCheckpointRecord,
+    LogRecord,
+)
 
 
 class WriteAheadLog:
@@ -33,16 +38,29 @@ class WriteAheadLog:
         # are acknowledged without flushing (records stay in the
         # volatile tail) instead of paying their own force.
         self._async_deadline = 0.0
+        # Truncation state: records with lsn <= _base_lsn have been
+        # archived away; _records[i] holds lsn _base_lsn + i + 1.
+        self._base_lsn = 0
+        #: Highest txn id ever archived — transaction-id recovery must
+        #: still never reuse ids whose records left the live log.
+        self.truncated_max_txn_id = 0
+        #: Total records ever truncated (diagnostics / sys_checkpoint).
+        self.truncated_records = 0
 
     # -- append / force -------------------------------------------------------
 
     @property
     def last_lsn(self) -> int:
-        return len(self._records)
+        return self._base_lsn + len(self._records)
+
+    @property
+    def truncated_lsn(self) -> int:
+        """Highest LSN no longer in the live log (0 = nothing truncated)."""
+        return self._base_lsn
 
     def append(self, record: LogRecord, cost_factor: float = 1.0) -> int:
         """Assign the next LSN to ``record`` and buffer it; returns the LSN."""
-        record.lsn = len(self._records) + 1
+        record.lsn = self._base_lsn + len(self._records) + 1
         self._records.append(record)
         if self._meter is not None:
             seconds = self._meter.costs.log_write_seconds(
@@ -102,8 +120,8 @@ class WriteAheadLog:
 
     def crash(self) -> int:
         """Discard the un-forced tail; returns how many records were lost."""
-        lost = len(self._records) - self.flushed_lsn
-        del self._records[self.flushed_lsn:]
+        lost = self.last_lsn - self.flushed_lsn
+        del self._records[self.flushed_lsn - self._base_lsn:]
         self._pending_write_seconds = 0.0
         # The open deferral window died with the tail — and with it any
         # acked-but-deferred commits (the documented durability bound).
@@ -121,21 +139,84 @@ class WriteAheadLog:
     # -- reading ----------------------------------------------------------------
 
     def record(self, lsn: int) -> LogRecord:
-        if not 1 <= lsn <= len(self._records):
+        if 1 <= lsn <= self._base_lsn:
+            raise LogTruncatedError(
+                f"log record {lsn} was truncated (archive boundary is "
+                f"{self._base_lsn}) — recovery needs history the live log "
+                f"no longer holds")
+        if not self._base_lsn < lsn <= self.last_lsn:
             raise IndexError(f"no log record with lsn {lsn}")
-        return self._records[lsn - 1]
+        return self._records[lsn - self._base_lsn - 1]
 
     def records_from(self, lsn: int):
-        """Yield records with LSN >= ``lsn`` in order."""
-        start = max(0, lsn - 1)
+        """Yield records with LSN >= ``lsn`` in order.
+
+        Asking for a starting point inside the truncated prefix is a
+        loud error: a redo scan that needs archived records means the
+        truncation safety rule was violated.
+        """
+        if self._base_lsn and 1 <= lsn <= self._base_lsn:
+            raise LogTruncatedError(
+                f"redo scan from lsn {lsn} reaches below the truncation "
+                f"boundary {self._base_lsn}")
+        start = max(0, lsn - self._base_lsn - 1)
         yield from self._records[start:]
 
     def all_records(self):
+        """Yield every *live* record (the truncated prefix is archived)."""
         yield from self._records
 
     def last_checkpoint_lsn(self) -> int:
-        """LSN of the most recent (durable) checkpoint record, or 0."""
-        for i in range(self.flushed_lsn - 1, -1, -1):
-            if isinstance(self._records[i], CheckpointRecord):
-                return self._records[i].lsn
+        """LSN of the most recent (durable) sharp checkpoint record, or 0."""
+        checkpoint = self.last_complete_checkpoint()
+        if isinstance(checkpoint, CheckpointRecord):
+            return checkpoint.lsn
         return 0
+
+    def last_complete_checkpoint(self) -> LogRecord | None:
+        """The newest durable complete checkpoint record, if any.
+
+        Returns either a sharp :class:`CheckpointRecord` or a fuzzy
+        :class:`EndCheckpointRecord` — whichever is latest in the durable
+        prefix.  A ``BeginCheckpointRecord`` without a durable End (a
+        checkpoint in progress at the crash) is naturally skipped.
+        """
+        for i in range(self.flushed_lsn - self._base_lsn - 1, -1, -1):
+            rec = self._records[i]
+            if isinstance(rec, (CheckpointRecord, EndCheckpointRecord)):
+                return rec
+        return None
+
+    # -- truncation ------------------------------------------------------------
+
+    def truncate(self, up_to_lsn: int, archive=None) -> int:
+        """Archive and drop every record with LSN <= ``up_to_lsn``.
+
+        Only the durable prefix may be truncated (the volatile tail is
+        not yet on the log disk, let alone the archive).  ``archive``,
+        when given, receives the list of dropped records before they
+        leave the live log — the engine points it at a disk blob.
+        Returns how many records were truncated.
+
+        The *caller* is responsible for the safety rule: ``up_to_lsn``
+        must lie below every dirty page's recLSN and below every active
+        transaction's first LSN.  Reads below the new boundary raise
+        :class:`~repro.errors.LogTruncatedError`.
+        """
+        if up_to_lsn > self.flushed_lsn:
+            raise ValueError(
+                f"cannot truncate to {up_to_lsn}: only {self.flushed_lsn} "
+                f"is durable")
+        count = up_to_lsn - self._base_lsn
+        if count <= 0:
+            return 0
+        dropped = self._records[:count]
+        if archive is not None:
+            archive(dropped)
+        for rec in dropped:
+            if rec.txn_id > self.truncated_max_txn_id:
+                self.truncated_max_txn_id = rec.txn_id
+        del self._records[:count]
+        self._base_lsn = up_to_lsn
+        self.truncated_records += count
+        return count

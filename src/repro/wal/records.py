@@ -187,6 +187,43 @@ class CheckpointRecord(LogRecord):
 
 
 @dataclass
+class BeginCheckpointRecord(LogRecord):
+    """Fuzzy checkpoint opened: nothing is flushed, nothing blocks.
+
+    The matching :class:`EndCheckpointRecord` carries the tables; a
+    ``BeginCheckpointRecord`` with no durable End is an in-progress
+    checkpoint that crashed — recovery ignores it and falls back to the
+    previous complete checkpoint.
+    """
+
+    def payload_bytes(self) -> int:
+        return 16
+
+
+@dataclass
+class EndCheckpointRecord(LogRecord):
+    """Fuzzy checkpoint completed: the ARIES checkpoint tables.
+
+    ``begin_lsn`` names the matching Begin record.  ``dirty_pages`` maps
+    ``(file_id, page_no) -> recLSN`` (buffer-pool dirty-page table at End
+    time, *after* the background flush); ``active_txns`` maps
+    ``txn_id -> last_lsn`` and ``active_first_lsns`` maps
+    ``txn_id -> first_lsn`` so undo chains of transactions that straddle
+    the checkpoint stay reachable and log truncation can keep them.
+    """
+
+    begin_lsn: int = 0
+    dirty_pages: dict = field(default_factory=dict)
+    active_txns: dict = field(default_factory=dict)
+    active_first_lsns: dict = field(default_factory=dict)
+
+    def payload_bytes(self) -> int:
+        return (32 + 20 * len(self.dirty_pages)
+                + 12 * len(self.active_txns)
+                + 12 * len(self.active_first_lsns))
+
+
+@dataclass
 class CLRRecord(LogRecord):
     """Compensation record: redo-only description of one undone action.
 

@@ -22,6 +22,15 @@ heap change also applies the matching index updates (the logical
 equivalent of redoing/undoing index pages).  No wholesale post-recovery
 index rebuild is needed — restart cost scales with the log tail, not
 with total data volume.
+
+Two recovery paths coexist.  The legacy path (sharp checkpoint or no
+checkpoint, ``redo_workers == 0``) is byte-identical to the seed.  The
+fuzzy path engages when the last complete checkpoint is a Begin/End pair
+or ``CostModel.redo_workers >= 1``: analysis merges the checkpoint's
+dirty-page table with post-Begin page touches, redo starts at the
+minimum recLSN and skips records whose effects provably reached disk,
+and (with workers) apply time is charged as a per-file-partition
+makespan while records are still applied serially in LSN order.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.storage.heap import RowId
 from repro.wal.log import WriteAheadLog
 from repro.wal.records import (
     AbortRecord,
+    BeginCheckpointRecord,
     BeginRecord,
     CheckpointRecord,
     CLRRecord,
@@ -45,6 +55,7 @@ from repro.wal.records import (
     DropProcedureRecord,
     DropTableRecord,
     DropViewRecord,
+    EndCheckpointRecord,
     EndRecord,
     InsertRecord,
     LogRecord,
@@ -151,6 +162,34 @@ def _runtime_for(target, file_id: int):
     return table_for_file(file_id)
 
 
+def _partition_makespan(loads: dict[int, float], workers: int) -> float:
+    """Makespan of one redo round: greedily (LPT) assign each file
+    partition's apply seconds to ``workers`` simulated workers and return
+    the most-loaded worker's total.  Deterministic — partitions are
+    placed largest-first with file id breaking ties, onto the least
+    loaded (lowest-index) worker."""
+    if not loads:
+        return 0.0
+    if workers <= 1:
+        return sum(loads.values())
+    bins = [0.0] * workers
+    ordered = sorted(((load, file_id) for file_id, load in loads.items()),
+                     key=lambda pair: (-pair[0], pair[1]))
+    for load, _file_id in ordered:
+        bins[bins.index(min(bins))] += load
+    return max(bins)
+
+
+#: Non-data records redo treats as DDL (redone via the target's
+#: ``redo_*`` hooks).  Used by the fuzzy path to skip DDL already
+#: captured by the checkpoint's catalog snapshot.
+_DDL_RECORDS = (CreateTableRecord, DropTableRecord, CreateProcedureRecord,
+                DropProcedureRecord, CreateIndexRecord, DropIndexRecord,
+                CreateViewRecord, DropViewRecord)
+
+_DATA_RECORDS = (InsertRecord, DeleteRecord, UpdateRecord)
+
+
 @dataclass
 class RecoveryReport:
     """What restart recovery did (used by tests and the server log)."""
@@ -161,6 +200,16 @@ class RecoveryReport:
     redo_applied: int = 0
     redo_skipped: int = 0
     undo_applied: int = 0
+    #: True when the last complete checkpoint was a fuzzy Begin/End pair.
+    fuzzy: bool = False
+    #: Simulated redo workers used (0 = the seed's serial charging).
+    redo_workers: int = 0
+    #: First LSN the redo pass scanned (min dirty-page recLSN under a
+    #: fuzzy checkpoint; checkpoint+1 otherwise).
+    redo_start: int = 0
+    #: Virtual seconds of per-partition redo apply work, by file id
+    #: (parallel redo only; the charged makespan is <= the sum of these).
+    partition_seconds: dict = field(default_factory=dict)
 
 
 class RecoveryManager:
@@ -205,6 +254,11 @@ class RecoveryManager:
         return meter.obs.tracer
 
     def _recover(self, tracer) -> RecoveryReport:
+        checkpoint = self._log.last_complete_checkpoint()
+        meter = self._log.meter
+        workers = meter.costs.redo_workers if meter is not None else 0
+        if isinstance(checkpoint, EndCheckpointRecord) or workers >= 1:
+            return self._recover_fuzzy(tracer, checkpoint, workers)
         report = RecoveryReport()
         report.checkpoint_lsn = self._log.last_checkpoint_lsn()
         if tracer is not None:
@@ -234,6 +288,212 @@ class RecoveryManager:
             runtime.validate_unique_indexes()
         self._log.force()
         return report
+
+    # -- fuzzy checkpoints / parallel redo ----------------------------------
+
+    def _recover_fuzzy(self, tracer, checkpoint,
+                       workers: int) -> RecoveryReport:
+        """Recovery under a fuzzy checkpoint and/or simulated parallel
+        redo.  The legacy path above stays byte-identical for seed
+        configurations; this one differs in three ways:
+
+        * analysis starts from the checkpoint's *Begin* record and merges
+          its logged dirty-page table with pages touched after it;
+        * redo starts at the minimum recLSN of that table and skips
+          records whose page provably holds their effects on disk (plus
+          DDL below the Begin record — the catalog snapshot covers it);
+        * with ``redo_workers >= 1`` the apply work is charged as the
+          makespan of per-file partitions over N workers (records are
+          still applied serially in LSN order, so the worker count can
+          never change recovered contents).
+
+        Per-pass virtual times are recorded to the observability
+        recovery log (``sys_recovery_phases``) — gated to this path so
+        seed traces stay bit-identical.
+        """
+        import contextlib
+
+        if tracer is not None:
+            def span(name):
+                return tracer.span(name, layer="wal")
+        else:
+            def span(name):
+                return contextlib.nullcontext()
+
+        meter = self._log.meter
+        peek = meter.peek_now if meter is not None else (lambda: 0.0)
+        report = RecoveryReport(
+            fuzzy=isinstance(checkpoint, EndCheckpointRecord),
+            redo_workers=workers)
+        phase_seconds: dict[str, float] = {}
+        mark = peek()
+        with span("wal.analysis"):
+            last_lsn, committed, ended, dpt, begin_lsn = \
+                self._analysis_fuzzy(checkpoint, report)
+        phase_seconds["wal_analysis"] = peek() - mark
+        report.winners = set(committed)
+        report.losers = set(last_lsn) - committed - ended
+        if report.fuzzy:
+            report.redo_start = max(
+                1, min(dpt.values(), default=begin_lsn + 1))
+        else:
+            report.redo_start = begin_lsn + 1
+        mark = peek()
+        with span("wal.redo"):
+            if workers >= 1:
+                self._redo_parallel(report, dpt, begin_lsn, workers)
+            else:
+                self._redo_fuzzy_serial(report, dpt, begin_lsn)
+        phase_seconds["wal_redo"] = peek() - mark
+        mark = peek()
+        with span("wal.undo"):
+            self._undo(report, {t: last_lsn[t] for t in report.losers})
+        phase_seconds["wal_undo"] = peek() - mark
+        for runtime in self._touched_runtimes.values():
+            runtime.validate_unique_indexes()
+        self._log.force()
+        for file_id in sorted(report.partition_seconds):
+            phase_seconds[f"wal_redo_file_{file_id}"] = \
+                report.partition_seconds[file_id]
+        if meter is not None:
+            meter.obs.record_recovery(phase_seconds, finished_at=peek())
+        return report
+
+    def _analysis_fuzzy(self, checkpoint, report: RecoveryReport):
+        """Analysis seeded from a Begin/End pair (or a sharp checkpoint
+        when only ``redo_workers`` is on).
+
+        Returns ``(txn -> last lsn, committed, ended, dirty-page table,
+        begin_lsn)``.  The DPT starts from the one the End record logged
+        and grows by first-touch recLSN for every page dirtied after the
+        Begin record — exactly the set redo must consider.
+        """
+        last_lsn: dict[int, int] = {}
+        committed: set[int] = set()
+        ended: set[int] = set()
+        dpt: dict[tuple[int, int], int] = {}
+        begin_lsn = 0
+        if isinstance(checkpoint, EndCheckpointRecord):
+            begin_lsn = checkpoint.begin_lsn
+            last_lsn.update(checkpoint.active_txns)
+            dpt.update(checkpoint.dirty_pages)
+        elif isinstance(checkpoint, CheckpointRecord):
+            begin_lsn = checkpoint.lsn
+            last_lsn.update(checkpoint.active_txns)
+        report.checkpoint_lsn = begin_lsn
+        for rec in self._log.records_from(begin_lsn + 1):
+            if isinstance(rec, (CheckpointRecord, BeginCheckpointRecord,
+                                EndCheckpointRecord)):
+                continue
+            if isinstance(rec, EndRecord):
+                ended.add(rec.txn_id)
+                continue
+            if isinstance(rec, CommitRecord):
+                committed.add(rec.txn_id)
+                continue
+            if rec.txn_id:
+                last_lsn[rec.txn_id] = rec.lsn
+            target = rec.action if isinstance(rec, CLRRecord) else rec
+            if isinstance(target, _DATA_RECORDS):
+                dpt.setdefault((target.file_id, target.page_no), rec.lsn)
+        return last_lsn, committed, ended, dpt, begin_lsn
+
+    def _skip_fuzzy(self, rec: LogRecord, dpt: dict, begin_lsn: int,
+                    report: RecoveryReport) -> bool:
+        """DPT / catalog-snapshot redo filter (fuzzy checkpoints only).
+
+        True when ``rec`` provably needs no redo: a data change to a page
+        outside the dirty-page table (its image reached disk before the
+        checkpoint) or below the page's recLSN, or DDL at/below the Begin
+        record (the catalog snapshot written with it already carries the
+        change).  This is what bounds redone records by dirty pages
+        instead of log length.
+        """
+        target = rec.action if isinstance(rec, CLRRecord) else rec
+        if isinstance(target, _DATA_RECORDS):
+            rec_lsn = dpt.get((target.file_id, target.page_no))
+            if rec_lsn is None or rec.lsn < rec_lsn:
+                report.redo_skipped += 1
+                return True
+            return False
+        if isinstance(target, _DDL_RECORDS) and rec.lsn <= begin_lsn:
+            report.redo_skipped += 1
+            return True
+        return False
+
+    def _redo_fuzzy_serial(self, report: RecoveryReport, dpt: dict,
+                           begin_lsn: int) -> None:
+        for rec in self._log.records_from(report.redo_start):
+            if report.fuzzy and self._skip_fuzzy(rec, dpt, begin_lsn,
+                                                 report):
+                self._charge_record(rec, applied=False)
+                continue
+            before = report.redo_applied
+            self._redo_one(rec, report)
+            self._charge_record(rec, applied=report.redo_applied > before)
+
+    def _redo_parallel(self, report: RecoveryReport, dpt: dict,
+                       begin_lsn: int, workers: int) -> None:
+        """Redo with the apply work charged as an N-worker makespan.
+
+        Records are applied serially in LSN order — parallelism is purely
+        a *timing* model, so 1-worker and 4-worker recovery produce
+        identical contents.  The charge decomposes into:
+
+        * the sequential log read (every scanned record, skipped or not);
+        * DDL apply time, serial — a catalog change is a barrier that
+          drains the in-flight round before running alone;
+        * per round between barriers, the LPT makespan of per-file
+          partition loads over ``workers`` workers (WAL partitions redo
+          by file id: two changes to one file never race).
+
+        Each record's apply cost is captured via the meter's overlap
+        window + per-record recorder (page faults included), then charged
+        once at the end as a single restart-recovery disk segment.
+        """
+        meter = self._log.meter
+        from repro.sim.costs import SERVER_DISK
+
+        read_seconds = 0.0
+        serial_seconds = 0.0
+        makespan = 0.0
+        round_loads: dict[int, float] = {}
+        sink = meter.begin_overlap()
+        try:
+            for rec in self._log.records_from(report.redo_start):
+                read_seconds += meter.costs.log_write_seconds(
+                    rec.payload_bytes())
+                if report.fuzzy and self._skip_fuzzy(rec, dpt, begin_lsn,
+                                                     report):
+                    continue
+                target = (rec.action if isinstance(rec, CLRRecord)
+                          else rec)
+                rec_sink = meter.push_recorder()
+                before = report.redo_applied
+                try:
+                    self._redo_one(rec, report)
+                finally:
+                    meter.pop_recorder(rec_sink)
+                seconds = sum(seg.seconds for seg in rec_sink)
+                if report.redo_applied > before:
+                    seconds += meter.costs.cpu_per_tuple_insert
+                if isinstance(target, _DATA_RECORDS):
+                    file_id = target.file_id
+                    round_loads[file_id] = \
+                        round_loads.get(file_id, 0.0) + seconds
+                    report.partition_seconds[file_id] = \
+                        report.partition_seconds.get(file_id, 0.0) \
+                        + seconds
+                elif seconds > 0.0:
+                    makespan += _partition_makespan(round_loads, workers)
+                    round_loads.clear()
+                    serial_seconds += seconds
+            makespan += _partition_makespan(round_loads, workers)
+        finally:
+            meter.end_overlap(sink)
+        meter.charge(SERVER_DISK,
+                     read_seconds + serial_seconds + makespan,
+                     "parallel redo")
 
     # -- analysis ----------------------------------------------------------
 

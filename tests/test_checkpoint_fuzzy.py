@@ -1,0 +1,314 @@
+"""Fuzzy checkpoints: dirty-page table, cadence, recovery, observability.
+
+The tentpole contract: a fuzzy checkpoint is a Begin/End record pair
+carrying the dirty-page table (page -> recLSN) and active-transaction
+table, taken without flushing the pool or blocking anything; recovery
+seeded from it starts redo at the minimum recLSN and skips records whose
+effects provably reached disk.  All knobs default off, in which case
+nothing here may perturb seed behaviour.
+"""
+
+import copy
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.server.server import DatabaseServer
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.wal.records import BeginCheckpointRecord, EndCheckpointRecord
+from repro.workloads.app import BenchmarkApp
+
+
+def make_engine(costs: CostModel | None = None):
+    engine = DatabaseEngine(meter=Meter(costs or CostModel()))
+    session = EngineSession(session_id=1)
+
+    def run(sql):
+        result = engine.execute(sql, session)
+        if result.kind == "rows":
+            return result.fetch_all()
+        if result.kind == "rowcount":
+            return result.rowcount
+        return None
+
+    return engine, run
+
+
+# -- dirty-page table ---------------------------------------------------------
+
+def test_dirty_page_table_tracks_rec_lsns():
+    engine, run = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    pool = engine.buffer_pool
+    dpt = pool.dirty_page_table()
+    assert dpt, "insert left no dirty page"
+    # recLSN is the FIRST lsn that dirtied the page: later updates to the
+    # same page must not advance it.
+    before = dict(dpt)
+    run("UPDATE t SET v = 1 WHERE k = 1")
+    after = pool.dirty_page_table()
+    for key, rec_lsn in before.items():
+        assert after[key] == rec_lsn
+    # Flushing clears the entry; the next change re-registers the page
+    # with a fresh (higher) recLSN.
+    key = next(iter(before))
+    pool.flush_page(*key)
+    assert key not in pool.dirty_page_table()
+    run("UPDATE t SET v = 2 WHERE k = 1")
+    redirtied = pool.dirty_page_table()
+    if key in redirtied:  # same page touched again
+        assert redirtied[key] > before[key]
+
+
+def test_flush_dirtied_before_is_selective():
+    engine, run = make_engine()
+    run("CREATE TABLE a (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("CREATE TABLE b (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO a VALUES (1, 0)")
+    run("INSERT INTO b VALUES (1, 0)")
+    pool = engine.buffer_pool
+    # Freshly created pages carry the conservative recLSN 0; flush so the
+    # next change registers each page with its true first-dirty LSN.
+    pool.flush_all()
+    run("UPDATE a SET v = 1 WHERE k = 1")
+    cut = engine.wal.last_lsn
+    run("UPDATE b SET v = 1 WHERE k = 1")
+    dirty_before = {k for k, rec in pool.dirty_page_table().items()
+                    if 0 < rec < cut}
+    assert dirty_before
+    flushed = pool.flush_dirtied_before(cut)
+    assert flushed == len(dirty_before)
+    # Only pages dirtied strictly before the cut were written out.
+    remaining = pool.dirty_page_table()
+    assert remaining
+    assert all(rec >= cut for rec in remaining.values())
+
+
+# -- taking fuzzy checkpoints -------------------------------------------------
+
+def test_fuzzy_checkpoint_does_not_flush_hot_pages():
+    engine, run = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    pool = engine.buffer_pool
+    dirty = set(pool.dirty_page_table())
+    begin_lsn = engine.fuzzy_checkpoint(truncate=False)
+    # Non-blocking: the first fuzzy checkpoint flushes nothing (the
+    # background flusher only writes pages dirty since the *previous*
+    # Begin record) and every hot page stays dirty.
+    assert set(pool.dirty_page_table()) == dirty
+    end = engine.wal.last_complete_checkpoint()
+    assert isinstance(end, EndCheckpointRecord)
+    assert end.begin_lsn == begin_lsn
+    assert set(end.dirty_pages) == dirty
+    # The Begin record really is in the log below the End record.
+    assert isinstance(engine.wal.record(begin_lsn), BeginCheckpointRecord)
+
+
+def test_background_flusher_advances_min_reclsn():
+    engine, run = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    engine.fuzzy_checkpoint(truncate=False)
+    first_min = engine.buffer_pool.min_rec_lsn()
+    # No new dirtying between checkpoints: the second checkpoint's
+    # flusher writes out everything dirtied before the first Begin.
+    engine.fuzzy_checkpoint(truncate=False)
+    engine.fuzzy_checkpoint(truncate=False)
+    remaining = engine.buffer_pool.min_rec_lsn()
+    assert remaining is None or remaining > first_min
+    assert engine.meter.counters.get("pages_flushed_background", 0) > 0
+
+
+def test_cadence_knob_triggers_checkpoints():
+    costs = CostModel(checkpoint_interval_seconds=0.05)
+    server = DatabaseServer(meter=Meter(costs))
+    app = BenchmarkApp(server)
+    app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                      "PRIMARY KEY (k))")
+    app.run_statement("INSERT INTO t VALUES (1, 0)")
+    for _ in range(40):
+        app.run_statement("UPDATE t SET v = v + 1 WHERE k = 1")
+    taken = server.meter.counters.get("checkpoints_taken", 0)
+    assert taken >= 2, f"cadence produced only {taken} checkpoints"
+    assert isinstance(server.wal.last_complete_checkpoint(),
+                      EndCheckpointRecord)
+
+
+def test_defaults_leave_log_untouched():
+    """All knobs at their defaults: no checkpoint records, no
+    truncation, no counters — the seed path."""
+    server = DatabaseServer(meter=Meter(CostModel()))
+    app = BenchmarkApp(server)
+    app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                      "PRIMARY KEY (k))")
+    for _ in range(20):
+        app.run_statement("UPDATE t SET v = 1 WHERE k = 0")
+    assert server.wal.truncated_lsn == 0
+    assert server.wal.last_complete_checkpoint() is None
+    counters = server.meter.counters
+    assert "checkpoints_taken" not in counters
+    assert "log_records_truncated" not in counters
+    report = server.engine.last_recovery
+    assert report is None or not report.fuzzy
+
+
+# -- recovery from a fuzzy checkpoint -----------------------------------------
+
+def _workload(run):
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    for i in range(8):
+        run(f"INSERT INTO t VALUES ({i}, 0)")
+    for rnd in range(6):
+        run(f"UPDATE t SET v = v + {rnd + 1} WHERE k < 4")
+
+
+def test_fuzzy_recovery_equals_no_crash_state():
+    engine, run = make_engine()
+    _workload(run)
+    expected = sorted(run("SELECT k, v FROM t"))
+
+    engine2, run2 = make_engine()
+    run2("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    for i in range(8):
+        run2(f"INSERT INTO t VALUES ({i}, 0)")
+    for rnd in range(6):
+        run2(f"UPDATE t SET v = v + {rnd + 1} WHERE k < 4")
+        if rnd % 2 == 0:
+            engine2.fuzzy_checkpoint(truncate=True)
+    disk, wal, meter = engine2.disk, engine2.wal, engine2.meter
+    wal.crash()
+    engine2.buffer_pool.crash()
+    restarted = DatabaseEngine.restart(disk, wal, meter=meter)
+    report = restarted.last_recovery
+    assert report.fuzzy
+    assert report.redo_start >= 1
+    session = EngineSession(session_id=9)
+    rows = restarted.execute("SELECT k, v FROM t", session).fetch_all()
+    assert sorted(rows) == expected
+
+
+def test_worker_count_never_changes_recovered_contents():
+    """1-worker and 4-worker redo recover bit-identical state (records
+    are applied serially in LSN order either way)."""
+    engine, run = make_engine(CostModel(checkpoint_interval_seconds=0.02,
+                                        checkpoint_truncate_log=True))
+    _workload(run)
+    engine.fuzzy_checkpoint()
+    run("UPDATE t SET v = v + 100 WHERE k >= 4")
+    engine.wal.force()
+    engine.wal.crash()
+    engine.buffer_pool.crash()
+
+    recovered = {}
+    for workers in (1, 4):
+        disk = copy.deepcopy(engine.disk)
+        wal = copy.deepcopy(engine.wal)
+        meter = Meter(CostModel(redo_workers=workers))
+        wal.attach_meter(meter)
+        restarted = DatabaseEngine.restart(disk, wal, meter=meter)
+        assert restarted.last_recovery.redo_workers == workers
+        session = EngineSession(session_id=5)
+        recovered[workers] = sorted(
+            restarted.execute("SELECT k, v FROM t", session).fetch_all())
+    assert recovered[1] == recovered[4]
+
+
+def test_parallel_redo_charges_at_most_serial_time():
+    """More workers can only shrink the charged redo makespan."""
+    engine, run = make_engine()
+    # All DDL first: a CREATE in the redo stream is a serial barrier, so
+    # interleaving it with the DML would leave each round one partition.
+    for t in range(3):
+        run(f"CREATE TABLE m{t} (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    for t in range(3):
+        for i in range(6):
+            run(f"INSERT INTO m{t} VALUES ({i}, 0)")
+        run(f"UPDATE m{t} SET v = 1 WHERE k < 6")
+    engine.wal.force()
+    engine.wal.crash()
+    engine.buffer_pool.crash()
+
+    elapsed = {}
+    for workers in (1, 4):
+        disk = copy.deepcopy(engine.disk)
+        wal = copy.deepcopy(engine.wal)
+        meter = Meter(CostModel(redo_workers=workers))
+        wal.attach_meter(meter)
+        start = meter.now
+        restarted = DatabaseEngine.restart(disk, wal, meter=meter)
+        elapsed[workers] = meter.now - start
+        report = restarted.last_recovery
+        assert len(report.partition_seconds) == 3
+    assert elapsed[4] < elapsed[1]
+
+
+# -- observability ------------------------------------------------------------
+
+def test_sys_checkpoint_view_is_queryable():
+    costs = CostModel(checkpoint_interval_seconds=0.05,
+                      checkpoint_truncate_log=True)
+    server = DatabaseServer(meter=Meter(costs))
+    app = BenchmarkApp(server)
+    app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                      "PRIMARY KEY (k))")
+    app.run_statement("INSERT INTO t VALUES (1, 0)")
+    for _ in range(40):
+        app.run_statement("UPDATE t SET v = v + 1 WHERE k = 1")
+    rows = dict(app.query_rows("SELECT metric, value FROM sys_checkpoint"))
+    assert rows["checkpoints_taken"] >= 2
+    assert rows["last_checkpoint_lsn"] > 0
+    assert rows["flushed_lsn"] >= rows["truncated_lsn"]
+    assert rows["dirty_pages"] >= 0
+
+
+def test_recovery_phases_recorded_for_fuzzy_restarts():
+    costs = CostModel(checkpoint_interval_seconds=0.05, redo_workers=2)
+    server = DatabaseServer(meter=Meter(costs))
+    app = BenchmarkApp(server)
+    app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                      "PRIMARY KEY (k))")
+    for _ in range(30):
+        app.run_statement("UPDATE t SET v = 1 WHERE k = 0")
+    server.crash()
+    server.restart()
+    survivor = BenchmarkApp(server)
+    phases = dict(
+        (phase, seconds) for _rid, phase, seconds, _at in
+        [row for row in survivor.query_rows(
+            "SELECT recovery_id, phase, seconds, finished_at "
+            "FROM sys_recovery_phases")])
+    assert "wal_analysis" in phases
+    assert "wal_redo" in phases
+    assert "wal_undo" in phases
+
+
+def test_sys_checkpoint_traced_vs_untraced_bit_identical(monkeypatch):
+    """Observation is free: the fuzzy-checkpoint path runs bit-identically
+    with tracing on and off (sys_checkpoint reads, no charges)."""
+    from repro.obs import trace_enabled_from_env
+
+    def run_world():
+        costs = CostModel(checkpoint_interval_seconds=0.05,
+                          checkpoint_truncate_log=True, redo_workers=4)
+        server = DatabaseServer(meter=Meter(costs))
+        app = BenchmarkApp(server)
+        app.run_statement("CREATE TABLE t (k INT NOT NULL, v INT, "
+                          "PRIMARY KEY (k))")
+        app.run_statement("INSERT INTO t VALUES (1, 0)")
+        for _ in range(40):
+            app.run_statement("UPDATE t SET v = v + 1 WHERE k = 1")
+        server.crash()
+        server.restart()
+        survivor = BenchmarkApp(server)
+        rows = survivor.query_rows(
+            "SELECT metric, value FROM sys_checkpoint")
+        return server.meter.now, sorted(rows), dict(server.meter.counters)
+
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert not trace_enabled_from_env()
+    untraced = run_world()
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    traced = run_world()
+    assert untraced == traced

@@ -1,0 +1,173 @@
+"""Directed log-truncation safety regressions.
+
+Truncation may only drop a prefix no future recovery can need:
+
+* nothing at or above any active transaction's first LSN (undo walks
+  that far back);
+* nothing at or above any dirty page's recLSN (redo starts there);
+* and if those invariants are violated by hand, recovery must fail
+  *loudly* with ``LogTruncatedError`` — never silently recover wrong
+  state from a hole in the log.
+"""
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.errors import LogTruncatedError
+from repro.sim.costs import CostModel
+from repro.sim.meter import Meter
+from repro.wal.records import EndCheckpointRecord
+
+
+def make_engine(costs: CostModel | None = None):
+    engine = DatabaseEngine(meter=Meter(costs or CostModel()))
+    session = EngineSession(session_id=1)
+
+    def run(sql):
+        result = engine.execute(sql, session)
+        if result.kind == "rows":
+            return result.fetch_all()
+        if result.kind == "rowcount":
+            return result.rowcount
+        return None
+
+    return engine, run, session
+
+
+def crash(engine):
+    engine.wal.crash()
+    engine.buffer_pool.crash()
+
+
+def test_truncation_preserves_loser_begun_before_checkpoint():
+    """A transaction that began before the checkpoint pins the log: its
+    whole undo chain must survive truncation, and after a crash the
+    loser rolls back cleanly."""
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    committed = sorted(run("SELECT k, v FROM t"))
+
+    run("BEGIN TRANSACTION")
+    run("UPDATE t SET v = 99 WHERE k = 1")
+    loser = next(iter(engine.txns.active_transactions.values()))
+    for _ in range(5):
+        engine.fuzzy_checkpoint(truncate=True)
+    # The checkpoint chain kept the loser's first LSN reachable.
+    assert engine.wal.truncated_lsn < loser.first_lsn
+    end = engine.wal.last_complete_checkpoint()
+    assert isinstance(end, EndCheckpointRecord)
+    assert loser.txn_id in end.active_first_lsns
+
+    engine.wal.force()
+    crash(engine)
+    restarted = DatabaseEngine.restart(engine.disk, engine.wal,
+                                       meter=engine.meter)
+    report = restarted.last_recovery
+    assert loser.txn_id in report.losers
+    session = EngineSession(session_id=2)
+    rows = restarted.execute("SELECT k, v FROM t", session).fetch_all()
+    assert sorted(rows) == committed
+
+
+def test_truncation_preserves_dirty_page_reclsn():
+    """An unflushed page's recLSN caps the truncation point — redo must
+    still find the records that rebuild the page."""
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    engine.buffer_pool.flush_all()
+    run("UPDATE t SET v = 7 WHERE k = 1")
+    rec_lsn = min(engine.buffer_pool.dirty_page_table().values())
+    assert rec_lsn > 0
+    engine.fuzzy_checkpoint(truncate=True)
+    assert engine.wal.truncated_lsn < rec_lsn
+    # The page stayed dirty (hot), so recovery redoes from its recLSN.
+    crash(engine)
+    restarted = DatabaseEngine.restart(engine.disk, engine.wal,
+                                       meter=engine.meter)
+    assert restarted.last_recovery.redo_start <= rec_lsn
+    session = EngineSession(session_id=2)
+    rows = restarted.execute("SELECT k, v FROM t", session).fetch_all()
+    assert rows == [(1, 7)]
+
+
+def test_unsafe_truncation_fails_loudly_not_silently():
+    """Drop records a dirty page still needs: recovery must raise
+    ``LogTruncatedError`` instead of recovering wrong contents."""
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1, 0)")
+    run("UPDATE t SET v = 5 WHERE k = 1")
+    engine.wal.force()
+    # Bypass the safety rule: throw away the whole flushed prefix even
+    # though the table's pages were never written to disk.
+    engine.wal.truncate(engine.wal.flushed_lsn)
+    crash(engine)
+    with pytest.raises(LogTruncatedError):
+        DatabaseEngine.restart(engine.disk, engine.wal,
+                               meter=engine.meter)
+
+
+def test_truncate_beyond_flushed_tail_rejected():
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, PRIMARY KEY (k))")
+    wal = engine.wal
+    with pytest.raises(ValueError):
+        wal.truncate(wal.last_lsn + 10)
+
+
+def test_reads_below_truncation_point_raise():
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1)")
+    engine.buffer_pool.flush_all()
+    engine.fuzzy_checkpoint(truncate=True)
+    wal = engine.wal
+    assert wal.truncated_lsn > 0
+    with pytest.raises(LogTruncatedError):
+        wal.record(1)
+    with pytest.raises(LogTruncatedError):
+        list(wal.records_from(1))
+    # Reads above the boundary still work.
+    assert wal.record(wal.truncated_lsn + 1) is not None
+
+
+def test_txn_ids_never_reused_after_truncation():
+    """Analysis would corrupt if an archived transaction id came back."""
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1)")
+    engine.buffer_pool.flush_all()
+    engine.fuzzy_checkpoint(truncate=True)
+    assert engine.wal.truncated_max_txn_id > 0
+    crash(engine)
+    restarted = DatabaseEngine.restart(engine.disk, engine.wal,
+                                       meter=engine.meter)
+    txn = restarted.txns.begin()
+    assert txn.txn_id > engine.wal.truncated_max_txn_id
+    restarted.txns.commit(txn)
+
+
+def test_truncated_prefix_is_archived_in_order():
+    engine, run, _session = make_engine()
+    run("CREATE TABLE t (k INT NOT NULL, PRIMARY KEY (k))")
+    run("INSERT INTO t VALUES (1)")
+    before = list(engine.wal.all_records())
+    engine.buffer_pool.flush_all()
+    engine.fuzzy_checkpoint(truncate=True)
+    dropped = engine.wal.truncated_lsn
+    assert dropped > 0
+    archive = engine.disk.read_blob("wal_archive")
+    assert [rec.lsn for rec in archive] == list(range(1, dropped + 1))
+    assert [type(rec) for rec in archive] == \
+        [type(rec) for rec in before[:dropped]]
+    # A second truncating checkpoint appends to the same archive.
+    run("INSERT INTO t VALUES (2)")
+    engine.buffer_pool.flush_all()
+    engine.fuzzy_checkpoint(truncate=True)
+    if engine.wal.truncated_lsn > dropped:
+        archive = engine.disk.read_blob("wal_archive")
+        assert [rec.lsn for rec in archive] == \
+            list(range(1, engine.wal.truncated_lsn + 1))
