@@ -146,6 +146,8 @@ def _run_wallclock(args) -> int:
             (out_dir / "wallclock.txt").write_text(text + "\n")
 
         log_forces = int(result.counters.get("log_forces", 0))
+        _p50, p95_execute, _p99 = \
+            result.latency.kind_percentiles("ExecuteRequest")
         entry = {"date": datetime.date.today().isoformat(),
                  "commit": commit, "leg": leg,
                  "host_seconds": round(result.cached_host_seconds, 3),
@@ -154,7 +156,11 @@ def _run_wallclock(args) -> int:
                      int(result.counters.get("net.requests_sent", 0)),
                  "fetch_requests":
                      int(result.counters.get("net.requests.FetchRequest",
-                                             0))}
+                                             0)),
+                 # Deterministic virtual metrics: the sentinel flags any
+                 # drift of these against the trailing window.
+                 "virtual_seconds": result.cached_virtual_seconds,
+                 "p95_execute_seconds": p95_execute}
         with history.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
         print(f"[wallclock history: {entry}]")
@@ -218,6 +224,51 @@ def _run_wallclock(args) -> int:
                   f" — more than 30% slower than the last recorded"
                   f" {last:.3f}s ({previous.get('commit', '?')})")
     return 1 if failed else 0
+
+
+def _run_latency_report(args) -> int:
+    """Run the tracked wall-clock mix with the latency ledger on and
+    render the per-request-kind SLO table plus the per-component
+    attribution table.
+
+    Writes ``latency_report.txt``.  Fails (exit 1) if the ledger saw no
+    requests or if any request's component attribution did not sum
+    bit-exactly to its measured latency (the accounting identity).
+    """
+    from repro.obs.latency import format_latency_report
+
+    result = experiments.run_wallclock(
+        point_reads=2000,
+        async_commit_window=experiments.WALLCLOCK_ASYNC_COMMIT_WINDOW)
+    ledger = result.latency
+    text = format_latency_report(
+        ledger, source="wallclock mix (caches on, point_reads=2000)")
+    print(text)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "latency_report.txt").write_text(text + "\n")
+
+    failed = False
+    if ledger is None or ledger.closed == 0:
+        print("FAIL: latency ledger recorded no requests")
+        failed = True
+    elif ledger.identity_violations:
+        for violation in ledger.identity_violations[:10]:
+            print(f"FAIL: accounting identity broken: {violation}")
+        failed = True
+    return 1 if failed else 0
+
+
+def _run_sentinel(args) -> int:
+    """Compare the latest entry of every ``*_history.jsonl`` group
+    against its trailing-window median; exit 1 on any regression beyond
+    the per-metric tolerance (see :mod:`repro.obs.sentinel`).
+    """
+    from repro.obs.sentinel import run_sentinel
+
+    report = run_sentinel(args.out)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _run_recovery_scaling(args) -> int:
@@ -303,7 +354,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "trace-report",
                                                        "wallclock",
-                                                       "recoveryscaling"],
+                                                       "recoveryscaling",
+                                                       "latency-report",
+                                                       "sentinel"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
                         help="TPC-H scale factor override")
@@ -322,6 +375,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_wallclock(args)
     if args.experiment == "recoveryscaling":
         return _run_recovery_scaling(args)
+    if args.experiment == "latency-report":
+        return _run_latency_report(args)
+    if args.experiment == "sentinel":
+        return _run_sentinel(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     out_dir = pathlib.Path(args.out)

@@ -627,6 +627,9 @@ class WallclockResult:
     counters: dict = field(default_factory=dict)
     cache_stats: dict = field(default_factory=dict)
     executor_stats: dict = field(default_factory=dict)
+    #: Request latency ledger of the caches-on leg (per-kind SLOs and
+    #: component attribution for ``latency-report``/``sys_latency``).
+    latency: object = None
 
     @property
     def speedup_percent(self) -> float:
@@ -661,8 +664,15 @@ def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
     if prefetch:
         for knob, value in PREFETCH_COST_OVERRIDES.items():
             setattr(costs, knob, value)
+    meter = Meter(costs)
+    # The tracked mix runs with the request latency ledger on: the
+    # ledger never charges, so the virtual clock is unaffected
+    # (tests/test_obs_equivalence.py holds this to the bit), and every
+    # wallclock run doubles as an accounting-identity check + the p95
+    # source for the history line the sentinel watches.
+    meter.enable_latency_ledger()
     server = DatabaseServer(
-        meter=Meter(costs),
+        meter=meter,
         plan_cache_capacity=128 if enable_caches else 0)
     server.engine.buffer_pool.capacity_pages = 48
     data = generate_tpcc(scale, seed=seed)
@@ -715,7 +725,7 @@ def _wallclock_leg(enable_caches: bool, scale: TpccScale, txns: int,
 
     return (sum(segments.values()), app.meter.now, segments,
             dict(app.meter.counters), dict(server.engine.cache_stats),
-            dict(app.meter.executor_stats))
+            dict(app.meter.executor_stats), app.meter.obs.latency)
 
 
 def run_wallclock(scale: TpccScale = DEFAULT_TPCC_SCALE, txns: int = 120,
@@ -737,7 +747,8 @@ def run_wallclock(scale: TpccScale = DEFAULT_TPCC_SCALE, txns: int = 120,
         baseline_host_seconds=base[0], cached_host_seconds=hot[0],
         baseline_virtual_seconds=base[1], cached_virtual_seconds=hot[1],
         baseline_segments=base[2], cached_segments=hot[2],
-        counters=hot[3], cache_stats=hot[4], executor_stats=hot[5])
+        counters=hot[3], cache_stats=hot[4], executor_stats=hot[5],
+        latency=hot[6])
 
 
 # ---------------------------------------------------------------------------

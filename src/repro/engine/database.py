@@ -413,12 +413,17 @@ class DatabaseEngine:
     def checkpoint(self) -> int:
         """Sharp checkpoint: flush everything, snapshot the catalog,
         log a checkpoint record.  Returns its LSN."""
-        self.buffer_pool.flush_all()
-        self.disk.write_blob("catalog_snapshot", self.catalog.snapshot())
-        record = CheckpointRecord(txn_id=0,
-                                  active_txns=self.txns.active_txn_lsns())
-        lsn = self.wal.append(record)
-        self.wal.force()
+        # Checkpoint work reuses ordinary execution's charge notes
+        # ("page io", "log force"); the attribution hint is what lets a
+        # request's latency ledger bill it as checkpoint overhead.
+        with self.meter.attribute_to("checkpoint"):
+            self.buffer_pool.flush_all()
+            self.disk.write_blob("catalog_snapshot",
+                                 self.catalog.snapshot())
+            record = CheckpointRecord(
+                txn_id=0, active_txns=self.txns.active_txn_lsns())
+            lsn = self.wal.append(record)
+            self.wal.force()
         return lsn
 
     def maybe_fuzzy_checkpoint(self) -> None:
@@ -448,6 +453,10 @@ class DatabaseEngine:
         """
         if truncate is None:
             truncate = self.meter.costs.checkpoint_truncate_log
+        with self.meter.attribute_to("checkpoint"):
+            return self._fuzzy_checkpoint_inner(truncate)
+
+    def _fuzzy_checkpoint_inner(self, truncate: bool) -> int:
         begin_lsn = self.wal.append(BeginCheckpointRecord(txn_id=0))
         # The catalog snapshot reflects every DDL record below begin_lsn
         # (appends are single-threaded), so redo skips pre-Begin DDL.

@@ -7,20 +7,32 @@ One record per line:
   parent-must-exist check when spans were dropped);
 * one ``span`` record per finished span (schema in
   :mod:`repro.obs.validate`);
-* one ``metric`` record per counter/gauge/histogram-bucket row.
+* one ``metric`` record per counter/gauge/histogram-bucket row;
+* one ``latency`` record per request kind the latency ledger saw
+  (schema version 2; absent when the ledger is disabled or idle).
 
 The file is the interchange format between a traced run and the offline
 tools: ``python -m repro.obs.validate trace.jsonl`` checks it, and
 ``python -m repro.bench trace-report --input trace.jsonl`` renders the
 per-layer latency summary.
+
+The ``meta`` record carries ``schema_version`` (and the legacy
+``version`` alias) so record types can evolve safely: readers warn on
+versions they do not know instead of misparsing them silently.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 
-SCHEMA_VERSION = 1
+#: Bumped to 2 when ``latency`` records and ``schema_version`` stamping
+#: were added; version-1 files (no latency records) remain readable.
+SCHEMA_VERSION = 2
+
+#: Every version this reader/validator understands.
+KNOWN_SCHEMA_VERSIONS = (1, 2)
 
 
 def trace_records(obs) -> list[dict]:
@@ -28,6 +40,7 @@ def trace_records(obs) -> list[dict]:
     tracer = obs.tracer
     records: list[dict] = [{
         "type": "meta", "version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "spans": len(tracer.finished), "dropped": tracer.dropped,
         "open_spans": tracer.open_span_count,
     }]
@@ -35,6 +48,9 @@ def trace_records(obs) -> list[dict]:
     records.extend({"type": "metric", "kind": kind, "name": name,
                     "bucket": bucket, "value": value}
                    for kind, name, bucket, value in obs.metrics.rows())
+    latency = getattr(obs, "latency", None)
+    if latency is not None:
+        records.extend(latency.export_records())
     return records
 
 
@@ -46,8 +62,25 @@ def export_trace(obs, path) -> int:
     return len(records)
 
 
+def declared_schema_version(records: list[dict]):
+    """The meta record's schema version, or None when undeclared.
+
+    ``schema_version`` wins; version-1 files only carried ``version``.
+    """
+    meta = records[0] if records else None
+    if not isinstance(meta, dict) or meta.get("type") != "meta":
+        return None
+    declared = meta.get("schema_version", meta.get("version"))
+    return declared if isinstance(declared, int) else None
+
+
 def load_records(path) -> list[dict]:
-    """Parse a JSONL trace file back into record dicts."""
+    """Parse a JSONL trace file back into record dicts.
+
+    Emits a :class:`UserWarning` when the file declares a schema version
+    this reader does not know — the records still load, but unknown
+    record types or fields may be silently skipped downstream.
+    """
     records = []
     for line_no, line in enumerate(
             pathlib.Path(path).read_text().splitlines(), start=1):
@@ -59,4 +92,10 @@ def load_records(path) -> list[dict]:
         except json.JSONDecodeError as error:
             raise ValueError(
                 f"{path}:{line_no}: not valid JSON: {error}") from error
+    declared = declared_schema_version(records)
+    if declared is not None and declared not in KNOWN_SCHEMA_VERSIONS:
+        warnings.warn(
+            f"{path}: declares schema version {declared}, but this "
+            f"reader knows {KNOWN_SCHEMA_VERSIONS} — records may be "
+            f"skipped or misread", UserWarning, stacklevel=2)
     return records

@@ -20,6 +20,31 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     30.0)
 
 
+def percentile(sorted_values, q: float) -> float:
+    """Deterministic linear-interpolation percentile (inclusive method).
+
+    ``sorted_values`` must be sorted ascending.  This is numpy's default
+    ``linear`` method: rank ``q * (n - 1)`` with interpolation between
+    the straddling samples — unlike nearest-rank-by-``round()``, p95 of
+    a small sample no longer collapses to the max.  Shared by the trace
+    report and the request latency ledger so both quote the same
+    definition.
+    """
+    if not sorted_values:
+        return 0.0
+    if q <= 0.0:
+        return float(sorted_values[0])
+    if q >= 1.0:
+        return float(sorted_values[-1])
+    position = q * (len(sorted_values) - 1)
+    lower_index = int(position)
+    fraction = position - lower_index
+    lower = float(sorted_values[lower_index])
+    if fraction == 0.0:
+        return lower
+    return lower + (float(sorted_values[lower_index + 1]) - lower) * fraction
+
+
 class Histogram:
     """Fixed-bucket histogram of observed values."""
 

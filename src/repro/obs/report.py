@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.reporting import format_table
-from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, percentile
 
 _BAR_WIDTH = 36
 
@@ -25,6 +25,7 @@ class LayerSummary:
     mean: float
     p50: float
     p95: float
+    p99: float
     max: float
     histogram: Histogram
 
@@ -36,6 +37,10 @@ class TraceReport:
     source: str
     span_count: int = 0
     dropped: int = 0
+    #: Spans whose timestamps were unusable (cut short, hand-edited);
+    #: excluded from the statistics instead of polluting the p50 as
+    #: zero-duration samples.
+    malformed_spans: int = 0
     layers: list[LayerSummary] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
 
@@ -43,13 +48,19 @@ class TraceReport:
         head = format_table(
             f"Trace report: {self.source} ({self.span_count} spans, "
             f"virtual seconds)",
-            ["Layer", "Spans", "Total", "Mean", "P50", "P95", "Max"],
-            [[s.layer, s.count, s.total, s.mean, s.p50, s.p95, s.max]
+            ["Layer", "Spans", "Total", "Mean", "P50", "P95", "P99",
+             "Max"],
+            [[s.layer, s.count, s.total, s.mean, s.p50, s.p95, s.p99,
+              s.max]
              for s in self.layers])
         blocks = [head]
         if self.dropped:
             blocks.append(f"(ring buffer dropped {self.dropped} older "
                           f"spans)")
+        if self.malformed_spans:
+            blocks.append(f"(skipped {self.malformed_spans} malformed "
+                          f"spans with unusable timestamps — excluded "
+                          f"from the statistics above)")
         for summary in self.layers:
             blocks.append(_format_histogram(summary))
         if self.counters:
@@ -58,14 +69,6 @@ class TraceReport:
                 "Counters", ["Name", "Value"],
                 [[name, self.counters[name]] for name in names]))
         return "\n\n".join(blocks)
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
 
 
 def _format_histogram(summary: LayerSummary) -> str:
@@ -82,18 +85,19 @@ def _format_histogram(summary: LayerSummary) -> str:
     return "\n".join(lines)
 
 
-def _span_duration(record: dict) -> float:
-    """Duration of one span record, 0.0 when timestamps are unusable.
+def _span_duration(record: dict) -> float | None:
+    """Duration of one span record, ``None`` when timestamps are
+    unusable.
 
     Exported traces may contain spans that were cut short (no ``end``),
     emitted outside any parent phase (no ``start`` inherited), or
-    hand-edited; the report groups them under their layer with a zero
-    duration instead of crashing the whole run.
+    hand-edited; the report counts them as malformed instead of either
+    crashing the run or silently folding zeros into the percentiles.
     """
     try:
         return float(record["end"]) - float(record["start"])
     except (KeyError, TypeError, ValueError):
-        return 0.0
+        return None
 
 
 def summarize_spans(span_records: list[dict], source: str = "live",
@@ -101,12 +105,17 @@ def summarize_spans(span_records: list[dict], source: str = "live",
                     counters: dict | None = None) -> TraceReport:
     """Build a :class:`TraceReport` from span record dicts."""
     by_layer: dict[str, list[float]] = {}
+    malformed = 0
     for record in span_records:
         duration = _span_duration(record)
+        if duration is None:
+            malformed += 1
+            continue
         layer = record.get("layer") or "(none)"
         by_layer.setdefault(str(layer), []).append(duration)
     report = TraceReport(source=source, span_count=len(span_records),
-                         dropped=dropped, counters=dict(counters or {}))
+                         dropped=dropped, malformed_spans=malformed,
+                         counters=dict(counters or {}))
     for layer in sorted(by_layer):
         durations = sorted(by_layer[layer])
         histogram = Histogram(layer, DEFAULT_BUCKETS)
@@ -115,8 +124,9 @@ def summarize_spans(span_records: list[dict], source: str = "live",
         report.layers.append(LayerSummary(
             layer=layer, count=len(durations), total=sum(durations),
             mean=sum(durations) / len(durations),
-            p50=_percentile(durations, 0.50),
-            p95=_percentile(durations, 0.95),
+            p50=percentile(durations, 0.50),
+            p95=percentile(durations, 0.95),
+            p99=percentile(durations, 0.99),
             max=durations[-1], histogram=histogram))
     report.layers.sort(key=lambda s: s.total, reverse=True)
     return report

@@ -1,0 +1,194 @@
+"""The bench regression sentinel: read the history, gate the build.
+
+Every bench leg appends one JSON line per run to a
+``bench_results/*_history.jsonl`` file (``wallclock_history.jsonl``,
+``recovery_scaling_history.jsonl``, ...).  The sentinel is the consumer
+those files never had: for each history file it groups entries by their
+identity fields (``leg``, ``records``, ... — everything that is not a
+date, commit or tracked metric), compares the latest entry of each
+group against the *median of its trailing window*, and fails when a
+tracked metric grew beyond its per-metric tolerance:
+
+* deterministic integer counters (``log_forces``, ``requests_sent``,
+  ``fetch_requests``, ``redo_applied``) must not grow at all — any
+  increase means simulated behaviour changed;
+* virtual-clock metrics (``virtual_seconds``, ``recovery_seconds``,
+  ``p95_execute_seconds``) get a hair of float slack — they are
+  deterministic, so anything visible is a real drift;
+* ``host_seconds`` is wall-clock on whatever machine happens to run the
+  bench, so it is *advisory*: a >50% regression over the window median
+  prints a WARNING but never fails the build (matching the wallclock
+  runner's own policy for host-time noise).
+
+Metrics absent from older lines are skipped (history formats grow),
+decreases never fail, and a group needs at least one prior entry to be
+judged.  ``python -m repro.bench sentinel`` is the CLI; CI runs it
+after the bench legs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["ADVISORY_METRICS", "METRIC_TOLERANCES", "SentinelReport",
+           "run_sentinel", "check_history_file"]
+
+#: metric name -> allowed relative increase of latest over the trailing
+#: window median.  0.0 means "must not grow at all".
+METRIC_TOLERANCES: dict[str, float] = {
+    "log_forces": 0.0,
+    "requests_sent": 0.0,
+    "fetch_requests": 0.0,
+    "redo_applied": 0.0,
+    "virtual_seconds": 1e-9,
+    "recovery_seconds": 1e-6,
+    "p95_execute_seconds": 1e-9,
+    "host_seconds": 0.5,
+}
+
+#: Metrics whose regressions warn instead of failing: anything measured
+#: in host wall time depends on the machine running the bench.
+ADVISORY_METRICS = frozenset({"host_seconds"})
+
+#: Entry fields that never identify a group (provenance, not identity).
+_PROVENANCE_FIELDS = ("date", "commit")
+
+#: How many trailing entries (before the latest) feed the median.
+DEFAULT_WINDOW = 5
+
+#: Absolute slack on the comparison so a float median (interpolated
+#: between two integers) never fails an equal integer latest.
+_ABS_EPS = 1e-12
+
+
+@dataclass
+class Finding:
+    """One metric of one group that regressed beyond tolerance."""
+
+    file: str
+    group: str
+    metric: str
+    latest: float
+    median: float
+    limit: float
+
+    def format(self) -> str:
+        return (f"{self.file} [{self.group}] {self.metric}: latest "
+                f"{self.latest:g} exceeds {self.limit:g} (median "
+                f"{self.median:g} over the trailing window, tolerance "
+                f"{METRIC_TOLERANCES[self.metric]:g})")
+
+
+@dataclass
+class SentinelReport:
+    findings: list[Finding] = field(default_factory=list)
+    #: Regressions on :data:`ADVISORY_METRICS` — reported, never fatal.
+    advisories: list[Finding] = field(default_factory=list)
+    #: (file, group, metric, latest, median) tuples that were checked.
+    checked: list[tuple] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        lines = [f"sentinel: {len(self.checked)} metric comparisons "
+                 f"across {len({c[0] for c in self.checked})} history "
+                 f"files"]
+        lines.extend(f"  skipped: {reason}" for reason in self.skipped)
+        for finding in self.advisories:
+            lines.append(f"WARNING: {finding.format()} (advisory — host "
+                         f"time is machine-dependent)")
+        for finding in self.findings:
+            lines.append(f"REGRESSION: {finding.format()}")
+        if self.ok:
+            lines.append("sentinel: no regressions beyond tolerance")
+        return "\n".join(lines)
+
+
+def _median(values: list[float]) -> float:
+    from repro.obs.metrics import percentile
+
+    return percentile(sorted(values), 0.5)
+
+
+def _group_key(entry: dict) -> str:
+    parts = [f"{key}={entry[key]}" for key in sorted(entry)
+             if key not in _PROVENANCE_FIELDS
+             and key not in METRIC_TOLERANCES]
+    return " ".join(parts) or "(default)"
+
+
+def check_history_file(path, window: int = DEFAULT_WINDOW,
+                       report: SentinelReport | None = None
+                       ) -> SentinelReport:
+    """Judge one history file's latest entry per group."""
+    report = report if report is not None else SentinelReport()
+    path = pathlib.Path(path)
+    entries = []
+    for line_no, line in enumerate(path.read_text().splitlines(),
+                                   start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            report.skipped.append(f"{path.name}:{line_no}: not valid "
+                                  f"JSON")
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    groups: dict[str, list[dict]] = {}
+    for entry in entries:
+        groups.setdefault(_group_key(entry), []).append(entry)
+    for group, history in sorted(groups.items()):
+        if len(history) < 2:
+            report.skipped.append(
+                f"{path.name} [{group}]: only {len(history)} entry — "
+                f"nothing to compare against")
+            continue
+        latest = history[-1]
+        trailing = history[max(0, len(history) - 1 - window):-1]
+        for metric, tolerance in METRIC_TOLERANCES.items():
+            latest_value = latest.get(metric)
+            if not isinstance(latest_value, (int, float)):
+                continue
+            window_values = [entry[metric] for entry in trailing
+                             if isinstance(entry.get(metric),
+                                           (int, float))]
+            if not window_values:
+                continue
+            median = _median([float(value) for value in window_values])
+            limit = median * (1.0 + tolerance)
+            report.checked.append((path.name, group, metric,
+                                   float(latest_value), median))
+            if float(latest_value) > limit + _ABS_EPS:
+                finding = Finding(
+                    file=path.name, group=group, metric=metric,
+                    latest=float(latest_value), median=median,
+                    limit=limit)
+                if metric in ADVISORY_METRICS:
+                    report.advisories.append(finding)
+                else:
+                    report.findings.append(finding)
+    return report
+
+
+def run_sentinel(results_dir="bench_results",
+                 window: int = DEFAULT_WINDOW) -> SentinelReport:
+    """Check every ``*_history.jsonl`` under ``results_dir``."""
+    report = SentinelReport()
+    directory = pathlib.Path(results_dir)
+    if not directory.is_dir():
+        report.skipped.append(f"{directory}: no such directory")
+        return report
+    histories = sorted(directory.glob("*_history.jsonl"))
+    if not histories:
+        report.skipped.append(f"{directory}: no *_history.jsonl files")
+    for path in histories:
+        check_history_file(path, window=window, report=report)
+    return report

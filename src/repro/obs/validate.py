@@ -8,7 +8,12 @@ Checks, per record type:
   ring dropped spans) and strictly-nested spans lie inside their
   parent's interval (``stream`` spans are exempt: they bracket lazy work
   whose lifetime legitimately overlaps siblings);
-* ``metric`` — known kind, numeric value.
+* ``metric`` — known kind, numeric value;
+* ``latency`` — request kind, integer count, numeric percentiles, and a
+  numeric per-component attribution map (schema version 2).
+
+An unknown declared schema version is a *warning*, not an error — newer
+files stay checkable for the record types this validator knows.
 
 Also usable on live :class:`~repro.obs.trace.Span` objects
 (:func:`validate_spans`) — the crash-fuzz test asserts every fuzzed
@@ -41,11 +46,26 @@ _METRIC_KINDS = ("counter", "gauge", "histogram")
 _EPS = 1e-9
 
 
-def validate_records(records: list[dict]) -> list[str]:
-    """Return every schema violation found (empty list == valid)."""
+def validate_records(records: list[dict],
+                     warnings: list[str] | None = None) -> list[str]:
+    """Return every schema violation found (empty list == valid).
+
+    Non-fatal findings (an unknown declared schema version) are
+    appended to ``warnings`` when a list is passed.
+    """
+    from repro.obs.export import (KNOWN_SCHEMA_VERSIONS,
+                                  declared_schema_version)
+
     errors: list[str] = []
     spans: dict[int, dict] = {}
     dropped = 0
+    declared = declared_schema_version(records)
+    if warnings is not None and declared is not None \
+            and declared not in KNOWN_SCHEMA_VERSIONS:
+        warnings.append(
+            f"meta declares schema version {declared}; this validator "
+            f"knows {KNOWN_SCHEMA_VERSIONS} — unknown record types or "
+            f"fields are not checked")
     for i, record in enumerate(records, start=1):
         where = f"record {i}"
         if not isinstance(record, dict):
@@ -78,9 +98,32 @@ def validate_records(records: list[dict]) -> list[str]:
                 errors.append(f"{where}: metric.name must be a string")
             if not isinstance(record.get("value"), (int, float)):
                 errors.append(f"{where}: metric.value must be numeric")
+        elif rtype == "latency":
+            errors.extend(_check_latency_fields(record, where))
         else:
             errors.append(f"{where}: unknown record type {rtype!r}")
     errors.extend(_check_tree(spans, dropped))
+    return errors
+
+
+def _check_latency_fields(record: dict, where: str) -> list[str]:
+    errors = []
+    if not isinstance(record.get("kind"), str):
+        errors.append(f"{where}: latency.kind must be a string")
+    for field in ("count", "wasted"):
+        if not isinstance(record.get(field), int):
+            errors.append(f"{where}: latency.{field} must be an integer")
+    for field in ("p50", "p95", "p99", "max", "total", "hidden"):
+        if not isinstance(record.get(field), (int, float)):
+            errors.append(f"{where}: latency.{field} must be numeric")
+    components = record.get("components")
+    if not isinstance(components, dict):
+        errors.append(f"{where}: latency.components must be an object")
+    else:
+        for name, value in components.items():
+            if not isinstance(value, (int, float)):
+                errors.append(f"{where}: latency component {name!r} "
+                              f"must be numeric")
     return errors
 
 
@@ -147,16 +190,22 @@ def validate_spans(spans) -> list[str]:
     return validate_records([span.to_dict() for span in spans])
 
 
-def validate_file(path) -> list[str]:
+def validate_file(path, warnings: list[str] | None = None) -> list[str]:
+    import warnings as warnings_module
+
     from repro.obs.export import load_records
 
     try:
-        records = load_records(path)
+        with warnings_module.catch_warnings():
+            # The version warning surfaces through the ``warnings``
+            # out-list (and the CLI), not the global warning machinery.
+            warnings_module.simplefilter("ignore")
+            records = load_records(path)
     except (OSError, ValueError) as error:
         return [str(error)]
     if not records:
         return [f"{path}: empty trace file"]
-    return validate_records(records)
+    return validate_records(records, warnings=warnings)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -165,7 +214,10 @@ def main(argv: list[str] | None = None) -> int:
         print("usage: python -m repro.obs.validate <trace.jsonl>",
               file=sys.stderr)
         return 2
-    errors = validate_file(argv[0])
+    warnings: list[str] = []
+    errors = validate_file(argv[0], warnings=warnings)
+    for warning in warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
     if errors:
         for error in errors:
             print(f"INVALID: {error}", file=sys.stderr)

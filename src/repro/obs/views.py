@@ -144,6 +144,59 @@ def _sys_network(engine):
     return columns, rows
 
 
+@system_view("sys_latency")
+def _sys_latency(engine):
+    """Per-request-kind latency SLOs from the request latency ledger.
+
+    Percentiles are exact (linear interpolation over retained samples,
+    see :func:`repro.obs.metrics.percentile`), and ``identity_ok``
+    reports the ledger-wide accounting identity: 1 iff every closed
+    entry's per-component attribution summed bit-exactly to its
+    measured latency.  Empty while the ledger is disabled
+    (``REPRO_LATENCY=1`` / ``REPRO_TRACE=1`` turn it on).
+    """
+    columns = [Column("kind", SqlType.VARCHAR, 32),
+               Column("count", SqlType.BIGINT),
+               Column("wasted", SqlType.BIGINT),
+               Column("p50_s", SqlType.FLOAT),
+               Column("p95_s", SqlType.FLOAT),
+               Column("p99_s", SqlType.FLOAT),
+               Column("max_s", SqlType.FLOAT),
+               Column("total_s", SqlType.FLOAT),
+               Column("hidden_s", SqlType.FLOAT),
+               Column("identity_ok", SqlType.INTEGER)]
+    ledger = engine.meter.obs.latency
+    ok = 0 if ledger.identity_violations else 1
+    rows = [(kind, count, wasted, p50, p95, p99, peak, total, hidden, ok)
+            for (kind, count, wasted, p50, p95, p99, peak, total, hidden)
+            in ledger.rows()]
+    return columns, rows
+
+
+@system_view("sys_sessions")
+def _sys_sessions(engine):
+    """Live server-side sessions — the volatile state the paper's
+    persistent-session machinery exists to reconstruct (temp tables,
+    in-flight transaction, session settings, temp-table plans)."""
+    columns = [Column("session_id", SqlType.INTEGER),
+               Column("temp_tables", SqlType.INTEGER),
+               Column("in_transaction", SqlType.INTEGER),
+               Column("txn_id", SqlType.INTEGER),
+               Column("settings", SqlType.INTEGER),
+               Column("temp_plan_entries", SqlType.INTEGER),
+               Column("temp_plan_evictions", SqlType.INTEGER)]
+    rows = []
+    for token in sorted(engine.sessions):
+        session = engine.sessions[token]
+        txn = session.current_txn
+        rows.append((session.session_id, len(session.temp_tables),
+                     1 if session.in_transaction else 0,
+                     txn.txn_id if session.in_transaction else 0,
+                     len(session.settings), len(session.plan_cache),
+                     session.plan_cache.evictions))
+    return columns, rows
+
+
 @system_view("sys_checkpoint")
 def _sys_checkpoint(engine):
     """Fuzzy-checkpoint / log-truncation observability.

@@ -57,6 +57,9 @@ class _InFlightFetch:
     #: ``server.crashes`` at issue; a mismatch at consumption means the
     #: batch was lost with the server incarnation that produced it.
     crash_epoch: int
+    #: Open latency-ledger entry of the overlapped exchange (None when
+    #: the ledger is off); closed when the batch is realized/discarded.
+    ledger_entry: object = None
 
 
 class NativeDriver:
@@ -76,6 +79,9 @@ class NativeDriver:
         # epoch that booking belongs to.
         self._busy_until = 0.0
         self._busy_epoch = 0
+        # Open ledger entries of pipelined (execute_pipelined) requests,
+        # oldest first; closed when the pipeline synchronizes.
+        self._pipeline_entries: list = []
 
     # -- connections ----------------------------------------------------------
 
@@ -156,6 +162,10 @@ class NativeDriver:
             self.server, ExecuteRequest(
                 session_token=connection.session_token, sql=sql,
                 params=dict(params or {})))
+        if self.network.last_overlapped_entry is not None:
+            self._pipeline_entries.append(
+                self.network.last_overlapped_entry)
+            self.network.last_overlapped_entry = None
         self._pipeline_register(service)
         self.meter.count("pipeline_requests")
         self.meter.count("pipeline_overlap_seconds", service)
@@ -343,6 +353,9 @@ class NativeDriver:
         dropped = len(result.prefetch)
         if dropped:
             self.meter.count("prefetch_wasted", dropped)
+            for in_flight in result.prefetch:
+                self.meter.latency_close(in_flight.ledger_entry,
+                                         wasted=True)
             result.prefetch.clear()
         return dropped
 
@@ -399,15 +412,31 @@ class NativeDriver:
         failure (if any) surfaces on the caller's own request.
         """
         if self._busy_until <= 0.0:
+            self._close_pipeline_entries(wasted=True)
             return
         busy_until = self._busy_until
         self._busy_until = 0.0
         if self._busy_epoch != self.server.crashes:
+            # The bookings died with the server incarnation.
+            self._close_pipeline_entries(wasted=True)
             return
         stall = busy_until - self.meter.peek_now()
         if stall > 0:
+            entries = self._pipeline_entries
+            if entries:
+                # The wait is for the *last* booked request to finish;
+                # attribute the stall to it.
+                self.meter.latency_resume(entries[-1])
             self.meter.charge(NETWORK, stall, "pipeline stall")
             self.meter.count("pipeline_stall_seconds", stall)
+        self._close_pipeline_entries(wasted=False)
+
+    def _close_pipeline_entries(self, wasted: bool) -> None:
+        entries = self._pipeline_entries
+        if entries:
+            self._pipeline_entries = []
+            for entry in entries:
+                self.meter.latency_close(entry, wasted=wasted)
 
     def _pipeline_register(self, service_seconds: float) -> float:
         """Book an overlapped request's service onto the pipeline;
@@ -448,11 +477,14 @@ class NativeDriver:
                     session_token=statement.connection.session_token,
                     statement_id=result.statement_id,
                     speculative=True))
+            ledger_entry = self.network.last_overlapped_entry
+            self.network.last_overlapped_entry = None
             pending.append(_InFlightFetch(
                 response=response,
                 completion=self._pipeline_register(service),
                 service_seconds=service,
-                crash_epoch=self.server.crashes))
+                crash_epoch=self.server.crashes,
+                ledger_entry=ledger_entry))
             self.meter.count("prefetch_issued")
 
     def _consume_prefetch(self, result: ResultState) -> None:
@@ -469,14 +501,23 @@ class NativeDriver:
         entry = pending.pop(0)
         if entry.crash_epoch != self.server.crashes:
             self.meter.count("prefetch_wasted", 1 + len(pending))
+            self.meter.latency_close(entry.ledger_entry, wasted=True)
+            for in_flight in pending:
+                self.meter.latency_close(in_flight.ledger_entry,
+                                         wasted=True)
             pending.clear()
             self._busy_until = 0.0
             return
         stall = entry.completion - self.meter.peek_now()
         if stall > 0:
+            # The realized remainder lands in the entry opened at issue,
+            # so the batch's ledger line reads uplink + stall (its
+            # overlapped service stays in the hidden column).
+            self.meter.latency_resume(entry.ledger_entry)
             self.meter.charge(NETWORK, stall, "prefetch stall")
         else:
             stall = 0.0
+        self.meter.latency_close(entry.ledger_entry)
         self.meter.count("prefetch_hits")
         self.meter.count("prefetch_overlap_seconds",
                          max(0.0, entry.service_seconds - stall))

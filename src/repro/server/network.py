@@ -51,11 +51,21 @@ class SimulatedNetwork:
         self.requests_sent = 0
         self.wire_bytes_up = 0
         self.wire_bytes_down = 0
+        #: Ledger entry of the most recent successful ``call_overlapped``
+        #: (None when the latency ledger is off).  The driver takes it
+        #: and rides it on the in-flight batch so the realized stall —
+        #: or the crash discard — lands in the right entry.
+        self.last_overlapped_entry = None
 
     def call(self, server, request):
         """One request/response exchange; returns the response object."""
-        self._send(server, request)
-        return self._serve(server, request)
+        meter = self._meter
+        entry = meter.latency_open(type(request).__name__)
+        try:
+            self._send(server, request)
+            return self._serve(server, request)
+        finally:
+            meter.latency_close(entry)
 
     def call_overlapped(self, server, request) -> tuple:
         """Pipelined exchange: ``(response, deferred service seconds)``.
@@ -75,18 +85,32 @@ class SimulatedNetwork:
         meter = self._meter
         if not meter.advance_clock:
             return self.call(server, request), 0.0
-        self._send(server, request)
-        sink = meter.begin_overlap()
+        entry = meter.latency_open(type(request).__name__)
         try:
-            response = self._serve(server, request)
+            self._send(server, request)
+            sink = meter.begin_overlap()
+            try:
+                response = self._serve(server, request)
+            except BaseException:
+                # Failure is observed synchronously: realize the
+                # recorded charges (timeout wait, ...) on the clock and
+                # re-raise.  The raw advance bypasses ``charge``, so the
+                # ledger books it explicitly — the client spent it
+                # waiting on the failed exchange.
+                seconds = meter.end_overlap(sink)
+                if seconds > 0:
+                    meter.clock.advance(seconds)
+                    meter.latency_attribute(entry, "server_queue", seconds)
+                raise
         except BaseException:
-            # Failure is observed synchronously: realize the recorded
-            # charges (timeout wait, ...) on the clock and re-raise.
-            seconds = meter.end_overlap(sink)
-            if seconds > 0:
-                meter.clock.advance(seconds)
+            meter.latency_close(entry)
             raise
-        return response, meter.end_overlap(sink)
+        service = meter.end_overlap(sink)
+        # Success: the entry stays open — its latency is not known until
+        # the driver realizes the batch's stall (or discards it).
+        meter.latency_detach(entry)
+        self.last_overlapped_entry = entry
+        return response, service
 
     # -- the two halves of an exchange --------------------------------------
 

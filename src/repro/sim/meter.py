@@ -80,8 +80,21 @@ class Meter:
         #: clock.  Multi-stream experiments set this so elapsed time comes
         #: from the queueing simulator instead of serial accumulation.
         self.advance_clock: bool = True
-        # Pending batched charge: (resource, note, accumulated seconds).
-        self._pending: tuple[str, str, float] | None = None
+        # Pending batched charge:
+        # (resource, note, accumulated seconds, component hint).
+        # The hint is captured when the batch *starts* (first-hint-wins on
+        # merge) so flushing later still attributes the work to whatever
+        # activity opened it — without ever changing flush boundaries.
+        self._pending: tuple[str, str, float, str | None] | None = None
+        #: Latency-ledger component hint (see :meth:`attribute_to`):
+        #: overrides charge classification while set.  Pure annotation —
+        #: it never affects charging, so it exists whether or not the
+        #: ledger is enabled.
+        self._component_hint: str | None = None
+        #: The world's request latency ledger when enabled, else None —
+        #: one attribute read decides the hot path's extra cost.
+        latency = self.obs.latency
+        self._latency = latency if latency.enabled else None
         self._recorders: list[list[Segment]] = []
         #: Executor diagnostics (batches per operator, fast-path counts).
         #: Kept out of ``counters`` so virtual-output equivalence checks
@@ -123,6 +136,12 @@ class Meter:
             open_requests[-1].segments.append(segment)
         for sink in self._recorders:
             sink.append(segment)
+        latency = self._latency
+        if latency is not None:
+            entry = latency.current
+            if entry is not None:
+                entry.add(resource, seconds, note, self._suppress_trace,
+                          self._component_hint)
 
     def charge_batched(self, resource: str, seconds: float,
                        note: str = "") -> None:
@@ -139,12 +158,13 @@ class Meter:
             self.charge(resource, seconds, note)
             return
         if self._pending is not None:
-            p_resource, p_note, p_seconds = self._pending
+            p_resource, p_note, p_seconds, p_hint = self._pending
             if p_resource == resource and p_note == note:
-                self._pending = (resource, note, p_seconds + seconds)
+                self._pending = (resource, note, p_seconds + seconds,
+                                 p_hint)
                 return
             self._flush_pending()
-        self._pending = (resource, note, seconds)
+        self._pending = (resource, note, seconds, self._component_hint)
 
     def charge_rows(self, resource: str, per_row: float, n: int,
                     note: str = "") -> None:
@@ -165,15 +185,17 @@ class Meter:
                 self.charge(resource, per_row, note)
             return
         if self._pending is not None:
-            p_resource, p_note, total = self._pending
+            p_resource, p_note, total, hint = self._pending
             if p_resource != resource or p_note != note:
                 self._flush_pending()
                 total = 0.0
+                hint = self._component_hint
         else:
             total = 0.0
+            hint = self._component_hint
         for _ in range(n):
             total += per_row
-        self._pending = (resource, note, total)
+        self._pending = (resource, note, total, hint)
 
     def charge_run_list(self, resource: str, runs, note: str = "") -> None:
         """Charge a sequence of ``(per_row, count)`` runs, fold-preserving.
@@ -192,27 +214,42 @@ class Meter:
                         self.charge(resource, per_row, note)
             return
         if self._pending is not None:
-            p_resource, p_note, total = self._pending
+            p_resource, p_note, total, hint = self._pending
             if p_resource != resource or p_note != note:
                 self._flush_pending()
                 total = 0.0
+                hint = self._component_hint
         else:
             total = 0.0
+            hint = self._component_hint
         for per_row, n in runs:
             if n == 1:
                 total += per_row
             else:
                 for _ in range(n):
                     total += per_row
-        self._pending = (resource, note, total)
+        self._pending = (resource, note, total, hint)
 
     def _flush_pending(self) -> None:
-        """Emit the accumulated batched charge as one real segment."""
+        """Emit the accumulated batched charge as one real segment.
+
+        The stored component hint is restored around the flush so a
+        batch opened under :meth:`attribute_to` keeps its attribution
+        even when the flush point falls outside the context.
+        """
         if self._pending is None:
             return
-        resource, note, seconds = self._pending
+        resource, note, seconds, hint = self._pending
         self._pending = None
-        self.charge(resource, seconds, note)
+        if hint is self._component_hint:
+            self.charge(resource, seconds, note)
+            return
+        saved = self._component_hint
+        self._component_hint = hint
+        try:
+            self.charge(resource, seconds, note)
+        finally:
+            self._component_hint = saved
 
     # -- segment recording (metadata-probe replay support) ------------------
 
@@ -271,6 +308,83 @@ class Meter:
     def count(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named diagnostic counter (a registry counter)."""
         self.obs.metrics.count(counter, amount)
+
+    # -- latency ledger -------------------------------------------------------
+
+    def enable_latency_ledger(self):
+        """Turn the request latency ledger on for this world."""
+        ledger = self.obs.latency
+        ledger.enabled = True
+        self._latency = ledger
+        return ledger
+
+    class _AttributionContext:
+        __slots__ = ("_meter", "_component", "_saved")
+
+        def __init__(self, meter: "Meter", component: str):
+            self._meter = meter
+            self._component = component
+            self._saved: str | None = None
+
+        def __enter__(self) -> None:
+            self._saved = self._meter._component_hint
+            self._meter._component_hint = self._component
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            self._meter._component_hint = self._saved
+
+    def attribute_to(self, component: str) -> "Meter._AttributionContext":
+        """Context manager: ledger entries attribute charges made inside
+        to ``component`` instead of their (resource, note) default.
+
+        Pure annotation — no charge, no flush — so it is always safe on
+        the bit-identity contract and is a no-op while the ledger is
+        disabled.  Used for work that borrows another activity's charge
+        notes (a checkpoint piggybacked on a commit flushes ``page io``
+        and forces ``log force`` exactly like ordinary execution).
+        """
+        return Meter._AttributionContext(self, component)
+
+    def latency_open(self, kind: str):
+        """Open a ledger entry for one protocol exchange (None when the
+        ledger is disabled).  Flushes the pending batch first — the
+        exchange's first charge would flush it anyway, so the flush
+        point (and therefore the clock arithmetic) is unchanged."""
+        latency = self._latency
+        if latency is None:
+            return None
+        self._flush_pending()
+        return latency.open(kind, start=self.peek_now(),
+                            clocked=self.advance_clock)
+
+    def latency_close(self, entry, wasted: bool = False) -> None:
+        """Finalize a ledger entry (no-op on None / double close)."""
+        latency = self._latency
+        if latency is None or entry is None:
+            return
+        self._flush_pending()
+        latency.close(entry, end=self.peek_now(), wasted=wasted)
+
+    def latency_detach(self, entry) -> None:
+        """Keep ``entry`` open but stop charging into it (the request
+        went in flight; its stall is realized later)."""
+        if self._latency is not None and entry is not None:
+            self._latency.detach(entry)
+
+    def latency_resume(self, entry) -> None:
+        """Make a detached entry current again so its realized stall
+        lands in it."""
+        if self._latency is not None and entry is not None:
+            self._latency.resume(entry)
+
+    def latency_attribute(self, entry, component: str,
+                          seconds: float) -> None:
+        """Record clock time that bypassed :meth:`charge` (a failed
+        overlapped exchange realizes its recorded seconds via a raw
+        clock advance) into ``entry`` under ``component``."""
+        if self._latency is not None and entry is not None \
+                and seconds > 0:
+            entry.add_attributed(component, seconds)
 
     # -- request bracketing ---------------------------------------------------
 

@@ -285,9 +285,10 @@ def test_summarize_spans_groups_by_layer():
 
 
 def test_summarize_spans_tolerates_parentless_and_cut_spans(tmp_path):
-    """Spans with no parent phase (no layer), no timestamps, or garbage
-    timestamps must not crash the report — they group under "(none)"
-    with a zero duration (trace-report CLI hardening)."""
+    """Spans with no parent phase (no layer) group under "(none)";
+    spans with unusable timestamps (cut short, hand-edited) are counted
+    as ``malformed_spans`` and excluded from the statistics instead of
+    folding zero durations into the percentiles."""
     spans = [{"layer": "a", "start": 0.0, "end": 1.0},
              {"start": 0.0, "end": 2.0},            # no parent phase
              {"layer": None, "start": 1.0},          # cut short: no end
@@ -295,14 +296,17 @@ def test_summarize_spans_tolerates_parentless_and_cut_spans(tmp_path):
              ]
     report = summarize_spans(spans)
     assert report.span_count == 4
+    assert report.malformed_spans == 2
     by_layer = {s.layer: s for s in report.layers}
-    assert by_layer["(none)"].count == 2
+    assert by_layer["(none)"].count == 1
     assert by_layer["(none)"].total == 2.0
-    assert by_layer["a"].count == 2 and by_layer["a"].total == 1.0
-    assert "Trace report" in report.format()
+    assert by_layer["a"].count == 1 and by_layer["a"].total == 1.0
+    text = report.format()
+    assert "Trace report" in text
+    assert "skipped 2 malformed spans" in text
 
     # End to end through the file loader: a metric record missing its
-    # value and an unparentable span must both survive.
+    # value and an unparentable, timestampless span must both survive.
     path = tmp_path / "ragged.jsonl"
     path.write_text(
         '{"type": "meta", "dropped": 0}\n'
@@ -310,6 +314,8 @@ def test_summarize_spans_tolerates_parentless_and_cut_spans(tmp_path):
         '{"type": "metric", "kind": "counter", "name": "incomplete"}\n')
     report = build_trace_report(path)
     assert report.span_count == 1
+    assert report.malformed_spans == 1
+    assert report.layers == []
     assert report.counters == {}
 
 

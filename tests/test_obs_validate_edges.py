@@ -1,0 +1,160 @@
+"""Edge-input hardening of the offline trace tools.
+
+``python -m repro.obs.validate`` and ``python -m repro.bench
+trace-report`` are run against files we do not control (hand-edited,
+truncated, produced by newer versions); empty files, cut-short spans,
+and unknown record types must yield clean exit codes and reports that
+still render — never tracebacks.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import load_records
+from repro.obs.report import build_trace_report
+from repro.obs.validate import main as validate_main
+from repro.obs.validate import validate_file, validate_records
+
+
+def meta_line(**overrides):
+    record = {"type": "meta", "version": 2, "schema_version": 2,
+              "spans": 1, "dropped": 0, "open_spans": 0}
+    record.update(overrides)
+    return json.dumps(record)
+
+
+def span_line(**overrides):
+    record = {"type": "span", "span_id": 1, "parent_id": 0,
+              "name": "s", "layer": "server", "kind": "span",
+              "status": "ok", "start": 0.0, "end": 1.0, "attrs": {}}
+    record.update(overrides)
+    return json.dumps(record)
+
+
+# ---------------------------------------------------------------------------
+# Validator CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+def test_empty_file_is_invalid_exit_1(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert validate_file(path) == [f"{path}: empty trace file"]
+    assert validate_main([str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_valid_file_exit_0(tmp_path, capsys):
+    path = tmp_path / "ok.jsonl"
+    path.write_text(meta_line() + "\n" + span_line() + "\n")
+    assert validate_main([str(path)]) == 0
+    assert "trace is valid" in capsys.readouterr().out
+
+
+def test_usage_error_exit_2(capsys):
+    assert validate_main([]) == 2
+    assert validate_main(["a", "b"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_span_missing_end_is_invalid(tmp_path):
+    path = tmp_path / "cut.jsonl"
+    record = json.loads(span_line())
+    del record["end"]
+    path.write_text(meta_line() + "\n" + json.dumps(record) + "\n")
+    errors = validate_file(path)
+    assert any("missing field 'end'" in e for e in errors)
+    assert validate_main([str(path)]) == 1
+
+
+def test_unknown_record_type_is_invalid(tmp_path):
+    path = tmp_path / "weird.jsonl"
+    path.write_text(meta_line()
+                    + '\n{"type": "hologram", "x": 1}\n')
+    errors = validate_file(path)
+    assert any("unknown record type 'hologram'" in e for e in errors)
+    assert validate_main([str(path)]) == 1
+
+
+def test_nonexistent_file_reports_not_crashes(tmp_path):
+    errors = validate_file(tmp_path / "missing.jsonl")
+    assert len(errors) == 1
+    assert validate_main([str(tmp_path / "missing.jsonl")]) == 1
+
+
+# ---------------------------------------------------------------------------
+# Schema versioning (satellite: versioned exports)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_schema_version_warns_but_validates(tmp_path, capsys):
+    path = tmp_path / "future.jsonl"
+    path.write_text(meta_line(version=99, schema_version=99) + "\n"
+                    + span_line() + "\n")
+    with pytest.warns(UserWarning, match="schema version 99"):
+        load_records(path)
+    warnings: list[str] = []
+    assert validate_file(path, warnings=warnings) == []
+    assert any("schema version 99" in w for w in warnings)
+    # The CLI surfaces it as a warning yet still exits 0.
+    assert validate_main([str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "WARNING" in captured.err
+    assert "trace is valid" in captured.out
+
+
+def test_known_schema_versions_do_not_warn(tmp_path):
+    import warnings as warnings_module
+
+    for version in (1, 2):
+        path = tmp_path / f"v{version}.jsonl"
+        path.write_text(meta_line(version=version,
+                                  schema_version=version) + "\n"
+                        + span_line() + "\n")
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            load_records(path)
+
+
+def test_legacy_version_field_alone_is_honored(tmp_path):
+    """Version-1 files carried only ``version``."""
+    record = json.loads(meta_line(version=77))
+    del record["schema_version"]
+    out: list[str] = []
+    validate_records([record], warnings=out)
+    assert any("schema version 77" in w for w in out)
+
+
+# ---------------------------------------------------------------------------
+# trace-report on the same edge inputs
+# ---------------------------------------------------------------------------
+
+
+def test_trace_report_renders_on_empty_span_set(tmp_path):
+    path = tmp_path / "nospans.jsonl"
+    path.write_text(meta_line(spans=0) + "\n")
+    report = build_trace_report(path)
+    assert report.span_count == 0
+    assert "Trace report" in report.format()
+
+
+def test_trace_report_counts_missing_end_as_malformed(tmp_path):
+    record = json.loads(span_line())
+    del record["end"]
+    path = tmp_path / "cut.jsonl"
+    path.write_text(meta_line() + "\n" + span_line() + "\n"
+                    + json.dumps(record) + "\n")
+    report = build_trace_report(path)
+    assert report.span_count == 2
+    assert report.malformed_spans == 1
+    assert "skipped 1 malformed spans" in report.format()
+
+
+def test_trace_report_ignores_unknown_record_types(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    path.write_text(meta_line() + "\n" + span_line() + "\n"
+                    + '{"type": "hologram"}\n')
+    report = build_trace_report(path)
+    assert report.span_count == 1
+    assert report.malformed_spans == 0

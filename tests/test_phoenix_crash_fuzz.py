@@ -37,6 +37,9 @@ def build_world(cache_rows: int = 0, prefetch: bool = False):
         costs.persist_pipeline = True
     meter = Meter(costs)
     meter.obs.tracer.enable()
+    # The latency ledger rides along on every fuzzed world: crash timing
+    # must never break the accounting identity either.
+    meter.enable_latency_ledger()
     server = DatabaseServer(meter=meter)
     setup = BenchmarkApp(server)
     setup.run_statement("CREATE TABLE ledger (k INT NOT NULL, v INT, "
@@ -138,3 +141,9 @@ def test_crash_at_every_request_boundary(cache_rows, prefetch):
         assert errors == [], (
             f"span tree invalid when crashing at request {crash_at}: "
             f"{errors[:3]}")
+        ledger = app.meter.obs.latency
+        assert ledger.closed > 0
+        assert ledger.identity_violations == [], (
+            f"latency accounting identity broken when crashing at "
+            f"request {crash_at} (cache_rows={cache_rows}, "
+            f"prefetch={prefetch}): {ledger.identity_violations[:3]}")
