@@ -59,6 +59,9 @@ def _wallclock_payload(result, leg: str) -> dict:
                     "+ phoenix persists"),
         "prefetch": ("TPC-C transactions + point selects + phoenix "
                      "persists, pipelined result delivery on"),
+        "cached-shared": ("TPC-C transactions + point selects + phoenix "
+                          "persists, transaction-consistent shared "
+                          "result cache on"),
     }
     return {
         "mix": mixes[leg],
@@ -85,15 +88,17 @@ def _run_wallclock(args) -> int:
     and track both over time.
 
     Writes ``wallclock.json``/``wallclock.txt``,
-    ``wallclock_indexed.json`` and ``wallclock_prefetch.json`` (the
-    current snapshots) and appends one ``{date, commit, leg,
-    host_seconds, log_forces}`` line per leg to
-    ``wallclock_history.jsonl`` so CI can spot host-time regressions.
+    ``wallclock_indexed.json``, ``wallclock_prefetch.json`` and
+    ``wallclock_cached_shared.json`` (the current snapshots) and appends
+    one ``{date, commit, leg, host_seconds, log_forces}`` line per leg
+    to ``wallclock_history.jsonl`` so CI can spot host-time regressions.
     Fails if any leg forces the log more often than the
     synchronous-commit seed mix did (``log_forces`` > 183: async commit
     stopped deferring), if the prefetch leg sends *more* requests than
-    the base leg, or if it cuts fetch round trips on the tracked mix by
-    less than 20%.
+    the base leg, if it cuts fetch round trips on the tracked mix by
+    less than 20%, or if the cached-shared leg cuts total round trips by
+    less than 40%, records no shared-cache hits, or returns different
+    point-select rows than the base leg.
     """
     import datetime
     import json
@@ -109,6 +114,9 @@ def _run_wallclock(args) -> int:
             point_reads=2000, async_commit_window=window, indexed=True),
         "prefetch": experiments.run_wallclock(
             point_reads=2000, async_commit_window=window, prefetch=True),
+        "cached-shared": experiments.run_wallclock(
+            point_reads=2000, async_commit_window=window,
+            result_cache=True),
     }
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(exist_ok=True)
@@ -136,10 +144,20 @@ def _run_wallclock(args) -> int:
         print(f"[leg: {leg}]")
         print(text)
         if result.baseline_virtual_seconds != result.cached_virtual_seconds:
-            print("WARNING: virtual clocks diverged between the caches-off "
-                  "and caches-on legs — caching changed simulated behavior")
+            if leg == "cached-shared":
+                # Expected: the shared result cache removes entire
+                # execute round trips, so it is a virtual-time
+                # optimization (the digest gate below proves the
+                # answers stayed identical).
+                print(f"[cached-shared: virtual clock "
+                      f"{result.baseline_virtual_seconds:.8f} -> "
+                      f"{result.cached_virtual_seconds:.8f}]")
+            else:
+                print("WARNING: virtual clocks diverged between the "
+                      "caches-off and caches-on legs — caching changed "
+                      "simulated behavior")
 
-        suffix = "" if leg == "base" else f"_{leg}"
+        suffix = "" if leg == "base" else "_" + leg.replace("-", "_")
         (out_dir / f"wallclock{suffix}.json").write_text(
             json.dumps(_wallclock_payload(result, leg), indent=2) + "\n")
         if leg == "base":
@@ -157,6 +175,8 @@ def _run_wallclock(args) -> int:
                  "fetch_requests":
                      int(result.counters.get("net.requests.FetchRequest",
                                              0)),
+                 "result_cache_hits":
+                     int(result.counters.get("result_cache.hits", 0)),
                  # Deterministic virtual metrics: the sentinel flags any
                  # drift of these against the trailing window.
                  "virtual_seconds": result.cached_virtual_seconds,
@@ -214,6 +234,37 @@ def _run_wallclock(args) -> int:
     if drain_pf["virtual_seconds"] >= drain_seed["virtual_seconds"]:
         print("FAIL: drain mix's virtual time did not drop with "
               "fetch-ahead on")
+        failed = True
+
+    # Shared-result-cache regression gates.  The cached-shared leg runs
+    # the identical statement stream as the base leg with the
+    # transaction-consistent shared cache on: it must cut total round
+    # trips by ≥40%, actually hit, and return bit-identical rows — both
+    # against the base leg and against its own caches-off sub-leg.
+    cs = legs["cached-shared"]
+    cs_reqs = int(cs.counters.get("net.requests_sent", 0))
+    cs_hits = int(cs.counters.get("result_cache.hits", 0))
+    print(f"[cached-shared leg: requests {base_reqs} -> {cs_reqs} "
+          f"({100.0 * (1 - cs_reqs / base_reqs):.1f}% cut), "
+          f"hits {cs_hits}, misses "
+          f"{int(cs.counters.get('result_cache.misses', 0))}, "
+          f"insertions "
+          f"{int(cs.counters.get('result_cache.insertions', 0))}]")
+    if cs_reqs > 0.6 * base_reqs:
+        print(f"FAIL: cached-shared leg still sent {cs_reqs} requests — "
+              f"less than a 40% cut from the base leg's {base_reqs}")
+        failed = True
+    if cs_hits <= 0:
+        print("FAIL: cached-shared leg recorded no shared-cache hits")
+        failed = True
+    if cs.cached_rows_digest != cs.baseline_rows_digest:
+        print("FAIL: cached-shared leg returned different point-select "
+              "rows with the shared result cache on (off-vs-on digest "
+              "mismatch)")
+        failed = True
+    if cs.cached_rows_digest != legs["base"].cached_rows_digest:
+        print("FAIL: cached-shared leg's point-select rows differ from "
+              "the base leg's (cross-leg digest mismatch)")
         failed = True
 
     if previous and previous.get("host_seconds"):

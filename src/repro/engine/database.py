@@ -215,6 +215,12 @@ class DatabaseEngine:
             "stmt_hits": 0, "stmt_misses": 0,
         }
         self.txns = TransactionManager(self.wal, self.locks, self)
+        #: Per-table DML version bumps accumulated since the last
+        #: :meth:`pop_version_updates` — the server piggybacks them onto
+        #: the next ``ExecuteResponse`` so clients can invalidate shared
+        #: result-cache entries transactionally.  Empty (and never
+        #: written) while the result cache is off.
+        self.pending_version_updates: dict[str, int] = {}
         #: Live engine sessions by connection token — lets system views
         #: (``sys_plan_cache``) report per-session temp-plan state.
         self.sessions: dict[int, EngineSession] = {}
@@ -228,6 +234,8 @@ class DatabaseEngine:
             checkpoint = self.wal.last_complete_checkpoint()
             if isinstance(checkpoint, EndCheckpointRecord):
                 self._last_fuzzy_begin_lsn = checkpoint.begin_lsn
+            if self.meter.costs.result_cache_entries > 0:
+                self._recompute_dml_versions()
 
     @classmethod
     def restart(cls, disk: SimulatedDisk, wal: WriteAheadLog,
@@ -500,6 +508,89 @@ class DatabaseEngine:
         self.disk.append_blob("wal_archive", records)
 
     # ------------------------------------------------------------------
+    # Per-table DML versions (shared result cache invalidation keys)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _version_tracked(name: str) -> bool:
+        """Whether the shared result cache stamps/invalidates by ``name``.
+
+        Temp tables are session-private, ``sys_*`` snapshots are rebuilt
+        per query, and Phoenix's own overhead tables churn constantly —
+        none of them may pollute the shared version vector.
+        """
+        return not (name.startswith("#") or name.startswith("phoenix")
+                    or name in SYSTEM_VIEWS)
+
+    def note_committed_writes(self, table_names) -> None:
+        """Commit hook (see ``TransactionManager.commit``): bump the DML
+        version of every table the committed transaction wrote and queue
+        the new values for the next response piggyback."""
+        for name in sorted(table_names):
+            if self._version_tracked(name):
+                self.pending_version_updates[name] = \
+                    self.catalog.bump_dml_version(name)
+
+    def pop_version_updates(self) -> dict[str, int]:
+        """Drain the version bumps accumulated since the last call."""
+        if not self.pending_version_updates:
+            return {}
+        updates = self.pending_version_updates
+        self.pending_version_updates = {}
+        return updates
+
+    def _recompute_dml_versions(self) -> None:
+        """Rebuild ``catalog.dml_versions`` from the log after a crash.
+
+        The counters are deliberately never snapshotted: replaying one
+        +1 per table per committed transaction over the archived prefix
+        plus the surviving log yields versions *exactly* consistent with
+        the recovered data (uncommitted work never counted — redo/undo
+        leaves no trace of it in table contents either).  With
+        asynchronous commit a crash can lose acked commits, so the same
+        count can name different data across a crash; the client side
+        handles that by discarding its cache wholesale on reconnect
+        (see ``SharedResultCache.revalidate``).
+        """
+        from repro.wal.records import (
+            AbortRecord,
+            CommitRecord,
+            CreateIndexRecord,
+            CreateProcedureRecord,
+            CreateTableRecord,
+            CreateViewRecord,
+            DropIndexRecord,
+            DropProcedureRecord,
+            DropTableRecord,
+            DropViewRecord,
+        )
+
+        pending: dict[int, set[str]] = {}
+        archived = self.disk.read_blob("wal_archive", [])
+        for rec in list(archived) + list(self.wal.all_records()):
+            name = None
+            if isinstance(rec, (InsertRecord, DeleteRecord, UpdateRecord)):
+                name = rec.table_name
+            elif isinstance(rec, (CreateTableRecord, DropTableRecord)):
+                name = rec.table["name"]
+            elif isinstance(rec, (CreateIndexRecord, DropIndexRecord)):
+                name = rec.index["table_name"]
+            elif isinstance(rec, (CreateViewRecord, DropViewRecord)):
+                name = rec.name
+            elif isinstance(rec, (CreateProcedureRecord,
+                                  DropProcedureRecord)):
+                pass  # procedures are not read dependencies; untracked
+            elif isinstance(rec, CommitRecord):
+                for table in sorted(pending.pop(rec.txn_id, ())):
+                    self.catalog.bump_dml_version(table)
+                continue
+            elif isinstance(rec, AbortRecord):
+                pending.pop(rec.txn_id, None)
+                continue
+            if name is not None and self._version_tracked(name.lower()):
+                pending.setdefault(rec.txn_id, set()).add(name.lower())
+
+    # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
 
@@ -556,14 +647,37 @@ class DatabaseEngine:
                 and prepared.cacheable_plan):
             if isinstance(statement,
                           (ast.SelectStatement, ast.UnionSelect)):
-                return self._execute_select_cached(prepared, norm, session,
-                                                   exec_params, params)
+                result = self._execute_select_cached(prepared, norm,
+                                                     session, exec_params,
+                                                     params)
+                self._stamp_read_versions(result, statement)
+                return result
             if isinstance(statement, (ast.InsertStatement,
                                       ast.UpdateStatement,
                                       ast.DeleteStatement)):
                 return self._execute_dml_cached(prepared, norm, session,
                                                 exec_params, params)
-        return self._execute_parsed(statement, session, exec_params)
+        result = self._execute_parsed(statement, session, exec_params)
+        if isinstance(statement, (ast.SelectStatement, ast.UnionSelect)):
+            self._stamp_read_versions(result, statement)
+        return result
+
+    def _stamp_read_versions(self, result: StatementResult,
+                             statement: ast.Statement) -> None:
+        """Stamp a SELECT result with the DML version of every table its
+        plan reads (the shared result cache's validity certificate).
+        ``None`` — the knob-off state — also marks results whose
+        dependencies the shared cache must not serve (temp tables,
+        ``sys_*`` views, Phoenix overhead tables)."""
+        if self.meter.costs.result_cache_entries <= 0:
+            return
+        names = self._plan_dependencies(statement)
+        versions: dict[str, int] = {}
+        for name in names:
+            if not self._version_tracked(name):
+                return
+            versions[name] = self.catalog.dml_version_of(name)
+        result.read_versions = versions
 
     # -- statement preparation (levels 1 and 2) -----------------------------
 

@@ -44,7 +44,7 @@ __all__ = ["COMPONENTS", "LatencyLedger", "LedgerEntry", "classify",
 COMPONENTS: tuple[str, ...] = (
     "client_cpu", "net_uplink", "net_downlink", "server_queue",
     "parse_plan", "engine_execute", "wal_force", "checkpoint",
-    "prefetch_stall", "other")
+    "prefetch_stall", "cache", "other")
 
 _ZERO = Fraction(0)
 
@@ -60,6 +60,12 @@ _NETWORK_NOTES = {
 #: SERVER_CPU notes that are planning/compilation rather than execution.
 _PARSE_PLAN_NOTES = frozenset(
     {"statement parse/plan", "proc statement", "subquery eval"})
+
+#: CLIENT_CPU notes that are result-cache work (client-side delivery
+#: from the §4 cache or the shared result cache, and its probes).
+_CACHE_NOTES = frozenset(
+    {"cache fetch", "cache scroll", "cache block fetch",
+     "result cache probe"})
 
 
 def latency_enabled_from_env() -> bool:
@@ -86,8 +92,11 @@ def classify(resource: str, note: str, hint: str | None = None) -> str:
     if resource == SERVER_DISK:
         return "wal_force" if note == "log force" else "engine_execute"
     if resource == CLIENT_CPU:
-        # The only client CPU booked *inside* an exchange is the driver
-        # timeout spent waiting on a dead server — queueing, not compute.
+        if note in _CACHE_NOTES:
+            return "cache"
+        # The only other client CPU booked *inside* an exchange is the
+        # driver timeout spent waiting on a dead server — queueing, not
+        # compute.
         return "server_queue" if note == "request timeout" else "client_cpu"
     return "other"
 

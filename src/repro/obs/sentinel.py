@@ -10,8 +10,10 @@ group against the *median of its trailing window*, and fails when a
 tracked metric grew beyond its per-metric tolerance:
 
 * deterministic integer counters (``log_forces``, ``requests_sent``,
-  ``fetch_requests``, ``redo_applied``) must not grow at all — any
-  increase means simulated behaviour changed;
+  ``fetch_requests``, ``redo_applied``, ``result_cache_hits``) must not
+  grow at all — any increase means simulated behaviour changed (a *drop*
+  in shared-cache hits surfaces as ``requests_sent`` growth, which is
+  equally zero-tolerance);
 * virtual-clock metrics (``virtual_seconds``, ``recovery_seconds``,
   ``p95_execute_seconds``) get a hair of float slack — they are
   deterministic, so anything visible is a real drift;
@@ -42,6 +44,7 @@ METRIC_TOLERANCES: dict[str, float] = {
     "requests_sent": 0.0,
     "fetch_requests": 0.0,
     "redo_applied": 0.0,
+    "result_cache_hits": 0.0,
     "virtual_seconds": 1e-9,
     "recovery_seconds": 1e-6,
     "p95_execute_seconds": 1e-9,

@@ -20,7 +20,9 @@ views:
   class, point-lookup fast-path hits, compiled-expression cache traffic;
 * ``sys_network`` — wire traffic and pipelining: round trips (total and
   per request kind), wire bytes up/down, fetch-ahead hit/waste counts
-  and overlap seconds, persist-pipeline bookings and stalls.
+  and overlap seconds, persist-pipeline bookings and stalls;
+* ``sys_result_cache`` — shared-result-cache traffic: hits, misses,
+  insertions, evictions and invalidations, with per-table breakdowns.
 
 View functions only read engine/meter state; they import nothing from
 the engine so the registry itself stays dependency-free.
@@ -141,6 +143,25 @@ def _sys_network(engine):
     rows = [(name, float(counters[name]))
             for name in sorted(counters)
             if name.startswith(("net.", "prefetch_", "pipeline_"))]
+    return columns, rows
+
+
+@system_view("sys_result_cache")
+def _sys_result_cache(engine):
+    """Shared-result-cache observability (hit/miss/invalidation traffic).
+
+    Everything here comes from the ``result_cache.*`` world counters
+    maintained by :class:`~repro.phoenix.result_cache.SharedResultCache`
+    — totals plus the per-table ``result_cache.hits.<t>`` /
+    ``result_cache.misses.<t>`` / ``result_cache.invalidations.<t>``
+    families.  Empty while ``result_cache_entries`` is 0 (seed runs).
+    """
+    columns = [Column("metric", SqlType.VARCHAR, 80),
+               Column("value", SqlType.BIGINT)]
+    counters = engine.meter.counters
+    rows = [(name, int(counters[name]))
+            for name in sorted(counters)
+            if name.startswith("result_cache.")]
     return columns, rows
 
 

@@ -37,6 +37,7 @@ from repro.server.protocol import (
     FetchRequest,
     PingRequest,
     SetOptionRequest,
+    VersionProbeRequest,
 )
 from repro.server.server import DatabaseServer
 from repro.sim.costs import CLIENT_CPU, NETWORK
@@ -74,6 +75,14 @@ class NativeDriver:
         #: ExecuteResponse).  Client-side metadata caches key on it so any
         #: DDL observed through this driver invalidates them.
         self.last_schema_version = 0
+        #: Shared-result-cache piggybacks off the most recent
+        #: ExecuteResponse (all stay at their empty defaults while the
+        #: cache knob is off): the executed SELECT's read-version stamps,
+        #: the committed version bumps the response carried, and the
+        #: session's own uncommitted write set.
+        self.last_read_versions: dict | None = None
+        self.last_table_versions: dict = {}
+        self.last_dirty_tables: tuple = ()
         # Modeled FIFO pipeline: virtual time until which in-flight
         # (overlapped) requests keep the server/wire busy, and the crash
         # epoch that booking belongs to.
@@ -116,6 +125,13 @@ class NativeDriver:
     def ping(self) -> bool:
         response = self._call(PingRequest())
         return response.alive
+
+    def fetch_table_versions(self, connection: ConnectionHandle) -> dict:
+        """One round trip for the server's committed per-table DML
+        version vector (shared-result-cache revalidation)."""
+        response = self._call(VersionProbeRequest(
+            session_token=connection.session_token))
+        return dict(response.versions)
 
     # -- statements ------------------------------------------------------------
 
@@ -175,6 +191,18 @@ class NativeDriver:
                         sql: str) -> ResultState:
         """Turn an ExecuteResponse into this statement's ResultState."""
         self.last_schema_version = response.schema_version
+        self.last_read_versions = getattr(response, "read_versions", None)
+        self.last_table_versions = getattr(response, "table_versions", {})
+        self.last_dirty_tables = tuple(
+            getattr(response, "dirty_tables", ()))
+        if self.last_table_versions:
+            # Committed version bumps ride on every response; fold them
+            # into the shared result cache's mirror (evicting stamped
+            # entries) no matter which virtual session carried them.
+            cache = getattr(self.meter, "_shared_result_cache", None)
+            if cache is not None:
+                cache.observe_committed(self.last_table_versions,
+                                        self.server.crashes)
         result = ResultState()
         if response.kind == "rows":
             result.columns = response.columns

@@ -43,6 +43,7 @@ from repro.phoenix.failure import FailureDetector, is_transport_failure
 from repro.phoenix.parse import RequestClass, classify_request
 from repro.phoenix.persistence import ResultPersistor
 from repro.phoenix.recovery import SessionRecovery
+from repro.phoenix.result_cache import SharedResultCache
 from repro.phoenix.status_table import StatusTable
 from repro.phoenix.virtual_session import (
     StatementMode,
@@ -88,10 +89,18 @@ class PhoenixDriverManager(DriverManager):
             self.meter._phoenix_nonce_counter = counter
         self._nonce = next(counter)
         self._op_seq = 0
+        # The transaction-consistent shared result cache is world-scoped
+        # (one per meter): every driver manager — hence every virtual
+        # session — in the same simulated world shares it.  None while
+        # the knob is off, so the seed path never even probes.
+        self._shared_cache = (SharedResultCache.shared(self.meter)
+                              if self.meter.costs.result_cache_entries > 0
+                              else None)
         #: Observable counters for the experiments.
         self.stats = {"persisted_results": 0, "cached_results": 0,
                       "cache_overflows": 0, "wrapped_updates": 0,
-                      "recoveries": 0, "blips": 0}
+                      "recoveries": 0, "blips": 0,
+                      "shared_cache_hits": 0, "shared_cache_staged": 0}
 
     # ------------------------------------------------------------------
     # Connections
@@ -176,37 +185,54 @@ class PhoenixDriverManager(DriverManager):
             self._with_recovery(vconn, lambda: self.driver.execute(
                 state.handle, sql, params))
             vconn.in_app_txn = True
+            vconn.staged_results.clear()
+            vconn.dirty_tables.clear()
             state.mode = StatementMode.PASSTHROUGH
             return
-        if request_class in (RequestClass.COMMIT, RequestClass.ROLLBACK):
+        if request_class is RequestClass.COMMIT:
             self._with_recovery(vconn, lambda: self.driver.execute(
                 state.handle, sql, params))
             vconn.in_app_txn = False
+            self._promote_staged(vconn)
+            state.mode = StatementMode.PASSTHROUGH
+            return
+        if request_class is RequestClass.ROLLBACK:
+            self._with_recovery(vconn, lambda: self.driver.execute(
+                state.handle, sql, params))
+            vconn.in_app_txn = False
+            self._discard_staged(vconn)
             state.mode = StatementMode.PASSTHROUGH
             return
         if request_class is RequestClass.RESULT_QUERY:
             self._execute_query(vconn, state, sql, params)
-            return
-        if request_class in (RequestClass.UPDATE, RequestClass.DDL):
+        elif request_class in (RequestClass.UPDATE, RequestClass.DDL):
             self._execute_update(vconn, state, sql, params)
-            return
-        # EXEC / OTHER: pass through; recovery resubmits.
-        result = self._with_recovery(vconn, lambda: self.driver.execute(
-            state.handle, sql, params))
-        state.mode = StatementMode.PASSTHROUGH
-        state.rowcount = result.rowcount
-        state.columns = list(result.columns)
+        else:
+            # EXEC / OTHER: pass through; recovery resubmits.
+            result = self._with_recovery(vconn, lambda: self.driver.execute(
+                state.handle, sql, params))
+            state.mode = StatementMode.PASSTHROUGH
+            state.rowcount = result.rowcount
+            state.columns = list(result.columns)
+        if vconn.in_app_txn and self._shared_cache is not None:
+            # The server piggybacks the transaction's write set on every
+            # response; remember it so promote-time restamping knows
+            # which staged reads saw the transaction's own writes.
+            vconn.dirty_tables.update(self.driver.last_dirty_tables)
 
     # -- result-generating statements (§2.1 / §4) ------------------------------
 
     def _execute_query(self, vconn: VirtualConnection,
                        state: StatementState, sql: str,
                        params: dict | None) -> None:
+        if self._serve_from_shared_cache(vconn, state, sql):
+            return
         if self._cache.enabled:
             outcome = self._with_recovery(
                 vconn, lambda: self._cache.try_cache(state, sql))
             if outcome == CacheOutcome.CACHED:
                 self.stats["cached_results"] += 1
+                self._note_shared_cacheable(vconn, state, sql)
                 return
             if outcome == CacheOutcome.NOT_A_RESULT:
                 return
@@ -216,6 +242,107 @@ class PhoenixDriverManager(DriverManager):
             vconn.app_handle, self._private_connection(), state, sql,
             op_key, in_app_txn=vconn.in_app_txn))
         self.stats["persisted_results"] += 1
+
+    # -- shared result cache (transaction-consistent, all sessions) ----------
+
+    def _serve_from_shared_cache(self, vconn: VirtualConnection,
+                                 state: StatementState, sql: str) -> bool:
+        """Try to answer a result query from the shared cache.
+
+        A hit costs zero protocol requests: the rows are delivered from
+        client memory through the same CACHED paths as the §4 per-
+        statement cache, so delivery never consults any server-side
+        position.  Statements inside an application transaction bypass
+        the cache entirely — a lock-free hit would break two-phase-
+        locking repeatable reads, and read-your-writes a fortiori.
+        """
+        cache = self._shared_cache
+        if cache is None or vconn.in_app_txn:
+            return False
+        epoch = self.driver.server.crashes
+        if cache.needs_revalidation(epoch):
+            # One probe round trip revalidates the whole cache after a
+            # reconnect: entries the recomputed server vector confirms
+            # survive the crash (the paper's crash-proof client cache at
+            # driver-manager scale); under asynchronous commit equal
+            # counts may hide lost commits, so everything is discarded.
+            versions = self._with_recovery(
+                vconn,
+                lambda: self.driver.fetch_table_versions(vconn.app_handle))
+            cache.revalidate(
+                versions, self.driver.server.crashes,
+                discard_all=(
+                    self.meter.costs.async_commit_window_seconds > 0))
+        self.meter.charge(CLIENT_CPU,
+                          self.meter.costs.result_cache_probe_seconds,
+                          "result cache probe")
+        entry = cache.lookup(sql)
+        if entry is None:
+            return False
+        if state.handle.result is not None:
+            # The handle's previous server-side cursor (if any) must not
+            # leak just because this execution never reaches the server.
+            self._with_recovery(
+                vconn, lambda: self.driver.close_statement(state.handle))
+        state.mode = StatementMode.CACHED
+        state.original_sql = sql
+        state.columns = list(entry.columns)
+        state.cache_rows = entry.rows
+        state.cache_position = 0
+        state.finished = False
+        self.stats["shared_cache_hits"] += 1
+        return True
+
+    def _note_shared_cacheable(self, vconn: VirtualConnection,
+                               state: StatementState, sql: str) -> None:
+        """Admit (or stage) a freshly cached result into the shared cache.
+
+        The execute that filled the §4 cache also delivered the result's
+        read-version stamps (``driver.last_read_versions``); None means
+        the server declared it unshareable.  Inside an application
+        transaction the entry stays session-private until COMMIT."""
+        cache = self._shared_cache
+        if cache is None:
+            return
+        stamps = self.driver.last_read_versions
+        if stamps is None:
+            return
+        if vconn.in_app_txn:
+            vconn.staged_results.append(
+                (sql, list(state.columns), list(state.cache_rows),
+                 dict(stamps)))
+            self.stats["shared_cache_staged"] += 1
+            return
+        cache.insert(sql, state.columns, state.cache_rows, stamps)
+
+    def _promote_staged(self, vconn: VirtualConnection) -> None:
+        """COMMIT: publish the transaction's staged results.
+
+        Under strict 2PL the shared locks a transactional SELECT takes
+        are held to commit, so a staged read table can only have moved
+        if *this* transaction wrote it.  Entries whose read set
+        intersects the commit's own write set are dropped outright —
+        the write set carries no ordering, so a read that saw the write
+        is indistinguishable from one the write later invalidated, and
+        only dropping is sound.  The rest promote with their original
+        stamps, which the commit just proved still current.
+        """
+        staged = vconn.staged_results
+        vconn.staged_results = []
+        vconn.dirty_tables = set()
+        cache = self._shared_cache
+        if cache is None or not staged:
+            return
+        committed = self.driver.last_table_versions
+        for sql, columns, rows, stamps in staged:
+            if not any(name in committed for name in stamps):
+                cache.insert(sql, columns, rows, stamps)
+
+    def _discard_staged(self, vconn: VirtualConnection) -> None:
+        """ROLLBACK (or crash-induced abort): the staged results were
+        produced by a transaction that never happened."""
+        vconn.staged_results = []
+        vconn.dirty_tables = set()
 
     # -- modifications / DDL (status-table wrapping, §3.2) -----------------------
 
@@ -566,8 +693,10 @@ class PhoenixDriverManager(DriverManager):
         if vconn.in_app_txn:
             # The server aborted the application's transaction with the
             # crash; surface that as a normal transaction failure now
-            # that the session itself is whole again.
+            # that the session itself is whole again.  Results the dead
+            # transaction staged for the shared cache die with it.
             vconn.in_app_txn = False
+            self._discard_staged(vconn)
             raise DeadlockError(
                 "transaction aborted by server failure; please retry")
         return "recovered"

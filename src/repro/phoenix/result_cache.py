@@ -1,0 +1,189 @@
+"""Transaction-consistent shared result cache (driver-manager level).
+
+One cache per simulated world, shared by every virtual session the
+driver manager multiplexes — the natural widening of the paper's §4
+per-session client cache.  Entries are keyed by the normalized statement
+text (parameters arrive pre-inlined at this layer) and stamped with the
+per-table *DML version* of every table the plan read, as reported by the
+server alongside the result (``ExecuteResponse.read_versions``).  The
+consistency recipe follows "Theory and Practice of Transactional Method
+Caching": versions bump once per committed writer transaction, every
+response piggybacks the bumps committed since the last round trip
+(``ExecuteResponse.table_versions``), and the client folds them into a
+committed-version *mirror* — evicting any entry stamped with a bumped
+table.  A lookup therefore only has to compare stamps against the
+mirror: no round trip, no re-execution.
+
+Crash epochs: piggybacked versions are only trusted within one server
+incarnation (``server.crashes``).  When the epoch moves — or any
+observation arrives from an unexpected epoch — the cache flags itself
+stale and the next probe revalidates the whole cache with a single
+``VersionProbeRequest``: entries whose stamps match the server's
+recomputed vector survive (the paper's crash-proof client cache,
+demonstrated at driver-manager scale), the rest are discarded.  Under
+asynchronous commit a crash can lose acked commits, making equal counts
+name different data, so revalidation then discards everything
+(``discard_all``).
+
+All observability counters (``result_cache.*``, including the per-table
+``result_cache.hits.<t>`` family surfaced by ``sys_metrics`` /
+``sys_result_cache``) are world counters via ``meter.count`` — the cache
+only exists while ``CostModel.result_cache_entries`` > 0, so seed runs
+carry none of them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+def normalize_key(sql: str) -> str:
+    """Whitespace-collapsed statement text (the cache key)."""
+    return " ".join(sql.split())
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One cached result with its validity certificate."""
+
+    key: str
+    columns: list
+    rows: list
+    #: table -> DML version observed when the result was produced.
+    stamps: dict
+    tables: frozenset = field(default_factory=frozenset)
+
+
+class SharedResultCache:
+    """LRU of version-stamped results, shared across virtual sessions."""
+
+    def __init__(self, meter):
+        self.meter = meter
+        self.capacity = meter.costs.result_cache_entries
+        self.max_rows = meter.costs.result_cache_max_rows
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        #: Committed per-table versions as far as this client knows
+        #: (absent = 0, matching the server's own convention).
+        self.versions: dict[str, int] = {}
+        #: Server incarnation the mirror belongs to.
+        self.epoch = 0
+        #: Set when an observation arrived from an unexpected epoch; a
+        #: probe-based revalidation clears it.
+        self.stale = False
+
+    @classmethod
+    def shared(cls, meter) -> "SharedResultCache":
+        """The world's one cache, keyed off the meter (every layer of one
+        simulated world shares the meter, so this is world-scoped state
+        exactly like the Phoenix nonce counter)."""
+        cache = getattr(meter, "_shared_result_cache", None)
+        if cache is None:
+            cache = cls(meter)
+            meter._shared_result_cache = cache
+        return cache
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- invalidation ------------------------------------------------------
+
+    def observe_committed(self, updates: dict, epoch: int) -> None:
+        """Fold piggybacked version bumps into the mirror, evicting every
+        entry stamped with a bumped table.  Bumps from another server
+        incarnation are *not* trusted — they flag the cache stale so the
+        next probe revalidates against the full recomputed vector."""
+        if epoch != self.epoch:
+            self.stale = True
+            return
+        for name, version in updates.items():
+            if self.versions.get(name, 0) != version:
+                self._evict_stamped(name)
+                self.versions[name] = version
+
+    def needs_revalidation(self, current_epoch: int) -> bool:
+        return self.stale or current_epoch != self.epoch
+
+    def revalidate(self, server_versions: dict, current_epoch: int,
+                   discard_all: bool = False) -> None:
+        """Adopt the server's version vector wholesale; keep only entries
+        every one of whose stamps it confirms.  ``discard_all`` (async
+        commit: lost acked commits make counts ambiguous across a crash)
+        drops everything regardless of stamps."""
+        survivors: list[CacheEntry] = []
+        for entry in self._entries.values():
+            if not discard_all and all(
+                    server_versions.get(name, 0) == version
+                    for name, version in entry.stamps.items()):
+                survivors.append(entry)
+            else:
+                self._count_invalidation(entry)
+        self._entries = OrderedDict((e.key, e) for e in survivors)
+        self.versions = dict(server_versions)
+        self.epoch = current_epoch
+        self.stale = False
+
+    def _evict_stamped(self, table: str) -> None:
+        for key in [k for k, e in self._entries.items()
+                    if table in e.tables]:
+            self._count_invalidation(self._entries.pop(key))
+
+    def _count_invalidation(self, entry: CacheEntry) -> None:
+        self.meter.count("result_cache.invalidations")
+        for name in sorted(entry.tables):
+            self.meter.count(f"result_cache.invalidations.{name}")
+
+    # -- lookup / insert ---------------------------------------------------
+
+    def lookup(self, sql: str) -> CacheEntry | None:
+        """A valid entry for ``sql``, or None (counted as hit/miss)."""
+        key = normalize_key(sql)
+        entry = self._entries.get(key)
+        if entry is not None and any(
+                self.versions.get(name, 0) != version
+                for name, version in entry.stamps.items()):
+            # Defensive: observe_committed evicts eagerly, so a live
+            # entry should always match the mirror — but a mismatch must
+            # never be served.
+            self._count_invalidation(self._entries.pop(key))
+            entry = None
+        if entry is None:
+            self.meter.count("result_cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.meter.count("result_cache.hits")
+        for name in sorted(entry.tables):
+            self.meter.count(f"result_cache.hits.{name}")
+        return entry
+
+    def insert(self, sql: str, columns: list, rows: list,
+               stamps: dict | None) -> bool:
+        """Admit one result (post-miss).  Refused when the server marked
+        it unshareable (``stamps`` None), it exceeds ``max_rows``, or a
+        stamp is *behind* the mirror (the read predates a bump the
+        client already folded — e.g. a transaction's staged entry whose
+        read table it later wrote itself).  A stamp *ahead* of the
+        mirror is a fresher committed-version observation than any
+        response piggyback delivered (commits from before this cache
+        existed): it is folded in, evicting anything stamped older."""
+        if stamps is None or len(rows) > self.max_rows:
+            return False
+        if any(version < self.versions.get(name, 0)
+               for name, version in stamps.items()):
+            return False
+        for name in sorted(stamps):
+            if stamps[name] > self.versions.get(name, 0):
+                self._evict_stamped(name)
+                self.versions[name] = stamps[name]
+        key = normalize_key(sql)
+        for name in sorted(stamps):
+            self.meter.count(f"result_cache.misses.{name}")
+        self._entries[key] = CacheEntry(
+            key=key, columns=list(columns), rows=list(rows),
+            stamps=dict(stamps), tables=frozenset(stamps))
+        self._entries.move_to_end(key)
+        self.meter.count("result_cache.insertions")
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.meter.count("result_cache.evictions")
+        return True

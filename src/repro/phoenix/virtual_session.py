@@ -98,6 +98,15 @@ class VirtualConnection:
     #: Name of the session-probe temp table (crash-vs-blip detection).
     probe_table: str = "#phoenix_probe"
     connected: bool = False
+    #: Shareable results produced inside the current application
+    #: transaction — held session-private (as ``(sql, columns, rows,
+    #: stamps)`` tuples) until COMMIT promotes them into the shared
+    #: result cache; ROLLBACK (or a crash-induced abort) discards them.
+    staged_results: list = field(default_factory=list)
+    #: Tables the current application transaction has written, per the
+    #: server's piggyback — the shared cache is bypassed for statements
+    #: reading any of them (read-your-writes).
+    dirty_tables: set = field(default_factory=set)
 
     def statement_state(self, handle: StatementHandle) -> StatementState:
         state = self.statements.get(handle.handle_id)

@@ -98,6 +98,19 @@ class PingRequest(Request):
     pass
 
 
+@dataclass(slots=True)
+class VersionProbeRequest(Request):
+    """Ask for the server's current per-table DML version vector.
+
+    The shared result cache's revalidation probe: after a reconnect (or
+    any cache-epoch change) the driver manager fetches the committed
+    version of every table instead of re-executing cached statements —
+    one round trip revalidates the whole cache.
+    """
+
+    session_token: int = 0
+
+
 # -- responses ---------------------------------------------------------------
 
 
@@ -124,11 +137,25 @@ class ExecuteResponse:
     #: header (the 32-byte meta block already has room), so it adds no
     #: wire bytes.  Clients use it to invalidate metadata caches.
     schema_version: int = 0
+    #: Shared-result-cache piggybacks (all empty/None while the cache
+    #: knob is off, keeping the seed wire sizes bit-identical):
+    #: ``read_versions`` stamps a SELECT's result with the DML version of
+    #: every table its plan read (None = result not shareable);
+    #: ``table_versions`` carries the version bumps committed since the
+    #: last response, so every round trip doubles as an invalidation
+    #: broadcast; ``dirty_tables`` lists the tables the session's own
+    #: uncommitted transaction has written (read-your-writes bypass).
+    read_versions: dict | None = None
+    table_versions: dict = field(default_factory=dict)
+    dirty_tables: list = field(default_factory=list)
 
     def wire_bytes(self) -> int:
         meta = 32 + 16 * len(self.columns)
         data = sum(sum(map(value_width_bytes, row)) for row in self.rows)
-        return meta + data
+        piggyback = 12 * (len(self.read_versions or ())
+                          + len(self.table_versions)
+                          + len(self.dirty_tables))
+        return meta + data + piggyback
 
 
 @dataclass(slots=True)
@@ -164,3 +191,13 @@ class PingResponse:
 
     def wire_bytes(self) -> int:
         return 8
+
+
+@dataclass(slots=True)
+class VersionProbeResponse:
+    """The server's committed per-table DML version vector."""
+
+    versions: dict = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        return 16 + 12 * len(self.versions)

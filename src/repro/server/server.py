@@ -38,6 +38,8 @@ from repro.server.protocol import (
     PingResponse,
     Request,
     SetOptionRequest,
+    VersionProbeRequest,
+    VersionProbeResponse,
 )
 from repro.server.results import ServerResultSet
 from repro.sim.costs import SERVER_CPU
@@ -155,6 +157,8 @@ class DatabaseServer:
             return self._handle_close(request)
         if isinstance(request, SetOptionRequest):
             return self._handle_set_option(request)
+        if isinstance(request, VersionProbeRequest):
+            return self._handle_version_probe(request)
         raise ValueError(f"unknown request {type(request).__name__}")
 
     # -- handlers -----------------------------------------------------------
@@ -182,14 +186,19 @@ class DatabaseServer:
         result = self.engine.execute(request.sql, session.engine_session,
                                      request.params)
         schema_version = self.engine.catalog.schema_version
+        table_versions, dirty_tables = self._cache_piggyback(session)
         if result.kind == "rowcount":
             return ExecuteResponse(kind="rowcount",
                                    rowcount=result.rowcount,
                                    message=result.message,
-                                   schema_version=schema_version)
+                                   schema_version=schema_version,
+                                   table_versions=table_versions,
+                                   dirty_tables=dirty_tables)
         if result.kind == "ok":
             return ExecuteResponse(kind="ok", message=result.message,
-                                   schema_version=schema_version)
+                                   schema_version=schema_version,
+                                   table_versions=table_versions,
+                                   dirty_tables=dirty_tables)
         statement_id = session.next_statement_id()
         streamable = getattr(result, "streamable", False)
         open_result = ServerResultSet(statement_id, result.columns,
@@ -204,7 +213,25 @@ class DatabaseServer:
             statement_id = 0 if not rows else statement_id
         return ExecuteResponse(kind="rows", statement_id=statement_id,
                                columns=result.columns, rows=rows,
-                               done=done, schema_version=schema_version)
+                               done=done, schema_version=schema_version,
+                               read_versions=getattr(result,
+                                                     "read_versions", None),
+                               table_versions=table_versions,
+                               dirty_tables=dirty_tables)
+
+    def _cache_piggyback(self, session: _ServerSession):
+        """Shared-result-cache response piggybacks: committed version
+        bumps since the last response, plus the session's own uncommitted
+        write set.  Both empty while the cache knob is off."""
+        if self.meter.costs.result_cache_entries <= 0:
+            return {}, []
+        table_versions = self.engine.pop_version_updates()
+        engine_session = session.engine_session
+        dirty_tables: list = []
+        if engine_session.in_transaction:
+            dirty_tables = sorted(
+                engine_session.current_txn.modified_tables)
+        return table_versions, dirty_tables
 
     def _handle_fetch(self, request: FetchRequest) -> FetchResponse:
         session = self._session(request.session_token)
@@ -239,6 +266,14 @@ class DatabaseServer:
         session = self._session(request.session_token)
         session.engine_session.set_option(request.name, request.value)
         return OkResponse(message="option set")
+
+    def _handle_version_probe(
+            self, request: VersionProbeRequest) -> VersionProbeResponse:
+        self._session(request.session_token)
+        self.meter.charge(SERVER_CPU, self.meter.costs.ping_seconds,
+                          "version probe")
+        return VersionProbeResponse(
+            versions=dict(self.engine.catalog.dml_versions))
 
     # -- helpers ---------------------------------------------------------------
 

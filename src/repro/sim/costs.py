@@ -115,6 +115,25 @@ class CostModel:
     #: (seed behaviour).
     persist_pipeline: bool = False
 
+    # -- shared result cache (all default-off = seed-identical) --------------
+    #: Capacity (entries) of the driver-manager-level result cache shared
+    #: across all virtual sessions.  Entries are keyed by the normalized
+    #: statement text (parameters arrive pre-inlined) and stamped with the
+    #: per-table DML version of every table the plan reads; a commit that
+    #: touches a stamped table invalidates the entry transactionally.  A
+    #: hit serves rows from client memory with *zero* protocol requests.
+    #: 0 disables the cache entirely — no version counters are bumped, no
+    #: response fields are populated, and every historical trace stays
+    #: bit-identical (same convention as ``async_commit_window_seconds``).
+    result_cache_entries: int = 0
+    #: Largest result (in rows) the shared cache will retain.  Bigger
+    #: results fall through to the normal execute/fetch path.
+    result_cache_max_rows: int = 200
+    #: Client CPU to probe the shared cache and serve one hit (key
+    #: normalization + version-stamp validation against the client's
+    #: committed-version mirror).
+    result_cache_probe_seconds: float = 0.0004
+
     # -- server CPU --------------------------------------------------------
     cpu_per_tuple_scan: float = 8e-6
     cpu_per_tuple_join: float = 1.2e-5

@@ -93,6 +93,13 @@ class Catalog:
     #: (``phoenix``-prefixed) churn constantly and must not invalidate the
     #: client metadata cache.
     schema_version: int = 0
+    #: Per-table *DML* version counters, bumped once per committed
+    #: transaction that wrote the table (the shared result cache's
+    #: invalidation keys).  Deliberately volatile — never snapshotted.
+    #: When the result cache is enabled they are recomputed from the WAL
+    #: at restart so post-recovery versions are exactly consistent with
+    #: the recovered data; when it is off they are never touched at all.
+    dml_versions: dict[str, int] = field(default_factory=dict)
 
     # -- versioning ----------------------------------------------------------
 
@@ -105,6 +112,17 @@ class Catalog:
 
     def version_of(self, name: str) -> int:
         return self.versions.get(name.lower(), 0)
+
+    def bump_dml_version(self, name: str) -> int:
+        """Record a committed write to the named table; returns the new
+        version."""
+        key = name.lower()
+        version = self.dml_versions.get(key, 0) + 1
+        self.dml_versions[key] = version
+        return version
+
+    def dml_version_of(self, name: str) -> int:
+        return self.dml_versions.get(name.lower(), 0)
 
     # -- tables ---------------------------------------------------------------
 

@@ -60,6 +60,10 @@ class Transaction:
     #: Actions deferred to commit (e.g. physical deallocation of a dropped
     #: table's pages — deferring makes DROP TABLE undoable).
     on_commit: list = field(default_factory=list)
+    #: Tables this transaction wrote (DML or DDL), lowercased.  Host-only
+    #: bookkeeping — charged nothing — consumed at commit by the shared
+    #: result cache's per-table DML version bump.
+    modified_tables: set = field(default_factory=set)
 
     @property
     def is_active(self) -> bool:
@@ -126,6 +130,15 @@ class TransactionManager:
             hook = getattr(self._target, "maybe_fuzzy_checkpoint", None)
             if hook is not None:
                 hook()
+        # Shared-result-cache invalidation hook: bump per-table DML
+        # versions for everything this transaction wrote.  Gated the same
+        # way — with the cache off this is one comparison.
+        if meter is not None and meter.costs.result_cache_entries > 0 \
+                and txn.modified_tables:
+            hook = getattr(self._target, "note_committed_writes", None)
+            if hook is not None:
+                hook(txn.modified_tables)
+        txn.modified_tables.clear()
 
     def abort(self, txn: Transaction) -> None:
         self._require_active(txn)
@@ -137,6 +150,7 @@ class TransactionManager:
         self._log.force(sync=False)
         txn.state = TxnState.ABORTED
         txn.on_commit.clear()
+        txn.modified_tables.clear()
         self._finish(txn)
 
     def abort_all_active(self) -> list[int]:
@@ -163,12 +177,14 @@ class TransactionManager:
 
     def log_insert(self, txn: Transaction, table_name: str, rid: RowId,
                    row: tuple, cost_factor: float = 1.0) -> int:
+        txn.modified_tables.add(table_name.lower())
         return self._chain(txn, InsertRecord(
             txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
             page_no=rid.page_no, slot=rid.slot, row=row), cost_factor)
 
     def log_delete(self, txn: Transaction, table_name: str, rid: RowId,
                    row: tuple, cost_factor: float = 1.0) -> int:
+        txn.modified_tables.add(table_name.lower())
         return self._chain(txn, DeleteRecord(
             txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
             page_no=rid.page_no, slot=rid.slot, row=row), cost_factor)
@@ -176,6 +192,7 @@ class TransactionManager:
     def log_update(self, txn: Transaction, table_name: str, rid: RowId,
                    old_row: tuple, new_row: tuple,
                    cost_factor: float = 1.0) -> int:
+        txn.modified_tables.add(table_name.lower())
         return self._chain(txn, UpdateRecord(
             txn_id=txn.txn_id, table_name=table_name, file_id=rid.file_id,
             page_no=rid.page_no, slot=rid.slot, old_row=old_row,
@@ -184,10 +201,12 @@ class TransactionManager:
     # -- logged DDL -----------------------------------------------------------
 
     def log_create_table(self, txn: Transaction, table: dict) -> int:
+        txn.modified_tables.add(table["name"].lower())
         return self._chain(txn, CreateTableRecord(txn_id=txn.txn_id,
                                                   table=table))
 
     def log_drop_table(self, txn: Transaction, table: dict) -> int:
+        txn.modified_tables.add(table["name"].lower())
         return self._chain(txn, DropTableRecord(txn_id=txn.txn_id,
                                                 table=table))
 
@@ -207,6 +226,7 @@ class TransactionManager:
                         body_sql: str) -> int:
         from repro.wal.records import CreateViewRecord
 
+        txn.modified_tables.add(name.lower())
         return self._chain(txn, CreateViewRecord(txn_id=txn.txn_id,
                                                  name=name,
                                                  body_sql=body_sql))
@@ -215,15 +235,18 @@ class TransactionManager:
                       body_sql: str) -> int:
         from repro.wal.records import DropViewRecord
 
+        txn.modified_tables.add(name.lower())
         return self._chain(txn, DropViewRecord(txn_id=txn.txn_id,
                                                name=name,
                                                body_sql=body_sql))
 
     def log_create_index(self, txn: Transaction, index: dict) -> int:
+        txn.modified_tables.add(index["table_name"].lower())
         return self._chain(txn, CreateIndexRecord(txn_id=txn.txn_id,
                                                   index=index))
 
     def log_drop_index(self, txn: Transaction, index: dict) -> int:
+        txn.modified_tables.add(index["table_name"].lower())
         return self._chain(txn, DropIndexRecord(txn_id=txn.txn_id,
                                                 index=index))
 

@@ -73,11 +73,18 @@ def test_tpch_power_batch_vs_row_bit_identical(monkeypatch):
 # ---------------------------------------------------------------------------
 
 
-def _crash_run(crash_at: int | None, prefetch: bool = False):
+def _crash_run(crash_at: int | None, prefetch: bool = False,
+               result_cache: bool = False):
     """Observed app outputs + clock for one crash-injected run."""
     from tests.test_phoenix_crash_fuzz import build_world, workload
 
-    server, app = build_world(cache_rows=0, prefetch=prefetch)
+    # The shared result cache admits via the §4 client cache, so the
+    # cache-on variant turns both on — hits then bypass the server in
+    # both executor modes, and the equivalence must still hold to the
+    # bit (including the result_cache.* counters).
+    server, app = build_world(cache_rows=100 if result_cache else 0,
+                              prefetch=prefetch,
+                              result_cache=result_cache)
     if crash_at is not None:
         fired = {"count": 0, "done": False}
 
@@ -92,16 +99,20 @@ def _crash_run(crash_at: int | None, prefetch: bool = False):
     return workload(app), app.meter.now, dict(app.meter.counters)
 
 
-@pytest.mark.parametrize("prefetch", [False, True], ids=["seed", "prefetch"])
+@pytest.mark.parametrize("prefetch,result_cache",
+                         [(False, False), (True, False), (False, True)],
+                         ids=["seed", "prefetch", "shared-cache"])
 @pytest.mark.parametrize("crash_at", [None, 3, 7, 11])
 def test_phoenix_crash_workload_batch_vs_row(monkeypatch, crash_at,
-                                             prefetch):
+                                             prefetch, result_cache):
     """Bit-identity holds with pipelined result delivery on, too: the
-    overlap windows charge the same seconds in both executor modes."""
+    overlap windows charge the same seconds in both executor modes.
+    Likewise with the shared result cache — a hit skips the server in
+    both modes, so clock and counters must still match exactly."""
     _set_mode(monkeypatch, "batch")
-    batch = _crash_run(crash_at, prefetch)
+    batch = _crash_run(crash_at, prefetch, result_cache)
     _set_mode(monkeypatch, "rows")
-    rows = _crash_run(crash_at, prefetch)
+    rows = _crash_run(crash_at, prefetch, result_cache)
     assert batch[0] == rows[0], f"observed outputs diverged (crash_at="\
                                 f"{crash_at})"
     assert batch[1] == rows[1], f"virtual clock diverged (crash_at="\

@@ -21,11 +21,13 @@ def run_leg():
 def test_virtual_time_bit_identical_traced_vs_untraced(monkeypatch):
     monkeypatch.delenv("REPRO_TRACE", raising=False)
     assert not trace_enabled_from_env()
-    _host0, virtual0, _seg0, counters0, stats0, _exec0, _lat0 = run_leg()
+    (_host0, virtual0, _seg0, counters0, stats0, _exec0, _lat0,
+     digest0) = run_leg()
 
     monkeypatch.setenv("REPRO_TRACE", "1")
     assert trace_enabled_from_env()
-    _host1, virtual1, _seg1, counters1, stats1, _exec1, _lat1 = run_leg()
+    (_host1, virtual1, _seg1, counters1, stats1, _exec1, _lat1,
+     digest1) = run_leg()
 
     # Bit-identical, not approximately equal: observation is free.
     assert virtual0 == virtual1

@@ -25,7 +25,8 @@ from repro.sim.meter import Meter
 from repro.workloads.app import BenchmarkApp
 
 
-def build_world(cache_rows: int = 0, prefetch: bool = False):
+def build_world(cache_rows: int = 0, prefetch: bool = False,
+                result_cache: bool = False):
     costs = CostModel(output_buffer_bytes=16)
     if prefetch:
         # Pipelined result delivery on, with the output buffer kept tiny
@@ -35,6 +36,12 @@ def build_world(cache_rows: int = 0, prefetch: bool = False):
         costs.fetch_batch_max_bytes = 64
         costs.output_buffer_max_bytes = 64
         costs.persist_pipeline = True
+    if result_cache:
+        # The transaction-consistent shared result cache: crashes land
+        # between admission, invalidation and the post-crash probe
+        # revalidation; repeated statements in the workload mean hits
+        # (and their survival across restarts) are actually exercised.
+        costs.result_cache_entries = 64
     meter = Meter(costs)
     meter.obs.tracer.enable()
     # The latency ledger rides along on every fuzzed world: crash timing
@@ -50,6 +57,14 @@ def build_world(cache_rows: int = 0, prefetch: bool = False):
     config = PhoenixConfig(client_cache_rows=cache_rows)
     app = BenchmarkApp(server, use_phoenix=True, phoenix_config=config)
     return server, app
+
+
+def run_query(app, label: str, sql: str, observed: list) -> None:
+    stmt = app.manager.alloc_statement(app.conn)
+    rc = app.manager.exec_direct(stmt, sql)
+    observed.append((f"{label}-exec", rc))
+    rc, row = app.manager.fetch(stmt)
+    observed.append((label, row))
 
 
 def workload(app) -> list:
@@ -69,56 +84,72 @@ def workload(app) -> list:
     rc = app.manager.exec_direct(upd,
                                  "UPDATE ledger SET v = v + 1 WHERE k < 3")
     observed.append(("update", rc, app.manager.row_count(upd)))
-    check = app.manager.alloc_statement(app.conn)
-    rc = app.manager.exec_direct(check,
-                                 "SELECT sum(v) FROM ledger")
-    observed.append(("sum-exec", rc))
-    rc, row = app.manager.fetch(check)
-    observed.append(("sum", row))
+    run_query(app, "sum", "SELECT sum(v) FROM ledger", observed)
+    # Repeat the aggregate: with the shared result cache on this is a
+    # hit — when a crash lands between the two executions the cache must
+    # revalidate against the recovered server and still serve (or
+    # recompute) the identical value, never a stale one.
+    run_query(app, "sum-again", "SELECT sum(v) FROM ledger", observed)
     return observed
 
 
-def reference_run(cache_rows: int = 0, prefetch: bool = False) -> list:
-    _server, app = build_world(cache_rows, prefetch)
+def reference_run(cache_rows: int = 0, prefetch: bool = False,
+                  result_cache: bool = False) -> list:
+    _server, app = build_world(cache_rows, prefetch, result_cache)
     observed = workload(app)
     if prefetch:
         # The reference must actually exercise the pipeline, or the
         # sweep below would be fuzzing the seed path under a new name.
         assert app.meter.counters.get("prefetch_issued", 0) > 0
+    if result_cache and cache_rows:
+        # Likewise: the cache-on sweep must actually serve a hit.
+        assert app.meter.counters.get("result_cache.hits", 0) > 0
     return observed
 
 
-def count_requests(cache_rows: int = 0, prefetch: bool = False) -> int:
-    server, app = build_world(cache_rows, prefetch)
+def count_requests(cache_rows: int = 0, prefetch: bool = False,
+                   result_cache: bool = False) -> int:
+    server, app = build_world(cache_rows, prefetch, result_cache)
     start = app.network.requests_sent
     workload(app)
     return app.network.requests_sent - start
 
 
-@pytest.mark.parametrize("prefetch", [False, True],
-                         ids=["seed", "prefetch"])
-@pytest.mark.parametrize("cache_rows", [0, 100])
-def test_crash_at_every_request_boundary(cache_rows, prefetch):
+@pytest.mark.parametrize("cache_rows,prefetch,result_cache", [
+    (0, False, False),
+    (100, False, False),
+    (0, True, False),
+    (100, True, False),
+    (100, False, True),
+    (100, True, True),
+], ids=["seed", "cache", "prefetch", "cache-prefetch",
+        "shared-cache", "shared-cache-prefetch"])
+def test_crash_at_every_request_boundary(cache_rows, prefetch,
+                                         result_cache):
     """Crash transparency at every 2nd request boundary.
 
     With ``prefetch`` the same sweep runs with fetch-ahead, adaptive
     batching and the persist pipeline enabled — so crashes land between
-    prefetch issue and consumption.  The invariant is unchanged *and*
-    cross-checked against the seed configuration: Phoenix repositions to
-    the last row actually delivered, nothing is delivered twice, and
-    pipelining must not alter a single observed value.
+    prefetch issue and consumption.  With ``result_cache`` the shared
+    result cache rides along: crashes land between admission,
+    invalidation, promotion and the probe revalidation, and a hit served
+    after recovery must deliver exactly the committed values.  The
+    invariant is unchanged *and* cross-checked against the seed
+    configuration: Phoenix repositions to the last row actually
+    delivered, nothing is delivered twice, and neither pipelining nor
+    caching may alter a single observed value.
     """
-    expected = reference_run(cache_rows, prefetch)
+    expected = reference_run(cache_rows, prefetch, result_cache)
     assert expected == reference_run(cache_rows), (
-        "pipelined delivery changed the crash-free output")
-    total = count_requests(cache_rows, prefetch)
+        "pipelined/cached delivery changed the crash-free output")
+    total = count_requests(cache_rows, prefetch, result_cache)
     # Adaptive buffering legitimately collapses round trips, so the
     # pipelined sweep covers fewer boundaries — but never this few.
     assert total > (5 if prefetch else 10)
     # Sweep every 2nd boundary to keep runtime sane while still covering
     # every pipeline stage (requests alternate through all steps).
     for crash_at in range(1, total + 1, 2):
-        server, app = build_world(cache_rows, prefetch)
+        server, app = build_world(cache_rows, prefetch, result_cache)
         fired = {"count": 0, "done": False}
 
         def injector(request, server=server, fired=fired,
@@ -133,7 +164,8 @@ def test_crash_at_every_request_boundary(cache_rows, prefetch):
         observed = workload(app)
         assert observed == expected, (
             f"output diverged when crashing at request {crash_at} "
-            f"(cache_rows={cache_rows}, prefetch={prefetch})")
+            f"(cache_rows={cache_rows}, prefetch={prefetch}, "
+            f"result_cache={result_cache})")
         tracer = app.meter.obs.tracer
         assert tracer.open_span_count == 0, (
             f"spans leaked open when crashing at request {crash_at}")
