@@ -277,6 +277,116 @@ def _run_wallclock(args) -> int:
     return 1 if failed else 0
 
 
+def _optbench_cells_close(a, b) -> bool:
+    import math
+
+    if isinstance(a, float) and isinstance(b, float):
+        # Reordered joins feed SUM in a different row order, so float
+        # aggregates may differ in the last ulp; everything else must
+        # match exactly.
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def _optbench_rows_close(got: list, want: list) -> bool:
+    if len(got) != len(want):
+        return False
+    got = sorted(got, key=repr)
+    want = sorted(want, key=repr)
+    return all(len(x) == len(y)
+               and all(_optbench_cells_close(c, d)
+                       for c, d in zip(x, y))
+               for x, y in zip(got, want))
+
+
+def _run_optbench(args) -> int:
+    """Heuristic vs cost-based plans over the table-1 power queries plus
+    the Top-N query.
+
+    Writes ``optbench.txt`` and appends one ``{date, commit, leg,
+    virtual_seconds, optimizer.*}`` line per leg to
+    ``optbench_history.jsonl`` (the sentinel holds the heuristic leg's
+    clock bit-stable and its optimizer counters at zero).  Fails (exit
+    1) if the cost leg is not strictly faster on at least 3 table-1
+    queries, if its Top-N plan does not use TopNHeapSort (or the
+    heuristic plan does), if the heuristic leg planned through the cost
+    path at all, or if any cost-leg result differs from the heuristic
+    leg's beyond float-summation-order tolerance.
+    """
+    import datetime
+    import json
+    import subprocess
+
+    result = experiments.run_optbench(scale=args.scale
+                                      or experiments.OPTBENCH_SCALE)
+    text = result.format()
+    print(text)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "optbench.txt").write_text(text + "\n")
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        commit = "unknown"
+    history = out_dir / "optbench_history.jsonl"
+    with history.open("a") as handle:
+        for leg in (result.heuristic, result.cost):
+            entry = {"date": datetime.date.today().isoformat(),
+                     "commit": commit, "leg": leg.mode,
+                     "virtual_seconds": leg.total_seconds}
+            for name in ("optimizer.plans_costed",
+                         "optimizer.join_orders_considered",
+                         "optimizer.topn_heap_used",
+                         "optimizer.sortmerge_chosen",
+                         "optimizer.stats_missing_fallbacks"):
+                entry[name] = int(leg.optimizer_counters.get(name, 0))
+            handle.write(json.dumps(entry) + "\n")
+            print(f"[optbench history: {entry}]")
+
+    failed = False
+    faster = result.faster_queries()
+    print(f"[optbench: cost leg faster on {len(faster)}/"
+          f"{len(result.heuristic.query_seconds)} table-1 queries, "
+          f"total {result.heuristic.total_seconds:.4f}s -> "
+          f"{result.cost.total_seconds:.4f}s]")
+    if len(faster) < 3:
+        print(f"FAIL: cost-based plans beat the heuristic on only "
+              f"{len(faster)} table-1 queries — need at least 3")
+        failed = True
+    if not any("TopNHeapSort" in line for line in result.cost.topn_plan):
+        print("FAIL: cost leg's Top-N plan does not use TopNHeapSort: "
+              + " | ".join(result.cost.topn_plan))
+        failed = True
+    if any("TopNHeapSort" in line
+           for line in result.heuristic.topn_plan):
+        print("FAIL: heuristic leg's Top-N plan uses TopNHeapSort — "
+              "cost-mode machinery leaked into the default path")
+        failed = True
+    if result.cost.topn_seconds >= result.heuristic.topn_seconds:
+        print(f"FAIL: Top-N heap did not beat Sort+Limit "
+              f"({result.heuristic.topn_seconds:.6f}s -> "
+              f"{result.cost.topn_seconds:.6f}s)")
+        failed = True
+    if result.heuristic.optimizer_counters:
+        print(f"FAIL: heuristic leg ticked optimizer counters: "
+              f"{result.heuristic.optimizer_counters}")
+        failed = True
+    if result.cost.topn_rows != result.heuristic.topn_rows:
+        print("FAIL: Top-N rows differ between modes (the ordering is "
+              "total, so they must match exactly)")
+        failed = True
+    for number in sorted(result.heuristic.query_rows):
+        if not _optbench_rows_close(result.cost.query_rows[number],
+                                    result.heuristic.query_rows[number]):
+            print(f"FAIL: cost-leg values diverged on Q{number:02d}")
+            failed = True
+    return 1 if failed else 0
+
+
 def _run_latency_report(args) -> int:
     """Run the tracked wall-clock mix with the latency ledger on and
     render the per-request-kind SLO table plus the per-component
@@ -407,6 +517,7 @@ def main(argv: list[str] | None = None) -> int:
                                                        "wallclock",
                                                        "recoveryscaling",
                                                        "latency-report",
+                                                       "optbench",
                                                        "sentinel"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
@@ -428,6 +539,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recovery_scaling(args)
     if args.experiment == "latency-report":
         return _run_latency_report(args)
+    if args.experiment == "optbench":
+        return _run_optbench(args)
     if args.experiment == "sentinel":
         return _run_sentinel(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

@@ -1019,3 +1019,119 @@ def run_recovery_scaling(
                  leg["workload_seconds"]))
             result.fingerprints[(records, leg_name)] = leg["fingerprint"]
     return result
+
+
+# ---------------------------------------------------------------------------
+# Optbench: cost-based optimizer, heuristic vs cost legs
+# ---------------------------------------------------------------------------
+
+#: The scale the optimizer gates were calibrated at — large enough that
+#: statistics separate the TPC-H join orders, small enough for CI.
+OPTBENCH_SCALE = 0.005
+
+#: Top-N over lineitem *with* an ORDER BY (``top_n_lineitem`` has none):
+#: the query shape the TopNHeapSort rewrite targets.  The trailing key
+#: columns make the ordering total, so both modes must return exactly
+#: the same rows.
+OPTBENCH_TOPN_QUERY = (
+    "SELECT TOP 10 l_orderkey, l_linenumber, l_extendedprice "
+    "FROM lineitem "
+    "ORDER BY l_extendedprice DESC, l_orderkey, l_linenumber")
+
+
+@dataclass
+class OptbenchLeg:
+    mode: str
+    query_seconds: dict[int, float] = field(default_factory=dict)
+    query_rows: dict[int, list] = field(default_factory=dict)
+    topn_seconds: float = 0.0
+    topn_rows: list = field(default_factory=list)
+    topn_plan: list[str] = field(default_factory=list)
+    optimizer_counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.query_seconds.values()) + self.topn_seconds
+
+
+@dataclass
+class OptbenchResult:
+    scale: float
+    heuristic: OptbenchLeg = None
+    cost: OptbenchLeg = None
+
+    def faster_queries(self) -> list[int]:
+        """Table-1 queries the cost leg finishes strictly sooner."""
+        return [n for n in sorted(self.heuristic.query_seconds)
+                if self.cost.query_seconds[n]
+                < self.heuristic.query_seconds[n]]
+
+    def format(self) -> str:
+        body = []
+        for number in sorted(self.heuristic.query_seconds):
+            h = self.heuristic.query_seconds[number]
+            c = self.cost.query_seconds[number]
+            body.append([f"Q{number:02d}", h, c, c - h,
+                         c / h if h else float("inf")])
+        body.append(["TOP-N", self.heuristic.topn_seconds,
+                     self.cost.topn_seconds,
+                     self.cost.topn_seconds - self.heuristic.topn_seconds,
+                     self.cost.topn_seconds / self.heuristic.topn_seconds
+                     if self.heuristic.topn_seconds else float("inf")])
+        footers = [["Total", self.heuristic.total_seconds,
+                    self.cost.total_seconds,
+                    self.cost.total_seconds
+                    - self.heuristic.total_seconds,
+                    self.cost.total_seconds / self.heuristic.total_seconds
+                    if self.heuristic.total_seconds else float("inf")]]
+        table = format_table(
+            f"Optbench: heuristic vs cost-based plans (SF {self.scale}, "
+            f"virtual seconds)",
+            ["Query", "Heuristic", "Cost", "Difference", "Ratio"],
+            body, footers)
+        lines = [table, "",
+                 f"cost leg faster on {len(self.faster_queries())} "
+                 f"table-1 queries: "
+                 + " ".join(f"Q{n:02d}" for n in self.faster_queries()),
+                 "top-N plan (cost leg):"]
+        lines += [f"  {line}" for line in self.cost.topn_plan]
+        lines.append("optimizer counters (cost leg):")
+        lines += [f"  {name} = {value:g}" for name, value
+                  in sorted(self.cost.optimizer_counters.items())]
+        return "\n".join(lines)
+
+
+def _optbench_leg(mode: str, scale: float, seed: int) -> OptbenchLeg:
+    from repro.workloads.tpch.queries import QUERIES
+
+    server, _data = make_tpch_world(scale, seed)
+    app = BenchmarkApp(server)
+    if mode == "cost":
+        app.run_statement("ANALYZE", label="analyze")
+        server.meter.costs.optimizer_mode = "cost"
+    leg = OptbenchLeg(mode=mode)
+    for number in sorted(QUERIES):
+        start = server.meter.now
+        leg.query_rows[number] = app.query_rows(QUERIES[number])
+        leg.query_seconds[number] = server.meter.now - start
+    leg.topn_plan = [str(row[0]) for row in
+                     app.query_rows("EXPLAIN " + OPTBENCH_TOPN_QUERY)]
+    start = server.meter.now
+    leg.topn_rows = app.query_rows(OPTBENCH_TOPN_QUERY)
+    leg.topn_seconds = server.meter.now - start
+    leg.optimizer_counters = {
+        name: value for name, value in server.meter.counters.items()
+        if name.startswith("optimizer.")}
+    return leg
+
+
+def run_optbench(scale: float = OPTBENCH_SCALE,
+                 seed: int = 7) -> OptbenchResult:
+    """The table-1 power queries plus the Top-N query, once per
+    optimizer mode, on separately built but identically generated
+    worlds.  Virtual timings are deterministic, so the cost-vs-heuristic
+    deltas are exact plan-quality measurements, not noise."""
+    return OptbenchResult(scale=scale,
+                          heuristic=_optbench_leg("heuristic", scale,
+                                                  seed),
+                          cost=_optbench_leg("cost", scale, seed))

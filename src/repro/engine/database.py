@@ -130,6 +130,37 @@ def _sys_indexes(engine: "DatabaseEngine"):
     return columns, rows
 
 
+@system_view("sys_table_stats")
+def _sys_table_stats(engine: "DatabaseEngine"):
+    """ANALYZE output: one row per analyzed column (plus the table's
+    row/page counts), straight from the catalog's persisted stats."""
+    columns = [Column("table_name", SqlType.VARCHAR, 64),
+               Column("column_name", SqlType.VARCHAR, 64),
+               Column("row_count", SqlType.INTEGER),
+               Column("page_count", SqlType.INTEGER),
+               Column("ndv", SqlType.INTEGER),
+               Column("null_frac", SqlType.FLOAT),
+               Column("min_value", SqlType.VARCHAR, 64),
+               Column("max_value", SqlType.VARCHAR, 64),
+               Column("histogram_buckets", SqlType.INTEGER),
+               Column("stats_version", SqlType.INTEGER)]
+    rows = []
+    for name in sorted(engine.catalog.table_stats):
+        stats = engine.catalog.table_stats[name]
+        version = engine.catalog.stats_version_of(name)
+        for col_name, col in stats.get("columns", {}).items():
+            hist = col.get("histogram")
+            rows.append((name, col_name, stats.get("row_count", 0),
+                         stats.get("page_count", 0), col.get("ndv", 0),
+                         col.get("null_frac", 0.0),
+                         None if col.get("min") is None
+                         else str(col["min"]),
+                         None if col.get("max") is None
+                         else str(col["max"]),
+                         0 if not hist else len(hist) - 1, version))
+    return columns, rows
+
+
 @system_view("sys_procedures")
 def _sys_procedures(engine: "DatabaseEngine"):
     columns = [Column("name", SqlType.VARCHAR, 64),
@@ -191,6 +222,15 @@ class DatabaseEngine:
         if recover:
             self.catalog = Catalog.restore(
                 self.disk.read_blob("catalog_snapshot"))
+            # ANALYZE persists statistics in their own blob the moment
+            # they are collected (unlike DDL they are not WAL-logged), so
+            # stats taken after the last checkpoint still survive a crash.
+            stats_blob = self.disk.read_blob("table_stats_snapshot")
+            if stats_blob:
+                self.catalog.table_stats.update(
+                    stats_blob.get("table_stats", {}))
+                self.catalog.stats_versions.update(
+                    stats_blob.get("stats_versions", {}))
         else:
             self.catalog = Catalog()
         self._tables: dict[str, Table] = {}
@@ -292,6 +332,13 @@ class DatabaseEngine:
             return self.table(name, session)
 
         return provide
+
+    def _planner(self, session: EngineSession | None,
+                 params: dict | None) -> Planner:
+        """A planner wired to this engine (views + catalog statistics)."""
+        return Planner(self.table_provider(session), self.meter, params,
+                       view_provider=self.view_provider(),
+                       catalog=self.catalog)
 
     def _runtime(self, info: TableInfo) -> Table:
         runtime = self._tables.get(info.name)
@@ -760,8 +807,7 @@ class DatabaseEngine:
         stats = self.meter.executor_stats
         stats["expr_cache_misses"] = stats.get("expr_cache_misses", 0) + 1
         plan_params = dict(params)
-        planner = Planner(self.table_provider(session), self.meter,
-                          plan_params, view_provider=self.view_provider())
+        planner = self._planner(session, plan_params)
         plan = planner.plan_select(statement)
         entry = PlanCacheEntry(plan=plan, params=plan_params,
                                subqueries=list(planner.subquery_log),
@@ -804,8 +850,7 @@ class DatabaseEngine:
         self.meter.count("plan_cache_misses")
         stats["expr_cache_misses"] = stats.get("expr_cache_misses", 0) + 1
         plan_params = dict(params)
-        planner = Planner(self.table_provider(session), self.meter,
-                          plan_params, view_provider=self.view_provider())
+        planner = self._planner(session, plan_params)
         compiled = self._compile_dml(statement, session, planner)
         entry = PlanCacheEntry(plan=compiled, params=plan_params,
                                subqueries=list(planner.subquery_log),
@@ -854,6 +899,8 @@ class DatabaseEngine:
                 entry.temp_tables[name] = runtime
             else:
                 entry.table_versions[name] = self.catalog.version_of(name)
+                entry.stats_versions[name] = \
+                    self.catalog.stats_version_of(name)
         if entry.temp_tables:
             if session is not None:
                 session.plan_cache.put(key, entry)
@@ -913,6 +960,8 @@ class DatabaseEngine:
             return self._execute_select(statement, session, params)
         if isinstance(statement, ast.ExplainStatement):
             return self._execute_explain(statement, session, params)
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self._execute_analyze(statement, session)
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(statement, session, params)
         if isinstance(statement, ast.UpdateStatement):
@@ -996,8 +1045,7 @@ class DatabaseEngine:
     def _execute_select(self, statement: ast.SelectStatement,
                         session: EngineSession,
                         params: dict) -> StatementResult:
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         plan = planner.plan_select(statement)
         if session.in_transaction:
             for name in self._referenced_tables(statement):
@@ -1014,21 +1062,54 @@ class DatabaseEngine:
                          params: dict) -> StatementResult:
         from repro.sql.explain import explain_plan
 
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         plan = planner.plan_select(statement.select)
         lines = explain_plan(plan.root)
         columns = [Column("plan", SqlType.VARCHAR, 200)]
         return StatementResult.of_rows(columns,
                                        iter((line,) for line in lines))
 
+    def _execute_analyze(self, statement: ast.AnalyzeStatement,
+                         session: EngineSession) -> StatementResult:
+        """ANALYZE [table]: collect optimizer statistics.
+
+        The scan charges per-tuple CPU (amplified like any base-table
+        work); results land in the catalog (snapshotted at checkpoints)
+        *and* in a dedicated blob written immediately, so statistics
+        survive a crash that precedes the next checkpoint.  The stats
+        version bump invalidates cached plans compiled under stale
+        statistics (see :meth:`_remember_plan`).
+        """
+        from repro.sql.stats import collect_table_stats
+
+        costs = self.meter.costs
+        if statement.table is not None:
+            names = [self.catalog.get_table(statement.table).name]
+        else:
+            names = sorted(name for name, info in self.catalog.tables.items()
+                           if not info.volatile)
+        for name in names:
+            runtime = self.table(name, session)
+            stats = collect_table_stats(
+                runtime, buckets=costs.analyze_histogram_buckets)
+            per_tuple = costs.cpu_per_tuple_analyze * runtime.cost_factor
+            if per_tuple > 0 and stats["row_count"]:
+                self.meter.charge_rows(SERVER_CPU, per_tuple,
+                                       stats["row_count"], "analyze scan")
+            self.catalog.set_table_stats(name, stats)
+        if names:
+            self.disk.write_blob("table_stats_snapshot", {
+                "table_stats": dict(self.catalog.table_stats),
+                "stats_versions": dict(self.catalog.stats_versions),
+            })
+        return StatementResult.ok(f"analyzed {len(names)} table(s)")
+
     # -- INSERT -------------------------------------------------------------
 
     def _execute_insert(self, statement: ast.InsertStatement,
                         session: EngineSession,
                         params: dict) -> StatementResult:
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         return self._run_dml(self._compile_dml(statement, session, planner),
                              session)
 
@@ -1113,8 +1194,7 @@ class DatabaseEngine:
     def _execute_update(self, statement: ast.UpdateStatement,
                         session: EngineSession,
                         params: dict) -> StatementResult:
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         return self._run_dml(self._compile_dml(statement, session, planner),
                              session)
 
@@ -1143,8 +1223,7 @@ class DatabaseEngine:
     def _execute_delete(self, statement: ast.DeleteStatement,
                         session: EngineSession,
                         params: dict) -> StatementResult:
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         return self._run_dml(self._compile_dml(statement, session, planner),
                              session)
 
@@ -1284,8 +1363,7 @@ class DatabaseEngine:
         if not isinstance(body, (ast.SelectStatement, ast.UnionSelect)):
             raise PlanningError("a view definition must be a SELECT")
         # Validate the definition by planning it now.
-        Planner(self.table_provider(session), self.meter,
-                view_provider=self.view_provider()).plan_select(body)
+        self._planner(session, None).plan_select(body)
         with DatabaseEngine._TxnScope(self, session) as txn:
             self.catalog.create_view(statement.name, statement.body_sql)
             self.txns.log_create_view(txn, statement.name.lower(),
@@ -1315,8 +1393,7 @@ class DatabaseEngine:
                       session: EngineSession,
                       params: dict) -> StatementResult:
         proc = self.catalog.get_procedure(statement.name)
-        planner = Planner(self.table_provider(session), self.meter, params,
-                          view_provider=self.view_provider())
+        planner = self._planner(session, params)
         ctx = EvalContext(row=())
         arg_values = [planner.compile_scalar(a)(ctx) for a in statement.args]
         if len(arg_values) != len(proc.param_names):

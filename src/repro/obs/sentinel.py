@@ -45,6 +45,14 @@ METRIC_TOLERANCES: dict[str, float] = {
     "fetch_requests": 0.0,
     "redo_applied": 0.0,
     "result_cache_hits": 0.0,
+    # Cost-based-optimizer counters: heuristic legs must stay at zero
+    # (any growth means cost-mode machinery leaked into the default
+    # path); cost legs are judged against their own group's history.
+    "optimizer.plans_costed": 0.0,
+    "optimizer.join_orders_considered": 0.0,
+    "optimizer.topn_heap_used": 0.0,
+    "optimizer.sortmerge_chosen": 0.0,
+    "optimizer.stats_missing_fallbacks": 0.0,
     "virtual_seconds": 1e-9,
     "recovery_seconds": 1e-6,
     "p95_execute_seconds": 1e-9,

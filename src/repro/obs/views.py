@@ -165,6 +165,25 @@ def _sys_result_cache(engine):
     return columns, rows
 
 
+@system_view("sys_optimizer")
+def _sys_optimizer(engine):
+    """Cost-based-optimizer observability (the ``optimizer.*`` family).
+
+    Counters accumulate at plan time and only in cost mode
+    (``optimizer_mode = 'cost'``): plans costed, join orders enumerated,
+    Top-N heap sorts and sort-merge joins chosen, and how often the
+    planner fell back to defaults because a table was never ANALYZEd.
+    Empty on heuristic legs — the sentinel holds that at zero growth.
+    """
+    columns = [Column("metric", SqlType.VARCHAR, 64),
+               Column("value", SqlType.BIGINT)]
+    counters = engine.meter.counters
+    rows = [(name, int(counters[name]))
+            for name in sorted(counters)
+            if name.startswith("optimizer.")]
+    return columns, rows
+
+
 @system_view("sys_latency")
 def _sys_latency(engine):
     """Per-request-kind latency SLOs from the request latency ledger.

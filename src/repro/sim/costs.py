@@ -134,6 +134,22 @@ class CostModel:
     #: committed-version mirror).
     result_cache_probe_seconds: float = 0.0004
 
+    # -- query optimizer (default = seed-identical heuristic planning) -------
+    #: Plan selection strategy.  ``"heuristic"`` keeps the seed planner:
+    #: FROM-order left-deep joins, the fixed HashJoin-vs-NLJ rule, and
+    #: Sort+Limit for TOP N.  ``"cost"`` enables the statistics-driven
+    #: optimizer: cardinality estimation from ANALYZE statistics, join
+    #: reordering, cost-based join algorithm and build-side selection,
+    #: and TopNHeapSort pushdown.  The default keeps every historical
+    #: trace bit-identical (same convention as
+    #: ``async_commit_window_seconds``).
+    optimizer_mode: str = "heuristic"
+    #: Equi-depth histogram buckets ANALYZE collects per column.
+    analyze_histogram_buckets: int = 16
+    #: Per-tuple server CPU charged by ANALYZE while scanning a table to
+    #: build statistics (sketch maintenance on top of the heap scan).
+    cpu_per_tuple_analyze: float = 4e-6
+
     # -- server CPU --------------------------------------------------------
     cpu_per_tuple_scan: float = 8e-6
     cpu_per_tuple_join: float = 1.2e-5
@@ -241,6 +257,16 @@ class CostModel:
         import math
 
         return self.cpu_per_tuple_sort * num_tuples * math.log2(num_tuples)
+
+    def topn_seconds(self, num_tuples: int, limit: int) -> float:
+        """CPU time for a bounded-heap top-N over ``num_tuples``
+        (n log k instead of the full sort's n log n)."""
+        if num_tuples <= 1 or limit <= 0:
+            return 0.0
+        import math
+
+        k = min(num_tuples, max(2, limit))
+        return self.cpu_per_tuple_sort * num_tuples * math.log2(k)
 
     def rows_per_page(self, row_width_bytes: int) -> int:
         """How many rows of the given width fit on one page (at least 1)."""

@@ -328,6 +328,14 @@ class ExplainStatement(Statement):
 
 
 @dataclass
+class AnalyzeStatement(Statement):
+    """ANALYZE [table]: collect optimizer statistics (all tables when
+    no name is given)."""
+
+    table: str | None = None
+
+
+@dataclass
 class BeginTransactionStatement(Statement):
     pass
 

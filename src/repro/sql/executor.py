@@ -294,6 +294,11 @@ class IndexSeek(PlanOperator):
         #: set by the planner when this scan's key order made a Sort
         #: unnecessary; counted per *execution* (plan-cache hits too).
         self.eliminates_sort = False
+        #: set by the cost-based planner when a Limit above needs at
+        #: most this many rows and nothing in between drops rows.  A
+        #: host-side early stop only: the downstream Limit stops pulling
+        #: at the same row, so virtual charges are unchanged.
+        self.limit_hint: int | None = None
         self._key_slots: list[int] | None = None
 
     def rows(self, exec_ctx: ExecContext):
@@ -302,9 +307,14 @@ class IndexSeek(PlanOperator):
             per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
                          if costs else 0.0)
             self._count_scan(exec_ctx)
+            hint = self.limit_hint
+            emitted = 0
             for key, _rid in self._matching_entries(exec_ctx):
                 exec_ctx.charge_cpu(per_tuple)
                 yield self._synth_row(key)
+                emitted += 1
+                if hint is not None and emitted >= hint:
+                    return
             return
         for _rid, row in self.rows_with_rids(exec_ctx):
             yield row
@@ -387,12 +397,17 @@ class IndexSeek(PlanOperator):
                      if costs else 0.0)
         self._count_scan(exec_ctx)
         rids = self._matching_rids(exec_ctx)
+        hint = self.limit_hint
+        emitted = 0
         for rid in rids:
             row = self.table.heap.read(rid)
             if row is None:
                 continue
             exec_ctx.charge_cpu(per_tuple)
             yield rid, row
+            emitted += 1
+            if hint is not None and emitted >= hint:
+                return
 
     def batches(self, exec_ctx: ExecContext):
         costs = exec_ctx.costs
@@ -402,10 +417,15 @@ class IndexSeek(PlanOperator):
         stats = _stats(exec_ctx)
         batch_key = "batches." + type(self).__name__
         self._count_scan(exec_ctx)
+        hint = self.limit_hint
+        emitted = 0
         if self.index_only:
             for key, _rid in self._matching_entries(exec_ctx):
                 _count_batch(stats, batch_key)
                 yield [self._synth_row(key)], run
+                emitted += 1
+                if hint is not None and emitted >= hint:
+                    return
             return
         rids = self._matching_rids(exec_ctx)
         read = self.table.heap.read
@@ -417,6 +437,9 @@ class IndexSeek(PlanOperator):
                 continue
             _count_batch(stats, batch_key)
             yield [row], run
+            emitted += 1
+            if hint is not None and emitted >= hint:
+                return
 
     def _lower_key(self, prefix: tuple, ctx, index_width: int):
         if self.lo_fn is not None:
@@ -847,6 +870,154 @@ class HashJoin(PlanOperator):
                 yield out, out_costs
 
 
+class SortMergeJoin(PlanOperator):
+    """Sort-merge equi join (inner only), chosen by the cost-based
+    planner when both inputs already arrive in join-key order (or one
+    is cheap enough to sort).
+
+    Each input row is consumed exactly once at scan rate
+    (``cpu_per_tuple_scan``) instead of the hash join's build/probe rate
+    (``cpu_per_tuple_join``); any input *not* key-ordered additionally
+    pays ``sort_seconds``.  NULL keys are dropped before the merge — an
+    inner equi join can never match them.
+    """
+
+    def __init__(self, left: PlanOperator, right: PlanOperator,
+                 left_key_fns: list, right_key_fns: list, residual=None,
+                 left_width: int = 0, right_width: int = 0,
+                 left_sorted: bool = False, right_sorted: bool = False,
+                 cost_factor: float = 1.0):
+        self.left = left
+        self.right = right
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+        self.residual = residual
+        self.left_width = left_width
+        self.right_width = right_width
+        self.left_sorted = left_sorted
+        self.right_sorted = right_sorted
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.left, self.right]
+
+    def _impure(self) -> bool:
+        return (is_impure(self.residual)
+                or any(is_impure(fn) for fn in self.left_key_fns)
+                or any(is_impure(fn) for fn in self.right_key_fns))
+
+    def _keyed(self, rows: list, key_fns: list, outer) -> list:
+        slots = _all_slots(key_fns)
+        keyed = []
+        if slots is not None:
+            for row in rows:
+                key = tuple(row[i] for i in slots)
+                if None in key:
+                    continue
+                keyed.append((key, row))
+        else:
+            ctx = EvalContext(row=(), outer=outer)
+            for row in rows:
+                ctx.row = row
+                key = tuple(fn(ctx) for fn in key_fns)
+                if None in key:
+                    continue
+                keyed.append((key, row))
+        # Stable sort: equal keys keep input order, so the merge emits
+        # the same left-major order a hash probe of ordered inputs
+        # would.  Presorted inputs are charged nothing for this (the
+        # host-side sort of an ordered list is linear and free in
+        # virtual time); unsorted inputs were charged sort_seconds by
+        # the caller.
+        keyed.sort(key=itemgetter(0))
+        return keyed
+
+    def _merge(self, left_keyed: list, right_keyed: list, outer):
+        residual = self.residual
+        ctx = EvalContext(row=(), outer=outer)
+        i, j = 0, 0
+        nl, nr = len(left_keyed), len(right_keyed)
+        while i < nl and j < nr:
+            lkey = left_keyed[i][0]
+            rkey = right_keyed[j][0]
+            if lkey < rkey:
+                i += 1
+                continue
+            if rkey < lkey:
+                j += 1
+                continue
+            i2 = i
+            while i2 < nl and left_keyed[i2][0] == lkey:
+                i2 += 1
+            j2 = j
+            while j2 < nr and right_keyed[j2][0] == lkey:
+                j2 += 1
+            for li in range(i, i2):
+                left_row = left_keyed[li][1]
+                for rj in range(j, j2):
+                    combined = left_row + right_keyed[rj][1]
+                    if residual is not None:
+                        ctx.row = combined
+                        if residual(ctx) is not True:
+                            continue
+                    yield combined
+            i, j = i2, j2
+
+    def rows(self, exec_ctx: ExecContext):
+        costs = exec_ctx.costs
+        per_tuple = (costs.cpu_per_tuple_scan * self.cost_factor
+                     if costs else 0.0)
+        left_rows = []
+        for row in self.left.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            left_rows.append(row)
+        right_rows = []
+        for row in self.right.rows(exec_ctx):
+            exec_ctx.charge_cpu(per_tuple)
+            right_rows.append(row)
+        if costs is not None:
+            if not self.left_sorted:
+                exec_ctx.charge_cpu(costs.sort_seconds(len(left_rows))
+                                    * self.cost_factor)
+            if not self.right_sorted:
+                exec_ctx.charge_cpu(costs.sort_seconds(len(right_rows))
+                                    * self.cost_factor)
+        outer = exec_ctx.outer
+        left_keyed = self._keyed(left_rows, self.left_key_fns, outer)
+        right_keyed = self._keyed(right_rows, self.right_key_fns, outer)
+        yield from self._merge(left_keyed, right_keyed, outer)
+
+    def batches(self, exec_ctx: ExecContext):
+        if self._impure():
+            yield from _row_fallback_batches(self, exec_ctx)
+            return
+        costs_model = exec_ctx.costs
+        per_tuple = (costs_model.cpu_per_tuple_scan * self.cost_factor
+                     if costs_model else 0.0)
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        left_rows: list = []
+        for rows, costs in self.left.batches(exec_ctx):
+            _charge_deferred(meter, len(rows), costs, per_tuple)
+            left_rows.extend(rows)
+        right_rows: list = []
+        for rows, costs in self.right.batches(exec_ctx):
+            _charge_deferred(meter, len(rows), costs, per_tuple)
+            right_rows.extend(rows)
+        if costs_model is not None:
+            if not self.left_sorted:
+                exec_ctx.charge_cpu(costs_model.sort_seconds(len(left_rows))
+                                    * self.cost_factor)
+            if not self.right_sorted:
+                exec_ctx.charge_cpu(costs_model.sort_seconds(len(right_rows))
+                                    * self.cost_factor)
+        outer = exec_ctx.outer
+        left_keyed = self._keyed(left_rows, self.left_key_fns, outer)
+        right_keyed = self._keyed(right_rows, self.right_key_fns, outer)
+        _count_batch(stats, "batches.SortMergeJoin")
+        yield list(self._merge(left_keyed, right_keyed, outer)), None
+
+
 class NestedLoopJoin(PlanOperator):
     """Fallback join for non-equi conditions; kinds: inner/left/cross."""
 
@@ -1184,6 +1355,88 @@ def _null_safe_key(value):
     if value is None:
         return (0, 0)
     return (1, value)
+
+
+class _Descending:
+    """Inverts comparisons for one component of a composite sort key,
+    so mixed ASC/DESC orderings collapse into a single stable sort."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return other.value == self.value
+
+
+class TopNHeapSort(PlanOperator):
+    """Bounded-heap ORDER BY + TOP N (cost-based plans only).
+
+    Replaces ``Limit(Sort(child))``: only the top ``count`` rows are
+    retained, so the charged CPU is ``n log k`` (:meth:`CostModel.
+    topn_seconds`) instead of the full sort's ``n log n``.  The output
+    is exactly what Sort+Limit would produce: ``heapq.nsmallest`` is
+    documented equivalent to ``sorted(...)[:n]`` (stable), and the
+    composite key reproduces the multi-pass stable sort's ordering,
+    NULL placement included.
+    """
+
+    def __init__(self, child: PlanOperator, keys: list[SortKey],
+                 count: int, cost_factor: float = 1.0):
+        self.child = child
+        self.keys = keys
+        self.count = count
+        self.cost_factor = cost_factor
+
+    def children(self):
+        return [self.child]
+
+    def _key_of(self, exec_ctx: ExecContext):
+        keys = self.keys
+        outer = exec_ctx.outer
+
+        def composite(row):
+            ctx = EvalContext(row=row, outer=outer)
+            return tuple(
+                _Descending(_null_safe_key(k.key_fn(ctx)))
+                if k.descending else _null_safe_key(k.key_fn(ctx))
+                for k in keys)
+
+        return composite
+
+    def _select_top(self, rows: list, exec_ctx: ExecContext) -> list:
+        if self.count <= 0:
+            return []
+        import heapq
+
+        return heapq.nsmallest(self.count, rows, key=self._key_of(exec_ctx))
+
+    def rows(self, exec_ctx: ExecContext):
+        rows = list(self.child.rows(exec_ctx))
+        costs = exec_ctx.costs
+        if costs is not None:
+            exec_ctx.charge_cpu(costs.topn_seconds(len(rows), self.count)
+                                * self.cost_factor)
+        yield from self._select_top(rows, exec_ctx)
+
+    def batches(self, exec_ctx: ExecContext):
+        meter = exec_ctx.meter
+        stats = _stats(exec_ctx)
+        rows: list = []
+        for batch_rows, costs in self.child.batches(exec_ctx):
+            _charge_deferred(meter, len(batch_rows), costs, 0.0)
+            rows.extend(batch_rows)
+        costs_model = exec_ctx.costs
+        if costs_model is not None:
+            exec_ctx.charge_cpu(
+                costs_model.topn_seconds(len(rows), self.count)
+                * self.cost_factor)
+        _count_batch(stats, "batches.TopNHeapSort")
+        yield self._select_top(rows, exec_ctx), None
 
 
 # ---------------------------------------------------------------------------

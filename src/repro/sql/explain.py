@@ -23,6 +23,8 @@ from repro.sql.executor import (
     SeqScan,
     SingleRowScan,
     Sort,
+    SortMergeJoin,
+    TopNHeapSort,
 )
 
 
@@ -34,7 +36,14 @@ def explain_plan(root: PlanOperator) -> list[str]:
 
 
 def _walk(op: PlanOperator, depth: int, lines: list[str]) -> None:
-    lines.append("  " * depth + _describe(op))
+    line = _describe(op)
+    # Cost-based plans carry the optimizer's estimates; heuristic plans
+    # have no such attributes and render exactly as before.
+    est_rows = getattr(op, "est_rows", None)
+    if est_rows is not None:
+        est_cost = getattr(op, "est_cost", 0.0)
+        line += f"  [est_rows={est_rows:.0f} est_cost={est_cost:.6f}]"
+    lines.append("  " * depth + line)
     for child in op.children():
         _walk(child, depth + 1, lines)
 
@@ -69,6 +78,18 @@ def _describe(op: PlanOperator) -> str:
     if isinstance(op, NestedLoopJoin):
         cond = " cond" if op.condition is not None else ""
         return f"NestedLoopJoin({op.kind}{cond})"
+    if isinstance(op, SortMergeJoin):
+        residual = " residual" if op.residual is not None else ""
+        presorted = []
+        if op.left_sorted:
+            presorted.append("left-sorted")
+        if op.right_sorted:
+            presorted.append("right-sorted")
+        note = (" " + " ".join(presorted)) if presorted else ""
+        return (f"SortMergeJoin(keys={len(op.left_key_fns)}"
+                f"{note}{residual})")
+    if isinstance(op, TopNHeapSort):
+        return f"TopNHeapSort(n={op.count} keys={len(op.keys)})"
     if isinstance(op, HashAggregate):
         return (f"HashAggregate(groups={len(op.group_fns)} "
                 f"aggs={len(op.agg_specs)})")

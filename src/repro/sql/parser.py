@@ -124,6 +124,15 @@ class _Parser:
         if word == "EXPLAIN":
             self.advance()
             return ast.ExplainStatement(select=self.parse_select())
+        if word == "ANALYZE":
+            self.advance()
+            table = None
+            next_token = self.peek()
+            if not (next_token.type is TokenType.END
+                    or (next_token.type is TokenType.OPERATOR
+                        and next_token.value == ";")):
+                table = self.expect_identifier()
+            return ast.AnalyzeStatement(table=table)
         if word == "INSERT":
             return self.parse_insert()
         if word == "UPDATE":

@@ -501,7 +501,13 @@ class PlanCacheEntry:
     #: (the shared-lock set for transactional reads).  Computed lazily on
     #: first transactional use; a pure function of the template AST.
     lock_tables: list[str] | None = None
+    #: Referenced name -> catalog *statistics* version at compile time.
+    #: ANALYZE bumps the counter, so plans costed under stale statistics
+    #: are invalidated and replanned exactly like post-DDL plans.
+    stats_versions: dict[str, int] = field(default_factory=dict)
 
     def is_valid(self, catalog) -> bool:
-        return all(catalog.version_of(name) == version
-                   for name, version in self.table_versions.items())
+        return (all(catalog.version_of(name) == version
+                    for name, version in self.table_versions.items())
+                and all(catalog.stats_version_of(name) == version
+                        for name, version in self.stats_versions.items()))

@@ -23,10 +23,12 @@ executes them (memoized per outer-key by the compiler).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 
 from repro.errors import ColumnNotFoundError, PlanningError
 from repro.sim.costs import SERVER_CPU
 from repro.sql import ast
+from repro.sql import stats as table_stats
 from repro.sql.executor import (
     AggregateSpec,
     Concat,
@@ -46,6 +48,8 @@ from repro.sql.executor import (
     SingleRowScan,
     Sort,
     SortKey,
+    SortMergeJoin,
+    TopNHeapSort,
     iterate_plan,
     run_plan,
 )
@@ -93,6 +97,12 @@ class _Relation:
     #: Base-table runtime when this relation is a plain table scan whose
     #: access path has not been chosen yet.
     table: object = None
+    #: Cost-mode cardinality estimate (None in heuristic mode, and for
+    #: relations the cost planner never estimated).
+    est_rows: float | None = None
+    #: binding name -> base table name, for catalog statistics lookups
+    #: on join-key columns (empty for derived tables).
+    binding_tables: dict[str, str] = field(default_factory=dict)
 
 
 class Planner:
@@ -104,10 +114,16 @@ class Planner:
     """
 
     def __init__(self, table_provider, meter=None,
-                 params: dict | None = None, view_provider=None):
+                 params: dict | None = None, view_provider=None,
+                 catalog=None):
         self._tables = table_provider
         self._meter = meter
         self._params = params or {}
+        #: Catalog giving access to ANALYZE statistics.  Cost-based
+        #: planning activates only when a catalog is wired *and* the
+        #: cost model asks for it (``optimizer_mode == "cost"``); the
+        #: default heuristic mode takes exactly the seed code paths.
+        self._catalog = catalog
         #: Optional callable(name) -> view body SQL or None; view names
         #: in FROM expand to derived tables.
         self._views = view_provider
@@ -125,6 +141,19 @@ class Planner:
         scope = Scope(bindings, outer=outer)
         self._scope_log.append(scope)
         return scope
+
+    @property
+    def _cost_mode(self) -> bool:
+        """True when cost-based planning is on for this planner."""
+        return (self._catalog is not None and self._meter is not None
+                and self._meter.costs.optimizer_mode == "cost")
+
+    def _count_opt(self, name: str, amount: float = 1.0) -> None:
+        """Tick an ``optimizer.*`` counter.  Called only from cost-mode
+        paths, so heuristic traces stay counter-free; plan-time counting
+        is also identical across executor modes."""
+        if self._meter is not None:
+            self._meter.count(name, amount)
 
     # -- public API ------------------------------------------------------------
 
@@ -183,11 +212,19 @@ class Planner:
                      limit_one: bool = False) -> Plan:
         if isinstance(select, ast.UnionSelect):
             return self._plan_union(select, outer_scope, limit_one)
+        if self._cost_mode:
+            self._count_opt("optimizer.plans_costed")
         # 1. FROM (join planning consumes the WHERE conjuncts it can and
         # returns the leftovers for the residual filter).
         if select.from_items:
+            # A bare ``*`` projection takes its column order from the
+            # FROM order, so join reordering must leave it alone.
+            reorder_ok = not any(
+                isinstance(item.expr, ast.Star) and item.expr.table is None
+                for item in select.select_items)
             op, schema, late_conjuncts = self._plan_from(
-                select.from_items, select.where, outer_scope)
+                select.from_items, select.where, outer_scope,
+                reorder_ok=reorder_ok)
         else:
             op, schema = SingleRowScan(), []
             late_conjuncts = _split_conjuncts(select.where)
@@ -253,24 +290,46 @@ class Planner:
             self._single_base_scan(op, select).eliminates_sort = True
         post_sort_keys = self._order_keys_on_output(
             select.order_by, select_items, out_schema)
+        # Cost mode fuses TOP N + ORDER BY into a bounded-heap TopN (the
+        # n log k vs n log n win).  A Limit above a projection is safe to
+        # fuse below it (Project is 1:1) but never below Distinct, which
+        # drops rows *between* the sort and the limit in the pre-sort
+        # placement.
+        top = select.top
+        if limit_one:
+            top = 1 if top is None else min(top, 1)
+        use_topn = (self._cost_mode and need_sort
+                    and top is not None and top > 0)
         if post_sort_keys is None and need_sort:
             pre_keys = [SortKey(key_fn=compiler.compile(o.expr),
                                 descending=o.descending)
                         for o in select.order_by]
-            op = Sort(op, pre_keys, cost_factor=factor)
+            if use_topn and not select.distinct:
+                op = TopNHeapSort(op, pre_keys, top, cost_factor=factor)
+                self._count_opt("optimizer.topn_heap_used")
+                top = None  # consumed by the heap
+            else:
+                op = Sort(op, pre_keys, cost_factor=factor)
         op = Project(op, out_exprs)
         op = _maybe_point_lookup(op)
         if select.distinct:
             op = Distinct(op, cost_factor=factor)
         if post_sort_keys is not None and need_sort:
-            op = Sort(op, post_sort_keys, cost_factor=factor)
+            if use_topn:
+                op = TopNHeapSort(op, post_sort_keys, top,
+                                  cost_factor=factor)
+                self._count_opt("optimizer.topn_heap_used")
+                top = None
+            else:
+                op = Sort(op, post_sort_keys, cost_factor=factor)
 
         # 7. TOP / limit-one (EXISTS probes)
-        top = select.top
-        if limit_one:
-            top = 1 if top is None else min(top, 1)
         if top is not None:
+            if self._cost_mode:
+                _push_limit_hint(op, top)
             op = Limit(op, top)
+        if self._cost_mode:
+            self._annotate_plan(op)
         return Plan(root=op, schema=out_schema)
 
     def _plan_union(self, union: ast.UnionSelect,
@@ -345,7 +404,8 @@ class Planner:
 
     def _plan_from(self, from_items: list[ast.TableRef],
                    where: ast.Expr | None,
-                   outer_scope: Scope | None):
+                   outer_scope: Scope | None,
+                   reorder_ok: bool = True):
         """Plan the FROM clause; returns (op, schema, leftover conjuncts).
 
         Two phases: first every FROM item is *prepared* (schemas known,
@@ -353,6 +413,12 @@ class Planner:
         column references in WHERE conjuncts can be attributed to their
         relation; then conjuncts are placed — pushed to single relations,
         mined for hash-join keys, or left for the caller's filter.
+
+        In cost mode the comma-list fold order is chosen from ANALYZE
+        statistics instead of the FROM order (``reorder_ok`` is False
+        when a bare ``*`` projection depends on the FROM column order).
+        Single-relation conjuncts are consumed by their own relation
+        before the fold, so placement is order-independent.
         """
         prepared = [self._prepare_table_ref(item, outer_scope)
                     for item in from_items]
@@ -360,11 +426,20 @@ class Planner:
             [bc for rel in prepared for bc in rel.schema])
         conjuncts = [_Conjunct(e, column_owner, ambiguous)
                      for e in _split_conjuncts(where)]
+        cost_join = (self._cost_mode and reorder_ok and len(prepared) > 1)
+        if cost_join:
+            prepared = self._order_join_tree(prepared, conjuncts,
+                                             column_owner, outer_scope)
         for rel in prepared:
             self._finish_relation(rel, conjuncts, outer_scope)
+        if cost_join:
+            for rel in prepared:
+                if rel.op is not None and rel.est_rows is not None:
+                    rel.op.est_rows = rel.est_rows
         acc = prepared[0]
         for rel in prepared[1:]:
-            acc = self._join_relations(acc, rel, conjuncts, outer_scope)
+            acc = self._join_relations(acc, rel, conjuncts, outer_scope,
+                                       swap_ok=cost_join)
         late = [c.expr for c in conjuncts if not c.consumed]
         return acc.op, acc.schema, late
 
@@ -391,6 +466,7 @@ class Planner:
                       for c in table.info.columns]
             rel = _Relation(op=None, schema=schema, bindings={binding})
             rel.table = table
+            rel.binding_tables = {binding: table.info.name}
             return rel
         if isinstance(item, ast.DerivedTable):
             subplan = self._plan_select(item.select, outer_scope)
@@ -472,22 +548,32 @@ class Planner:
                         conjuncts: list["_Conjunct"],
                         outer_scope: Scope | None,
                         kind: str = "inner",
-                        require_all: bool = False) -> _Relation:
+                        require_all: bool = False,
+                        swap_ok: bool = False) -> _Relation:
         """Join two relations, mining ``conjuncts`` for equi keys.
 
         ``require_all`` (explicit ON clauses) forces every conjunct into
         the join (residual) rather than a later filter — necessary for
-        LEFT join semantics.
+        LEFT join semantics.  ``swap_ok`` (cost-mode comma folds) allows
+        build-side selection: the hash join builds on its *right* input,
+        so the side with the smaller cardinality estimate is moved there.
         """
+        owner, _ambiguous = _column_owner_map(left.schema + right.schema)
+        if (swap_ok and self._cost_mode and kind == "inner"
+                and left.est_rows is not None
+                and right.est_rows is not None
+                and left.est_rows < right.est_rows
+                and self._mine_equi_pairs(left, right, conjuncts, owner)):
+            left, right = right, left
         combined_schema = left.schema + right.schema
         combined_bindings = left.bindings | right.bindings
         scope = self._new_scope(_scope_bindings(combined_schema), outer_scope)
         left_scope = self._new_scope(_scope_bindings(left.schema), outer_scope)
         right_scope = self._new_scope(_scope_bindings(right.schema),
                                       outer_scope)
-        owner, _ambiguous = _column_owner_map(combined_schema)
 
         left_keys, right_keys, residual = [], [], []
+        key_pairs: list[tuple[ast.Expr, ast.Expr]] = []
         for c in conjuncts:
             if c.consumed or c.has_subquery:
                 continue
@@ -500,6 +586,7 @@ class Planner:
                     self._compiler(left_scope).compile(left_expr))
                 right_keys.append(
                     self._compiler(right_scope).compile(right_expr))
+                key_pairs.append(pair)
                 c.consumed = True
             elif require_all or kind == "left":
                 residual.append(c.expr)
@@ -516,20 +603,40 @@ class Planner:
         if residual:
             residual_fn = self._compiler(scope).compile(
                 _combine_conjuncts(residual))
+        est_out = None
+        if (self._cost_mode and left.est_rows is not None
+                and right.est_rows is not None):
+            est_out = self._estimate_join_output(left, right, key_pairs)
         if left_keys:
-            op = HashJoin(left.op, right.op, left_keys, right_keys,
-                          kind=("left" if kind == "left" else "inner"),
-                          residual=residual_fn,
-                          left_width=len(left.schema),
-                          right_width=len(right.schema),
-                          cost_factor=factor)
+            if (self._cost_mode and kind == "inner"
+                    and self._choose_sort_merge(left, right, key_pairs)):
+                self._count_opt("optimizer.sortmerge_chosen")
+                op = SortMergeJoin(left.op, right.op, left_keys,
+                                   right_keys, residual=residual_fn,
+                                   left_width=len(left.schema),
+                                   right_width=len(right.schema),
+                                   left_sorted=True, right_sorted=True,
+                                   cost_factor=factor)
+            else:
+                op = HashJoin(left.op, right.op, left_keys, right_keys,
+                              kind=("left" if kind == "left" else "inner"),
+                              residual=residual_fn,
+                              left_width=len(left.schema),
+                              right_width=len(right.schema),
+                              cost_factor=factor)
         else:
             op = NestedLoopJoin(left.op, right.op, condition=residual_fn,
                                 kind=("left" if kind == "left" else "inner"),
                                 right_width=len(right.schema),
                                 cost_factor=factor)
-        return _Relation(op=op, schema=combined_schema,
-                         bindings=combined_bindings)
+        joined = _Relation(op=op, schema=combined_schema,
+                           bindings=combined_bindings)
+        joined.binding_tables = {**left.binding_tables,
+                                 **right.binding_tables}
+        if est_out is not None:
+            joined.est_rows = est_out
+            op.est_rows = est_out
+        return joined
 
     def _equi_key(self, expr: ast.Expr, left: _Relation,
                   right: _Relation, owner: dict[str, str]):
@@ -660,6 +767,378 @@ class Planner:
             return True
         except (ColumnNotFoundError, PlanningError):
             return False
+
+    # -- cost-based planning (optimizer_mode == "cost") ------------------------
+
+    #: Cardinality fallback when a relation has no ANALYZE statistics.
+    _DEFAULT_ROWS = 1000.0
+    #: Selectivity fallback for predicates statistics cannot estimate.
+    _DEFAULT_SEL = 0.25
+    #: Join orders are enumerated exhaustively (left-deep dynamic
+    #: programming) up to this many relations; beyond it a greedy
+    #: smallest-intermediate heuristic keeps planning linear-ish.
+    _DP_RELATION_LIMIT = 6
+
+    def _const_value(self, expr: ast.Expr, const_scope: Scope):
+        """Evaluate ``expr`` at plan time when it is a plan-time constant
+        (literal, arithmetic over literals, bound parameter); None when
+        it is not, or evaluation fails (e.g. outer correlations)."""
+        if _has_subquery(expr) or not self._is_constantish(expr,
+                                                          const_scope):
+            return None
+        try:
+            fn = self._compiler(const_scope).compile(expr)
+            return fn(EvalContext(row=()))
+        except Exception:
+            return None
+
+    def _relation_selectivity(self, table, stats: dict,
+                              exprs: list[ast.Expr],
+                              const_scope: Scope) -> float:
+        """Combined selectivity of a relation's pushed conjuncts, from
+        its column statistics (equality via NDV, ranges via histograms,
+        independence with the sanity clamp)."""
+        sels: list[float] = []
+        range_lo: dict[str, tuple[object, bool]] = {}
+        range_hi: dict[str, tuple[object, bool]] = {}
+        for expr in exprs:
+            handled = False
+            if isinstance(expr, ast.Between) and not expr.negated \
+                    and isinstance(expr.operand, ast.ColumnRef):
+                col = table_stats.column_stats(stats, expr.operand.name)
+                lo = self._const_value(expr.low, const_scope)
+                hi = self._const_value(expr.high, const_scope)
+                if col is not None and lo is not None and hi is not None:
+                    sels.append(table_stats.range_selectivity(
+                        col, lo, hi, True, True))
+                    handled = True
+            else:
+                parsed = self._index_conjunct(expr, table)
+                if parsed is not None:
+                    column, op, rhs = parsed
+                    value = self._const_value(rhs, const_scope)
+                    col = table_stats.column_stats(stats, column)
+                    if col is not None and value is not None:
+                        if op == "=":
+                            sels.append(
+                                table_stats.equality_selectivity(col))
+                            handled = True
+                        elif op in (">", ">="):
+                            range_lo.setdefault(column, (value, op == ">="))
+                            handled = True
+                        elif op in ("<", "<="):
+                            range_hi.setdefault(column, (value, op == "<="))
+                            handled = True
+            if not handled:
+                sels.append(self._DEFAULT_SEL)
+        for column in sorted(set(range_lo) | set(range_hi)):
+            col = table_stats.column_stats(stats, column)
+            lo = range_lo.get(column)
+            hi = range_hi.get(column)
+            sels.append(table_stats.range_selectivity(
+                col, lo[0] if lo else None, hi[0] if hi else None,
+                lo[1] if lo else True, hi[1] if hi else True))
+        return table_stats.combine_conjuncts(sels)
+
+    def _estimate_relation(self, rel: _Relation,
+                           conjuncts: list["_Conjunct"],
+                           outer_scope: Scope | None) -> float:
+        """Estimated output rows of a prepared FROM item after its local
+        conjuncts apply."""
+        local = [c.expr for c in conjuncts
+                 if not c.consumed and not c.has_subquery
+                 and c.bindings and c.bindings <= rel.bindings]
+        if rel.table is None:
+            # Derived table / view / pre-joined unit: no base statistics.
+            self._count_opt("optimizer.stats_missing_fallbacks")
+            sel = table_stats.combine_conjuncts(
+                [self._DEFAULT_SEL] * len(local)) if local else 1.0
+            return max(1.0, self._DEFAULT_ROWS * sel)
+        stats = self._catalog.get_table_stats(rel.table.info.name)
+        if stats is None:
+            self._count_opt("optimizer.stats_missing_fallbacks")
+            sel = table_stats.combine_conjuncts(
+                [self._DEFAULT_SEL] * len(local)) if local else 1.0
+            return max(1.0, self._DEFAULT_ROWS * sel)
+        const_scope = self._new_scope([], outer_scope)
+        sel = self._relation_selectivity(rel.table, stats, local,
+                                         const_scope)
+        return max(1.0, float(stats["row_count"]) * sel)
+
+    def _ndv_for(self, rel: _Relation, expr: ast.Expr) -> int | None:
+        """NDV of a join-key column, resolved through the relation's
+        binding -> base-table map; None when unavailable."""
+        if not isinstance(expr, ast.ColumnRef) or self._catalog is None:
+            return None
+        name = expr.name.lower()
+        if expr.table is not None:
+            binding = expr.table.lower()
+        else:
+            binding = next(
+                (bc.binding for bc in rel.schema
+                 if bc.column.name.lower() == name), None)
+        table_name = rel.binding_tables.get(binding) if binding else None
+        if table_name is None:
+            return None
+        stats = self._catalog.get_table_stats(table_name)
+        col = table_stats.column_stats(stats, name)
+        return col["ndv"] if col else None
+
+    def _mine_equi_pairs(self, left: _Relation, right: _Relation,
+                         conjuncts: list["_Conjunct"],
+                         owner: dict[str, str]) -> list:
+        """Equi-key expression pairs this join could use — a read-only
+        preview of the mining loop (nothing is consumed)."""
+        combined = left.bindings | right.bindings
+        pairs = []
+        for c in conjuncts:
+            if c.consumed or c.has_subquery:
+                continue
+            if not (c.bindings and c.bindings <= combined):
+                continue
+            pair = self._equi_key(c.expr, left, right, owner)
+            if pair is not None:
+                pairs.append(pair)
+        return pairs
+
+    def _estimate_join_output(self, left: _Relation, right: _Relation,
+                              key_pairs: list) -> float:
+        """Join output cardinality: |L|·|R| / max(NDV) per key pair
+        (the classic uniform assumption — an FK join estimates to the
+        fact side's cardinality)."""
+        cl, cr = left.est_rows, right.est_rows
+        sel = 1.0
+        for left_expr, right_expr in key_pairs:
+            ndv_l = self._ndv_for(left, left_expr)
+            ndv_r = self._ndv_for(right, right_expr)
+            denom = float(max(ndv_l or 0, ndv_r or 0))
+            if denom <= 0.0:
+                denom = max(cl, cr, 1.0)
+            sel /= max(denom, 1.0)
+        return max(1.0, cl * cr * sel)
+
+    def _delivers_key_order(self, rel: _Relation,
+                            key_expr: ast.Expr) -> bool:
+        """True when the relation's access path emits rows already
+        ordered by the join key: an ordered index range walk whose first
+        key column after the consumed equality prefix is the key."""
+        if rel.table is None or not isinstance(key_expr, ast.ColumnRef):
+            return False
+        op = rel.op
+        while isinstance(op, Filter):
+            op = op.child
+        if type(op) is not IndexRangeScan:
+            return False
+        info = op.table.index_info(op.index_name)
+        n_prefix = len(op.prefix_fns)
+        if n_prefix >= len(info.column_names):
+            return False
+        return info.column_names[n_prefix] == key_expr.name.lower()
+
+    def _choose_sort_merge(self, left: _Relation, right: _Relation,
+                           key_pairs: list) -> bool:
+        """Sort-merge beats hash exactly when neither side needs a sort:
+        both inputs arrive in key order and the merge consumes tuples at
+        scan rate instead of build/probe rate.  (An unsorted side would
+        owe ``sort_seconds``, which loses to the hash join here.)"""
+        if (left.est_rows is None or right.est_rows is None
+                or len(key_pairs) != 1):
+            return False
+        left_expr, right_expr = key_pairs[0]
+        if not (self._delivers_key_order(left, left_expr)
+                and self._delivers_key_order(right, right_expr)):
+            return False
+        costs = self._meter.costs
+        total = left.est_rows + right.est_rows
+        return costs.cpu_per_tuple_scan * total \
+            < costs.cpu_per_tuple_join * total
+
+    def _order_join_tree(self, prepared: list[_Relation],
+                         conjuncts: list["_Conjunct"],
+                         owner: dict[str, str],
+                         outer_scope: Scope | None) -> list[_Relation]:
+        """Choose the left-deep fold order for a comma join list.
+
+        Estimates every relation's post-filter cardinality, builds the
+        join graph from the unconsumed equi conjuncts, then minimizes
+        the modeled executor cost (hash joins at ``cpu_per_tuple_join``
+        per input tuple, cross products at probe-times-build) — DP over
+        subsets up to :data:`_DP_RELATION_LIMIT` relations, greedy
+        smallest-intermediate above it.  Deterministic: ties break on
+        enumeration order.
+        """
+        n = len(prepared)
+        cards = []
+        for rel in prepared:
+            est = self._estimate_relation(rel, conjuncts, outer_scope)
+            rel.est_rows = est
+            cards.append(est)
+        edges: dict[tuple[int, int], float] = {}
+        for c in conjuncts:
+            if c.consumed or c.has_subquery:
+                continue
+            if not isinstance(c.expr, ast.Binary) or c.expr.op != "=":
+                continue
+            lhs = _side_bindings(c.expr.left, owner)
+            rhs = _side_bindings(c.expr.right, owner)
+            if not lhs or not rhs:
+                continue
+            li = _owning_relation(prepared, lhs)
+            ri = _owning_relation(prepared, rhs)
+            if li is None or ri is None or li == ri:
+                continue
+            ndv_l = self._ndv_for(prepared[li], c.expr.left)
+            ndv_r = self._ndv_for(prepared[ri], c.expr.right)
+            denom = float(max(ndv_l or 0, ndv_r or 0))
+            if denom <= 0.0:
+                denom = max(cards[li], cards[ri], 1.0)
+            key = (min(li, ri), max(li, ri))
+            edges[key] = edges.get(key, 1.0) / max(denom, 1.0)
+        per_join = self._meter.costs.cpu_per_tuple_join
+
+        def step(placed: tuple, placed_card: float, j: int):
+            """(cost, output cardinality) of joining ``j`` next."""
+            sel = 1.0
+            connected = False
+            for i in placed:
+                edge = edges.get((min(i, j), max(i, j)))
+                if edge is not None:
+                    connected = True
+                    sel *= edge
+            if connected:
+                cost = per_join * (placed_card + cards[j])
+                out = max(1.0, placed_card * cards[j] * sel)
+            else:
+                # No equi edge: a nested-loop cross pairing.
+                cost = per_join * (placed_card + placed_card * cards[j])
+                out = max(1.0, placed_card * cards[j])
+            return cost, out
+
+        if n <= self._DP_RELATION_LIMIT:
+            best: dict[frozenset, tuple[float, float, tuple]] = {
+                frozenset((i,)): (0.0, cards[i], (i,)) for i in range(n)}
+            for size in range(2, n + 1):
+                for subset in combinations(range(n), size):
+                    key = frozenset(subset)
+                    winner = None
+                    for j in subset:
+                        prev = best.get(key - {j})
+                        if prev is None:
+                            continue
+                        self._count_opt("optimizer.join_orders_considered")
+                        cost, out = step(prev[2], prev[1], j)
+                        candidate = (prev[0] + cost, out, prev[2] + (j,))
+                        if winner is None or candidate[0] < winner[0]:
+                            winner = candidate
+                    best[key] = winner
+            order = best[frozenset(range(n))][2]
+        else:
+            start = min(range(n), key=lambda i: (cards[i], i))
+            chosen = [start]
+            placed_card = cards[start]
+            while len(chosen) < n:
+                winner = None
+                for j in range(n):
+                    if j in chosen:
+                        continue
+                    self._count_opt("optimizer.join_orders_considered")
+                    cost, out = step(tuple(chosen), placed_card, j)
+                    if winner is None or cost < winner[0]:
+                        winner = (cost, out, j)
+                chosen.append(winner[2])
+                placed_card = winner[1]
+            order = tuple(chosen)
+        return [prepared[i] for i in order]
+
+    def _annotate_plan(self, op: PlanOperator) -> tuple[float, float]:
+        """Attach ``est_rows`` / ``est_cost`` (cumulative estimated
+        virtual seconds, in the Meter's units) to every operator, bottom
+        up.  Estimates the join planner already computed are kept; the
+        rest get coarse structural rules.  EXPLAIN renders these in cost
+        mode — the join-order and algorithm decisions were made from the
+        structured estimates above, not from this pass."""
+        costs = self._meter.costs
+        children = [self._annotate_plan(c) for c in op.children()]
+        in_rows = children[0][0] if children else 1.0
+        cost = sum(c[1] for c in children)
+        factor = getattr(op, "cost_factor", 1.0)
+        est = getattr(op, "est_rows", None)
+        if isinstance(op, SeqScan):
+            stats = self._catalog.get_table_stats(op.table.info.name)
+            if stats is None and est is None:
+                self._count_opt("optimizer.stats_missing_fallbacks")
+            rows = float(stats["row_count"]) if stats else self._DEFAULT_ROWS
+            pages = (float(stats["page_count"]) if stats
+                     else max(1.0, rows / 50.0))
+            if est is None:
+                est = rows
+            cost += (rows * costs.cpu_per_tuple_scan * factor
+                     + pages * costs.disk_page_read_seconds)
+        elif isinstance(op, IndexSeek):
+            stats = self._catalog.get_table_stats(op.table.info.name)
+            if stats is None and est is None:
+                self._count_opt("optimizer.stats_missing_fallbacks")
+            rows = float(stats["row_count"]) if stats else self._DEFAULT_ROWS
+            if est is None:
+                info = op.table.index_info(op.index_name)
+                exact = (op.lo_fn is None and op.hi_fn is None
+                         and len(op.prefix_fns) == len(info.column_names))
+                est = 1.0 if exact else max(1.0, rows * self._DEFAULT_SEL)
+                if op.limit_hint is not None:
+                    est = min(est, float(op.limit_hint))
+            cost += est * (costs.cpu_per_tuple_index_lookup * factor
+                           + costs.disk_page_read_seconds)
+        elif isinstance(op, Filter):
+            if est is None:
+                est = max(1.0, in_rows * self._DEFAULT_SEL)
+        elif isinstance(op, (HashJoin, SortMergeJoin)):
+            l_rows, r_rows = children[0][0], children[1][0]
+            if est is None:
+                est = max(l_rows, r_rows)
+            if isinstance(op, SortMergeJoin):
+                cost += (l_rows + r_rows) * costs.cpu_per_tuple_scan * factor
+                if not op.left_sorted:
+                    cost += costs.sort_seconds(int(l_rows)) * factor
+                if not op.right_sorted:
+                    cost += costs.sort_seconds(int(r_rows)) * factor
+            else:
+                cost += (l_rows + r_rows) * costs.cpu_per_tuple_join * factor
+        elif isinstance(op, NestedLoopJoin):
+            l_rows, r_rows = children[0][0], children[1][0]
+            if est is None:
+                est = max(1.0, l_rows * r_rows)
+            cost += (l_rows + l_rows * r_rows) \
+                * costs.cpu_per_tuple_join * factor
+        elif isinstance(op, HashAggregate):
+            if est is None:
+                est = max(1.0, in_rows * 0.1) if op.group_fns else 1.0
+            cost += in_rows * costs.cpu_per_tuple_agg * factor
+        elif isinstance(op, Distinct):
+            if est is None:
+                est = max(1.0, in_rows * 0.5)
+            cost += in_rows * costs.cpu_per_tuple_agg * factor
+        elif isinstance(op, Sort):
+            if est is None:
+                est = in_rows
+            cost += costs.sort_seconds(int(in_rows)) * factor
+        elif isinstance(op, TopNHeapSort):
+            if est is None:
+                est = min(float(op.count), in_rows)
+            cost += costs.topn_seconds(int(in_rows), op.count) * factor
+        elif isinstance(op, Limit):
+            if est is None:
+                est = min(float(op.count), in_rows)
+        elif isinstance(op, Concat):
+            if est is None:
+                est = float(sum(c[0] for c in children))
+        elif isinstance(op, EmptyScan):
+            if est is None:
+                est = 0.0
+        elif est is None:
+            est = in_rows
+        op.est_rows = est
+        op.est_cost = cost
+        return est, cost
 
     # -- index-only scans / ordered-scan sort elimination ----------------------
 
@@ -1168,6 +1647,28 @@ def _contains_param(expr: ast.Expr) -> bool:
     if isinstance(expr, ast.Expr):
         return any(_contains_param(c) for c in _children(expr))
     return False
+
+
+def _owning_relation(prepared: list[_Relation],
+                     bindings: set[str]) -> int | None:
+    """Index of the prepared relation owning ``bindings`` entirely."""
+    for i, rel in enumerate(prepared):
+        if bindings <= rel.bindings:
+            return i
+    return None
+
+
+def _push_limit_hint(op: PlanOperator, top: int) -> None:
+    """Push a Limit's row budget into the index scan feeding it, when
+    everything in between is 1:1 (projections).  Host-side early-stop
+    only — the Limit stops pulling at exactly the same row, so virtual
+    charges are unchanged; the scan just stops walking rids sooner."""
+    node = op
+    while isinstance(node, Project):
+        node = node.child
+    if isinstance(node, IndexSeek):
+        node.limit_hint = (top if node.limit_hint is None
+                           else min(node.limit_hint, top))
 
 
 def _maybe_point_lookup(op: PlanOperator) -> PlanOperator:

@@ -1,0 +1,202 @@
+"""Table/column statistics: ANALYZE collection and selectivity estimation.
+
+``ANALYZE [table]`` scans a table once and records, per column: the row
+count, number of distinct values (NDV), min/max, null fraction, and an
+equi-depth histogram for orderable (numeric/string) columns.  The result
+is a plain dict stored in the catalog (``Catalog.table_stats``), so it
+rides the ``catalog_snapshot`` blob through checkpoints and survives both
+restart recovery and Phoenix recovery.
+
+The estimation half turns those statistics into selectivities for the
+planner's conjunct extraction:
+
+* equality      ``col = v``            → ``1 / NDV``
+* range         ``lo < col < hi``      → histogram fraction between the
+  bounds (linear interpolation inside a bucket for numerics, bucket
+  granularity for strings), falling back to min/max interpolation and
+  finally to a fixed default when no statistics help;
+* conjunctions  independence (product), with a sanity clamp so a stack
+  of correlated predicates cannot drive an estimate to zero.
+
+Everything here is deterministic and meter-free; the engine charges the
+ANALYZE scan itself (see ``DatabaseEngine._execute_analyze``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from bisect import bisect_left, bisect_right
+
+#: Fallbacks when a column has no usable statistics.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+#: Sanity clamp: no predicate stack may claim fewer than this fraction
+#: of a table's rows (guards against correlated-conjunct underestimates).
+MIN_SELECTIVITY = 1e-4
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+
+
+def _orderable(values: list) -> bool:
+    """True when ``values`` sort as one homogeneous family (numeric,
+    string, or date) — the types we histogram."""
+    if not values:
+        return False
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in values):
+        return True
+    if all(isinstance(v, str) for v in values):
+        return True
+    return all(isinstance(v, datetime.date) for v in values)
+
+
+def _as_number(value):
+    """Map a histogram-able value onto the number line for in-bucket
+    interpolation (dates by ordinal); None for strings and the rest."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, datetime.date):
+        return value.toordinal()
+    return None
+
+
+def _equi_depth_histogram(sorted_values: list, buckets: int) -> list | None:
+    """Bucket boundaries ``[b0, .., bB]`` with ~equal row counts per
+    bucket.  ``b0``/``bB`` are the column min/max; interior boundaries
+    sit at the equi-depth quantiles."""
+    n = len(sorted_values)
+    if n < 2 or buckets < 1:
+        return None
+    buckets = min(buckets, n)
+    bounds = [sorted_values[0]]
+    for i in range(1, buckets):
+        bounds.append(sorted_values[(i * n) // buckets])
+    bounds.append(sorted_values[-1])
+    return bounds
+
+
+def collect_table_stats(table, buckets: int = 16) -> dict:
+    """One-pass statistics for a table runtime (see module docstring).
+
+    Returns a plain dict (catalog/snapshot friendly)::
+
+        {"row_count": int, "page_count": int,
+         "columns": {name: {"ndv": int, "null_frac": float,
+                            "min": v | None, "max": v | None,
+                            "histogram": [bounds...] | None}}}
+    """
+    column_names = [c.name.lower() for c in table.info.columns]
+    values: list[list] = [[] for _ in column_names]
+    nulls = [0] * len(column_names)
+    row_count = 0
+    page_count = 0
+    for block in table.scan_pages():
+        if not block:
+            continue
+        page_count += 1
+        for _rid, row in block:
+            row_count += 1
+            for i, v in enumerate(row):
+                if v is None:
+                    nulls[i] += 1
+                else:
+                    values[i].append(v)
+    columns: dict[str, dict] = {}
+    for i, name in enumerate(column_names):
+        col_values = values[i]
+        col: dict = {
+            "ndv": len(set(col_values)),
+            "null_frac": (nulls[i] / row_count) if row_count else 0.0,
+            "min": None,
+            "max": None,
+            "histogram": None,
+        }
+        if _orderable(col_values):
+            col_values.sort()
+            col["min"] = col_values[0]
+            col["max"] = col_values[-1]
+            col["histogram"] = _equi_depth_histogram(col_values, buckets)
+        columns[name] = col
+    return {"row_count": row_count, "page_count": page_count,
+            "columns": columns}
+
+
+# ---------------------------------------------------------------------------
+# Estimation
+# ---------------------------------------------------------------------------
+
+
+def equality_selectivity(col: dict | None) -> float:
+    """Selectivity of ``col = constant`` (uniform over distinct values)."""
+    if not col:
+        return DEFAULT_EQ_SELECTIVITY
+    ndv = col.get("ndv") or 0
+    if ndv <= 0:
+        return DEFAULT_EQ_SELECTIVITY
+    non_null = 1.0 - float(col.get("null_frac") or 0.0)
+    return max(MIN_SELECTIVITY, min(1.0, non_null / ndv))
+
+
+def _fraction_below(col: dict, value, inclusive: bool) -> float:
+    """Estimated fraction of non-null rows with ``col < value`` (or
+    ``<=`` when inclusive), via the equi-depth histogram."""
+    hist = col.get("histogram")
+    if hist and len(hist) >= 2:
+        try:
+            if inclusive:
+                pos = bisect_right(hist, value)
+            else:
+                pos = bisect_left(hist, value)
+        except TypeError:
+            return 0.5
+        if pos <= 0:
+            return 0.0
+        if pos >= len(hist):
+            return 1.0
+        buckets = len(hist) - 1
+        v = _as_number(value)
+        lo, hi = _as_number(hist[pos - 1]), _as_number(hist[pos])
+        frac_in_bucket = 0.5
+        if v is not None and lo is not None and hi is not None and hi > lo:
+            frac_in_bucket = min(1.0, max(0.0, (v - lo) / (hi - lo)))
+        return (pos - 1 + frac_in_bucket) / buckets
+    v = _as_number(value)
+    lo, hi = _as_number(col.get("min")), _as_number(col.get("max"))
+    if v is not None and lo is not None and hi is not None and hi > lo:
+        return min(1.0, max(0.0, (v - lo) / (hi - lo)))
+    return 0.5
+
+
+def range_selectivity(col: dict | None, lo=None, hi=None,
+                      lo_inclusive: bool = True,
+                      hi_inclusive: bool = True) -> float:
+    """Selectivity of ``lo <op> col <op> hi`` (either bound optional)."""
+    if not col or (lo is None and hi is None):
+        return DEFAULT_RANGE_SELECTIVITY
+    below_hi = (_fraction_below(col, hi, hi_inclusive)
+                if hi is not None else 1.0)
+    below_lo = (_fraction_below(col, lo, not lo_inclusive)
+                if lo is not None else 0.0)
+    non_null = 1.0 - float(col.get("null_frac") or 0.0)
+    sel = (below_hi - below_lo) * non_null
+    return max(MIN_SELECTIVITY, min(1.0, sel))
+
+
+def combine_conjuncts(selectivities: list[float]) -> float:
+    """Independence assumption with the sanity clamp."""
+    sel = 1.0
+    for s in selectivities:
+        sel *= s
+    return max(MIN_SELECTIVITY, min(1.0, sel))
+
+
+def column_stats(stats: dict | None, column: str) -> dict | None:
+    """The per-column stats dict, or None when never analyzed."""
+    if not stats:
+        return None
+    return stats.get("columns", {}).get(column.lower())

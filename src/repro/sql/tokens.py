@@ -29,7 +29,7 @@ KEYWORDS = frozenset({
     "PRIMARY", "KEY", "VIEW", "EXEC", "EXECUTE", "BEGIN", "COMMIT",
     "ROLLBACK",
     "TRANSACTION", "TRAN", "DATE", "INTERVAL", "YEAR", "MONTH", "DAY",
-    "LIMIT", "UNION", "ALL", "DEFAULT", "EXPLAIN",
+    "LIMIT", "UNION", "ALL", "DEFAULT", "EXPLAIN", "ANALYZE",
 })
 
 

@@ -100,6 +100,14 @@ class Catalog:
     #: at restart so post-recovery versions are exactly consistent with
     #: the recovered data; when it is off they are never touched at all.
     dml_versions: dict[str, int] = field(default_factory=dict)
+    #: ANALYZE output per table (plain dicts — see repro.sql.stats).
+    #: Snapshotted, so statistics survive restart and Phoenix recovery.
+    table_stats: dict[str, dict] = field(default_factory=dict)
+    #: Per-table statistics version counters, bumped by ANALYZE.  These
+    #: are the plan cache's stale-statistics invalidation keys — kept
+    #: separate from :attr:`versions` because a stats refresh is not DDL
+    #: and must not perturb the client-visible ``schema_version``.
+    stats_versions: dict[str, int] = field(default_factory=dict)
 
     # -- versioning ----------------------------------------------------------
 
@@ -123,6 +131,20 @@ class Catalog:
 
     def dml_version_of(self, name: str) -> int:
         return self.dml_versions.get(name.lower(), 0)
+
+    # -- table statistics ----------------------------------------------------
+
+    def set_table_stats(self, name: str, stats: dict) -> None:
+        """Store ANALYZE output for a table and bump its stats version."""
+        key = name.lower()
+        self.table_stats[key] = stats
+        self.stats_versions[key] = self.stats_versions.get(key, 0) + 1
+
+    def get_table_stats(self, name: str) -> dict | None:
+        return self.table_stats.get(name.lower())
+
+    def stats_version_of(self, name: str) -> int:
+        return self.stats_versions.get(name.lower(), 0)
 
     # -- tables ---------------------------------------------------------------
 
@@ -159,6 +181,7 @@ class Catalog:
         for index_name in [n for n, ix in self.indexes.items()
                            if ix.table_name == key]:
             del self.indexes[index_name]
+        self.table_stats.pop(key, None)
         self.bump_version(key)
         return info
 
@@ -296,6 +319,11 @@ class Catalog:
             "next_file_id": self.next_file_id,
             "versions": dict(self.versions),
             "schema_version": self.schema_version,
+            "table_stats": {
+                name: stats for name, stats in self.table_stats.items()
+                if name in self.tables and not self.tables[name].volatile
+            },
+            "stats_versions": dict(self.stats_versions),
         }
 
     @classmethod
@@ -326,6 +354,8 @@ class Catalog:
         catalog.versions = dict(snapshot.get("versions", catalog.versions))
         catalog.schema_version = snapshot.get("schema_version",
                                               catalog.schema_version)
+        catalog.table_stats = dict(snapshot.get("table_stats", {}))
+        catalog.stats_versions = dict(snapshot.get("stats_versions", {}))
         return catalog
 
     def rename_table(self, old: str, new: str) -> TableInfo:

@@ -37,7 +37,7 @@ def _set_mode(monkeypatch, mode: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _tpch_power_outputs():
+def _tpch_power_outputs(cost_mode: bool = False):
     """(rows per query, final clock, counters) of a small power run."""
     from repro.workloads.tpch.datagen import generate
     from repro.workloads.tpch.queries import QUERIES
@@ -47,6 +47,9 @@ def _tpch_power_outputs():
     session = EngineSession(session_id=1)
     create_schema(engine, session)
     load(engine, session, generate(scale=0.0005, seed=11))
+    if cost_mode:
+        engine.execute("ANALYZE", session)
+        engine.meter.costs.optimizer_mode = "cost"
     outputs = []
     for number in sorted(QUERIES):
         outputs.append((number,
@@ -55,17 +58,25 @@ def _tpch_power_outputs():
     return outputs, engine.meter.now, dict(engine.meter.counters)
 
 
-def test_tpch_power_batch_vs_row_bit_identical(monkeypatch):
+@pytest.mark.parametrize("cost_mode", [False, True],
+                         ids=["heuristic", "cost"])
+def test_tpch_power_batch_vs_row_bit_identical(monkeypatch, cost_mode):
+    """Bit-identity holds under the cost-based optimizer too: the new
+    operators (TopNHeapSort, SortMergeJoin) and reordered joins must
+    charge the batch path exactly what the row path charges."""
     _set_mode(monkeypatch, "batch")
-    batch_rows, batch_clock, batch_counters = _tpch_power_outputs()
+    batch_rows, batch_clock, batch_counters = _tpch_power_outputs(
+        cost_mode)
     _set_mode(monkeypatch, "rows")
-    row_rows, row_clock, row_counters = _tpch_power_outputs()
+    row_rows, row_clock, row_counters = _tpch_power_outputs(cost_mode)
 
     for (num_b, rows_b), (num_r, rows_r) in zip(batch_rows, row_rows):
         assert num_b == num_r
         assert rows_b == rows_r, f"rows diverged on TPC-H Q{num_b}"
     assert batch_clock == row_clock
     assert batch_counters == row_counters
+    if cost_mode:
+        assert batch_counters.get("optimizer.plans_costed", 0) > 0
 
 
 # ---------------------------------------------------------------------------
@@ -74,7 +85,7 @@ def test_tpch_power_batch_vs_row_bit_identical(monkeypatch):
 
 
 def _crash_run(crash_at: int | None, prefetch: bool = False,
-               result_cache: bool = False):
+               result_cache: bool = False, cost_mode: bool = False):
     """Observed app outputs + clock for one crash-injected run."""
     from tests.test_phoenix_crash_fuzz import build_world, workload
 
@@ -84,7 +95,8 @@ def _crash_run(crash_at: int | None, prefetch: bool = False,
     # bit (including the result_cache.* counters).
     server, app = build_world(cache_rows=100 if result_cache else 0,
                               prefetch=prefetch,
-                              result_cache=result_cache)
+                              result_cache=result_cache,
+                              cost_mode=cost_mode)
     if crash_at is not None:
         fired = {"count": 0, "done": False}
 
@@ -99,20 +111,25 @@ def _crash_run(crash_at: int | None, prefetch: bool = False,
     return workload(app), app.meter.now, dict(app.meter.counters)
 
 
-@pytest.mark.parametrize("prefetch,result_cache",
-                         [(False, False), (True, False), (False, True)],
-                         ids=["seed", "prefetch", "shared-cache"])
+@pytest.mark.parametrize("prefetch,result_cache,cost_mode",
+                         [(False, False, False), (True, False, False),
+                          (False, True, False), (False, False, True)],
+                         ids=["seed", "prefetch", "shared-cache",
+                              "cost"])
 @pytest.mark.parametrize("crash_at", [None, 3, 7, 11])
 def test_phoenix_crash_workload_batch_vs_row(monkeypatch, crash_at,
-                                             prefetch, result_cache):
+                                             prefetch, result_cache,
+                                             cost_mode):
     """Bit-identity holds with pipelined result delivery on, too: the
     overlap windows charge the same seconds in both executor modes.
     Likewise with the shared result cache — a hit skips the server in
-    both modes, so clock and counters must still match exactly."""
+    both modes, so clock and counters must still match exactly — and
+    with the cost-based optimizer, whose plans must charge identically
+    in both executor modes."""
     _set_mode(monkeypatch, "batch")
-    batch = _crash_run(crash_at, prefetch, result_cache)
+    batch = _crash_run(crash_at, prefetch, result_cache, cost_mode)
     _set_mode(monkeypatch, "rows")
-    rows = _crash_run(crash_at, prefetch, result_cache)
+    rows = _crash_run(crash_at, prefetch, result_cache, cost_mode)
     assert batch[0] == rows[0], f"observed outputs diverged (crash_at="\
                                 f"{crash_at})"
     assert batch[1] == rows[1], f"virtual clock diverged (crash_at="\

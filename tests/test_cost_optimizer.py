@@ -1,0 +1,443 @@
+"""Cost-based optimizer: ANALYZE, estimation, plan shape, invalidation.
+
+Everything here runs against ``optimizer_mode = "cost"`` (the CostModel
+knob) except the tests that assert the heuristic default is untouched.
+Plan-shape tests doctor statistics directly through
+``Catalog.set_table_stats`` so a flip in join order, join algorithm or
+hash build side is forced by numbers we control, then read the choice
+back out of EXPLAIN.
+"""
+
+import math
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.sim.meter import Meter
+
+
+def _cost_mode(engine) -> None:
+    engine.meter.costs.optimizer_mode = "cost"
+
+
+def _explain(run, sql: str) -> list[str]:
+    return [str(row[0]) for row in run("EXPLAIN " + sql)]
+
+
+def _stats(row_count: int, page_count: int = 1, **ndvs) -> dict:
+    """A doctored statistics dict in the ANALYZE format."""
+    columns = {name: {"ndv": ndv, "null_frac": 0.0, "min": None,
+                      "max": None, "histogram": None}
+               for name, ndv in ndvs.items()}
+    return {"row_count": row_count, "page_count": page_count,
+            "columns": columns}
+
+
+@pytest.fixture
+def joined(run):
+    """Three comma-joinable tables with real rows (stats get doctored)."""
+    run("CREATE TABLE fact (k INT, g INT, v INT)")
+    run("CREATE TABLE dim_a (k INT, name VARCHAR(8))")
+    run("CREATE TABLE dim_b (g INT, name VARCHAR(8))")
+    run("INSERT INTO fact VALUES " + ", ".join(
+        f"({i % 5}, {i % 3}, {i})" for i in range(30)))
+    run("INSERT INTO dim_a VALUES " + ", ".join(
+        f"({i}, 'a{i}')" for i in range(5)))
+    run("INSERT INTO dim_b VALUES " + ", ".join(
+        f"({i}, 'b{i}')" for i in range(3)))
+
+
+# ---------------------------------------------------------------------------
+# ANALYZE collection + sys_table_stats
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyze:
+    def test_analyze_one_table(self, run, engine):
+        run("CREATE TABLE t (a INT, s VARCHAR(8))")
+        run("INSERT INTO t VALUES " + ", ".join(
+            f"({i % 7}, 's{i % 4}')" for i in range(20)))
+        run("ANALYZE t")
+        stats = engine.catalog.get_table_stats("t")
+        assert stats["row_count"] == 20
+        assert stats["columns"]["a"]["ndv"] == 7
+        assert stats["columns"]["a"]["min"] == 0
+        assert stats["columns"]["a"]["max"] == 6
+        assert stats["columns"]["s"]["ndv"] == 4
+        assert stats["columns"]["a"]["histogram"] is not None
+        assert engine.catalog.stats_version_of("t") == 1
+
+    def test_analyze_all_tables_and_view(self, run, engine):
+        run("CREATE TABLE t1 (a INT)")
+        run("CREATE TABLE t2 (b INT)")
+        run("INSERT INTO t1 VALUES (1), (2)")
+        run("INSERT INTO t2 VALUES (3)")
+        run("ANALYZE")
+        rows = run("SELECT table_name, row_count, stats_version "
+                   "FROM sys_table_stats ORDER BY table_name")
+        tables = {r[0]: (r[1], r[2]) for r in rows}
+        assert tables["t1"] == (2, 1)
+        assert tables["t2"] == (1, 1)
+
+    def test_null_fraction_recorded(self, run, engine):
+        run("CREATE TABLE t (a INT)")
+        run("INSERT INTO t VALUES (1), (NULL), (NULL), (4)")
+        run("ANALYZE t")
+        col = engine.catalog.get_table_stats("t")["columns"]["a"]
+        assert col["null_frac"] == pytest.approx(0.5)
+        assert col["ndv"] == 2
+
+    def test_analyze_charges_virtual_time(self, run, engine):
+        run("CREATE TABLE t (a INT)")
+        run("INSERT INTO t VALUES " + ", ".join(
+            f"({i})" for i in range(50)))
+        before = engine.meter.now
+        run("ANALYZE t")
+        assert engine.meter.now > before
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN annotations (cost mode only)
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAnnotations:
+    SQL = "SELECT a, count(*) FROM t WHERE a > 2 GROUP BY a"
+
+    @pytest.fixture(autouse=True)
+    def table(self, run):
+        run("CREATE TABLE t (a INT)")
+        run("INSERT INTO t VALUES " + ", ".join(
+            f"({i % 10})" for i in range(40)))
+
+    def test_heuristic_plans_have_no_estimates(self, run):
+        assert not any("est_rows=" in line
+                       for line in _explain(run, self.SQL))
+
+    def test_cost_plans_annotate_every_operator(self, run, engine):
+        run("ANALYZE t")
+        _cost_mode(engine)
+        lines = _explain(run, self.SQL)
+        assert lines and all("est_rows=" in line and "est_cost=" in line
+                             for line in lines)
+
+    def test_estimates_track_statistics(self, run, engine):
+        run("ANALYZE t")
+        _cost_mode(engine)
+        # a > 2 keeps 7 of 10 distinct values: the scan estimate must be
+        # statistics-driven (~28 of 40 rows), not the fixed default.
+        line = next(line for line in
+                    _explain(run, "SELECT a FROM t WHERE a > 2")
+                    if "Filter" in line or "SeqScan" in line)
+        assert "est_rows=" in line
+
+
+# ---------------------------------------------------------------------------
+# Plan shape under doctored statistics
+# ---------------------------------------------------------------------------
+
+
+def _scan_order(lines: list[str], *tables: str) -> list[str]:
+    """Tables in the order their scans appear in the EXPLAIN output."""
+    order = []
+    for line in lines:
+        for table in tables:
+            if f"({table}" in line and table not in order:
+                order.append(table)
+    return order
+
+
+class TestPlanShape:
+    SQL2 = ("SELECT count(*) FROM fact, dim_a "
+            "WHERE fact.k = dim_a.k")
+    SQL3 = ("SELECT count(*) FROM fact, dim_a, dim_b "
+            "WHERE fact.k = dim_a.k AND fact.g = dim_b.g")
+
+    def test_build_side_follows_estimates(self, run, engine, joined):
+        _cost_mode(engine)
+        # dim_a tiny, fact huge: the hash join must build on dim_a, so
+        # the probe (left child, printed first) is fact.
+        engine.catalog.set_table_stats("fact", _stats(100000, 100, k=5))
+        engine.catalog.set_table_stats("dim_a", _stats(5, 1, k=5))
+        assert _scan_order(_explain(run, self.SQL2),
+                           "fact", "dim_a") == ["fact", "dim_a"]
+        # Flip the numbers and the build side must flip with them.
+        engine.catalog.set_table_stats("fact", _stats(5, 1, k=5))
+        engine.catalog.set_table_stats("dim_a", _stats(100000, 100, k=5))
+        assert _scan_order(_explain(run, self.SQL2),
+                           "fact", "dim_a") == ["dim_a", "fact"]
+
+    def test_doctored_stats_flip_join_order(self, run, engine, joined):
+        _cost_mode(engine)
+        engine.catalog.set_table_stats("fact", _stats(100000, 100,
+                                                      k=5, g=3))
+        engine.catalog.set_table_stats("dim_a", _stats(5, 1, k=5))
+        engine.catalog.set_table_stats("dim_b", _stats(40000, 40, g=3))
+        small_a = _scan_order(_explain(run, self.SQL3),
+                              "fact", "dim_a", "dim_b")
+        engine.catalog.set_table_stats("dim_a", _stats(40000, 40, k=5))
+        engine.catalog.set_table_stats("dim_b", _stats(5, 1, g=3))
+        small_b = _scan_order(_explain(run, self.SQL3),
+                              "fact", "dim_a", "dim_b")
+        # The cheap dimension is joined first; swapping which dimension
+        # is cheap must reorder the join tree.
+        assert small_a != small_b
+        assert small_a.index("dim_a") < small_a.index("dim_b")
+        assert small_b.index("dim_b") < small_b.index("dim_a")
+
+    def test_heuristic_plan_shape_is_unchanged(self, run, engine, joined):
+        engine.catalog.set_table_stats("fact", _stats(5, 1, k=5))
+        engine.catalog.set_table_stats("dim_a", _stats(100000, 100, k=5))
+        # Doctored stats must be invisible while the knob is default.
+        assert _scan_order(_explain(run, self.SQL2),
+                           "fact", "dim_a") == ["fact", "dim_a"]
+
+    def test_results_identical_across_flips(self, run, engine, joined):
+        expected = run(self.SQL3)
+        _cost_mode(engine)
+        engine.catalog.set_table_stats("fact", _stats(100000, 100,
+                                                      k=5, g=3))
+        engine.catalog.set_table_stats("dim_a", _stats(5, 1, k=5))
+        engine.catalog.set_table_stats("dim_b", _stats(40000, 40, g=3))
+        assert run(self.SQL3) == expected
+        engine.catalog.set_table_stats("dim_a", _stats(40000, 40, k=5))
+        engine.catalog.set_table_stats("dim_b", _stats(5, 1, g=3))
+        assert run(self.SQL3) == expected
+
+
+class TestSortMergeJoin:
+    SQL = ("SELECT a.k, b.v FROM ordered_a a, ordered_b b "
+           "WHERE a.k = b.k AND a.k > 0 AND b.k > 0")
+
+    @pytest.fixture(autouse=True)
+    def tables(self, run):
+        run("CREATE TABLE ordered_a (k INT NOT NULL, PRIMARY KEY (k))")
+        run("CREATE TABLE ordered_b (k INT NOT NULL, v INT, "
+            "PRIMARY KEY (k))")
+        run("INSERT INTO ordered_a VALUES " + ", ".join(
+            f"({i})" for i in range(1, 12)))
+        run("INSERT INTO ordered_b VALUES " + ", ".join(
+            f"({i}, {i * 10})" for i in range(1, 20, 2)))
+        run("ANALYZE")
+
+    def test_sort_merge_chosen_when_both_sides_ordered(self, run,
+                                                       engine):
+        assert not any("SortMergeJoin" in line
+                       for line in _explain(run, self.SQL))
+        _cost_mode(engine)
+        lines = _explain(run, self.SQL)
+        assert any("SortMergeJoin" in line for line in lines), lines
+        assert engine.meter.counters.get(
+            "optimizer.sortmerge_chosen", 0) >= 1
+
+    def test_sort_merge_results_match_heuristic(self, run, engine):
+        expected = run(self.SQL)
+        _cost_mode(engine)
+        assert sorted(run(self.SQL)) == sorted(expected)
+
+
+class TestTopNHeapSort:
+    SQL = "SELECT TOP 3 v, k FROM pile ORDER BY v DESC, k"
+
+    @pytest.fixture(autouse=True)
+    def table(self, run):
+        run("CREATE TABLE pile (k INT, v INT)")
+        run("INSERT INTO pile VALUES " + ", ".join(
+            f"({i}, {(i * 37) % 50})" for i in range(60)))
+        run("ANALYZE pile")
+
+    def test_cost_mode_uses_heap(self, run, engine):
+        heuristic = _explain(run, self.SQL)
+        assert any("Sort(" in line for line in heuristic)
+        assert not any("TopNHeapSort" in line for line in heuristic)
+        _cost_mode(engine)
+        lines = _explain(run, self.SQL)
+        assert any("TopNHeapSort(n=3" in line for line in lines), lines
+        assert not any("Limit" in line for line in lines)
+        assert engine.meter.counters.get("optimizer.topn_heap_used",
+                                         0) >= 1
+
+    def test_heap_rows_identical_to_sort_limit(self, run, engine):
+        expected = run(self.SQL)
+        _cost_mode(engine)
+        assert run(self.SQL) == expected
+
+    def test_heap_handles_nulls_and_ties(self, run, engine):
+        run("INSERT INTO pile VALUES (100, NULL), (101, NULL), (102, 49)")
+        sql = "SELECT TOP 5 v, k FROM pile ORDER BY v, k DESC"
+        expected = run(sql)
+        _cost_mode(engine)
+        assert run(sql) == expected
+
+
+# ---------------------------------------------------------------------------
+# ANALYZE invalidates cached plans (stats-version fix)
+# ---------------------------------------------------------------------------
+
+
+class TestStatsInvalidation:
+    def test_analyze_invalidates_cached_plan(self, run, engine):
+        run("CREATE TABLE t (a INT)")
+        run("INSERT INTO t VALUES (1), (2), (3)")
+        assert run("SELECT a FROM t WHERE a > 1") == [(2,), (3,)]
+        before = engine.cache_stats["plan_invalidations"]
+        run("ANALYZE t")
+        assert run("SELECT a FROM t WHERE a > 1") == [(2,), (3,)]
+        assert engine.cache_stats["plan_invalidations"] == before + 1
+
+    def test_replanned_plan_sees_new_stats(self, run, engine):
+        """The replan after ANALYZE must pick up the fresh statistics —
+        the cost-mode EXPLAIN shows statistics-driven estimates only
+        after the stats exist."""
+        run("CREATE TABLE t (a INT)")
+        run("INSERT INTO t VALUES " + ", ".join(
+            f"({i})" for i in range(20)))
+        _cost_mode(engine)
+        fallback_before = engine.meter.counters.get(
+            "optimizer.stats_missing_fallbacks", 0)
+        run("SELECT a FROM t WHERE a = 5")
+        assert engine.meter.counters.get(
+            "optimizer.stats_missing_fallbacks", 0) > fallback_before
+        run("ANALYZE t")
+        after_analyze = engine.meter.counters.get(
+            "optimizer.stats_missing_fallbacks", 0)
+        run("SELECT a FROM t WHERE a = 5")
+        assert engine.meter.counters.get(
+            "optimizer.stats_missing_fallbacks", 0) == after_analyze
+
+    def test_unanalyzed_tables_unaffected(self, run, engine):
+        run("CREATE TABLE t (a INT)")
+        run("CREATE TABLE u (b INT)")
+        run("INSERT INTO t VALUES (1)")
+        run("INSERT INTO u VALUES (2)")
+        run("SELECT b FROM u")
+        before = engine.cache_stats["plan_invalidations"]
+        run("ANALYZE t")
+        run("SELECT b FROM u")
+        assert engine.cache_stats["plan_invalidations"] == before
+
+
+# ---------------------------------------------------------------------------
+# optimizer.* counters + sys_optimizer
+# ---------------------------------------------------------------------------
+
+
+class TestOptimizerCounters:
+    def test_heuristic_mode_keeps_counters_at_zero(self, run, engine,
+                                                   joined):
+        run("ANALYZE")
+        run(TestPlanShape.SQL3)
+        run("SELECT TOP 2 v FROM fact ORDER BY v DESC")
+        assert not any(name.startswith("optimizer.")
+                       for name in engine.meter.counters)
+        assert run("SELECT metric FROM sys_optimizer") == []
+
+    def test_cost_mode_populates_counters(self, run, engine, joined):
+        run("ANALYZE")
+        _cost_mode(engine)
+        run(TestPlanShape.SQL3)
+        run("SELECT TOP 2 v FROM fact ORDER BY v DESC")
+        counters = dict(run("SELECT metric, value FROM sys_optimizer"))
+        assert counters["optimizer.plans_costed"] >= 2
+        assert counters["optimizer.join_orders_considered"] >= 1
+        assert counters["optimizer.topn_heap_used"] >= 1
+        metrics = dict(
+            run("SELECT name, value FROM sys_metrics "
+                "WHERE kind = 'counter' AND name = "
+                "'optimizer.plans_costed'"))
+        assert metrics["optimizer.plans_costed"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Statistics survive crash recovery
+# ---------------------------------------------------------------------------
+
+
+class TestStatsPersistence:
+    def _world(self):
+        from repro.server.server import DatabaseServer
+        from repro.workloads.app import BenchmarkApp
+
+        server = DatabaseServer(meter=Meter())
+        app = BenchmarkApp(server)
+        app.run_statement("CREATE TABLE t (a INT)")
+        app.run_statement("INSERT INTO t VALUES " + ", ".join(
+            f"({i % 6})" for i in range(24)))
+        app.run_statement("ANALYZE t")
+        return server, app
+
+    def test_stats_survive_restart(self):
+        server, app = self._world()
+        expected = server.engine.catalog.get_table_stats("t")
+        assert expected["row_count"] == 24
+        server.crash()
+        server.restart()
+        assert server.engine.catalog.get_table_stats("t") == expected
+        assert server.engine.catalog.stats_version_of("t") == 1
+
+    def test_stats_survive_checkpointed_restart(self):
+        server, app = self._world()
+        server.engine.checkpoint()
+        expected = server.engine.catalog.get_table_stats("t")
+        server.crash()
+        server.restart()
+        assert server.engine.catalog.get_table_stats("t") == expected
+
+    def test_view_reflects_recovered_stats(self):
+        server, app = self._world()
+        server.crash()
+        server.restart()
+        app2 = __import__("repro.workloads.app",
+                          fromlist=["BenchmarkApp"]).BenchmarkApp(server)
+        rows = app2.query_rows("SELECT table_name, row_count "
+                               "FROM sys_table_stats")
+        assert ("t", 24) in rows
+
+
+# ---------------------------------------------------------------------------
+# Cost vs heuristic: value equivalence on TPC-H
+# ---------------------------------------------------------------------------
+
+
+def _cells_close(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+def _rows_close(got, want) -> bool:
+    if len(got) != len(want):
+        return False
+    got = sorted(got, key=repr)
+    want = sorted(want, key=repr)
+    return all(len(x) == len(y)
+               and all(_cells_close(c, d) for c, d in zip(x, y))
+               for x, y in zip(got, want))
+
+
+def test_tpch_cost_mode_matches_heuristic_values():
+    """Every TPC-H query returns the same values in cost mode as in the
+    heuristic default (modulo float-summation order: a reordered join
+    feeds SUM in a different row order, so aggregates may differ in the
+    last ulp — compared with 1e-9 relative tolerance)."""
+    from repro.workloads.tpch.datagen import generate
+    from repro.workloads.tpch.queries import QUERIES
+    from repro.workloads.tpch.schema import create_schema, load
+
+    def leg(cost_mode: bool):
+        engine = DatabaseEngine(meter=Meter(), plan_cache_capacity=128)
+        session = EngineSession(session_id=1)
+        create_schema(engine, session)
+        load(engine, session, generate(scale=0.0005, seed=11))
+        if cost_mode:
+            engine.execute("ANALYZE", session)
+            _cost_mode(engine)
+        return {n: engine.execute(QUERIES[n], session).fetch_all()
+                for n in sorted(QUERIES)}
+
+    heuristic = leg(False)
+    cost = leg(True)
+    for number in sorted(heuristic):
+        assert _rows_close(cost[number], heuristic[number]), (
+            f"cost-mode values diverged on TPC-H Q{number}")

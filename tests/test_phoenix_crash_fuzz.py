@@ -26,8 +26,14 @@ from repro.workloads.app import BenchmarkApp
 
 
 def build_world(cache_rows: int = 0, prefetch: bool = False,
-                result_cache: bool = False):
+                result_cache: bool = False, cost_mode: bool = False):
     costs = CostModel(output_buffer_bytes=16)
+    if cost_mode:
+        # The cost-based optimizer plans every statement from ANALYZE
+        # statistics (collected below, once the ledger is loaded):
+        # crashes must neither change a single observed value nor lose
+        # the statistics across recovery.
+        costs.optimizer_mode = "cost"
     if prefetch:
         # Pipelined result delivery on, with the output buffer kept tiny
         # so every result spans many wire batches: crashes land between
@@ -54,6 +60,8 @@ def build_world(cache_rows: int = 0, prefetch: bool = False,
     setup.run_statement(
         "INSERT INTO ledger VALUES " + ", ".join(
             f"({i}, {i * 10})" for i in range(8)))
+    if cost_mode:
+        setup.run_statement("ANALYZE")
     config = PhoenixConfig(client_cache_rows=cache_rows)
     app = BenchmarkApp(server, use_phoenix=True, phoenix_config=config)
     return server, app
@@ -94,9 +102,14 @@ def workload(app) -> list:
 
 
 def reference_run(cache_rows: int = 0, prefetch: bool = False,
-                  result_cache: bool = False) -> list:
-    _server, app = build_world(cache_rows, prefetch, result_cache)
+                  result_cache: bool = False,
+                  cost_mode: bool = False) -> list:
+    _server, app = build_world(cache_rows, prefetch, result_cache,
+                               cost_mode)
     observed = workload(app)
+    if cost_mode:
+        # The sweep must actually plan through the cost path.
+        assert app.meter.counters.get("optimizer.plans_costed", 0) > 0
     if prefetch:
         # The reference must actually exercise the pipeline, or the
         # sweep below would be fuzzing the seed path under a new name.
@@ -108,24 +121,29 @@ def reference_run(cache_rows: int = 0, prefetch: bool = False,
 
 
 def count_requests(cache_rows: int = 0, prefetch: bool = False,
-                   result_cache: bool = False) -> int:
-    server, app = build_world(cache_rows, prefetch, result_cache)
+                   result_cache: bool = False,
+                   cost_mode: bool = False) -> int:
+    server, app = build_world(cache_rows, prefetch, result_cache,
+                              cost_mode)
     start = app.network.requests_sent
     workload(app)
     return app.network.requests_sent - start
 
 
-@pytest.mark.parametrize("cache_rows,prefetch,result_cache", [
-    (0, False, False),
-    (100, False, False),
-    (0, True, False),
-    (100, True, False),
-    (100, False, True),
-    (100, True, True),
+@pytest.mark.parametrize("cache_rows,prefetch,result_cache,cost_mode", [
+    (0, False, False, False),
+    (100, False, False, False),
+    (0, True, False, False),
+    (100, True, False, False),
+    (100, False, True, False),
+    (100, True, True, False),
+    (0, False, False, True),
+    (100, True, False, True),
 ], ids=["seed", "cache", "prefetch", "cache-prefetch",
-        "shared-cache", "shared-cache-prefetch"])
+        "shared-cache", "shared-cache-prefetch",
+        "cost", "cost-cache-prefetch"])
 def test_crash_at_every_request_boundary(cache_rows, prefetch,
-                                         result_cache):
+                                         result_cache, cost_mode):
     """Crash transparency at every 2nd request boundary.
 
     With ``prefetch`` the same sweep runs with fetch-ahead, adaptive
@@ -137,19 +155,25 @@ def test_crash_at_every_request_boundary(cache_rows, prefetch,
     invariant is unchanged *and* cross-checked against the seed
     configuration: Phoenix repositions to the last row actually
     delivered, nothing is delivered twice, and neither pipelining nor
-    caching may alter a single observed value.
+    caching may alter a single observed value.  With ``cost_mode`` the
+    cost-based optimizer plans everything from ANALYZE statistics — the
+    observed values must still match the heuristic seed exactly, and the
+    statistics themselves must survive every crash/recovery point.
     """
-    expected = reference_run(cache_rows, prefetch, result_cache)
+    expected = reference_run(cache_rows, prefetch, result_cache,
+                             cost_mode)
     assert expected == reference_run(cache_rows), (
-        "pipelined/cached delivery changed the crash-free output")
-    total = count_requests(cache_rows, prefetch, result_cache)
+        "pipelined/cached/cost-planned delivery changed the crash-free "
+        "output")
+    total = count_requests(cache_rows, prefetch, result_cache, cost_mode)
     # Adaptive buffering legitimately collapses round trips, so the
     # pipelined sweep covers fewer boundaries — but never this few.
     assert total > (5 if prefetch else 10)
     # Sweep every 2nd boundary to keep runtime sane while still covering
     # every pipeline stage (requests alternate through all steps).
     for crash_at in range(1, total + 1, 2):
-        server, app = build_world(cache_rows, prefetch, result_cache)
+        server, app = build_world(cache_rows, prefetch, result_cache,
+                                  cost_mode)
         fired = {"count": 0, "done": False}
 
         def injector(request, server=server, fired=fired,
@@ -165,7 +189,12 @@ def test_crash_at_every_request_boundary(cache_rows, prefetch,
         assert observed == expected, (
             f"output diverged when crashing at request {crash_at} "
             f"(cache_rows={cache_rows}, prefetch={prefetch}, "
-            f"result_cache={result_cache})")
+            f"result_cache={result_cache}, cost_mode={cost_mode})")
+        if cost_mode:
+            stats = server.engine.catalog.get_table_stats("ledger")
+            assert stats and stats["row_count"] == 8, (
+                f"ANALYZE statistics lost when crashing at request "
+                f"{crash_at}")
         tracer = app.meter.obs.tracer
         assert tracer.open_span_count == 0, (
             f"spans leaked open when crashing at request {crash_at}")
