@@ -180,7 +180,21 @@ def _run_wallclock(args) -> int:
                  # Deterministic virtual metrics: the sentinel flags any
                  # drift of these against the trailing window.
                  "virtual_seconds": result.cached_virtual_seconds,
-                 "p95_execute_seconds": p95_execute}
+                 "p95_execute_seconds": p95_execute,
+                 # Row-locking counters must stay zero on this serial,
+                 # table-granularity mix — any growth means the
+                 # hierarchical lock machinery leaked into the default
+                 # path (the sentinel's tolerance for these is 0).
+                 "locks.row_locks_acquired":
+                     int(result.counters.get("locks.row_locks_acquired",
+                                             0)),
+                 "locks.escalations":
+                     int(result.counters.get("locks.escalations", 0)),
+                 "locks.deadlocks_detected":
+                     int(result.counters.get("locks.deadlocks_detected",
+                                             0)),
+                 "locks.txn_retries":
+                     int(result.counters.get("locks.txn_retries", 0))}
         with history.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
         print(f"[wallclock history: {entry}]")
@@ -387,6 +401,131 @@ def _run_optbench(args) -> int:
     return 1 if failed else 0
 
 
+#: (sessions, transactions per session) legs for ``tpccbench`` — work
+#: per leg stays roughly constant as concurrency rises so the bench
+#: finishes in CI time at 128 sessions.
+TPCCBENCH_LEGS = ((8, 4), (32, 2), (128, 1))
+
+#: Shared world scale for every tpccbench leg (small enough for CI,
+#: large enough that sessions genuinely collide on warehouse rows and
+#: stock rows).
+TPCCBENCH_SCALE = dict(items=100, customers_per_district=10,
+                       initial_orders_per_district=5)
+
+
+def _run_tpccbench(args) -> int:
+    """Interleaved multi-session TPC-C: row vs table lock granularity.
+
+    For each ``(sessions, txns)`` leg runs the identical descriptor set
+    three ways — serial (one session at a time, table locks),
+    interleaved under the seed's no-wait table locks, and interleaved
+    under hierarchical row locking — and compares virtual-time
+    makespans and final database digests.
+
+    Writes ``tpccbench.txt`` and appends one ``{date, commit, leg,
+    sessions, virtual_seconds, locks.*}`` line per run to
+    ``tpccbench_history.jsonl``.  Fails (exit 1) if the row leg's
+    makespan is not strictly below the table leg's at every session
+    count, or if any leg's final database digest differs from the
+    serial reference (concurrency must never change committed state).
+    """
+    import datetime
+    import json
+    import subprocess
+
+    from repro.workloads.tpcc.concurrent import (
+        ConcurrentMix, build_concurrent_world, digest_database)
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        commit = "unknown"
+
+    lock_counters = ("locks.row_locks_acquired", "locks.escalations",
+                     "locks.deadlocks_detected", "locks.lock_wait_seconds",
+                     "locks.txn_retries")
+    lines = ["Concurrent TPC-C mix: virtual-time makespan by lock "
+             "granularity",
+             "(identical transaction descriptors per leg; digests must "
+             "match)",
+             "",
+             f"{'sessions':>8}  {'txns':>4}  {'serial':>10}  "
+             f"{'table':>10}  {'row':>10}  {'row/table':>9}  "
+             f"{'deadlocks':>9}  {'waits':>7}"]
+    failed = False
+    entries = []
+    for sessions, txns in TPCCBENCH_LEGS:
+        runs = {}
+        digests = {}
+        for leg in ("serial", "table", "row"):
+            granularity = "row" if leg == "row" else "table"
+            server, apps, plans, scale = build_concurrent_world(
+                sessions, granularity, txns_per_session=txns,
+                **TPCCBENCH_SCALE)
+            mix = ConcurrentMix(server, apps, plans, scale)
+            result = (mix.run_serial() if leg == "serial"
+                      else mix.run_interleaved())
+            runs[leg] = result
+            digests[leg] = digest_database(server.engine)
+            entry = {"date": datetime.date.today().isoformat(),
+                     "commit": commit, "leg": leg, "sessions": sessions,
+                     "virtual_seconds": result.makespan_seconds}
+            counters = server.meter.counters
+            for name in lock_counters:
+                value = counters.get(name, 0)
+                entry[name] = (round(value, 9) if name.endswith("seconds")
+                               else int(value))
+            entries.append(entry)
+        serial, table, row = runs["serial"], runs["table"], runs["row"]
+        ratio = row.makespan_seconds / table.makespan_seconds
+        lines.append(
+            f"{sessions:>8}  {txns:>4}  {serial.makespan_seconds:>10.4f}  "
+            f"{table.makespan_seconds:>10.4f}  "
+            f"{row.makespan_seconds:>10.4f}  {ratio:>9.3f}  "
+            f"{row.deadlocks:>9}  {row.lock_waits:>7}")
+        if row.makespan_seconds >= table.makespan_seconds:
+            print(f"FAIL: at {sessions} sessions the row-locking "
+                  f"makespan ({row.makespan_seconds:.4f}s) is not below "
+                  f"the table-locking makespan "
+                  f"({table.makespan_seconds:.4f}s)")
+            failed = True
+        for leg in ("table", "row"):
+            if digests[leg] != digests["serial"]:
+                mismatched = sorted(
+                    name for name in digests["serial"]
+                    if digests[leg].get(name) != digests["serial"][name])
+                print(f"FAIL: at {sessions} sessions the {leg} leg's "
+                      f"final database state differs from the serial "
+                      f"reference (tables: {', '.join(mismatched)})")
+                failed = True
+        committed = sessions * txns - row.rolled_back
+        if not (serial.committed == table.committed == row.committed):
+            print(f"FAIL: committed-transaction counts diverged at "
+                  f"{sessions} sessions: serial {serial.committed}, "
+                  f"table {table.committed}, row {row.committed}")
+            failed = True
+        print(f"[tpccbench n={sessions}: table "
+              f"{table.makespan_seconds:.4f}s -> row "
+              f"{row.makespan_seconds:.4f}s ({(1 - ratio) * 100:.1f}% "
+              f"faster), {committed} committed, row deadlocks "
+              f"{row.deadlocks}, waits {row.lock_waits}, table retries "
+              f"{table.txn_retries}]")
+
+    text = "\n".join(lines)
+    print(text)
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "tpccbench.txt").write_text(text + "\n")
+    history = out_dir / "tpccbench_history.jsonl"
+    with history.open("a") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry) + "\n")
+    return 1 if failed else 0
+
+
 def _run_latency_report(args) -> int:
     """Run the tracked wall-clock mix with the latency ledger on and
     render the per-request-kind SLO table plus the per-component
@@ -518,6 +657,7 @@ def main(argv: list[str] | None = None) -> int:
                                                        "recoveryscaling",
                                                        "latency-report",
                                                        "optbench",
+                                                       "tpccbench",
                                                        "sentinel"],
                         help="which artifact to regenerate")
     parser.add_argument("--scale", type=float, default=None,
@@ -541,6 +681,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_latency_report(args)
     if args.experiment == "optbench":
         return _run_optbench(args)
+    if args.experiment == "tpccbench":
+        return _run_tpccbench(args)
     if args.experiment == "sentinel":
         return _run_sentinel(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

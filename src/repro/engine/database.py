@@ -19,6 +19,7 @@ from repro.engine.results import StatementResult
 from repro.engine.session import EngineSession
 from repro.engine.table import Table
 from repro.errors import (
+    DeadlockError,
     EngineError,
     PlanningError,
     TableNotFoundError,
@@ -218,7 +219,8 @@ class DatabaseEngine:
         self.wal = wal if wal is not None else WriteAheadLog(self.meter)
         self.wal.attach_meter(self.meter)
         self.buffer_pool = BufferPool(self.disk, self.meter, wal=self.wal)
-        self.locks = LockManager()
+        self.locks = LockManager(meter=self.meter)
+        self.locks.on_victim = self._abort_deadlock_victim
         if recover:
             self.catalog = Catalog.restore(
                 self.disk.read_blob("catalog_snapshot"))
@@ -683,6 +685,23 @@ class DatabaseEngine:
                           self.meter.costs.cpu_per_statement_seconds,
                           "statement parse/plan")
         statement = prepared.statement
+        txn = session.current_txn if session is not None else None
+        if txn is not None and not txn.is_active:
+            # The session's transaction was aborted out from under it —
+            # chosen as a deadlock victim while another session held the
+            # engine.  This check must sit on the single statement
+            # funnel (not just the uncached-dispatch path): a cached DML
+            # plan would otherwise see ``in_transaction`` False and run
+            # in a fresh autocommit scope, silently committing the tail
+            # of a transaction whose head was just undone.  Every
+            # statement fails until an explicit ROLLBACK acknowledges
+            # the abort and resets the session.
+            if not isinstance(statement, ast.RollbackStatement):
+                raise DeadlockError(
+                    f"txn {txn.txn_id} was aborted as a deadlock victim; "
+                    f"roll back and retry the transaction")
+            session.current_txn = None
+            return StatementResult.ok("rolled back")
         if norm is not None:
             merged = norm.params
             if params:
@@ -929,6 +948,7 @@ class DatabaseEngine:
     def _run_select_entry(self, entry: PlanCacheEntry,
                           statement: ast.Statement,
                           session: EngineSession) -> StatementResult:
+        probe = None
         if session is not None and session.in_transaction:
             lock_tables = entry.lock_tables
             if lock_tables is None:
@@ -936,17 +956,24 @@ class DatabaseEngine:
                                for name in self._referenced_tables(statement)
                                if not name.startswith("#")]
                 entry.lock_tables = lock_tables
-            txn_id = session.current_txn.txn_id
-            for name in lock_tables:
-                self.locks.acquire(txn_id, name, LockMode.SHARED)
+            txn = session.current_txn
+            self._acquire_read_locks(txn.txn_id, lock_tables)
+            probe = self._reader_probe(txn)
         plan = entry.plan
         entry.active += 1
 
-        def guarded_rows():
-            try:
-                yield from iterate_plan(plan.root, self.meter)
-            finally:
-                entry.active -= 1
+        if probe is None:
+            def guarded_rows():
+                try:
+                    yield from iterate_plan(plan.root, self.meter)
+                finally:
+                    entry.active -= 1
+        else:
+            def guarded_rows():
+                try:
+                    yield from self._probed_rows(plan.root, probe)
+                finally:
+                    entry.active -= 1
 
         result = StatementResult.of_rows(plan.output_columns,
                                          guarded_rows())
@@ -1017,6 +1044,90 @@ class DatabaseEngine:
         session.current_txn = None
         return StatementResult.ok("rolled back")
 
+    # -- row-granularity locking (lock_granularity="row") --------------------
+
+    def _row_locking(self) -> bool:
+        return self.meter.costs.lock_granularity == "row"
+
+    def _abort_deadlock_victim(self, txn_id: int) -> None:
+        """Deadlock-victim callback wired into the lock manager.
+
+        Runs *inside* another session's lock request: the victim's undo
+        executes (and is charged) before the requester unwinds with
+        ``LockWaitError``.  The victim's session notices on its next
+        statement (see the check in :meth:`_execute_parsed`).
+        """
+        txn = self.txns.active_transactions.get(txn_id)
+        if txn is None or not txn.is_active:
+            self.locks.release_all(txn_id)
+            return
+        self.txns.abort(txn)
+
+    def _acquire_read_locks(self, txn_id: int, names) -> None:
+        """Statement-start read locks for an in-transaction SELECT.
+
+        Table S under the seed policy.  Under row granularity, tables
+        with a primary key take IS instead — the executor's lock probe
+        then takes row S locks per produced row — while tables without a
+        primary key (and non-table names: views, sys_* snapshots, which
+        keep the seed's phantom S entry) stay at table S.
+        """
+        if not self._row_locking():
+            for name in names:
+                self.locks.acquire(txn_id, name, LockMode.SHARED)
+            return
+        for name in names:
+            info = self.catalog.tables.get(name.lower())
+            mode = (LockMode.INTENT_SHARED
+                    if info is not None and info.primary_key
+                    else LockMode.SHARED)
+            self.locks.acquire(txn_id, name, mode)
+
+    def _reader_probe(self, txn: Transaction):
+        """Per-row S-lock probe (see ``Meter.lock_probe``), or None under
+        the default table granularity."""
+        if not self._row_locking():
+            return None
+        locks = self.locks
+
+        def probe(table: Table, rid: RowId, row: tuple | None) -> None:
+            info = table.info
+            if info.volatile or not info.primary_key:
+                return
+            if not txn.is_active:
+                raise DeadlockError(
+                    f"txn {txn.txn_id} was aborted as a deadlock victim")
+            if row is None:
+                # Covering (index-only) scan: the probe must identify the
+                # row to lock it, so it reads the heap itself.
+                row = table.heap.read(rid)
+                if row is None:
+                    return
+            locks.acquire(txn.txn_id, info.name, LockMode.INTENT_SHARED)
+            locks.acquire_row(txn.txn_id, info.name,
+                              table.row_lock_key(row), LockMode.SHARED)
+
+        return probe
+
+    def _probed_rows(self, root, probe):
+        """Iterate a plan with ``probe`` installed around each pull.
+
+        Install/uninstall brackets every ``next`` so lazily-consumed
+        result sets of *other* interleaved sessions can never pick up
+        this transaction's probe.
+        """
+        meter = self.meter
+        inner = iterate_plan(root, meter)
+        while True:
+            meter.lock_probe = probe
+            try:
+                row = next(inner)
+            except StopIteration:
+                return
+            finally:
+                meter.lock_probe = None
+            yield row
+
     class _TxnScope:
         """Runs a statement inside the session txn or an autocommit txn."""
 
@@ -1047,12 +1158,17 @@ class DatabaseEngine:
                         params: dict) -> StatementResult:
         planner = self._planner(session, params)
         plan = planner.plan_select(statement)
+        probe = None
         if session.in_transaction:
-            for name in self._referenced_tables(statement):
-                if not name.startswith("#"):
-                    self.locks.acquire(session.current_txn.txn_id, name,
-                                       LockMode.SHARED)
-        rows = iterate_plan(plan.root, self.meter)
+            self._acquire_read_locks(
+                session.current_txn.txn_id,
+                [name for name in self._referenced_tables(statement)
+                 if not name.startswith("#")])
+            probe = self._reader_probe(session.current_txn)
+        if probe is None:
+            rows = iterate_plan(plan.root, self.meter)
+        else:
+            rows = self._probed_rows(plan.root, probe)
         result = StatementResult.of_rows(plan.output_columns, rows)
         result.streamable = is_streamable_plan(plan.root)
         return result
@@ -1166,15 +1282,37 @@ class DatabaseEngine:
         column_positions = compiled.column_positions
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
-            self._lock_for_write(session, txn, table)
-            for source in source_rows:
-                if len(source) != len(target_columns):
-                    raise EngineError(
-                        f"INSERT has {len(source)} values for "
-                        f"{len(target_columns)} columns")
-                row = self._build_row(table, column_positions, source)
-                table.insert(row, txn, self.txns)
-                count += 1
+            mode = self._lock_for_write(session, txn, table)
+            if mode is LockMode.INTENT_EXCLUSIVE:
+                # Row granularity: build every row and take all row X
+                # locks *before* the first insert, so a LockWaitError can
+                # only unwind a statement that has not mutated anything —
+                # the retry re-runs it from scratch safely.
+                rows = []
+                for source in source_rows:
+                    if len(source) != len(target_columns):
+                        raise EngineError(
+                            f"INSERT has {len(source)} values for "
+                            f"{len(target_columns)} columns")
+                    rows.append(self._build_row(table, column_positions,
+                                                source))
+                name = table.info.name
+                for row in rows:
+                    self.locks.acquire_row(txn.txn_id, name,
+                                           table.row_lock_key(row),
+                                           LockMode.EXCLUSIVE)
+                for row in rows:
+                    table.insert(row, txn, self.txns)
+                    count += 1
+            else:
+                for source in source_rows:
+                    if len(source) != len(target_columns):
+                        raise EngineError(
+                            f"INSERT has {len(source)} values for "
+                            f"{len(target_columns)} columns")
+                    row = self._build_row(table, column_positions, source)
+                    table.insert(row, txn, self.txns)
+                    count += 1
         return StatementResult.of_rowcount(count, f"{count} rows inserted")
 
     def _build_row(self, table: Table, positions: list[int],
@@ -1204,20 +1342,51 @@ class DatabaseEngine:
         columns = table.info.columns
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
-            self._lock_for_write(session, txn, table)
+            mode = self._lock_for_write(session, txn, table)
             matches = list(compiled.iterate())
-            for rid, row in matches:
-                new_values = list(row)
-                ctx = EvalContext(row=row)
-                for position, fn in compiled.assignments:
-                    column = columns[position]
-                    value = coerce_column(fn(ctx), column)
-                    if value is None and not column.nullable:
-                        raise EngineError(
-                            f"column {column.name!r} is NOT NULL")
-                    new_values[position] = value
-                table.update(rid, tuple(new_values), txn, self.txns)
-                count += 1
+            if mode is LockMode.INTENT_EXCLUSIVE:
+                # Two-phase (row granularity): compute every new row and
+                # take all row X locks before the first update, so a
+                # LockWaitError unwinds only statements that have not
+                # mutated anything (the matches may also be stale — a
+                # retry re-reads them).
+                updates = []
+                for rid, row in matches:
+                    new_values = list(row)
+                    ctx = EvalContext(row=row)
+                    for position, fn in compiled.assignments:
+                        column = columns[position]
+                        value = coerce_column(fn(ctx), column)
+                        if value is None and not column.nullable:
+                            raise EngineError(
+                                f"column {column.name!r} is NOT NULL")
+                        new_values[position] = value
+                    updates.append((rid, row, tuple(new_values)))
+                name = table.info.name
+                for _rid, old_row, new_row in updates:
+                    old_key = table.row_lock_key(old_row)
+                    self.locks.acquire_row(txn.txn_id, name, old_key,
+                                           LockMode.EXCLUSIVE)
+                    new_key = table.row_lock_key(new_row)
+                    if new_key != old_key:
+                        self.locks.acquire_row(txn.txn_id, name, new_key,
+                                               LockMode.EXCLUSIVE)
+                for rid, _old_row, new_row in updates:
+                    table.update(rid, new_row, txn, self.txns)
+                    count += 1
+            else:
+                for rid, row in matches:
+                    new_values = list(row)
+                    ctx = EvalContext(row=row)
+                    for position, fn in compiled.assignments:
+                        column = columns[position]
+                        value = coerce_column(fn(ctx), column)
+                        if value is None and not column.nullable:
+                            raise EngineError(
+                                f"column {column.name!r} is NOT NULL")
+                        new_values[position] = value
+                    table.update(rid, tuple(new_values), txn, self.txns)
+                    count += 1
         return StatementResult.of_rowcount(count, f"{count} rows updated")
 
     def _execute_delete(self, statement: ast.DeleteStatement,
@@ -1232,18 +1401,42 @@ class DatabaseEngine:
         table = compiled.table
         count = 0
         with DatabaseEngine._TxnScope(self, session) as txn:
-            self._lock_for_write(session, txn, table)
+            mode = self._lock_for_write(session, txn, table)
             matches = list(compiled.iterate())
+            if mode is LockMode.INTENT_EXCLUSIVE:
+                # All row X locks before the first delete (see _run_update).
+                name = table.info.name
+                for _rid, row in matches:
+                    self.locks.acquire_row(txn.txn_id, name,
+                                           table.row_lock_key(row),
+                                           LockMode.EXCLUSIVE)
             for rid, _row in matches:
                 table.delete(rid, txn, self.txns)
                 count += 1
         return StatementResult.of_rowcount(count, f"{count} rows deleted")
 
-    def _lock_for_write(self, session: EngineSession,
-                        txn: Transaction, table: Table) -> None:
-        if not table.info.volatile:
-            self.locks.acquire(txn.txn_id, table.info.name,
-                               LockMode.EXCLUSIVE)
+    def _lock_for_write(self, session: EngineSession, txn: Transaction,
+                        table: Table) -> LockMode | None:
+        """Take the table-granularity write lock; returns the mode taken.
+
+        Seed policy: table X.  Row granularity: table IX (the caller
+        then takes row X locks) — except for tables without a primary
+        key (no row identity to lock) and tables carrying a *secondary*
+        unique index, where concurrent writers could race uniqueness
+        checks against uncommitted rows; both keep table X.
+        """
+        info = table.info
+        if info.volatile:
+            return None
+        mode = LockMode.EXCLUSIVE
+        if self._row_locking() and info.primary_key:
+            mode = LockMode.INTENT_EXCLUSIVE
+            for index in table.indexes():
+                if index.unique and not index.name.startswith("__pk_"):
+                    mode = LockMode.EXCLUSIVE
+                    break
+        self.locks.acquire(txn.txn_id, info.name, mode)
+        return mode
 
     # -- DDL ---------------------------------------------------------------
 

@@ -33,6 +33,8 @@ class Table:
         self._indexes: dict[str, tuple[IndexInfo, BTree]] = {}
         #: index name -> column positions, memoized off the DML hot path
         self._key_positions: dict[str, list[int]] = {}
+        #: primary-key column positions for row_lock_key, memoized
+        self._pk_positions: list[int] | None = None
         if info.primary_key:
             # Built from the heap, not created empty: a runtime attached
             # to a non-empty heap (restart recovery, re-materialization
@@ -69,6 +71,19 @@ class Table:
     def scan_pages(self):
         """Page-block scan for the batch executor (see HeapFile.scan_pages)."""
         return self.heap.scan_pages()
+
+    def row_lock_key(self, row: tuple) -> tuple:
+        """Primary-key tuple identifying ``row`` for the row lock manager.
+
+        Row locks are logical (keyed by primary key, not rid) so a lock
+        survives physical movement and a retried statement re-locks the
+        same resource.  Only called for tables with a primary key.
+        """
+        positions = self._pk_positions
+        if positions is None:
+            positions = self._pk_positions = [
+                self.info.column_index(c) for c in self.info.primary_key]
+        return tuple(row[p] for p in positions)
 
     # -- index management ----------------------------------------------------
 

@@ -83,6 +83,19 @@ class DeadlockError(TransactionError):
     """Lock acquisition timed out; the transaction was chosen as victim."""
 
 
+class LockWaitError(TransactionError):
+    """A lock request must wait for other transactions (row mode only).
+
+    Raised instead of blocking — the engine host is single-threaded, so a
+    conflicting request under ``lock_granularity="row"`` registers the
+    waiter in the wait-for graph and unwinds with this error; the
+    scheduler parks the session and retries the statement once a blocker
+    commits or aborts.  The transaction stays active and keeps every lock
+    it already holds (strict 2PL).  Never raised under the default table
+    granularity, which keeps the seed's no-wait ``DeadlockError``.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Server / network errors
 # ---------------------------------------------------------------------------

@@ -44,7 +44,7 @@ __all__ = ["COMPONENTS", "LatencyLedger", "LedgerEntry", "classify",
 COMPONENTS: tuple[str, ...] = (
     "client_cpu", "net_uplink", "net_downlink", "server_queue",
     "parse_plan", "engine_execute", "wal_force", "checkpoint",
-    "prefetch_stall", "cache", "other")
+    "prefetch_stall", "lock_wait", "cache", "other")
 
 _ZERO = Fraction(0)
 
@@ -87,6 +87,11 @@ def classify(resource: str, note: str, hint: str | None = None) -> str:
     if resource == NETWORK:
         return _NETWORK_NOTES.get(note, "other")
     if resource == SERVER_CPU:
+        if note == "lock wait":
+            # Row-granularity waiter stall, charged by the concurrent
+            # scheduler inside an overlap window.  Never emitted on a
+            # serial mix, so the tracked baseline stays untouched.
+            return "lock_wait"
         return ("parse_plan" if note in _PARSE_PLAN_NOTES
                 else "engine_execute")
     if resource == SERVER_DISK:

@@ -53,6 +53,14 @@ METRIC_TOLERANCES: dict[str, float] = {
     "optimizer.topn_heap_used": 0.0,
     "optimizer.sortmerge_chosen": 0.0,
     "optimizer.stats_missing_fallbacks": 0.0,
+    # Lock-manager counters: table-granularity legs must stay at zero
+    # (growth means row-locking machinery leaked into the default path);
+    # row legs are judged against their own group's history.
+    "locks.row_locks_acquired": 0.0,
+    "locks.escalations": 0.0,
+    "locks.deadlocks_detected": 0.0,
+    "locks.lock_wait_seconds": 1e-9,
+    "locks.txn_retries": 0.0,
     "virtual_seconds": 1e-9,
     "recovery_seconds": 1e-6,
     "p95_execute_seconds": 1e-9,

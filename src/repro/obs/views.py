@@ -12,6 +12,7 @@ views:
 
 * ``sys_traces`` — finished spans of the world's tracer;
 * ``sys_metrics`` — every counter/gauge/histogram bucket;
+* ``sys_locks`` — held table/row locks with modes and waiters;
 * ``sys_recovery_phases`` — per-phase virtual-time breakdown of each
   Phoenix session recovery;
 * ``sys_plan_cache`` — statement/plan cache statistics, including
@@ -84,6 +85,28 @@ def _sys_metrics(engine):
                Column("bucket", SqlType.VARCHAR, 16),
                Column("value", SqlType.FLOAT)]
     return columns, engine.meter.obs.metrics.rows()
+
+
+@system_view("sys_locks")
+def _sys_locks(engine):
+    """Held locks by table and granularity, with registered waiters.
+
+    One row per (resource, holder).  ``lock_key`` is empty for
+    table-granularity locks and the repr of the primary-key tuple for
+    row locks; ``waiters`` lists transactions currently registered as
+    waiting on that holder (row granularity only — the seed's no-wait
+    policy never queues anyone).
+    """
+    columns = [Column("table_name", SqlType.VARCHAR, 64),
+               Column("granularity", SqlType.VARCHAR, 8),
+               Column("lock_key", SqlType.VARCHAR, 80),
+               Column("mode", SqlType.VARCHAR, 4),
+               Column("txn_id", SqlType.INTEGER),
+               Column("waiters", SqlType.VARCHAR, 80)]
+    rows = [(table, granularity, key[:80], mode, txn_id, waiters[:80])
+            for table, granularity, key, mode, txn_id, waiters
+            in engine.locks.snapshot()]
+    return columns, rows
 
 
 @system_view("sys_recovery_phases")

@@ -34,3 +34,4 @@ SQLSTATE_GENERAL_ERROR = "HY000"
 SQLSTATE_SYNTAX_ERROR = "42000"
 SQLSTATE_CONSTRAINT = "23000"
 SQLSTATE_SERIALIZATION_FAILURE = "40001"  # deadlock victim
+SQLSTATE_LOCK_TIMEOUT = "HYT00"  # lock wait (row granularity): retry later

@@ -18,6 +18,7 @@ from repro.errors import (
     ConnectionLostError,
     ConstraintError,
     DeadlockError,
+    LockWaitError,
     OdbcError,
     ReproError,
     RequestTimeoutError,
@@ -33,6 +34,7 @@ from repro.odbc.constants import (
     SQLSTATE_CONNECTION_DEAD,
     SQLSTATE_CONSTRAINT,
     SQLSTATE_GENERAL_ERROR,
+    SQLSTATE_LOCK_TIMEOUT,
     SQLSTATE_SERIALIZATION_FAILURE,
     SQLSTATE_SYNTAX_ERROR,
 )
@@ -52,6 +54,10 @@ def sqlstate_for(error: Exception) -> str:
         return SQLSTATE_COMM_LINK_FAILURE
     if isinstance(error, ConnectionLostError):
         return SQLSTATE_CONNECTION_DEAD
+    if isinstance(error, LockWaitError):
+        # Checked before DeadlockError only for clarity — the two are
+        # sibling TransactionError subclasses, never related.
+        return SQLSTATE_LOCK_TIMEOUT
     if isinstance(error, DeadlockError):
         return SQLSTATE_SERIALIZATION_FAILURE
     if isinstance(error, SqlSyntaxError):

@@ -205,7 +205,14 @@ class DatabaseServer:
                                       iter(result.rows), self.meter,
                                       streamable=streamable)
         session.results[statement_id] = open_result
-        open_result.fill_buffer()
+        try:
+            open_result.fill_buffer()
+        except Exception:
+            # The first pull failed (e.g. a row-granularity lock wait
+            # raised mid-scan): drop the half-open result set so a
+            # statement retry does not leak it.
+            session.results.pop(statement_id, None)
+            raise
         rows = open_result.take_batch(open_result.wire_batch_rows())
         done = open_result.exhausted
         if done:
@@ -239,7 +246,14 @@ class DatabaseServer:
         if open_result is None:
             return FetchResponse(rows=[], done=True)
         open_result.note_fetch()
-        open_result.fill_buffer()
+        try:
+            open_result.fill_buffer()
+        except Exception:
+            # A lazy pull failed mid-result (row-granularity lock wait or
+            # deadlock): the cursor position is unrecoverable, so close
+            # the result — the client retries the whole statement.
+            session.results.pop(request.statement_id, None)
+            raise
         max_rows = request.max_rows
         if max_rows is None:
             max_rows = open_result.wire_batch_rows()

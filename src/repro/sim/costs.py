@@ -134,6 +134,24 @@ class CostModel:
     #: committed-version mirror).
     result_cache_probe_seconds: float = 0.0004
 
+    # -- concurrency control (default = seed-identical table locking) --------
+    #: Locking granularity.  ``"table"`` keeps the seed lock manager's
+    #: behaviour exactly: S/X locks at table granularity with a no-wait
+    #: policy (conflicts raise ``DeadlockError`` immediately).  ``"row"``
+    #: enables the hierarchical lock manager: intention modes (IS/IX) at
+    #: table granularity plus S/X row locks keyed by primary key, strict
+    #: 2PL held to commit/abort, bounded waiting in virtual time
+    #: (conflicts raise ``LockWaitError`` so the scheduler can park the
+    #: session) and wait-for-graph deadlock detection that aborts the
+    #: youngest transaction in the cycle.  The default keeps every
+    #: historical trace bit-identical (same convention as
+    #: ``async_commit_window_seconds``).
+    lock_granularity: str = "table"
+    #: Row locks one transaction may hold on one table before the lock
+    #: manager escalates them to a single table-granularity S/X lock.
+    #: Only consulted when ``lock_granularity`` is ``"row"``.
+    lock_escalation_threshold: int = 64
+
     # -- query optimizer (default = seed-identical heuristic planning) -------
     #: Plan selection strategy.  ``"heuristic"`` keeps the seed planner:
     #: FROM-order left-deep joins, the fixed HashJoin-vs-NLJ rule, and

@@ -245,7 +245,10 @@ class SeqScan(PlanOperator):
         costs = exec_ctx.costs
         per_tuple = (costs.cpu_per_tuple_scan * self.cost_factor
                      if costs else 0.0)
+        probe = getattr(exec_ctx.meter, "lock_probe", None)
         for rid, row in self.table.heap.scan():
+            if probe is not None:
+                probe(self.table, rid, row)
             exec_ctx.charge_cpu(per_tuple)
             yield rid, row
 
@@ -255,12 +258,16 @@ class SeqScan(PlanOperator):
                      if costs else 0.0)
         run = ((per_tuple, 1),) if per_tuple > 0 else None
         stats = _stats(exec_ctx)
+        probe = getattr(exec_ctx.meter, "lock_probe", None)
         # One batch per heap page: the pool's fault (disk charge) happens
         # while producing the batch — the same pull that first needs it.
         for block in self.table.scan_pages():
             if not block:
                 continue
             _count_batch(stats, "batches.SeqScan")
+            if probe is not None:
+                for rid, row in block:
+                    probe(self.table, rid, row)
             yield [row for _rid, row in block], run
 
 
@@ -307,9 +314,14 @@ class IndexSeek(PlanOperator):
             per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
                          if costs else 0.0)
             self._count_scan(exec_ctx)
+            probe = getattr(exec_ctx.meter, "lock_probe", None)
             hint = self.limit_hint
             emitted = 0
-            for key, _rid in self._matching_entries(exec_ctx):
+            for key, rid in self._matching_entries(exec_ctx):
+                if probe is not None:
+                    # Covering scans never read the heap; the probe gets
+                    # the rid only and fetches the row itself.
+                    probe(self.table, rid, None)
                 exec_ctx.charge_cpu(per_tuple)
                 yield self._synth_row(key)
                 emitted += 1
@@ -396,6 +408,7 @@ class IndexSeek(PlanOperator):
         per_tuple = (costs.cpu_per_tuple_index_lookup * self.cost_factor
                      if costs else 0.0)
         self._count_scan(exec_ctx)
+        probe = getattr(exec_ctx.meter, "lock_probe", None)
         rids = self._matching_rids(exec_ctx)
         hint = self.limit_hint
         emitted = 0
@@ -403,6 +416,8 @@ class IndexSeek(PlanOperator):
             row = self.table.heap.read(rid)
             if row is None:
                 continue
+            if probe is not None:
+                probe(self.table, rid, row)
             exec_ctx.charge_cpu(per_tuple)
             yield rid, row
             emitted += 1
@@ -417,10 +432,13 @@ class IndexSeek(PlanOperator):
         stats = _stats(exec_ctx)
         batch_key = "batches." + type(self).__name__
         self._count_scan(exec_ctx)
+        probe = getattr(exec_ctx.meter, "lock_probe", None)
         hint = self.limit_hint
         emitted = 0
         if self.index_only:
-            for key, _rid in self._matching_entries(exec_ctx):
+            for key, rid in self._matching_entries(exec_ctx):
+                if probe is not None:
+                    probe(self.table, rid, None)
                 _count_batch(stats, batch_key)
                 yield [self._synth_row(key)], run
                 emitted += 1
@@ -435,6 +453,8 @@ class IndexSeek(PlanOperator):
             row = read(rid)
             if row is None:
                 continue
+            if probe is not None:
+                probe(self.table, rid, row)
             _count_batch(stats, batch_key)
             yield [row], run
             emitted += 1
@@ -1489,10 +1509,13 @@ class PointLookup(PlanOperator):
         read = seek.table.heap.read
         exprs = self.project.exprs
         slots = _all_slots(exprs)
+        probe = getattr(exec_ctx.meter, "lock_probe", None)
         for rid in tree.search(prefix):
             row = read(rid)
             if row is None:
                 continue
+            if probe is not None:
+                probe(seek.table, rid, row)
             if slots is not None:
                 out_row = tuple(row[i] for i in slots)
             else:

@@ -208,3 +208,202 @@ def test_crash_at_every_request_boundary(cache_rows, prefetch,
             f"latency accounting identity broken when crashing at "
             f"request {crash_at} (cache_rows={cache_rows}, "
             f"prefetch={prefetch}): {ledger.identity_violations[:3]}")
+
+
+# ---------------------------------------------------------------------------
+# Concurrent sessions under row-level locking
+# ---------------------------------------------------------------------------
+
+# A fixed interleaving of two explicit transactions per round, touching
+# disjoint rows (so row granularity lets them overlap — the seed's
+# no-wait table locks would abort one immediately).  Both sessions hold
+# open transactions across several request boundaries, so the crash
+# sweep below lands crashes while >=2 transactions are in flight.
+_CONCURRENT_SCHEDULE = [
+    (0, "BEGIN TRANSACTION"),
+    (0, "UPDATE acct SET v = v + 1 WHERE k = 0"),
+    (1, "BEGIN TRANSACTION"),
+    (1, "UPDATE acct SET v = v + 2 WHERE k = 2"),
+    (0, "SELECT v FROM acct WHERE k = 0"),
+    (1, "UPDATE acct SET v = v + 3 WHERE k = 3"),
+    (0, "UPDATE acct SET v = v + 4 WHERE k = 1"),
+    (0, "COMMIT"),
+    (1, "SELECT v FROM acct WHERE k = 2"),
+    (1, "COMMIT"),
+    # Second round with the roles swapped, so the *other* session is
+    # the one mid-transaction while its peer begins and commits.
+    (1, "BEGIN TRANSACTION"),
+    (1, "UPDATE acct SET v = v + 5 WHERE k = 0"),
+    (0, "BEGIN TRANSACTION"),
+    (0, "UPDATE acct SET v = v + 6 WHERE k = 2"),
+    (1, "UPDATE acct SET v = v + 7 WHERE k = 1"),
+    (1, "COMMIT"),
+    (0, "COMMIT"),
+]
+
+
+def build_concurrent_row_world():
+    costs = CostModel(output_buffer_bytes=16, lock_granularity="row")
+    meter = Meter(costs)
+    meter.obs.tracer.enable()
+    meter.enable_latency_ledger()
+    server = DatabaseServer(meter=meter)
+    setup = BenchmarkApp(server)
+    setup.run_statement("CREATE TABLE acct (k INT NOT NULL, v INT, "
+                        "PRIMARY KEY (k))")
+    setup.run_statement("INSERT INTO acct VALUES (0, 100), (1, 200), "
+                        "(2, 300), (3, 400)")
+    apps = [BenchmarkApp(server, use_phoenix=True,
+                         phoenix_config=PhoenixConfig(),
+                         login=f"fuzz-{i}") for i in range(2)]
+    return server, apps
+
+
+def _exec_stmt(app, sql):
+    """(ok, sqlstate, first_row) for one statement on one session."""
+    manager = app.manager
+    stmt = manager.alloc_statement(app.conn)
+    rc = manager.exec_direct(stmt, sql)
+    if rc != SQL_SUCCESS:
+        diags = manager.get_diag(stmt)
+        manager.free_statement(stmt)
+        return False, (diags[-1].sqlstate if diags else "HY000"), None
+    row = None
+    if sql.lstrip().upper().startswith("SELECT"):
+        rc, row = manager.fetch(stmt)
+        if rc != SQL_SUCCESS:
+            row = None
+    manager.free_statement(stmt)
+    return True, None, row
+
+
+def _step_txn(app, prefix, sql):
+    """Advance one session's open transaction by one statement.
+
+    SQLSTATE 40001 means the transaction was aborted under the app —
+    deadlock victim or server crash — so the app acknowledges with
+    ROLLBACK and replays the transaction from its BEGIN (``prefix``),
+    then retries ``sql``.  HYT00 (lock wait) retries the same statement.
+    This is exactly the retry loop a real Phoenix client would run.
+    """
+    for _attempt in range(30):
+        ok, state, row = _exec_stmt(app, sql)
+        if ok:
+            prefix.append(sql)
+            return row
+        if state == "HYT00":
+            continue
+        assert state == "40001", f"unexpected SQLSTATE {state} for {sql!r}"
+        _exec_stmt(app, "ROLLBACK")  # tolerant: txn may already be gone
+        replayed = True
+        for prev in prefix:
+            for _retry in range(10):
+                ok, state, _ = _exec_stmt(app, prev)
+                if ok or state != "HYT00":
+                    break
+            if not ok:
+                assert state == "40001", (
+                    f"unexpected SQLSTATE {state} replaying {prev!r}")
+                _exec_stmt(app, "ROLLBACK")
+                replayed = False
+                break
+        if not replayed:
+            continue  # aborted again mid-replay: start the txn over
+    else:
+        raise AssertionError(f"transaction never completed at {sql!r}")
+
+
+def run_concurrent_schedule(apps) -> list:
+    """Drive the fixed interleaving; returns every SELECT observation."""
+    observed = []
+    prefixes = [[], []]
+    for who, sql in _CONCURRENT_SCHEDULE:
+        row = _step_txn(apps[who], prefixes[who], sql)
+        if sql.lstrip().upper().startswith("SELECT"):
+            observed.append((who, sql, row))
+        if sql == "COMMIT":
+            prefixes[who].clear()
+    return observed
+
+
+def final_contents(app) -> list:
+    stmt = app.manager.alloc_statement(app.conn)
+    rc = app.manager.exec_direct(stmt, "SELECT k, v FROM acct ORDER BY k")
+    assert rc == SQL_SUCCESS
+    rows = []
+    while True:
+        rc, row = app.manager.fetch(stmt)
+        if rc != SQL_SUCCESS:
+            break
+        rows.append(row)
+    app.manager.free_statement(stmt)
+    return rows
+
+
+def test_concurrent_row_sessions_survive_crash_at_every_boundary():
+    """Phoenix transparency with two concurrent row-locking sessions.
+
+    Two Phoenix sessions interleave explicit multi-statement
+    transactions on disjoint rows under ``lock_granularity="row"`` —
+    overlap the seed's table locks could never sustain.  A crash is
+    injected at every shared request boundary, including points where
+    both transactions are in flight; recovery must rebuild *both*
+    sessions' state, each aborted transaction must surface SQLSTATE
+    40001 exactly as documented, and after client-side retry-from-BEGIN
+    the final table contents must be bit-identical to the no-crash run
+    (every increment applied exactly once — never lost, never doubled).
+    """
+    # Reference: no crashes.  Verify the overlap is real — right after
+    # both sessions have updated, two distinct transactions hold locks.
+    server, apps = build_concurrent_row_world()
+    prefixes = [[], []]
+    for index, (who, sql) in enumerate(_CONCURRENT_SCHEDULE):
+        _step_txn(apps[who], prefixes[who], sql)
+        if sql == "COMMIT":
+            prefixes[who].clear()
+        if index == 3:
+            holders = {txn for _t, _g, _k, _m, txn, _w
+                       in server.engine.locks.snapshot()}
+            assert len(holders) >= 2, (
+                "expected two concurrent lock-holding transactions")
+    expected_rows = final_contents(apps[0])
+    assert expected_rows == [(0, 106), (1, 211), (2, 308), (3, 403)]
+    expected_observed = [(0, "SELECT v FROM acct WHERE k = 0", (101,)),
+                         (1, "SELECT v FROM acct WHERE k = 2", (302,))]
+
+    # Count shared request boundaries across both sessions' networks.
+    server, apps = build_concurrent_row_world()
+    start = sum(app.network.requests_sent for app in apps)
+    run_concurrent_schedule(apps)
+    total = (sum(app.network.requests_sent for app in apps) - start)
+    assert total > 20
+
+    for crash_at in range(1, total + 1, 2):
+        server, apps = build_concurrent_row_world()
+        fired = {"count": 0, "done": False}
+
+        def injector(request, server=server, fired=fired,
+                     crash_at=crash_at):
+            fired["count"] += 1
+            if fired["count"] == crash_at and not fired["done"]:
+                fired["done"] = True
+                server.crash()
+                server.restart()
+
+        for app in apps:
+            app.network.fault_injector = injector
+        observed = run_concurrent_schedule(apps)
+        assert observed == expected_observed, (
+            f"in-transaction reads diverged when crashing at request "
+            f"{crash_at}")
+        rows = final_contents(apps[0])
+        assert rows == expected_rows, (
+            f"final contents diverged when crashing at request "
+            f"{crash_at}: {rows}")
+        tracer = apps[0].meter.obs.tracer
+        assert tracer.open_span_count == 0, (
+            f"spans leaked open when crashing at request {crash_at}")
+        errors = validate_spans(tracer.finished)
+        assert errors == [], (
+            f"span tree invalid when crashing at request {crash_at}: "
+            f"{errors[:3]}")

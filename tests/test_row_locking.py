@@ -1,0 +1,432 @@
+"""Hierarchical row-level locking: modes, deadlocks, escalation, TPC-C.
+
+Covers the lock manager in isolation (compatibility matrix, conflict
+reporting, wait-for-graph cycle detection, escalation), the engine
+integration under ``lock_granularity="row"`` (two-phase row locking,
+deadlock-victim sessions, the ``sys_locks`` view), and the interleaved
+multi-session TPC-C mix (row locking must beat no-wait table locking in
+virtual-time makespan while committing the exact same final state).
+"""
+
+import pytest
+
+from repro.engine.database import DatabaseEngine
+from repro.engine.session import EngineSession
+from repro.errors import DeadlockError, LockWaitError
+from repro.obs.latency import COMPONENTS, classify
+from repro.sim.costs import SERVER_CPU, CostModel
+from repro.sim.meter import Meter
+from repro.txn.locks import LockManager, LockMode
+
+IS = LockMode.INTENT_SHARED
+IX = LockMode.INTENT_EXCLUSIVE
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+def row_lock_manager(threshold: int = 0) -> LockManager:
+    costs = CostModel(lock_granularity="row",
+                      lock_escalation_threshold=threshold)
+    return LockManager(meter=Meter(costs))
+
+
+class TestModeAlgebra:
+    def test_intent_modes_coexist_with_row_activity(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", IS)
+        locks.acquire(2, "t", IX)
+        locks.acquire(3, "t", IS)
+        # Row locks under the intent modes: disjoint rows never touch.
+        locks.acquire_row(2, "t", (1,), X)
+        locks.acquire_row(3, "t", (2,), S)
+        assert locks.held(1, "t") is IS
+        assert locks.held(2, "t") is IX
+
+    def test_shared_table_lock_blocks_intent_exclusive(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", S)
+        with pytest.raises(LockWaitError):
+            locks.acquire(2, "t", IX)
+
+    def test_same_txn_upgrade_merges_to_supremum(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", S)
+        locks.acquire(1, "t", IX)  # {S, IX} -> X
+        assert locks.held(1, "t") is X
+
+    def test_table_exclusive_subsumes_row_requests(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", X)
+        locks.acquire_row(1, "t", (7,), X)
+        # Subsumed by the table lock: no separate row lock recorded.
+        assert locks.row_lock_count(1, "t") == 0
+
+    def test_row_writers_on_distinct_rows_do_not_conflict(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", IX)
+        locks.acquire(2, "t", IX)
+        locks.acquire_row(1, "t", (1,), X)
+        locks.acquire_row(2, "t", (2,), X)
+        assert locks.row_holders("t", (1,)) == {1: X}
+        assert locks.row_holders("t", (2,)) == {2: X}
+
+
+class TestConflictReporting:
+    """The seed's conflict message always claimed an X blocker — wrong
+    whenever the holder blocks with a *shared* lock (S vs X upgrade)."""
+
+    def test_shared_holder_is_reported_as_shared(self):
+        locks = LockManager()  # table granularity, seed no-wait
+        locks.acquire(1, "t", S)
+        with pytest.raises(DeadlockError) as info:
+            locks.acquire(2, "t", X)
+        message = str(info.value)
+        assert "S lock" in message
+        assert "txn 1" in message
+        assert "X lock" not in message
+
+    def test_multiple_holders_list_all_modes_and_txns(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", IS)
+        locks.acquire(2, "t", S)
+        with pytest.raises(LockWaitError) as info:
+            locks.acquire(3, "t", X)
+        message = str(info.value)
+        assert "IS,S locks held by" in message
+        assert "txns 1, 2" in message
+
+
+class TestDeadlockDetection:
+    def test_two_cycle_aborts_youngest(self):
+        aborted = []
+        locks = row_lock_manager()
+        locks.on_victim = lambda txn_id: (aborted.append(txn_id),
+                                          locks.release_all(txn_id))
+        locks.acquire(1, "t", IX)
+        locks.acquire(2, "t", IX)
+        locks.acquire_row(1, "t", ("a",), X)
+        locks.acquire_row(2, "t", ("b",), X)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(2, "t", ("a",), X)  # 2 waits on 1
+        with pytest.raises(LockWaitError) as info:
+            locks.acquire_row(1, "t", ("b",), X)  # closes the cycle
+        # Youngest (largest txn id) dies; the requester just retries.
+        assert aborted == [2]
+        assert "aborting txn 2" in str(info.value)
+        locks.acquire_row(1, "t", ("b",), X)  # victim's locks are gone
+
+    def test_requester_as_youngest_gets_deadlock_error(self):
+        locks = row_lock_manager()
+        locks.on_victim = lambda txn_id: locks.release_all(txn_id)
+        locks.acquire(1, "t", IX)
+        locks.acquire(2, "t", IX)
+        locks.acquire_row(1, "t", ("a",), X)
+        locks.acquire_row(2, "t", ("b",), X)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(1, "t", ("b",), X)  # 1 waits on 2
+        with pytest.raises(DeadlockError) as info:
+            locks.acquire_row(2, "t", ("a",), X)  # requester is youngest
+        assert "deadlock victim" in str(info.value)
+        # The victim's own wait is deregistered; txn 1 still waits.
+        assert locks.waiting_for(2) is None
+        assert locks.waiting_for(1) == frozenset({2})
+
+    def test_three_cycle_detected(self):
+        aborted = []
+        locks = row_lock_manager()
+        locks.on_victim = lambda txn_id: (aborted.append(txn_id),
+                                          locks.release_all(txn_id))
+        for txn, row in ((1, "a"), (2, "b"), (3, "c")):
+            locks.acquire(txn, "t", IX)
+            locks.acquire_row(txn, "t", (row,), X)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(2, "t", ("a",), X)  # 2 -> 1
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(3, "t", ("b",), X)  # 3 -> 2
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(1, "t", ("c",), X)  # 1 -> 3: cycle, kill 3
+        assert aborted == [3]
+
+    def test_pure_shared_load_never_detects_deadlocks(self):
+        locks = row_lock_manager()
+        meter = locks._meter
+        for txn in (1, 2, 3):
+            locks.acquire(txn, "t", IS)
+            locks.acquire_row(txn, "t", ("hot",), S)
+        # A writer waiting on shared holders is a plain wait, no cycle.
+        locks.acquire(4, "t", IX)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(4, "t", ("hot",), X)
+        assert meter.counters.get("locks.deadlocks_detected", 0) == 0
+
+    def test_finished_blockers_are_dead_ends_not_cycles(self):
+        locks = row_lock_manager()
+        locks.acquire(1, "t", IX)
+        locks.acquire(2, "t", IX)
+        locks.acquire_row(1, "t", ("a",), X)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(2, "t", ("a",), X)  # 2 waits on 1
+        locks.release_all(1)  # 1 finishes; 2's wait entry goes stale
+        # A new conflict whose DFS crosses the stale edge finds no cycle.
+        locks.acquire(3, "t", IX)
+        locks.acquire_row(3, "t", ("b",), X)
+        with pytest.raises(LockWaitError):
+            locks.acquire_row(2, "t", ("b",), X)
+        assert locks._meter.counters.get("locks.deadlocks_detected",
+                                         0) == 0
+
+
+class TestEscalation:
+    def test_row_locks_escalate_past_threshold(self):
+        locks = row_lock_manager(threshold=4)
+        locks.acquire(1, "t", IX)
+        for key in range(4):
+            locks.acquire_row(1, "t", (key,), X)
+        assert locks.held(1, "t") is IX  # at the threshold: not yet
+        locks.acquire_row(1, "t", (4,), X)  # past it: trade up
+        assert locks.held(1, "t") is X
+        assert locks.row_lock_count(1, "t") == 0
+        assert locks._meter.counters["locks.escalations"] == 1.0
+
+    def test_shared_only_rows_escalate_to_shared(self):
+        locks = row_lock_manager(threshold=2)
+        locks.acquire(1, "t", IS)
+        for key in range(3):
+            locks.acquire_row(1, "t", (key,), S)
+        assert locks.held(1, "t") is S
+
+    def test_escalation_skipped_while_other_txn_holds_intent(self):
+        locks = row_lock_manager(threshold=2)
+        locks.acquire(1, "t", IX)
+        locks.acquire(2, "t", IX)  # would conflict with an escalated X
+        locks.acquire_row(2, "t", (99,), X)
+        for key in range(3):
+            locks.acquire_row(1, "t", (key,), X)
+        assert locks.held(1, "t") is IX  # escalation deferred
+        assert locks.row_lock_count(1, "t") == 3
+
+
+def row_world():
+    costs = CostModel(lock_granularity="row")
+    engine = DatabaseEngine(meter=Meter(costs))
+    alice = EngineSession(session_id=1)
+    bob = EngineSession(session_id=2)
+    engine.execute("CREATE TABLE acct (id INT NOT NULL, bal INT, "
+                   "PRIMARY KEY (id))", alice)
+    engine.execute("INSERT INTO acct VALUES (1, 100), (2, 200), "
+                   "(3, 300)", alice)
+    return engine, alice, bob
+
+
+def run(engine, session, sql):
+    result = engine.execute(sql, session)
+    if result.kind == "rows":
+        return result.fetch_all()
+    if result.kind == "rowcount":
+        return result.rowcount
+    return None
+
+
+class TestRowModeEngine:
+    def test_writers_on_distinct_rows_proceed(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        run(engine, bob, "BEGIN TRANSACTION")
+        # Under the seed's table locks this raised DeadlockError.
+        assert run(engine, bob,
+                   "UPDATE acct SET bal = 5 WHERE id = 2") == 1
+        run(engine, alice, "COMMIT")
+        run(engine, bob, "COMMIT")
+        assert run(engine, alice,
+                   "SELECT bal FROM acct ORDER BY id") == \
+            [(0,), (5,), (300,)]
+
+    def test_writers_on_same_row_wait(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        run(engine, bob, "BEGIN TRANSACTION")
+        with pytest.raises(LockWaitError):
+            run(engine, bob, "UPDATE acct SET bal = 5 WHERE id = 1")
+        # The waiter keeps its transaction and retries after commit.
+        run(engine, alice, "COMMIT")
+        assert run(engine, bob,
+                   "UPDATE acct SET bal = 5 WHERE id = 1") == 1
+        run(engine, bob, "COMMIT")
+        assert run(engine, alice,
+                   "SELECT bal FROM acct WHERE id = 1") == [(5,)]
+
+    def test_update_locks_all_rows_before_mutating_any(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 3")
+        run(engine, bob, "BEGIN TRANSACTION")
+        # Bob's multi-row update overlaps alice's locked row: it must
+        # wait *without* applying the non-conflicting rows first, so the
+        # eventual retry is not a double-application.
+        with pytest.raises(LockWaitError):
+            run(engine, bob, "UPDATE acct SET bal = bal + 7")
+        run(engine, alice, "COMMIT")
+        assert run(engine, bob, "UPDATE acct SET bal = bal + 7") == 3
+        run(engine, bob, "COMMIT")
+        assert run(engine, alice,
+                   "SELECT bal FROM acct ORDER BY id") == \
+            [(107,), (207,), (7,)]
+
+    def test_victim_session_fails_until_rollback(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")  # older txn
+        run(engine, bob, "BEGIN TRANSACTION")    # younger: the victim
+        run(engine, alice, "UPDATE acct SET bal = 1 WHERE id = 1")
+        run(engine, bob, "UPDATE acct SET bal = 2 WHERE id = 2")
+        with pytest.raises(LockWaitError):
+            run(engine, bob, "UPDATE acct SET bal = 3 WHERE id = 1")
+        # Alice closes the cycle; the detector aborts bob (younger) and
+        # alice unwinds with a retryable wait.
+        with pytest.raises(LockWaitError):
+            run(engine, alice, "UPDATE acct SET bal = 4 WHERE id = 2")
+        assert run(engine, alice,
+                   "UPDATE acct SET bal = 4 WHERE id = 2") == 1
+        # Bob's session is doomed until it acknowledges with ROLLBACK —
+        # including for *cached* DML plans, which must not slip into a
+        # fresh autocommit transaction.
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "UPDATE acct SET bal = 9 WHERE id = 3")
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "SELECT * FROM acct")
+        run(engine, bob, "ROLLBACK")
+        run(engine, alice, "COMMIT")
+        # Bob's writes are gone; alice's survived.
+        assert run(engine, bob,
+                   "SELECT bal FROM acct ORDER BY id") == \
+            [(1,), (4,), (300,)]
+
+    def test_transactional_readers_take_row_shares(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        rows = run(engine, alice, "SELECT * FROM acct WHERE id = 1")
+        assert rows == [(1, 100)]
+        txn = alice.current_txn
+        assert engine.locks.row_holders("acct", (1,)) == \
+            {txn.txn_id: S}
+        # A shared row blocks a writer on that row but not on others.
+        run(engine, bob, "BEGIN TRANSACTION")
+        assert run(engine, bob,
+                   "UPDATE acct SET bal = 9 WHERE id = 2") == 1
+        with pytest.raises(LockWaitError):
+            run(engine, bob, "UPDATE acct SET bal = 9 WHERE id = 1")
+        run(engine, alice, "COMMIT")
+        run(engine, bob, "ROLLBACK")
+
+    def test_sys_locks_view_lists_table_and_row_locks(self):
+        engine, alice, bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 2")
+        txn_id = alice.current_txn.txn_id
+        rows = run(engine, bob, "SELECT table_name, granularity, "
+                                "lock_key, mode, txn_id FROM sys_locks")
+        assert ("acct", "table", "", "IX", txn_id) in rows
+        assert ("acct", "row", "(2,)", "X", txn_id) in rows
+        run(engine, alice, "ROLLBACK")
+        assert run(engine, bob, "SELECT count(*) FROM sys_locks") == \
+            [(0,)]
+
+    def test_lock_counters_tick(self):
+        engine, alice, _bob = row_world()
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE acct SET bal = 0 WHERE id = 1")
+        run(engine, alice, "COMMIT")
+        assert engine.meter.counters["locks.row_locks_acquired"] >= 1
+
+
+class TestTableModeUnchanged:
+    def test_default_granularity_still_no_waits(self):
+        engine = DatabaseEngine(meter=Meter())
+        alice = EngineSession(session_id=1)
+        bob = EngineSession(session_id=2)
+        engine.execute("CREATE TABLE t (k INT NOT NULL, PRIMARY KEY "
+                       "(k))", alice)
+        engine.execute("INSERT INTO t VALUES (1), (2)", alice)
+        run(engine, alice, "BEGIN TRANSACTION")
+        run(engine, alice, "UPDATE t SET k = 3 WHERE k = 1")
+        run(engine, bob, "BEGIN TRANSACTION")
+        with pytest.raises(DeadlockError):
+            run(engine, bob, "UPDATE t SET k = 4 WHERE k = 2")
+        run(engine, bob, "ROLLBACK")
+        run(engine, alice, "ROLLBACK")
+        # No row-lock machinery ticked on the default path.
+        for counter in ("locks.row_locks_acquired", "locks.escalations",
+                        "locks.deadlocks_detected",
+                        "locks.lock_wait_seconds"):
+            assert engine.meter.counters.get(counter, 0) == 0
+
+
+class TestLatencyComponent:
+    def test_lock_wait_is_a_ledger_component(self):
+        assert "lock_wait" in COMPONENTS
+
+    def test_scheduler_wait_charge_classifies_as_lock_wait(self):
+        assert classify(SERVER_CPU, "lock wait") == "lock_wait"
+        # Ordinary engine work is untouched.
+        assert classify(SERVER_CPU, "row scan") == "engine_execute"
+
+
+class TestConcurrentTpcc:
+    @pytest.fixture(scope="class")
+    def mixes(self):
+        from repro.workloads.tpcc.concurrent import (
+            ConcurrentMix, build_concurrent_world, digest_database)
+
+        out = {}
+        for leg, granularity, interleave in (
+                ("serial", "table", False),
+                ("table", "table", True),
+                ("row", "row", True)):
+            server, apps, plans, scale = build_concurrent_world(
+                8, granularity, txns_per_session=2, items=60,
+                customers_per_district=8, initial_orders_per_district=4)
+            mix = ConcurrentMix(server, apps, plans, scale)
+            result = (mix.run_interleaved() if interleave
+                      else mix.run_serial())
+            out[leg] = (result, digest_database(server.engine),
+                        dict(server.meter.counters))
+        return out
+
+    def test_row_locking_beats_table_locking(self, mixes):
+        table = mixes["table"][0]
+        row = mixes["row"][0]
+        assert row.makespan_seconds < table.makespan_seconds
+        # The win comes from waiting instead of abort-and-retry.
+        assert table.txn_retries > row.txn_retries
+        assert row.lock_waits > 0
+
+    def test_all_legs_commit_identical_final_state(self, mixes):
+        serial_digest = mixes["serial"][1]
+        assert mixes["table"][1] == serial_digest
+        assert mixes["row"][1] == serial_digest
+        # And everything actually committed.
+        serial = mixes["serial"][0]
+        assert serial.committed + serial.rolled_back == 16
+        for leg in ("table", "row"):
+            assert mixes[leg][0].committed == serial.committed
+
+    def test_row_leg_counters_recorded(self, mixes):
+        counters = mixes["row"][2]
+        assert counters.get("locks.row_locks_acquired", 0) > 0
+        assert counters.get("locks.lock_wait_seconds", 0) > 0
+        serial_counters = mixes["serial"][2]
+        assert serial_counters.get("locks.row_locks_acquired", 0) == 0
+
+    def test_interleaved_runs_are_reproducible(self, mixes):
+        from repro.workloads.tpcc.concurrent import (
+            ConcurrentMix, build_concurrent_world, digest_database)
+
+        server, apps, plans, scale = build_concurrent_world(
+            8, "row", txns_per_session=2, items=60,
+            customers_per_district=8, initial_orders_per_district=4)
+        mix = ConcurrentMix(server, apps, plans, scale)
+        result = mix.run_interleaved()
+        reference = mixes["row"][0]
+        assert result.makespan_seconds == reference.makespan_seconds
+        assert digest_database(server.engine) == mixes["row"][1]
